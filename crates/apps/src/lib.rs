@@ -1,0 +1,12 @@
+//! # agg-apps
+//!
+//! This crate carries no library code of its own; it hosts the repository's
+//! runnable examples (`examples/` at the workspace root) and the cross-crate
+//! integration tests (`tests/` at the workspace root), wiring them to every
+//! crate of the AggregaThor reproduction.
+//!
+//! Run an example with, for instance:
+//!
+//! ```text
+//! cargo run --release -p agg-apps --example quickstart
+//! ```

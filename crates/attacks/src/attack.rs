@@ -1,0 +1,93 @@
+//! The [`Attack`] trait and the information an omniscient adversary sees.
+
+use agg_tensor::Vector;
+use std::fmt;
+
+/// Everything the adversary knows when crafting this round's Byzantine
+/// gradients (the paper grants the adversary all of it: §3.1).
+#[derive(Debug, Clone, Copy)]
+pub struct AttackContext<'a> {
+    /// The gradients computed by the correct workers this round.
+    pub honest_gradients: &'a [Vector],
+    /// The current global model parameters.
+    pub model: &'a Vector,
+    /// How many Byzantine gradients to produce.
+    pub byzantine_count: usize,
+    /// The `f` the server has declared to its GAR (the adversary knows the
+    /// defence configuration).
+    pub declared_f: usize,
+    /// Current model-update step.
+    pub step: u64,
+    /// Experiment seed (attacks derive their own deterministic streams).
+    pub seed: u64,
+}
+
+impl<'a> AttackContext<'a> {
+    /// Dimension of the model / gradients.
+    pub fn dimension(&self) -> usize {
+        self.model.len()
+    }
+
+    /// Coordinate-wise mean of the honest gradients (the quantity most
+    /// attacks perturb). Zero vector when there are no honest gradients.
+    pub fn honest_mean(&self) -> Vector {
+        if self.honest_gradients.is_empty() {
+            return Vector::zeros(self.dimension());
+        }
+        let mut acc = Vector::zeros(self.honest_gradients[0].len());
+        for g in self.honest_gradients {
+            let _ = acc.axpy(1.0, g);
+        }
+        acc.scale(1.0 / self.honest_gradients.len() as f32);
+        acc
+    }
+}
+
+/// A Byzantine worker behaviour.
+///
+/// `craft` returns exactly `ctx.byzantine_count` gradients; the parameter
+/// server simulator submits them alongside the honest ones. Implementations
+/// must be deterministic functions of the context (including `seed` and
+/// `step`) so experiments replay exactly.
+pub trait Attack: Send + Sync + fmt::Debug {
+    /// Short attack name used in experiment configurations and reports.
+    fn name(&self) -> &'static str;
+
+    /// Crafts this round's Byzantine gradients.
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_mean_is_the_coordinate_mean() {
+        let honest = vec![Vector::from(vec![1.0, 3.0]), Vector::from(vec![3.0, 5.0])];
+        let model = Vector::zeros(2);
+        let ctx = AttackContext {
+            honest_gradients: &honest,
+            model: &model,
+            byzantine_count: 1,
+            declared_f: 1,
+            step: 0,
+            seed: 0,
+        };
+        assert_eq!(ctx.honest_mean().as_slice(), &[2.0, 4.0]);
+        assert_eq!(ctx.dimension(), 2);
+    }
+
+    #[test]
+    fn honest_mean_of_nothing_is_zero() {
+        let model = Vector::zeros(3);
+        let ctx = AttackContext {
+            honest_gradients: &[],
+            model: &model,
+            byzantine_count: 2,
+            declared_f: 2,
+            step: 5,
+            seed: 1,
+        };
+        assert_eq!(ctx.honest_mean(), Vector::zeros(3));
+    }
+}

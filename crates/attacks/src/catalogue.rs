@@ -1,0 +1,352 @@
+//! Concrete attack implementations and the [`AttackKind`] registry.
+
+use crate::attack::{Attack, AttackContext};
+use agg_tensor::rng::{derive_seed, gaussian_vector, seeded_rng};
+use agg_tensor::{stats, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Honest behaviour: produces gradients identical to the honest mean.
+///
+/// Used as the "no attack" baseline so every experiment can run through the
+/// same code path with and without an adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAttack;
+
+impl Attack for NoAttack {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        vec![ctx.honest_mean(); ctx.byzantine_count]
+    }
+}
+
+/// Large random gradients (`N(0, magnitude²)` per coordinate).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomGradient {
+    /// Standard deviation of each Byzantine coordinate.
+    pub magnitude: f32,
+}
+
+impl Default for RandomGradient {
+    fn default() -> Self {
+        RandomGradient { magnitude: 100.0 }
+    }
+}
+
+impl Attack for RandomGradient {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        (0..ctx.byzantine_count)
+            .map(|k| {
+                let mut rng =
+                    seeded_rng(derive_seed(ctx.seed, ctx.step ^ (k as u64) << 32 | 0xA77));
+                gaussian_vector(&mut rng, ctx.dimension(), 0.0, self.magnitude)
+            })
+            .collect()
+    }
+}
+
+/// The reversed-gradient adversary (the model used for the paper's Draco
+/// comparison): sends `−scale ·` (honest mean).
+#[derive(Debug, Clone, Copy)]
+pub struct ReversedGradient {
+    /// Magnification applied to the reversed direction (Draco's default
+    /// experiments use 100).
+    pub scale: f32,
+}
+
+impl Default for ReversedGradient {
+    fn default() -> Self {
+        ReversedGradient { scale: 100.0 }
+    }
+}
+
+impl Attack for ReversedGradient {
+    fn name(&self) -> &'static str {
+        "reversed"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let mut g = ctx.honest_mean();
+        g.scale(-self.scale);
+        vec![g; ctx.byzantine_count]
+    }
+}
+
+/// Sign-flipping: sends the negated honest mean without magnification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignFlip;
+
+impl Attack for SignFlip {
+    fn name(&self) -> &'static str {
+        "sign-flip"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let mut g = ctx.honest_mean();
+        g.scale(-1.0);
+        vec![g; ctx.byzantine_count]
+    }
+}
+
+/// Non-finite gradients: a mixture of `NaN` and `±∞` coordinates — the
+/// malformed input a real malicious worker (or a lossy transport) produces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NonFinite;
+
+impl Attack for NonFinite {
+    fn name(&self) -> &'static str {
+        "non-finite"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let d = ctx.dimension();
+        (0..ctx.byzantine_count)
+            .map(|k| {
+                Vector::from_iter((0..d).map(|i| match (i + k) % 3 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    _ => f32::NEG_INFINITY,
+                }))
+            })
+            .collect()
+    }
+}
+
+/// Constant drift towards a fixed target direction, scaled per step — models
+/// an adversary steering the model towards a specific bad optimum.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantDrift {
+    /// Per-coordinate drift value.
+    pub value: f32,
+}
+
+impl Default for ConstantDrift {
+    fn default() -> Self {
+        ConstantDrift { value: 10.0 }
+    }
+}
+
+impl Attack for ConstantDrift {
+    fn name(&self) -> &'static str {
+        "constant-drift"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        vec![Vector::filled(ctx.dimension(), self.value); ctx.byzantine_count]
+    }
+}
+
+/// The dimensional-leeway attack against weakly Byzantine-resilient GARs
+/// (the "hidden vulnerability" of El Mhamdi et al., illustrated in the
+/// paper's Figure 9, also known as "a little is enough").
+///
+/// The adversary submits `mean + z · σ` where `σ` is the per-coordinate
+/// standard deviation of the honest gradients and `z` is small enough that
+/// the crafted gradient stays inside the honest point cloud (so Krum-style
+/// selection accepts it) yet, accumulated over `d ≫ 1` coordinates and many
+/// steps, biases convergence towards a poor optimum. Strongly resilient GARs
+/// (Bulyan) bound the per-coordinate deviation and resist it.
+#[derive(Debug, Clone, Copy)]
+pub struct LittleIsEnough {
+    /// Multiple of the per-coordinate standard deviation to add.
+    pub z: f32,
+}
+
+impl Default for LittleIsEnough {
+    fn default() -> Self {
+        LittleIsEnough { z: 1.0 }
+    }
+}
+
+impl Attack for LittleIsEnough {
+    fn name(&self) -> &'static str {
+        "little-is-enough"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let mean = ctx.honest_mean();
+        let std = stats::coordinate_std(ctx.honest_gradients)
+            .unwrap_or_else(|_| Vector::zeros(ctx.dimension()));
+        let mut crafted = mean;
+        let _ = crafted.axpy(self.z, &std);
+        vec![crafted; ctx.byzantine_count]
+    }
+}
+
+/// The attack choices exposed to experiment configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// No attack (honest duplicates of the mean).
+    None,
+    /// Large random gradients.
+    Random {
+        /// Standard deviation of each coordinate.
+        magnitude: f32,
+    },
+    /// Reversed (and magnified) honest mean.
+    Reversed {
+        /// Magnification factor.
+        scale: f32,
+    },
+    /// Negated honest mean.
+    SignFlip,
+    /// NaN / ±∞ coordinates.
+    NonFinite,
+    /// Constant per-coordinate drift.
+    ConstantDrift {
+        /// Drift value.
+        value: f32,
+    },
+    /// The dimensional-leeway ("little is enough") attack.
+    LittleIsEnough {
+        /// Standard-deviation multiple.
+        z: f32,
+    },
+}
+
+impl AttackKind {
+    /// Builds the attack.
+    pub fn build(&self) -> Box<dyn Attack> {
+        match *self {
+            AttackKind::None => Box::new(NoAttack),
+            AttackKind::Random { magnitude } => Box::new(RandomGradient { magnitude }),
+            AttackKind::Reversed { scale } => Box::new(ReversedGradient { scale }),
+            AttackKind::SignFlip => Box::new(SignFlip),
+            AttackKind::NonFinite => Box::new(NonFinite),
+            AttackKind::ConstantDrift { value } => Box::new(ConstantDrift { value }),
+            AttackKind::LittleIsEnough { z } => Box::new(LittleIsEnough { z }),
+        }
+    }
+
+    /// Canonical name of the attack.
+    pub fn name(&self) -> &'static str {
+        self.build().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_core::{Average, Gar, MultiKrum};
+
+    fn honest_cloud(n: usize, d: usize) -> Vec<Vector> {
+        let mut rng = seeded_rng(3);
+        (0..n)
+            .map(|_| {
+                let mut v = Vector::filled(d, 1.0);
+                let _ = v.axpy(1.0, &gaussian_vector(&mut rng, d, 0.0, 0.1));
+                v
+            })
+            .collect()
+    }
+
+    fn ctx<'a>(honest: &'a [Vector], model: &'a Vector, byz: usize) -> AttackContext<'a> {
+        AttackContext {
+            honest_gradients: honest,
+            model,
+            byzantine_count: byz,
+            declared_f: byz,
+            step: 3,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn every_kind_produces_the_requested_count_and_dimension() {
+        let honest = honest_cloud(8, 6);
+        let model = Vector::zeros(6);
+        let kinds = [
+            AttackKind::None,
+            AttackKind::Random { magnitude: 10.0 },
+            AttackKind::Reversed { scale: 100.0 },
+            AttackKind::SignFlip,
+            AttackKind::NonFinite,
+            AttackKind::ConstantDrift { value: 5.0 },
+            AttackKind::LittleIsEnough { z: 1.0 },
+        ];
+        for kind in kinds {
+            let attack = kind.build();
+            let crafted = attack.craft(&ctx(&honest, &model, 3));
+            assert_eq!(crafted.len(), 3, "{}", attack.name());
+            assert!(crafted.iter().all(|g| g.len() == 6), "{}", attack.name());
+        }
+    }
+
+    #[test]
+    fn attacks_are_deterministic() {
+        let honest = honest_cloud(8, 6);
+        let model = Vector::zeros(6);
+        for kind in [AttackKind::Random { magnitude: 10.0 }, AttackKind::LittleIsEnough { z: 1.5 }] {
+            let a = kind.build().craft(&ctx(&honest, &model, 2));
+            let b = kind.build().craft(&ctx(&honest, &model, 2));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reversed_gradient_points_against_the_mean() {
+        let honest = honest_cloud(5, 4);
+        let model = Vector::zeros(4);
+        let crafted = ReversedGradient { scale: 10.0 }.craft(&ctx(&honest, &model, 1));
+        let mean = ctx(&honest, &model, 1).honest_mean();
+        let dot = crafted[0].dot(&mean).unwrap();
+        assert!(dot < 0.0);
+    }
+
+    #[test]
+    fn non_finite_attack_is_actually_non_finite() {
+        let honest = honest_cloud(4, 9);
+        let model = Vector::zeros(9);
+        let crafted = NonFinite.craft(&ctx(&honest, &model, 2));
+        assert!(crafted.iter().all(|g| !g.is_finite()));
+    }
+
+    #[test]
+    fn reversed_attack_ruins_averaging_but_not_multi_krum() {
+        // The paper's core claim in one test: a single Byzantine worker
+        // defeats averaging while Multi-Krum stays within the honest cloud.
+        let honest = honest_cloud(8, 5);
+        let model = Vector::zeros(5);
+        let byz = ReversedGradient { scale: 100.0 }.craft(&ctx(&honest, &model, 1));
+        let mut all = honest.clone();
+        all.extend(byz);
+
+        let averaged = Average::new().aggregate(&all).unwrap();
+        assert!(averaged[0] < 0.0, "averaging is dragged negative by the attack");
+
+        let robust = MultiKrum::new(1).unwrap().aggregate(&all).unwrap();
+        assert!((robust[0] - 1.0).abs() < 0.3, "Multi-Krum stays near the honest mean");
+    }
+
+    #[test]
+    fn little_is_enough_is_selected_by_multi_krum() {
+        // The crafted gradient stays inside the honest cloud, so Multi-Krum
+        // (weak resilience) accepts it into its selection — exactly the
+        // vulnerability that motivates Bulyan.
+        let honest = honest_cloud(11, 20);
+        let model = Vector::zeros(20);
+        let context = ctx(&honest, &model, 4);
+        let byz = LittleIsEnough { z: 0.5 }.craft(&context);
+        let mut all = honest.clone();
+        all.extend(byz);
+        let mk = MultiKrum::new(4).unwrap();
+        let selected = mk.select(&all).unwrap();
+        assert!(
+            selected.iter().any(|&i| i >= 11),
+            "the stealthy gradient should enter the selection: {selected:?}"
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AttackKind::None.name(), "none");
+        assert_eq!(AttackKind::SignFlip.name(), "sign-flip");
+        assert_eq!(AttackKind::LittleIsEnough { z: 1.0 }.name(), "little-is-enough");
+    }
+}

@@ -1,0 +1,29 @@
+//! # agg-attacks — Byzantine worker behaviours
+//!
+//! The paper's threat model (§3.1): up to `f` of the `n` workers are
+//! controlled by a single adversary with unbounded computational power,
+//! access to the full dataset, and knowledge of every correct worker's
+//! gradient. This crate implements that adversary's repertoire so the
+//! evaluation can inject each behaviour into the parameter-server simulator:
+//!
+//! | Attack | Paper reference | Defeats |
+//! |---|---|---|
+//! | [`RandomGradient`] | §2.2 "a Byzantine worker can propose a gradient that can completely ruin the training" | averaging |
+//! | [`ReversedGradient`] | §4.1 (the Draco adversary model) | averaging |
+//! | [`SignFlip`] | classic poisoning baseline | averaging |
+//! | [`NonFinite`] | §2.3 "support non-finite coordinates" | averaging, naive implementations |
+//! | [`ConstantDrift`] | §3.1 goal of the adversary | averaging |
+//! | [`LittleIsEnough`] | §2.2 / Fig. 9 dimensional-leeway attack | weak GARs (degrades), not Bulyan |
+//! | [`NoAttack`] | baseline | — |
+//!
+//! Attacks are *omniscient*: [`Attack::craft`] receives all honest gradients
+//! of the round, matching the strongest adversary the paper allows.
+
+pub mod attack;
+pub mod catalogue;
+
+pub use attack::{Attack, AttackContext};
+pub use catalogue::{
+    AttackKind, ConstantDrift, LittleIsEnough, NoAttack, NonFinite, RandomGradient,
+    ReversedGradient, SignFlip,
+};

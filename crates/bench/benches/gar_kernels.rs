@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the gradient aggregation kernels.
+//!
+//! These back the paper's §4.2 cost analysis: Multi-Krum and Bulyan are
+//! O(n²·d) per round (the same asymptotic cost as averaging's O(n·d) once
+//! d ≫ n), with Bulyan a constant factor above Multi-Krum. The benches sweep
+//! both the gradient dimension `d` and the worker count `n` so the scaling
+//! claims can be checked from the Criterion report.
+
+use agg_core::{Average, Bulyan, CoordinateMedian, Gar, Krum, MultiKrum, TrimmedMean};
+use agg_tensor::rng::{gaussian_vector, seeded_rng};
+use agg_tensor::Vector;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn gradients(n: usize, d: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = seeded_rng(seed);
+    (0..n).map(|_| gaussian_vector(&mut rng, d, 0.0, 1.0)).collect()
+}
+
+/// Sweep the gradient dimension at the paper's worker count (n = 19, f = 4).
+fn bench_dimension_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gar_dimension_sweep_n19_f4");
+    group.sample_size(10);
+    for &d in &[1_000usize, 10_000, 100_000] {
+        let gs = gradients(19, d, 1);
+        let rules: Vec<(&str, Box<dyn Gar>)> = vec![
+            ("average", Box::new(Average::new())),
+            ("median", Box::new(CoordinateMedian::new(4))),
+            ("trimmed-mean", Box::new(TrimmedMean::new(4))),
+            ("krum", Box::new(Krum::new(4))),
+            ("multi-krum", Box::new(MultiKrum::new(4).unwrap())),
+            ("bulyan", Box::new(Bulyan::new(4).unwrap())),
+        ];
+        for (name, gar) in rules {
+            group.bench_with_input(BenchmarkId::new(name, d), &gs, |b, gs| {
+                b.iter(|| gar.aggregate(black_box(gs)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Sweep the worker count at a fixed dimension (the n² term).
+fn bench_worker_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gar_worker_sweep_d20000");
+    group.sample_size(10);
+    for &n in &[7usize, 11, 19, 27] {
+        let gs = gradients(n, 20_000, 2);
+        let f = 1;
+        let mk = MultiKrum::new(f).unwrap();
+        let bulyan = Bulyan::new(f).unwrap();
+        let avg = Average::new();
+        group.bench_with_input(BenchmarkId::new("multi-krum-f1", n), &gs, |b, gs| {
+            b.iter(|| mk.aggregate(black_box(gs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bulyan-f1", n), &gs, |b, gs| {
+            b.iter(|| bulyan.aggregate(black_box(gs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("average", n), &gs, |b, gs| {
+            b.iter(|| avg.aggregate(black_box(gs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The ablation the paper calls out: higher declared f means fewer Multi-Krum
+/// neighbours and fewer Bulyan iterations, hence *faster* aggregation.
+fn bench_f_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gar_f_ablation_n19_d20000");
+    group.sample_size(10);
+    let gs = gradients(19, 20_000, 3);
+    for &f in &[1usize, 2, 4] {
+        let mk = MultiKrum::new(f).unwrap();
+        group.bench_with_input(BenchmarkId::new("multi-krum", f), &gs, |b, gs| {
+            b.iter(|| mk.aggregate(black_box(gs)).unwrap())
+        });
+        let bulyan = Bulyan::new(f).unwrap();
+        group.bench_with_input(BenchmarkId::new("bulyan", f), &gs, |b, gs| {
+            b.iter(|| bulyan.aggregate(black_box(gs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimension_sweep, bench_worker_sweep, bench_f_ablation);
+criterion_main!(benches);

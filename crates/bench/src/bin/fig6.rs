@@ -1,0 +1,75 @@
+//! Figure 6 — impact of the declared `f` on convergence (non-Byzantine
+//! environment).
+//!
+//! The paper observes a trade-off between update throughput and update
+//! quality: increasing `f` makes Multi-Krum slightly *slower* to converge
+//! (it averages fewer gradients, so each update is noisier) while Bulyan
+//! becomes slightly *faster* (its throughput gain outweighs the extra
+//! noise); the effect shrinks for small mini-batches.
+
+use agg_bench::{format_time, paper_runner, proxy_experiment};
+use agg_core::GarKind;
+use agg_draco::{DracoConfig, DracoTrainer};
+use agg_metrics::Table;
+use agg_nn::optim::OptimizerKind;
+use agg_nn::schedule::LearningRate;
+use agg_ps::{CostModel, SyncTrainingEngine, TrainingReport, VirtualModelCost};
+
+fn run_gar(kind: GarKind, f: usize, batch: usize, steps: u64) -> TrainingReport {
+    SyncTrainingEngine::new(paper_runner(kind, f, batch, steps))
+        .expect("valid configuration")
+        .run()
+        .expect("run completes")
+}
+
+fn run_draco(f: usize, batch: usize, steps: u64) -> TrainingReport {
+    let config = DracoConfig {
+        batch_size: batch,
+        max_steps: steps,
+        eval_every: (steps / 20).max(1),
+        eval_samples: 512,
+        learning_rate: LearningRate::Fixed { rate: 5e-3 },
+        optimizer: OptimizerKind::RmsProp,
+        cost: CostModel::paper_like().with_virtual_model(VirtualModelCost::paper_cnn()),
+        seed: 42,
+        ..DracoConfig::paper_like(proxy_experiment(), 19, f)
+    };
+    DracoTrainer::new(config).expect("valid config").run().expect("run completes")
+}
+
+fn regime(batch: usize, steps: u64) {
+    let runs: Vec<(&str, TrainingReport)> = vec![
+        ("Multi-Krum f=1", run_gar(GarKind::MultiKrum, 1, batch, steps)),
+        ("Multi-Krum f=4", run_gar(GarKind::MultiKrum, 4, batch, steps)),
+        ("Bulyan f=1", run_gar(GarKind::Bulyan, 1, batch, steps)),
+        ("Bulyan f=4", run_gar(GarKind::Bulyan, 4, batch, steps)),
+        ("Draco f=1", run_draco(1, batch, steps)),
+        ("Draco f=4", run_draco(4, batch, steps)),
+    ];
+    let target = 0.5 * runs.iter().map(|(_, r)| r.final_accuracy()).fold(0.0, f64::max);
+    let mut table = Table::new(
+        format!("Figure 6: impact of f on convergence, b = {batch}"),
+        &["system", "time to 50% of best accuracy (s)", "final accuracy", "throughput (grad/s)"],
+    );
+    for (name, report) in &runs {
+        table.add_row(&[
+            name.to_string(),
+            format_time(report.time_to_accuracy(target)),
+            format!("{:.3}", report.final_accuracy()),
+            format!("{:.2}", report.throughput.gradients_per_sec()),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    println!("--- large mini-batch regime (b = 250) ---");
+    regime(250, 150);
+    println!(
+        "expected shape: Multi-Krum slightly slower with f=4 than f=1, Bulyan slightly faster \
+         with f=4 than f=1 (throughput compensates the extra noise); Draco far slower overall.\n"
+    );
+    println!("--- small mini-batch regime (b = 20) ---");
+    regime(20, 300);
+    println!("expected shape: same ordering, smaller impact of f.");
+}

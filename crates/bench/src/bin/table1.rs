@@ -1,0 +1,38 @@
+//! Table 1 — the CNN model used throughout the paper's evaluation.
+//!
+//! Builds the Table 1 architecture with this repository's layer
+//! implementations and prints the per-layer and total parameter counts; the
+//! paper describes the model as having "a total of 1.75M parameters".
+
+use agg_metrics::Table;
+use agg_nn::models;
+
+fn main() {
+    let model = models::paper_cnn(0);
+    let mut table = Table::new(
+        "Table 1: CNN model parameters (paper: ~1.75M total)",
+        &["layer", "parameters"],
+    );
+    for (name, params) in model.layer_summary() {
+        table.add_row(&[name.to_string(), params.to_string()]);
+    }
+    table.add_row(&["TOTAL".to_string(), model.param_count().to_string()]);
+    println!("{table}");
+    println!(
+        "paper total: ~1,750,000 parameters | reproduced total: {} parameters ({:.2}M)",
+        model.param_count(),
+        model.param_count() as f64 / 1e6
+    );
+    println!(
+        "forward cost estimate: {:.1} MFLOP per sample",
+        model.flops_per_sample() as f64 / 1e6
+    );
+
+    let large = models::large_model(0);
+    println!(
+        "\nResNet50 stand-in (Figure 5b): {} parameters ({:.1}M), {:.1} MFLOP/sample",
+        large.param_count(),
+        large.param_count() as f64 / 1e6,
+        large.flops_per_sample() as f64 / 1e6
+    );
+}

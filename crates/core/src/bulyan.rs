@@ -1,0 +1,255 @@
+//! Bulyan over Multi-Krum: the strongly Byzantine-resilient GAR
+//! (El Mhamdi et al., 2018; §2.3 and Appendix B.3 of the AggregaThor paper).
+//!
+//! Bulyan proceeds in two phases:
+//!
+//! 1. **Selection** — run the underlying weak GAR (Krum selection) `θ = n − 2f`
+//!    times; each iteration extracts the best-scoring gradient from the
+//!    remaining set.
+//! 2. **Robust coordinate-wise averaging** — for every coordinate, take the
+//!    median of the `θ` selected values and average the `β = θ − 2f` values
+//!    closest to that median.
+//!
+//! The implementation follows the paper's optimisation: the O(n²·d) pairwise
+//! distance matrix is computed **once** (it is the Multi-Krum distance
+//! matrix); subsequent selection iterations only re-rank scores over the
+//! shrinking active set, so the additional cost per iteration is O(n²) rather
+//! than O(n²·d).
+
+use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::multi_krum::{distance_matrix, krum_scores};
+use crate::{resilience, AggregationError, Result};
+use agg_tensor::{stats, Vector};
+
+/// The Bulyan gradient aggregation rule (strong Byzantine resilience,
+/// requires `n ≥ 4f + 3`).
+///
+/// ```
+/// use agg_core::{Bulyan, Gar};
+/// use agg_tensor::Vector;
+/// # fn main() -> Result<(), agg_core::AggregationError> {
+/// let gar = Bulyan::new(1)?; // needs n >= 7
+/// let honest = (0..6).map(|i| Vector::from(vec![1.0 + 0.001 * i as f32]));
+/// let byzantine = std::iter::once(Vector::from(vec![1e9]));
+/// let gradients: Vec<_> = honest.chain(byzantine).collect();
+/// let update = gar.aggregate(&gradients)?;
+/// assert!((update[0] - 1.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bulyan {
+    f: usize,
+}
+
+impl Bulyan {
+    /// Creates Bulyan declared to tolerate `f` Byzantine workers.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; returns `Result` for signature consistency with the
+    /// other configurable rules.
+    pub fn new(f: usize) -> Result<Self> {
+        Ok(Bulyan { f })
+    }
+
+    /// Declared number of Byzantine workers.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Runs the selection phase, returning the indices of the `θ = n − 2f`
+    /// gradients extracted by iterated Krum, in extraction order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::NotEnoughWorkers`] when `n < 4f + 3`, plus
+    /// the usual batch-validation errors.
+    pub fn select(&self, gradients: &[Vector]) -> Result<Vec<usize>> {
+        validate_batch("bulyan", gradients)?;
+        let n = gradients.len();
+        resilience::check_bulyan(n, self.f)?;
+        let theta = resilience::bulyan_selection_count(n, self.f)?;
+
+        // The paper's optimisation: distances are computed once, here.
+        let distances = distance_matrix(gradients);
+
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut selected = Vec::with_capacity(theta);
+        for _ in 0..theta {
+            // Neighbour count follows the Krum definition on the *remaining*
+            // set, clamped to at least one neighbour so the last iterations
+            // remain well defined.
+            let neighbours = active.len().saturating_sub(self.f + 2).max(1);
+            let scores = krum_scores(&distances, &active, neighbours);
+            let best_pos = stats::k_smallest_indices(&scores, 1)?[0];
+            selected.push(active.remove(best_pos));
+        }
+        Ok(selected)
+    }
+}
+
+impl Gar for Bulyan {
+    fn properties(&self) -> GarProperties {
+        GarProperties {
+            name: "bulyan",
+            resilience: Resilience::Strong,
+            f: self.f,
+            minimum_workers: resilience::bulyan_min_workers(self.f),
+            tolerates_non_finite: true,
+        }
+    }
+
+    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
+        let selected_idx = self.select(gradients)?;
+        let n = gradients.len();
+        let beta = resilience::bulyan_beta(n, self.f)?;
+        let selected: Vec<&Vector> = selected_idx.iter().map(|&i| &gradients[i]).collect();
+        if selected.iter().all(|g| !g.is_finite()) {
+            return Err(AggregationError::AllGradientsCorrupt("bulyan"));
+        }
+
+        let d = gradients[0].len();
+        let mut out = Vec::with_capacity(d);
+        // Reused scratch buffers: the per-coordinate loop runs d times and is
+        // the O(n·d) tail of Bulyan's cost, so no allocations inside it.
+        let mut column: Vec<f32> = Vec::with_capacity(selected.len());
+        let mut finite: Vec<f32> = Vec::with_capacity(selected.len());
+        let mut keyed: Vec<(f32, f32)> = Vec::with_capacity(selected.len());
+        let cmp = |a: &f32, b: &f32| a.partial_cmp(b).expect("NaN filtered before comparison");
+        for c in 0..d {
+            column.clear();
+            column.extend(selected.iter().map(|g| g[c]));
+            // Coordinate-wise median over the finite values (selection, not a
+            // full sort).
+            finite.clear();
+            finite.extend(column.iter().copied().filter(|x| !x.is_nan()));
+            let k = finite.len();
+            if k == 0 {
+                return Err(AggregationError::AllGradientsCorrupt("bulyan"));
+            }
+            let median = if k % 2 == 1 {
+                *finite.select_nth_unstable_by(k / 2, cmp).1
+            } else {
+                let upper = *finite.select_nth_unstable_by(k / 2, cmp).1;
+                let lower = finite[..k / 2].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                0.5 * (lower + upper)
+            };
+            // Average of the β values closest to the median; non-finite
+            // values rank as infinitely far and are never selected while
+            // enough finite values exist.
+            keyed.clear();
+            keyed.extend(column.iter().map(|&v| {
+                let key = if v.is_finite() { (v - median).abs() } else { f32::INFINITY };
+                (key, v)
+            }));
+            let beta = beta.min(keyed.len()).max(1);
+            keyed.select_nth_unstable_by(beta - 1, |a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let sum: f32 = keyed[..beta].iter().map(|&(_, v)| v).sum();
+            out.push(sum / beta as f32);
+        }
+        Ok(Vector::from(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_tensor::rng::{gaussian_vector, seeded_rng};
+
+    fn honest_batch(n: usize, d: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                let mut v = Vector::filled(d, 1.0);
+                v.axpy(1.0, &gaussian_vector(&mut rng, d, 0.0, 0.05)).unwrap();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_setup_selection_counts() {
+        // n = 19, f = 4 => theta = 11, beta = 3.
+        let gs = honest_batch(19, 4, 1);
+        let gar = Bulyan::new(4).unwrap();
+        assert_eq!(gar.select(&gs).unwrap().len(), 11);
+    }
+
+    #[test]
+    fn excludes_large_outliers() {
+        let mut gs = honest_batch(15, 3, 2);
+        for _ in 0..3 {
+            gs.push(Vector::from(vec![1e8, -1e8, 1e8]));
+        }
+        let gar = Bulyan::new(3).unwrap(); // needs n >= 15, have 18
+        let out = gar.aggregate(&gs).unwrap();
+        for c in 0..3 {
+            assert!((out[c] - 1.0).abs() < 0.2, "coordinate {c} was {}", out[c]);
+        }
+    }
+
+    #[test]
+    fn output_is_within_honest_coordinate_range() {
+        // Strong resilience in miniature: every output coordinate must lie
+        // within the range spanned by honest gradients.
+        let mut gs = honest_batch(8, 5, 3);
+        gs.push(Vector::from(vec![50.0, -50.0, 50.0, -50.0, 50.0]));
+        let gar = Bulyan::new(1).unwrap();
+        let out = gar.aggregate(&gs).unwrap();
+        for c in 0..5 {
+            let honest: Vec<f32> = gs[..8].iter().map(|g| g[c]).collect();
+            let lo = honest.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = honest.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert!(out[c] >= lo - 1e-4 && out[c] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn nan_and_infinite_gradients_are_tolerated() {
+        let mut gs = honest_batch(8, 3, 4);
+        gs.push(Vector::from(vec![f32::NAN, f32::NAN, f32::NAN]));
+        let gar = Bulyan::new(1).unwrap();
+        let out = gar.aggregate(&gs).unwrap();
+        assert!(out.is_finite());
+        assert!((out[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn requires_4f_plus_3_workers() {
+        let gar = Bulyan::new(4).unwrap();
+        assert!(gar.aggregate(&honest_batch(18, 2, 5)).is_err());
+        assert!(gar.aggregate(&honest_batch(19, 2, 5)).is_ok());
+    }
+
+    #[test]
+    fn f_zero_still_aggregates() {
+        let gar = Bulyan::new(0).unwrap();
+        let gs = honest_batch(5, 2, 6);
+        let out = gar.aggregate(&gs).unwrap();
+        assert!((out[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn extraction_order_starts_with_best_scoring() {
+        // All gradients identical except one outlier: the outlier must be
+        // extracted last (or not at all if theta < n).
+        let mut gs = vec![Vector::from(vec![2.0, 2.0]); 8];
+        gs.push(Vector::from(vec![100.0, 100.0]));
+        let gar = Bulyan::new(1).unwrap();
+        let order = gar.select(&gs).unwrap();
+        // theta = 9 - 2 = 7 selections; index 8 (the outlier) must not be
+        // among the first 7 extracted because identical gradients score 0.
+        assert!(!order.contains(&8));
+    }
+
+    #[test]
+    fn properties_report_strong_resilience() {
+        let p = Bulyan::new(2).unwrap().properties();
+        assert_eq!(p.resilience, Resilience::Strong);
+        assert_eq!(p.minimum_workers, 11);
+        assert!(p.tolerates_non_finite);
+    }
+}

@@ -1,0 +1,141 @@
+//! The [`Gar`] trait: the interface every gradient aggregation rule exposes to
+//! the parameter server.
+
+use crate::Result;
+use agg_tensor::Vector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The Byzantine-resilience level a rule provides, as defined in §2.2 of the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Resilience {
+    /// No resilience: a single Byzantine gradient can steer the update
+    /// arbitrarily (e.g. plain averaging).
+    None,
+    /// Weak resilience: convergence to *some* flat region is guaranteed, but
+    /// the attacker may steer which one (Definition 1).
+    Weak,
+    /// Strong resilience: in every coordinate the output stays within
+    /// `O(1/√d)` of a correct gradient (Definition 2).
+    Strong,
+}
+
+impl fmt::Display for Resilience {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Resilience::None => "none",
+            Resilience::Weak => "weak",
+            Resilience::Strong => "strong",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static properties of a gradient aggregation rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GarProperties {
+    /// Short machine-readable name (e.g. `"multi-krum"`), matching the
+    /// `--aggregator` flag of the original runner.
+    pub name: &'static str,
+    /// Resilience level provided by the rule.
+    pub resilience: Resilience,
+    /// Declared number of Byzantine workers the rule is configured to
+    /// tolerate.
+    pub f: usize,
+    /// Minimum number of submitted gradients required for `f` Byzantine
+    /// workers.
+    pub minimum_workers: usize,
+    /// Whether the rule tolerates non-finite coordinates without an external
+    /// sanitisation pass.
+    pub tolerates_non_finite: bool,
+}
+
+/// A Gradient Aggregation Rule (GAR).
+///
+/// A GAR consumes the `n` gradient estimates submitted in one synchronous
+/// step (Equation 4 of the paper) and produces the single vector the server
+/// applies to the model. Implementations must be deterministic functions of
+/// their input: the server may be replicated and each replica must compute an
+/// identical update (§6 of the paper).
+///
+/// Implementations are `Send + Sync` so the parameter-server simulator can
+/// evaluate them from worker threads and the benchmarks can share them.
+pub trait Gar: Send + Sync + fmt::Debug {
+    /// Static properties (name, resilience, preconditions).
+    fn properties(&self) -> GarProperties;
+
+    /// Aggregates one round of gradients.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`crate::AggregationError`] when the submission
+    /// violates the rule's preconditions (too few gradients, inconsistent
+    /// dimensions) or when every candidate is corrupt.
+    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector>;
+
+    /// Convenience accessor for the rule name.
+    fn name(&self) -> &'static str {
+        self.properties().name
+    }
+}
+
+/// Validates that a batch of gradients is non-empty and dimensionally
+/// consistent, returning the common dimension.
+///
+/// Every concrete rule calls this before touching the data, so the error
+/// behaviour is uniform across rules.
+///
+/// # Errors
+///
+/// Returns [`crate::AggregationError::NoGradients`] or
+/// [`crate::AggregationError::DimensionMismatch`].
+pub fn validate_batch(rule: &'static str, gradients: &[Vector]) -> Result<usize> {
+    use crate::AggregationError;
+    if gradients.is_empty() {
+        return Err(AggregationError::NoGradients(rule));
+    }
+    let d = gradients[0].len();
+    for (i, g) in gradients.iter().enumerate() {
+        if g.len() != d {
+            return Err(AggregationError::DimensionMismatch {
+                index: i,
+                expected: d,
+                actual: g.len(),
+            });
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AggregationError;
+
+    #[test]
+    fn resilience_ordering_matches_strength() {
+        assert!(Resilience::None < Resilience::Weak);
+        assert!(Resilience::Weak < Resilience::Strong);
+        assert_eq!(Resilience::Strong.to_string(), "strong");
+    }
+
+    #[test]
+    fn validate_batch_accepts_consistent_input() {
+        let gs = vec![Vector::zeros(3), Vector::zeros(3)];
+        assert_eq!(validate_batch("test", &gs).unwrap(), 3);
+    }
+
+    #[test]
+    fn validate_batch_rejects_empty_and_ragged() {
+        assert_eq!(
+            validate_batch("test", &[]).unwrap_err(),
+            AggregationError::NoGradients("test")
+        );
+        let gs = vec![Vector::zeros(3), Vector::zeros(4)];
+        assert!(matches!(
+            validate_batch("test", &gs).unwrap_err(),
+            AggregationError::DimensionMismatch { index: 1, expected: 3, actual: 4 }
+        ));
+    }
+}

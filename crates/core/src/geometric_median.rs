@@ -1,0 +1,177 @@
+//! Approximate geometric median via the Weiszfeld iteration.
+//!
+//! The geometric median (the point minimising the sum of Euclidean distances
+//! to the submitted gradients) is the classical robust aggregator that
+//! Krum-style rules approximate cheaply; it is the backbone of several of the
+//! weakly Byzantine-resilient approaches the paper cites (e.g. the
+//! median-of-means constructions). It is included as an additional baseline
+//! GAR: robust to a minority of outliers, but more expensive per round than
+//! Multi-Krum for the same dimension because of its iterative refinement.
+
+use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::{resilience, AggregationError, Result};
+use agg_tensor::{stats, Vector};
+
+/// Weiszfeld-iteration approximation of the geometric median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricMedian {
+    f: usize,
+    iterations: usize,
+    tolerance: f32,
+}
+
+impl GeometricMedian {
+    /// Creates the rule with the default 8 Weiszfeld iterations.
+    pub fn new(f: usize) -> Self {
+        GeometricMedian { f, iterations: 8, tolerance: 1e-6 }
+    }
+
+    /// Overrides the number of refinement iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidArgument`] when `iterations == 0`.
+    pub fn with_iterations(f: usize, iterations: usize) -> Result<Self> {
+        if iterations == 0 {
+            return Err(AggregationError::InvalidArgument {
+                rule: "geometric-median".into(),
+                message: "iterations must be positive".into(),
+            });
+        }
+        Ok(GeometricMedian { f, iterations, tolerance: 1e-6 })
+    }
+
+    /// Declared number of Byzantine workers.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl Default for GeometricMedian {
+    fn default() -> Self {
+        GeometricMedian::new(0)
+    }
+}
+
+impl Gar for GeometricMedian {
+    fn properties(&self) -> GarProperties {
+        GarProperties {
+            name: "geometric-median",
+            resilience: Resilience::Weak,
+            f: self.f,
+            minimum_workers: resilience::median_min_workers(self.f),
+            tolerates_non_finite: true,
+        }
+    }
+
+    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
+        validate_batch("geometric-median", gradients)?;
+        resilience::check_median("geometric-median", gradients.len(), self.f)?;
+        // Non-finite gradients cannot participate in distance computations;
+        // they are excluded up front (equivalent to being infinitely far).
+        let finite: Vec<&Vector> = gradients.iter().filter(|g| g.is_finite()).collect();
+        if finite.is_empty() {
+            return Err(AggregationError::AllGradientsCorrupt("geometric-median"));
+        }
+        // Start from the coordinate-wise median — already a robust point.
+        let owned: Vec<Vector> = finite.iter().map(|g| (*g).clone()).collect();
+        let mut estimate = stats::coordinate_median(&owned)?;
+        for _ in 0..self.iterations {
+            let mut weight_sum = 0.0f32;
+            let mut next = Vector::zeros(estimate.len());
+            let mut coincides = false;
+            for g in &finite {
+                let distance = estimate.distance(g).max(1e-12);
+                if distance <= self.tolerance {
+                    coincides = true;
+                    break;
+                }
+                let w = 1.0 / distance;
+                weight_sum += w;
+                next.axpy(w, g)?;
+            }
+            if coincides || weight_sum == 0.0 {
+                break;
+            }
+            next.scale(1.0 / weight_sum);
+            let shift = estimate.distance(&next);
+            estimate = next;
+            if shift <= self.tolerance {
+                break;
+            }
+        }
+        Ok(estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_symmetric_points_is_the_centre() {
+        let gar = GeometricMedian::new(0);
+        let gs = vec![
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![-1.0, 0.0]),
+            Vector::from(vec![0.0, 1.0]),
+            Vector::from(vec![0.0, -1.0]),
+        ];
+        let out = gar.aggregate(&gs).unwrap();
+        assert!(out[0].abs() < 1e-3 && out[1].abs() < 1e-3, "{out:?}");
+    }
+
+    #[test]
+    fn resists_a_large_outlier() {
+        let gar = GeometricMedian::new(1);
+        let mut gs: Vec<Vector> = (0..6).map(|_| Vector::from(vec![1.0, 2.0])).collect();
+        gs.push(Vector::from(vec![1e9, -1e9]));
+        let out = gar.aggregate(&gs).unwrap();
+        assert!((out[0] - 1.0).abs() < 0.1, "{out:?}");
+        assert!((out[1] - 2.0).abs() < 0.1, "{out:?}");
+    }
+
+    #[test]
+    fn excludes_non_finite_gradients() {
+        let gar = GeometricMedian::new(1);
+        let gs = vec![
+            Vector::from(vec![1.0]),
+            Vector::from(vec![1.2]),
+            Vector::from(vec![f32::NAN]),
+        ];
+        let out = gar.aggregate(&gs).unwrap();
+        assert!(out.is_finite());
+        assert!(out[0] >= 1.0 && out[0] <= 1.2);
+        let all_bad = vec![Vector::from(vec![f32::NAN]); 3];
+        assert!(matches!(
+            gar.aggregate(&all_bad).unwrap_err(),
+            AggregationError::AllGradientsCorrupt(_)
+        ));
+    }
+
+    #[test]
+    fn single_gradient_is_returned_as_is() {
+        let gar = GeometricMedian::new(0);
+        let gs = vec![Vector::from(vec![3.0, -4.0])];
+        assert_eq!(gar.aggregate(&gs).unwrap().as_slice(), &[3.0, -4.0]);
+    }
+
+    #[test]
+    fn configuration_validation() {
+        assert!(GeometricMedian::with_iterations(1, 0).is_err());
+        assert!(GeometricMedian::with_iterations(1, 4).is_ok());
+        assert_eq!(GeometricMedian::default().f(), 0);
+        let gar = GeometricMedian::new(2);
+        assert!(gar.aggregate(&vec![Vector::zeros(1); 4]).is_err());
+    }
+
+    #[test]
+    fn more_iterations_do_not_move_the_estimate_far() {
+        let gs: Vec<Vector> = (0..9)
+            .map(|i| Vector::from(vec![(i % 3) as f32, (i / 3) as f32]))
+            .collect();
+        let coarse = GeometricMedian::with_iterations(1, 2).unwrap().aggregate(&gs).unwrap();
+        let fine = GeometricMedian::with_iterations(1, 32).unwrap().aggregate(&gs).unwrap();
+        assert!(coarse.distance(&fine) < 0.5);
+    }
+}

@@ -1,0 +1,72 @@
+//! # agg-core — Byzantine-resilient gradient aggregation rules
+//!
+//! This crate is the heart of the AggregaThor reproduction: the Gradient
+//! Aggregation Rules (GARs) that the parameter server applies to the `n`
+//! gradients submitted by the workers each synchronous step, of which up to
+//! `f` may be Byzantine (arbitrary, possibly adversarial).
+//!
+//! Implemented rules:
+//!
+//! | Rule | Resilience | Requirement | Paper section |
+//! |---|---|---|---|
+//! | [`Average`] | none | — | baseline (`tf.train.SyncReplicasOptimizer`) |
+//! | [`SelectiveAverage`] | none (loss-tolerant) | — | §3.3 |
+//! | [`CoordinateMedian`] | weak | `n ≥ 2f + 1` | §4.2 (Xie et al.) |
+//! | [`TrimmedMean`] | weak | `n ≥ 2f + 1` | related work (Yin et al.) |
+//! | [`Krum`] | weak | `n ≥ 2f + 3` | §2.3 |
+//! | [`MultiKrum`] | weak | `n ≥ 2f + 3`, `m ≤ n − f − 2` | §2.3, Appendix B.2 |
+//! | [`Bulyan`] | strong | `n ≥ 4f + 3`, `m ≤ n − 2f − 2` | §2.3, Appendix B.3 |
+//!
+//! All rules tolerate non-finite (`NaN`, `±∞`) coordinates — the paper calls
+//! this "a crucial feature when facing actual malicious workers" — either by
+//! construction (distance-based rules never select a non-finite gradient when
+//! enough finite ones exist) or through an explicit policy
+//! ([`sanitize::SanitizePolicy`]).
+//!
+//! ```
+//! use agg_core::{Gar, MultiKrum};
+//! use agg_tensor::Vector;
+//!
+//! # fn main() -> Result<(), agg_core::AggregationError> {
+//! // 7 workers, 1 of them Byzantine.
+//! let gradients: Vec<Vector> = (0..6)
+//!     .map(|i| Vector::from(vec![1.0 + 0.01 * i as f32, -1.0]))
+//!     .chain(std::iter::once(Vector::from(vec![1e9, 1e9])))
+//!     .collect();
+//! let gar = MultiKrum::new(1)?;
+//! let aggregate = gar.aggregate(&gradients)?;
+//! assert!(aggregate[0] < 2.0); // the outlier was excluded
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod average;
+pub mod bulyan;
+pub mod error;
+pub mod gar;
+pub mod geometric_median;
+pub mod krum;
+pub mod meamed;
+pub mod median;
+pub mod multi_krum;
+pub mod registry;
+pub mod resilience;
+pub mod sanitize;
+pub mod selective;
+pub mod trimmed_mean;
+
+pub use average::Average;
+pub use bulyan::Bulyan;
+pub use error::AggregationError;
+pub use gar::{Gar, GarProperties, Resilience};
+pub use geometric_median::GeometricMedian;
+pub use krum::Krum;
+pub use meamed::MeaMed;
+pub use median::CoordinateMedian;
+pub use multi_krum::MultiKrum;
+pub use registry::{GarConfig, GarKind};
+pub use selective::SelectiveAverage;
+pub use trimmed_mean::TrimmedMean;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AggregationError>;

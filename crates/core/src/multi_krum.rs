@@ -1,0 +1,341 @@
+//! Multi-Krum: the paper's weakly Byzantine-resilient workhorse GAR.
+//!
+//! Given `n` gradients of which at most `f` are Byzantine, each gradient `i`
+//! receives a score equal to the sum of its squared distances to its
+//! `n − f − 2` closest neighbours. The `m` lowest-scoring gradients are
+//! selected and averaged (Equation 5 of the paper). The appendix proves weak
+//! Byzantine resilience for any `m ≤ n − f − 2`; `m = 1` is the original Krum
+//! of Blanchard et al.
+//!
+//! The implementation mirrors the paper's "fast, memory scarce" description:
+//! the O(n²·d) pairwise-distance computation is parallelised (rayon), the
+//! score computation reuses the distance matrix, and the distance matrix is
+//! exposed so that [`crate::Bulyan`] can reuse it across its iterations
+//! instead of recomputing it.
+
+use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::{resilience, AggregationError, Result};
+use agg_tensor::{stats, Vector};
+use rayon::prelude::*;
+
+/// Below this many total elements (`n · d`) the kernels run sequentially:
+/// rayon's fixed dispatch overhead would otherwise dominate the measurement
+/// and distort the time model's linear-in-`d` rescaling.
+const PARALLEL_THRESHOLD: usize = 200_000;
+
+/// Pairwise squared-distance matrix, computed in parallel over rows for
+/// large inputs.
+///
+/// Distances involving non-finite coordinates are mapped to `+∞` so corrupt
+/// gradients are never preferred by any score built on top of the matrix.
+pub fn distance_matrix(gradients: &[Vector]) -> Vec<Vec<f32>> {
+    let n = gradients.len();
+    let d = gradients.first().map(Vector::len).unwrap_or(0);
+    let row = |i: usize| -> Vec<f32> {
+        (0..n)
+            .map(|j| {
+                if i == j {
+                    0.0
+                } else {
+                    let dist = gradients[i].squared_distance(&gradients[j]);
+                    if dist.is_finite() {
+                        dist
+                    } else {
+                        f32::INFINITY
+                    }
+                }
+            })
+            .collect()
+    };
+    if n * d < PARALLEL_THRESHOLD {
+        (0..n).map(row).collect()
+    } else {
+        (0..n).into_par_iter().map(row).collect()
+    }
+}
+
+/// Krum score of gradient `index` restricted to the `active` set: the sum of
+/// its `neighbours` smallest distances to other active gradients.
+///
+/// `distances` must be the full matrix returned by [`distance_matrix`].
+pub fn krum_score(
+    distances: &[Vec<f32>],
+    active: &[usize],
+    index: usize,
+    neighbours: usize,
+) -> f32 {
+    let mut row: Vec<f32> = active
+        .iter()
+        .filter(|&&j| j != index)
+        .map(|&j| distances[index][j])
+        .collect();
+    row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    row.iter().take(neighbours).sum()
+}
+
+/// Krum scores for every member of `active`, in the same order as `active`.
+pub fn krum_scores(distances: &[Vec<f32>], active: &[usize], neighbours: usize) -> Vec<f32> {
+    if active.len() * active.len() < PARALLEL_THRESHOLD {
+        active
+            .iter()
+            .map(|&i| krum_score(distances, active, i, neighbours))
+            .collect()
+    } else {
+        active
+            .par_iter()
+            .map(|&i| krum_score(distances, active, i, neighbours))
+            .collect()
+    }
+}
+
+/// The Multi-Krum gradient aggregation rule.
+///
+/// ```
+/// use agg_core::{Gar, MultiKrum};
+/// use agg_tensor::Vector;
+/// # fn main() -> Result<(), agg_core::AggregationError> {
+/// let gar = MultiKrum::new(1)?; // tolerate one Byzantine worker, m = n - f - 2
+/// let honest = (0..6).map(|_| Vector::from(vec![1.0, 1.0]));
+/// let byzantine = std::iter::once(Vector::from(vec![-1e6, 1e6]));
+/// let gradients: Vec<_> = honest.chain(byzantine).collect();
+/// let update = gar.aggregate(&gradients)?;
+/// assert!((update[0] - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiKrum {
+    f: usize,
+    /// Explicit selection size; `None` means "use the largest admissible
+    /// value `m̃ = n − f − 2` for the submitted `n`".
+    m: Option<usize>,
+}
+
+impl MultiKrum {
+    /// Creates Multi-Krum with the slowdown-optimal selection size
+    /// `m̃ = n − f − 2` (decided per batch).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; returns `Result` so the constructor signature
+    /// matches [`MultiKrum::with_selection`], which does validate.
+    pub fn new(f: usize) -> Result<Self> {
+        Ok(MultiKrum { f, m: None })
+    }
+
+    /// Creates Multi-Krum with an explicit selection size `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidSelectionSize`] when `m == 0`.
+    /// The upper bound `m ≤ n − f − 2` depends on the batch size and is
+    /// enforced at aggregation time.
+    pub fn with_selection(f: usize, m: usize) -> Result<Self> {
+        if m == 0 {
+            return Err(AggregationError::InvalidSelectionSize {
+                rule: "multi-krum",
+                m,
+                max: usize::MAX,
+            });
+        }
+        Ok(MultiKrum { f, m: Some(m) })
+    }
+
+    /// Declared number of Byzantine workers.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Configured selection size, if explicitly set.
+    pub fn selection_size(&self) -> Option<usize> {
+        self.m
+    }
+
+    /// Resolves the selection size for a batch of `n` gradients.
+    fn resolve_m(&self, n: usize) -> Result<usize> {
+        let max_m = resilience::multi_krum_max_m(n, self.f)?;
+        match self.m {
+            None => Ok(max_m),
+            Some(m) if m <= max_m => Ok(m),
+            Some(m) => Err(AggregationError::InvalidSelectionSize {
+                rule: "multi-krum",
+                m,
+                max: max_m,
+            }),
+        }
+    }
+
+    /// Returns the indices Multi-Krum would select for this batch, lowest
+    /// score first. Exposed for tests, for the Bulyan implementation, and for
+    /// experiment instrumentation (e.g. counting how often a Byzantine
+    /// gradient sneaks into the selection).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiKrum::aggregate`].
+    pub fn select(&self, gradients: &[Vector]) -> Result<Vec<usize>> {
+        validate_batch("multi-krum", gradients)?;
+        let n = gradients.len();
+        let m = self.resolve_m(n)?;
+        let neighbours = resilience::krum_neighbour_count(n, self.f)?;
+        let distances = distance_matrix(gradients);
+        let active: Vec<usize> = (0..n).collect();
+        let scores = krum_scores(&distances, &active, neighbours);
+        let ranked = stats::k_smallest_indices(&scores, m)?;
+        Ok(ranked)
+    }
+}
+
+impl Gar for MultiKrum {
+    fn properties(&self) -> GarProperties {
+        GarProperties {
+            name: "multi-krum",
+            resilience: Resilience::Weak,
+            f: self.f,
+            minimum_workers: resilience::multi_krum_min_workers(self.f),
+            tolerates_non_finite: true,
+        }
+    }
+
+    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
+        let selected = self.select(gradients)?;
+        let chosen: Vec<Vector> = selected.iter().map(|&i| gradients[i].clone()).collect();
+        if chosen.iter().all(|g| !g.is_finite()) {
+            return Err(AggregationError::AllGradientsCorrupt("multi-krum"));
+        }
+        Ok(stats::coordinate_mean(&chosen)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_tensor::rng::{gaussian_vector, seeded_rng};
+
+    /// Builds a batch of `honest` gradients around `center` plus `byz` copies
+    /// of `attack`.
+    fn batch(honest: usize, center: f32, byz: usize, attack: &[f32]) -> Vec<Vector> {
+        let mut rng = seeded_rng(7);
+        let d = attack.len();
+        let mut out: Vec<Vector> = (0..honest)
+            .map(|_| {
+                let noise = gaussian_vector(&mut rng, d, 0.0, 0.01);
+                let mut v = Vector::filled(d, center);
+                v.axpy(1.0, &noise).unwrap();
+                v
+            })
+            .collect();
+        out.extend((0..byz).map(|_| Vector::from(attack)));
+        out
+    }
+
+    #[test]
+    fn excludes_an_obvious_outlier() {
+        let gs = batch(6, 1.0, 1, &[1e9, -1e9]);
+        let gar = MultiKrum::new(1).unwrap();
+        let out = gar.aggregate(&gs).unwrap();
+        assert!((out[0] - 1.0).abs() < 0.1);
+        assert!((out[1] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn selection_never_includes_byzantine_outliers() {
+        let gs = batch(11, 2.0, 4, &[500.0, 500.0, 500.0]);
+        let gar = MultiKrum::new(4).unwrap();
+        let selected = gar.select(&gs).unwrap();
+        assert_eq!(selected.len(), 15 - 4 - 2);
+        assert!(selected.iter().all(|&i| i < 11), "selected = {selected:?}");
+    }
+
+    #[test]
+    fn nan_gradients_are_never_selected() {
+        let mut gs = batch(7, 0.5, 0, &[0.0]);
+        gs.push(Vector::from(vec![f32::NAN]));
+        gs.push(Vector::from(vec![f32::INFINITY]));
+        let gar = MultiKrum::new(2).unwrap();
+        let selected = gar.select(&gs).unwrap();
+        assert!(selected.iter().all(|&i| i < 7));
+        assert!(gar.aggregate(&gs).unwrap().is_finite());
+    }
+
+    #[test]
+    fn m_equal_one_returns_a_single_input_gradient() {
+        let gs = batch(6, 1.0, 1, &[100.0]);
+        let gar = MultiKrum::with_selection(1, 1).unwrap();
+        let out = gar.aggregate(&gs).unwrap();
+        // With m = 1 the output is exactly one of the honest gradients.
+        assert!(gs[..6].iter().any(|g| g == &out));
+    }
+
+    #[test]
+    fn default_m_is_n_minus_f_minus_2() {
+        let gs = batch(9, 1.0, 2, &[9.0]);
+        let gar = MultiKrum::new(2).unwrap();
+        assert_eq!(gar.select(&gs).unwrap().len(), 11 - 2 - 2);
+    }
+
+    #[test]
+    fn rejects_undersized_clusters_and_oversized_m() {
+        let gar = MultiKrum::new(4).unwrap();
+        let gs = vec![Vector::zeros(2); 10]; // needs 11
+        assert!(matches!(
+            gar.aggregate(&gs).unwrap_err(),
+            AggregationError::NotEnoughWorkers { .. }
+        ));
+        let gar = MultiKrum::with_selection(1, 10).unwrap();
+        let gs = vec![Vector::zeros(2); 7]; // max m = 4
+        assert!(matches!(
+            gar.aggregate(&gs).unwrap_err(),
+            AggregationError::InvalidSelectionSize { m: 10, max: 4, .. }
+        ));
+        assert!(MultiKrum::with_selection(1, 0).is_err());
+    }
+
+    #[test]
+    fn no_byzantine_workers_behaves_like_a_partial_average() {
+        // With identical honest gradients the output equals that gradient.
+        let gs = vec![Vector::from(vec![3.0, -1.0]); 9];
+        let gar = MultiKrum::new(2).unwrap();
+        let out = gar.aggregate(&gs).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, -1.0]);
+    }
+
+    #[test]
+    fn scores_are_permutation_consistent() {
+        let gs = batch(8, 1.0, 2, &[50.0, -50.0]);
+        let gar = MultiKrum::new(2).unwrap();
+        let out1 = gar.aggregate(&gs).unwrap();
+        let mut reversed = gs.clone();
+        reversed.reverse();
+        let out2 = gar.aggregate(&reversed).unwrap();
+        for c in 0..out1.len() {
+            assert!((out1[c] - out2[c]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn distance_matrix_maps_nan_to_infinity() {
+        let gs = vec![Vector::from(vec![f32::NAN]), Vector::from(vec![1.0])];
+        let d = distance_matrix(&gs);
+        assert_eq!(d[0][1], f32::INFINITY);
+        assert_eq!(d[0][0], 0.0);
+    }
+
+    #[test]
+    fn krum_score_uses_only_nearest_neighbours() {
+        // Three points on a line: 0, 1, 10. With 1 neighbour the score of the
+        // middle point is the distance to its closest neighbour only.
+        let gs = vec![
+            Vector::from(vec![0.0]),
+            Vector::from(vec![1.0]),
+            Vector::from(vec![10.0]),
+        ];
+        let d = distance_matrix(&gs);
+        let active = vec![0, 1, 2];
+        assert_eq!(krum_score(&d, &active, 1, 1), 1.0);
+        assert_eq!(krum_score(&d, &active, 0, 1), 1.0);
+        assert_eq!(krum_score(&d, &active, 2, 1), 81.0);
+        let scores = krum_scores(&d, &active, 1);
+        assert_eq!(scores, vec![1.0, 1.0, 81.0]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Runtime construction of gradient aggregation rules by name, mirroring the
+//! `--aggregator` / `--aggregator-args` flags of the original AggregaThor
+//! runner (`runner.py`).
+
+use crate::{
+    Average, Bulyan, CoordinateMedian, Gar, GeometricMedian, Krum, MeaMed, MultiKrum, Result,
+    SelectiveAverage, TrimmedMean,
+};
+use crate::AggregationError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The set of gradient aggregation rules known to the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GarKind {
+    /// Plain averaging (non-resilient baseline).
+    Average,
+    /// Loss-tolerant selective averaging.
+    SelectiveAverage,
+    /// Coordinate-wise median.
+    Median,
+    /// Coordinate-wise trimmed mean.
+    TrimmedMean,
+    /// Mean-around-median (Xie et al.).
+    MeaMed,
+    /// Approximate geometric median (Weiszfeld).
+    GeometricMedian,
+    /// Krum (m = 1).
+    Krum,
+    /// Multi-Krum.
+    MultiKrum,
+    /// Bulyan over Multi-Krum.
+    Bulyan,
+}
+
+impl GarKind {
+    /// All known kinds, in a stable order (useful for sweeps and listings).
+    pub const ALL: [GarKind; 9] = [
+        GarKind::Average,
+        GarKind::SelectiveAverage,
+        GarKind::Median,
+        GarKind::TrimmedMean,
+        GarKind::MeaMed,
+        GarKind::GeometricMedian,
+        GarKind::Krum,
+        GarKind::MultiKrum,
+        GarKind::Bulyan,
+    ];
+
+    /// The canonical rule name (matches `--aggregator`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GarKind::Average => "average",
+            GarKind::SelectiveAverage => "selective-average",
+            GarKind::Median => "median",
+            GarKind::TrimmedMean => "trimmed-mean",
+            GarKind::MeaMed => "meamed",
+            GarKind::GeometricMedian => "geometric-median",
+            GarKind::Krum => "krum",
+            GarKind::MultiKrum => "multi-krum",
+            GarKind::Bulyan => "bulyan",
+        }
+    }
+}
+
+impl fmt::Display for GarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for GarKind {
+    type Err = AggregationError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "average" | "mean" => Ok(GarKind::Average),
+            "selective-average" | "selective" => Ok(GarKind::SelectiveAverage),
+            "median" => Ok(GarKind::Median),
+            "trimmed-mean" | "trimmed" => Ok(GarKind::TrimmedMean),
+            "meamed" | "mean-around-median" => Ok(GarKind::MeaMed),
+            "geometric-median" | "geomed" => Ok(GarKind::GeometricMedian),
+            "krum" => Ok(GarKind::Krum),
+            "multi-krum" | "multikrum" => Ok(GarKind::MultiKrum),
+            "bulyan" => Ok(GarKind::Bulyan),
+            other => Err(AggregationError::UnknownRule(other.to_string())),
+        }
+    }
+}
+
+/// A declarative GAR configuration: which rule, the declared number of
+/// Byzantine workers `f`, and (for Multi-Krum) an optional selection size.
+///
+/// This is the serialisable piece that experiment configurations store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GarConfig {
+    /// Which aggregation rule to use.
+    pub kind: GarKind,
+    /// Declared number of Byzantine workers to tolerate.
+    pub f: usize,
+    /// Optional Multi-Krum selection size `m` (ignored by other rules).
+    pub m: Option<usize>,
+}
+
+impl GarConfig {
+    /// Configuration for a rule with a declared `f`.
+    pub fn new(kind: GarKind, f: usize) -> Self {
+        GarConfig { kind, f, m: None }
+    }
+
+    /// Sets an explicit Multi-Krum selection size.
+    pub fn with_selection(mut self, m: usize) -> Self {
+        self.m = Some(m);
+        self
+    }
+
+    /// Builds the configured rule as a boxed trait object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidSelectionSize`] when `m` is invalid
+    /// for the chosen rule.
+    pub fn build(&self) -> Result<Box<dyn Gar>> {
+        Ok(match self.kind {
+            GarKind::Average => Box::new(Average::new()),
+            GarKind::SelectiveAverage => Box::new(SelectiveAverage::new()),
+            GarKind::Median => Box::new(CoordinateMedian::new(self.f)),
+            GarKind::TrimmedMean => Box::new(TrimmedMean::new(self.f)),
+            GarKind::MeaMed => Box::new(MeaMed::new(self.f)),
+            GarKind::GeometricMedian => Box::new(GeometricMedian::new(self.f)),
+            GarKind::Krum => Box::new(Krum::new(self.f)),
+            GarKind::MultiKrum => match self.m {
+                Some(m) => Box::new(MultiKrum::with_selection(self.f, m)?),
+                None => Box::new(MultiKrum::new(self.f)?),
+            },
+            GarKind::Bulyan => Box::new(Bulyan::new(self.f)?),
+        })
+    }
+
+    /// Parses a runner-style specification of the form
+    /// `"<name>"`, `"<name>:f=<k>"` or `"<name>:f=<k>,m=<j>"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::UnknownRule`] or
+    /// [`AggregationError::InvalidArgument`] on malformed input.
+    pub fn parse(spec: &str) -> Result<Self> {
+        let mut parts = spec.splitn(2, ':');
+        let name = parts.next().unwrap_or_default().trim();
+        let kind: GarKind = name.parse()?;
+        let mut config = GarConfig::new(kind, 0);
+        if let Some(args) = parts.next() {
+            for kv in args.split(',').filter(|s| !s.trim().is_empty()) {
+                let mut it = kv.splitn(2, '=');
+                let key = it.next().unwrap_or_default().trim();
+                let value = it.next().unwrap_or_default().trim();
+                let parsed: usize =
+                    value.parse().map_err(|_| AggregationError::InvalidArgument {
+                        rule: name.to_string(),
+                        message: format!("'{key}={value}' is not an integer assignment"),
+                    })?;
+                match key {
+                    "f" => config.f = parsed,
+                    "m" => config.m = Some(parsed),
+                    other => {
+                        return Err(AggregationError::InvalidArgument {
+                            rule: name.to_string(),
+                            message: format!("unknown argument '{other}'"),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+impl fmt::Display for GarConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.m {
+            Some(m) => write!(f, "{}:f={},m={}", self.kind, self.f, m),
+            None => write!(f, "{}:f={}", self.kind, self.f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds() {
+        for kind in GarKind::ALL {
+            let gar = GarConfig::new(kind, 1).build().unwrap();
+            assert_eq!(gar.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for kind in GarKind::ALL {
+            let parsed: GarKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("no-such-rule".parse::<GarKind>().is_err());
+        assert_eq!("Multi_Krum".parse::<GarKind>().unwrap(), GarKind::MultiKrum);
+    }
+
+    #[test]
+    fn parse_accepts_runner_style_specs() {
+        let c = GarConfig::parse("multi-krum:f=4").unwrap();
+        assert_eq!(c.kind, GarKind::MultiKrum);
+        assert_eq!(c.f, 4);
+        assert_eq!(c.m, None);
+
+        let c = GarConfig::parse("multi-krum:f=4,m=9").unwrap();
+        assert_eq!(c.m, Some(9));
+
+        let c = GarConfig::parse("average").unwrap();
+        assert_eq!(c.kind, GarKind::Average);
+        assert_eq!(c.f, 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(GarConfig::parse("bogus:f=1").is_err());
+        assert!(matches!(
+            GarConfig::parse("krum:f=abc").unwrap_err(),
+            AggregationError::InvalidArgument { .. }
+        ));
+        assert!(matches!(
+            GarConfig::parse("krum:q=3").unwrap_err(),
+            AggregationError::InvalidArgument { .. }
+        ));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let c = GarConfig::new(GarKind::MultiKrum, 4).with_selection(9);
+        let reparsed = GarConfig::parse(&c.to_string()).unwrap();
+        assert_eq!(reparsed, c);
+    }
+
+    #[test]
+    fn build_propagates_invalid_m() {
+        let c = GarConfig::new(GarKind::MultiKrum, 1).with_selection(0);
+        assert!(c.build().is_err());
+    }
+}

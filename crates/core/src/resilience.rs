@@ -1,0 +1,228 @@
+//! Byzantine-resilience preconditions and the admissible selection sizes
+//! proven in the paper's appendix.
+//!
+//! * Multi-Krum (weak resilience): `n ≥ 2f + 3`, any `m ≤ n − f − 2`
+//!   (Theorem 1).
+//! * Bulyan over Multi-Krum (strong resilience): `n ≥ 4f + 3`, any
+//!   `m ≤ n − 2f − 2` (Theorem 2).
+//! * The slowdown-optimal choices are `m̃ = n − f − 2` (weak) and
+//!   `m̃ = n − 2f − 2` (strong), giving a slowdown of `Ω(√(m̃/n))` versus
+//!   plain averaging.
+
+use crate::{AggregationError, Result};
+
+/// Minimum number of workers for weak resilience with Multi-Krum.
+pub fn multi_krum_min_workers(f: usize) -> usize {
+    2 * f + 3
+}
+
+/// Minimum number of workers for strong resilience with Bulyan.
+pub fn bulyan_min_workers(f: usize) -> usize {
+    4 * f + 3
+}
+
+/// Minimum number of workers for the coordinate-wise median / trimmed-mean
+/// family (an honest majority in every coordinate).
+pub fn median_min_workers(f: usize) -> usize {
+    2 * f + 1
+}
+
+/// Largest admissible Multi-Krum selection size: `m ≤ n − f − 2`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] when `n < 2f + 3`.
+pub fn multi_krum_max_m(n: usize, f: usize) -> Result<usize> {
+    check_multi_krum(n, f)?;
+    Ok(n - f - 2)
+}
+
+/// Largest admissible Bulyan selection size: `m ≤ n − 2f − 2`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] when `n < 4f + 3`.
+pub fn bulyan_max_m(n: usize, f: usize) -> Result<usize> {
+    check_bulyan(n, f)?;
+    Ok(n - 2 * f - 2)
+}
+
+/// Number of Krum neighbours used in the score: `n − f − 2`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] when `n < 2f + 3`.
+pub fn krum_neighbour_count(n: usize, f: usize) -> Result<usize> {
+    check_multi_krum(n, f)?;
+    Ok(n - f - 2)
+}
+
+/// Number of selection iterations Bulyan performs: `θ = n − 2f`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] when `n < 4f + 3`.
+pub fn bulyan_selection_count(n: usize, f: usize) -> Result<usize> {
+    check_bulyan(n, f)?;
+    Ok(n - 2 * f)
+}
+
+/// Number of values averaged around the coordinate-wise median inside
+/// Bulyan: `β = θ − 2f = n − 4f`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] when `n < 4f + 3`.
+pub fn bulyan_beta(n: usize, f: usize) -> Result<usize> {
+    check_bulyan(n, f)?;
+    Ok(n - 4 * f)
+}
+
+/// Checks the Multi-Krum precondition `n ≥ 2f + 3`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] when violated.
+pub fn check_multi_krum(n: usize, f: usize) -> Result<()> {
+    let required = multi_krum_min_workers(f);
+    if n < required {
+        return Err(AggregationError::NotEnoughWorkers {
+            rule: "multi-krum",
+            f,
+            required,
+            actual: n,
+        });
+    }
+    Ok(())
+}
+
+/// Checks the Bulyan precondition `n ≥ 4f + 3`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] when violated.
+pub fn check_bulyan(n: usize, f: usize) -> Result<()> {
+    let required = bulyan_min_workers(f);
+    if n < required {
+        return Err(AggregationError::NotEnoughWorkers {
+            rule: "bulyan",
+            f,
+            required,
+            actual: n,
+        });
+    }
+    Ok(())
+}
+
+/// Checks the coordinate-median / trimmed-mean precondition `n ≥ 2f + 1`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] when violated.
+pub fn check_median(rule: &'static str, n: usize, f: usize) -> Result<()> {
+    let required = median_min_workers(f);
+    if n < required {
+        return Err(AggregationError::NotEnoughWorkers { rule, f, required, actual: n });
+    }
+    Ok(())
+}
+
+/// Largest `f` tolerable by Multi-Krum with `n` workers (`⌊(n − 3) / 2⌋`),
+/// or `None` when even `f = 0` is not supported.
+pub fn max_f_multi_krum(n: usize) -> Option<usize> {
+    if n < 3 {
+        None
+    } else {
+        Some((n - 3) / 2)
+    }
+}
+
+/// Largest `f` tolerable by Bulyan with `n` workers (`⌊(n − 3) / 4⌋`), or
+/// `None` when even `f = 0` is not supported.
+pub fn max_f_bulyan(n: usize) -> Option<usize> {
+    if n < 3 {
+        None
+    } else {
+        Some((n - 3) / 4)
+    }
+}
+
+/// The theoretical slowdown ratio `√(m̃ / n)` of Multi-Krum / AggregaThor
+/// versus plain averaging, in the absence of Byzantine workers
+/// (Theorems 1 & 2 part (ii)).
+///
+/// Returns `None` when the configuration is inadmissible.
+pub fn theoretical_slowdown(n: usize, f: usize, strong: bool) -> Option<f64> {
+    let m_tilde = if strong {
+        bulyan_max_m(n, f).ok()?
+    } else {
+        multi_krum_max_m(n, f).ok()?
+    };
+    Some((m_tilde as f64 / n as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_is_admissible() {
+        // The paper's main setup: 19 workers, f = 4.
+        assert!(check_multi_krum(19, 4).is_ok());
+        assert!(check_bulyan(19, 4).is_ok());
+        assert_eq!(multi_krum_max_m(19, 4).unwrap(), 13);
+        assert_eq!(bulyan_max_m(19, 4).unwrap(), 9);
+        assert_eq!(bulyan_selection_count(19, 4).unwrap(), 11);
+        assert_eq!(bulyan_beta(19, 4).unwrap(), 3);
+    }
+
+    #[test]
+    fn preconditions_reject_too_few_workers() {
+        assert!(check_multi_krum(10, 4).is_err());
+        assert!(check_bulyan(18, 4).is_err());
+        assert!(check_median("median", 8, 4).is_err());
+        assert!(check_median("median", 9, 4).is_ok());
+    }
+
+    #[test]
+    fn boundary_values_are_exact() {
+        assert!(check_multi_krum(11, 4).is_ok());
+        assert!(check_multi_krum(10, 4).is_err());
+        assert!(check_bulyan(19, 4).is_ok());
+        assert!(check_bulyan(7, 1).is_ok());
+        assert!(check_bulyan(6, 1).is_err());
+    }
+
+    #[test]
+    fn max_f_is_inverse_of_min_workers() {
+        for n in 3..64usize {
+            let f = max_f_multi_krum(n).unwrap();
+            assert!(multi_krum_min_workers(f) <= n);
+            assert!(multi_krum_min_workers(f + 1) > n);
+            let f = max_f_bulyan(n).unwrap();
+            assert!(bulyan_min_workers(f) <= n);
+            assert!(bulyan_min_workers(f + 1) > n);
+        }
+        assert_eq!(max_f_multi_krum(2), None);
+        assert_eq!(max_f_bulyan(1), None);
+        // With 19 workers (the paper): Multi-Krum tolerates f=8, Bulyan f=4.
+        assert_eq!(max_f_multi_krum(19), Some(8));
+        assert_eq!(max_f_bulyan(19), Some(4));
+    }
+
+    #[test]
+    fn krum_neighbour_count_matches_definition() {
+        assert_eq!(krum_neighbour_count(19, 4).unwrap(), 13);
+        assert_eq!(krum_neighbour_count(7, 2).unwrap(), 3);
+        assert!(krum_neighbour_count(6, 2).is_err());
+    }
+
+    #[test]
+    fn slowdown_is_below_one_and_monotone_in_f() {
+        let s1 = theoretical_slowdown(19, 1, false).unwrap();
+        let s4 = theoretical_slowdown(19, 4, false).unwrap();
+        assert!(s1 < 1.0 && s4 < 1.0);
+        assert!(s4 < s1, "more declared failures => fewer selected => more slowdown");
+        assert_eq!(theoretical_slowdown(5, 4, false), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Policies for handling non-finite gradient coordinates.
+//!
+//! The lossy transport (§3.3 of the paper) marks lost coordinates with `NaN`.
+//! Three recovery policies are discussed in the paper, and all three are
+//! implemented here so the Figure 8 experiments can compare them:
+//!
+//! 1. **Drop the whole gradient** when any coordinate is missing, then
+//!    aggregate what remains ("the most straightforward solution").
+//! 2. **Selective averaging** — ignore the missing coordinates while
+//!    averaging (see [`crate::SelectiveAverage`]).
+//! 3. **Fill the missing coordinates with random/arbitrary values** and rely
+//!    on a Byzantine-resilient GAR on top (the AggregaThor approach).
+
+use agg_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+/// How to prepare a set of possibly corrupt gradients before handing them to
+/// a gradient aggregation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SanitizePolicy {
+    /// Pass gradients through untouched (the robust GARs tolerate non-finite
+    /// coordinates by construction). This is AggregaThor's default.
+    #[default]
+    PassThrough,
+    /// Remove any gradient containing a non-finite coordinate.
+    DropCorrupt,
+    /// Replace non-finite coordinates with zero.
+    ZeroFill,
+    /// Replace non-finite coordinates with the value of a deterministic
+    /// pseudo-random function of the coordinate index (paper: "put random
+    /// values at the lost coordinates").
+    RandomFill,
+}
+
+/// Applies a [`SanitizePolicy`] to a batch of gradients, returning the
+/// prepared batch together with the number of gradients that were dropped.
+pub fn apply_policy(policy: SanitizePolicy, gradients: &[Vector]) -> (Vec<Vector>, usize) {
+    match policy {
+        SanitizePolicy::PassThrough => (gradients.to_vec(), 0),
+        SanitizePolicy::DropCorrupt => {
+            let kept: Vec<Vector> =
+                gradients.iter().filter(|g| g.is_finite()).cloned().collect();
+            let dropped = gradients.len() - kept.len();
+            (kept, dropped)
+        }
+        SanitizePolicy::ZeroFill => (
+            gradients
+                .iter()
+                .map(|g| {
+                    let mut g = g.clone();
+                    g.replace_non_finite(|_| 0.0);
+                    g
+                })
+                .collect(),
+            0,
+        ),
+        SanitizePolicy::RandomFill => (
+            gradients
+                .iter()
+                .map(|g| {
+                    let mut g = g.clone();
+                    g.replace_non_finite(pseudo_random_fill);
+                    g
+                })
+                .collect(),
+            0,
+        ),
+    }
+}
+
+/// Deterministic pseudo-random fill value for coordinate `index`.
+///
+/// The exact values are irrelevant for correctness — a Byzantine-resilient
+/// GAR on top tolerates arbitrary values — but determinism keeps every
+/// experiment reproducible.
+fn pseudo_random_fill(index: usize) -> f32 {
+    let mut z = (index as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Map to [-1, 1).
+    ((z >> 41) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corrupt_batch() -> Vec<Vector> {
+        vec![
+            Vector::from(vec![1.0, 2.0]),
+            Vector::from(vec![f32::NAN, 2.0]),
+            Vector::from(vec![1.0, f32::INFINITY]),
+        ]
+    }
+
+    #[test]
+    fn pass_through_keeps_everything() {
+        let (out, dropped) = apply_policy(SanitizePolicy::PassThrough, &corrupt_batch());
+        assert_eq!(out.len(), 3);
+        assert_eq!(dropped, 0);
+        assert!(!out[1].is_finite());
+    }
+
+    #[test]
+    fn drop_corrupt_removes_non_finite_gradients() {
+        let (out, dropped) = apply_policy(SanitizePolicy::DropCorrupt, &corrupt_batch());
+        assert_eq!(out.len(), 1);
+        assert_eq!(dropped, 2);
+        assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn zero_fill_replaces_with_zero() {
+        let (out, dropped) = apply_policy(SanitizePolicy::ZeroFill, &corrupt_batch());
+        assert_eq!(dropped, 0);
+        assert_eq!(out[1][0], 0.0);
+        assert_eq!(out[2][1], 0.0);
+        assert!(out.iter().all(Vector::is_finite));
+    }
+
+    #[test]
+    fn random_fill_is_deterministic_and_bounded() {
+        let (a, _) = apply_policy(SanitizePolicy::RandomFill, &corrupt_batch());
+        let (b, _) = apply_policy(SanitizePolicy::RandomFill, &corrupt_batch());
+        assert_eq!(a, b);
+        assert!(a.iter().all(Vector::is_finite));
+        assert!(a[1][0].abs() <= 1.0);
+    }
+
+    #[test]
+    fn default_policy_is_pass_through() {
+        assert_eq!(SanitizePolicy::default(), SanitizePolicy::PassThrough);
+    }
+}

@@ -1,0 +1,131 @@
+//! Coordinate-wise trimmed mean (the mean-based rule of Yin et al., 2018,
+//! cited in the paper's related work), included as an additional weak
+//! baseline GAR.
+
+use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::{resilience, AggregationError, Result};
+use agg_tensor::{stats, Vector};
+
+/// Coordinate-wise `f`-trimmed mean.
+///
+/// In every coordinate the `f` largest and `f` smallest values are discarded
+/// and the remaining `n − 2f` values are averaged. Weakly Byzantine-resilient
+/// for `f < n/2`: after trimming, every surviving value is bracketed by
+/// honest values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrimmedMean {
+    f: usize,
+}
+
+impl TrimmedMean {
+    /// Creates a trimmed-mean rule that trims `f` values from each tail.
+    pub fn new(f: usize) -> Self {
+        TrimmedMean { f }
+    }
+
+    /// Declared number of Byzantine workers (= per-tail trim count).
+    pub fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl Default for TrimmedMean {
+    fn default() -> Self {
+        TrimmedMean::new(0)
+    }
+}
+
+impl Gar for TrimmedMean {
+    fn properties(&self) -> GarProperties {
+        GarProperties {
+            name: "trimmed-mean",
+            resilience: Resilience::Weak,
+            f: self.f,
+            minimum_workers: resilience::median_min_workers(self.f),
+            tolerates_non_finite: true,
+        }
+    }
+
+    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
+        let d = validate_batch("trimmed-mean", gradients)?;
+        resilience::check_median("trimmed-mean", gradients.len(), self.f)?;
+        if gradients.len() <= 2 * self.f {
+            return Err(AggregationError::NotEnoughWorkers {
+                rule: "trimmed-mean",
+                f: self.f,
+                required: 2 * self.f + 1,
+                actual: gradients.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(d);
+        let mut column = Vec::with_capacity(gradients.len());
+        for c in 0..d {
+            column.clear();
+            column.extend(gradients.iter().map(|g| g[c]));
+            // NaN values are dropped by the kernel before trimming; if that
+            // leaves too few values the column falls back to the median of
+            // whatever finite values remain.
+            match stats::trimmed_mean(&column, self.f) {
+                Ok(v) => out.push(v),
+                Err(_) => out.push(stats::median(&column).map_err(AggregationError::from)?),
+            }
+        }
+        Ok(Vector::from(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_extremes_per_coordinate() {
+        let gar = TrimmedMean::new(1);
+        let gs = vec![
+            Vector::from(vec![100.0]),
+            Vector::from(vec![1.0]),
+            Vector::from(vec![2.0]),
+            Vector::from(vec![3.0]),
+            Vector::from(vec![-50.0]),
+        ];
+        assert_eq!(gar.aggregate(&gs).unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn zero_trim_equals_average() {
+        let gar = TrimmedMean::new(0);
+        let gs = vec![Vector::from(vec![1.0, 2.0]), Vector::from(vec![3.0, 4.0])];
+        assert_eq!(gar.aggregate(&gs).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn outlier_effect_is_bounded_by_honest_range() {
+        let gar = TrimmedMean::new(1);
+        let gs = vec![
+            Vector::from(vec![1.0]),
+            Vector::from(vec![1.2]),
+            Vector::from(vec![0.8]),
+            Vector::from(vec![1e12]),
+        ];
+        let out = gar.aggregate(&gs).unwrap();
+        assert!(out[0] >= 0.8 && out[0] <= 1.2);
+    }
+
+    #[test]
+    fn requires_enough_workers() {
+        let gar = TrimmedMean::new(2);
+        assert!(gar.aggregate(&vec![Vector::zeros(1); 4]).is_err());
+        assert!(gar.aggregate(&vec![Vector::zeros(1); 5]).is_ok());
+    }
+
+    #[test]
+    fn nan_heavy_column_falls_back_to_median() {
+        let gar = TrimmedMean::new(1);
+        let gs = vec![
+            Vector::from(vec![f32::NAN]),
+            Vector::from(vec![f32::NAN]),
+            Vector::from(vec![3.0]),
+        ];
+        assert_eq!(gar.aggregate(&gs).unwrap().as_slice(), &[3.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Dataset-level corruption: the "corrupted data" Byzantine behaviour of the
+//! Figure 7 experiment, where one worker trains on poisoned data rather than
+//! actively crafting adversarial gradients.
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use agg_tensor::rng::{derive_seed, seeded_rng};
+use agg_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a Byzantine worker's local data is corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Corruption {
+    /// Every label `y` is replaced by `(y + 1) mod classes` (systematic label
+    /// flipping — the classic poisoning behaviour).
+    LabelShift,
+    /// Labels are replaced by uniformly random labels.
+    RandomLabels,
+    /// Features are replaced by uniform noise in `[0, 1]` (garbage inputs).
+    NoiseFeatures,
+    /// A fraction of feature values is zeroed (simulates unreadable/corrupt
+    /// records).
+    ZeroFraction(f32),
+    /// Features are replaced by astronomically large magnitudes (malformed
+    /// input records). Gradients computed on such data overflow to non-finite
+    /// values — the behaviour "to which TensorFlow is intolerant" in the
+    /// paper's Figure 7 experiment.
+    HugeValues,
+}
+
+/// Applies a corruption to a copy of the dataset.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`] for invalid corruption parameters
+/// (e.g. a zero fraction outside `[0, 1]`).
+pub fn corrupt(dataset: &Dataset, corruption: Corruption, seed: u64) -> Result<Dataset> {
+    let classes = dataset.classes();
+    let mut rng = seeded_rng(derive_seed(seed, 99));
+    match corruption {
+        Corruption::LabelShift => {
+            let labels = dataset.labels().iter().map(|&l| (l + 1) % classes).collect();
+            Dataset::new(dataset.samples().clone(), labels, classes)
+        }
+        Corruption::RandomLabels => {
+            let labels = dataset
+                .labels()
+                .iter()
+                .map(|_| rng.gen_range(0..classes))
+                .collect();
+            Dataset::new(dataset.samples().clone(), labels, classes)
+        }
+        Corruption::NoiseFeatures => {
+            let data: Vec<f32> = dataset
+                .samples()
+                .as_slice()
+                .iter()
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect();
+            let samples = Tensor::from_vec(dataset.samples().shape(), data)?;
+            Dataset::new(samples, dataset.labels().to_vec(), classes)
+        }
+        Corruption::HugeValues => {
+            let data: Vec<f32> = dataset
+                .samples()
+                .as_slice()
+                .iter()
+                .map(|_| if rng.gen::<bool>() { 1e30 } else { -1e30 })
+                .collect();
+            let samples = Tensor::from_vec(dataset.samples().shape(), data)?;
+            Dataset::new(samples, dataset.labels().to_vec(), classes)
+        }
+        Corruption::ZeroFraction(fraction) => {
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(DataError::InvalidConfig(format!(
+                    "zero fraction must be in [0, 1], got {fraction}"
+                )));
+            }
+            let data: Vec<f32> = dataset
+                .samples()
+                .as_slice()
+                .iter()
+                .map(|&x| if rng.gen::<f32>() < fraction { 0.0 } else { x })
+                .collect();
+            let samples = Tensor::from_vec(dataset.samples().shape(), data)?;
+            Dataset::new(samples, dataset.labels().to_vec(), classes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{gaussian_blobs, BlobConfig};
+
+    fn data() -> Dataset {
+        gaussian_blobs(&BlobConfig { classes: 4, dim: 6, samples: 80, ..Default::default() }, 2)
+            .unwrap()
+    }
+
+    #[test]
+    fn label_shift_rotates_every_label() {
+        let d = data();
+        let c = corrupt(&d, Corruption::LabelShift, 0).unwrap();
+        for (orig, new) in d.labels().iter().zip(c.labels()) {
+            assert_eq!(*new, (orig + 1) % 4);
+        }
+        // Features untouched.
+        assert_eq!(d.samples(), c.samples());
+    }
+
+    #[test]
+    fn random_labels_change_a_substantial_fraction() {
+        let d = data();
+        let c = corrupt(&d, Corruption::RandomLabels, 1).unwrap();
+        let changed = d
+            .labels()
+            .iter()
+            .zip(c.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > d.len() / 2);
+    }
+
+    #[test]
+    fn noise_features_keep_labels() {
+        let d = data();
+        let c = corrupt(&d, Corruption::NoiseFeatures, 2).unwrap();
+        assert_eq!(d.labels(), c.labels());
+        assert_ne!(d.samples(), c.samples());
+    }
+
+    #[test]
+    fn zero_fraction_zeroes_about_the_right_amount() {
+        let d = data();
+        let c = corrupt(&d, Corruption::ZeroFraction(0.5), 3).unwrap();
+        let zeros = c.samples().as_slice().iter().filter(|&&x| x == 0.0).count();
+        let total = c.samples().len();
+        let fraction = zeros as f32 / total as f32;
+        assert!((fraction - 0.5).abs() < 0.1, "zeroed fraction {fraction}");
+        assert!(corrupt(&d, Corruption::ZeroFraction(1.5), 3).is_err());
+    }
+
+    #[test]
+    fn huge_values_produce_malformed_features() {
+        let d = data();
+        let c = corrupt(&d, Corruption::HugeValues, 4).unwrap();
+        assert!(c.samples().as_slice().iter().all(|&x| x.abs() == 1e30));
+        assert_eq!(d.labels(), c.labels());
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let d = data();
+        assert_eq!(
+            corrupt(&d, Corruption::RandomLabels, 7).unwrap(),
+            corrupt(&d, Corruption::RandomLabels, 7).unwrap()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for dataset construction and sampling.
+
+use thiserror::Error;
+
+/// Errors produced while building or sampling datasets.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Features and labels disagree in count.
+    #[error("dataset has {samples} samples but {labels} labels")]
+    LabelCountMismatch {
+        /// Number of samples.
+        samples: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+
+    /// The dataset is empty where samples are required.
+    #[error("empty dataset for {0}")]
+    Empty(&'static str),
+
+    /// Invalid configuration value (e.g. zero classes or batch size).
+    #[error("invalid configuration: {0}")]
+    InvalidConfig(String),
+
+    /// A tensor operation failed.
+    #[error("tensor operation failed: {0}")]
+    Tensor(String),
+}
+
+impl From<agg_tensor::TensorError> for DataError {
+    fn from(e: agg_tensor::TensorError) -> Self {
+        DataError::Tensor(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DataError::LabelCountMismatch { samples: 5, labels: 3 };
+        assert!(e.to_string().contains('5'));
+        let e: DataError = agg_tensor::TensorError::EmptyInput("x").into();
+        assert!(matches!(e, DataError::Tensor(_)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Mini-batch sampling.
+//!
+//! The paper's convergence analysis assumes every worker draws its mini-batch
+//! i.i.d. from the training distribution ("AggregaThor only requires the
+//! workers to be drawing data independently and identically distributed").
+//! [`MiniBatchSampler`] implements exactly that: uniform sampling with
+//! replacement from the worker's view of the training set, with a
+//! per-worker RNG stream derived from the experiment seed.
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use agg_tensor::rng::{derive_seed, seeded_rng};
+use agg_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Draws i.i.d. mini-batches from a dataset.
+#[derive(Debug, Clone)]
+pub struct MiniBatchSampler {
+    batch_size: usize,
+    rng: SmallRng,
+}
+
+impl MiniBatchSampler {
+    /// Creates a sampler for one worker.
+    ///
+    /// `experiment_seed` is shared by the whole run; `worker_stream`
+    /// decorrelates workers (pass the worker index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] when `batch_size == 0`.
+    pub fn new(batch_size: usize, experiment_seed: u64, worker_stream: u64) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidConfig("batch size must be positive".to_string()));
+        }
+        Ok(MiniBatchSampler {
+            batch_size,
+            rng: seeded_rng(derive_seed(experiment_seed, worker_stream)),
+        })
+    }
+
+    /// The configured mini-batch size (the `b` of the paper).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Draws the next mini-batch (uniform with replacement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Empty`] when the dataset is empty.
+    pub fn next_batch(&mut self, dataset: &Dataset) -> Result<(Tensor, Vec<usize>)> {
+        if dataset.is_empty() {
+            return Err(DataError::Empty("MiniBatchSampler::next_batch"));
+        }
+        let indices: Vec<usize> = (0..self.batch_size)
+            .map(|_| self.rng.gen_range(0..dataset.len()))
+            .collect();
+        dataset.batch(&indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{gaussian_blobs, BlobConfig};
+
+    fn data() -> Dataset {
+        gaussian_blobs(&BlobConfig { classes: 3, dim: 4, samples: 90, ..Default::default() }, 1)
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_size_is_respected() {
+        let d = data();
+        let mut sampler = MiniBatchSampler::new(7, 42, 0).unwrap();
+        let (x, y) = sampler.next_batch(&d).unwrap();
+        assert_eq!(x.shape()[0], 7);
+        assert_eq!(y.len(), 7);
+        assert_eq!(sampler.batch_size(), 7);
+    }
+
+    #[test]
+    fn zero_batch_size_is_rejected() {
+        assert!(MiniBatchSampler::new(0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn same_seed_and_stream_replay_the_same_batches() {
+        let d = data();
+        let mut a = MiniBatchSampler::new(5, 9, 2).unwrap();
+        let mut b = MiniBatchSampler::new(5, 9, 2).unwrap();
+        for _ in 0..3 {
+            let (xa, ya) = a.next_batch(&d).unwrap();
+            let (xb, yb) = b.next_batch(&d).unwrap();
+            assert_eq!(xa, xb);
+            assert_eq!(ya, yb);
+        }
+    }
+
+    #[test]
+    fn different_workers_draw_different_batches() {
+        let d = data();
+        let mut a = MiniBatchSampler::new(5, 9, 0).unwrap();
+        let mut b = MiniBatchSampler::new(5, 9, 1).unwrap();
+        let (xa, _) = a.next_batch(&d).unwrap();
+        let (xb, _) = b.next_batch(&d).unwrap();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn successive_batches_differ() {
+        let d = data();
+        let mut sampler = MiniBatchSampler::new(5, 3, 0).unwrap();
+        let (x1, _) = sampler.next_batch(&d).unwrap();
+        let (x2, _) = sampler.next_batch(&d).unwrap();
+        assert_ne!(x1, x2);
+    }
+
+    #[test]
+    fn sampling_covers_the_dataset_over_time() {
+        let d = data();
+        let mut sampler = MiniBatchSampler::new(10, 5, 0).unwrap();
+        let mut seen = vec![false; d.len()];
+        for _ in 0..200 {
+            let (_, labels) = sampler.next_batch(&d).unwrap();
+            // Labels alone cannot tell indices apart; re-draw indices through
+            // the dataset by matching is overkill, so instead just assert the
+            // sampler keeps producing valid batches.
+            assert_eq!(labels.len(), 10);
+        }
+        // Direct coverage check through a fresh sampler with access to
+        // indices: sample many single-element batches.
+        let mut single = MiniBatchSampler::new(1, 6, 0).unwrap();
+        for _ in 0..2000 {
+            let (x, _) = single.next_batch(&d).unwrap();
+            // Find which index this sample corresponds to (exact match).
+            for i in 0..d.len() {
+                if d.samples().index_axis0(i).unwrap() == x.index_axis0(0).unwrap() {
+                    seen[i] = true;
+                    break;
+                }
+            }
+        }
+        let coverage = seen.iter().filter(|&&s| s).count();
+        assert!(coverage > d.len() * 8 / 10, "coverage {coverage}/{}", d.len());
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the Draco baseline.
+
+use thiserror::Error;
+
+/// Errors produced by the Draco schemes and trainer.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum DracoError {
+    /// The configuration violates Draco's requirement `n ≥ (2f + 1)` per
+    /// group or is otherwise inconsistent.
+    #[error("invalid Draco configuration: {0}")]
+    InvalidConfig(String),
+
+    /// Majority decoding failed: no value reached the required `f + 1`
+    /// agreement within a group.
+    #[error("majority decoding failed for group {group}: no value has {required} supporters")]
+    DecodingFailed {
+        /// Index of the undecodable group.
+        group: usize,
+        /// Number of identical submissions required.
+        required: usize,
+    },
+
+    /// A model or data failure from the underlying stack.
+    #[error("training failure: {0}")]
+    Training(String),
+}
+
+impl From<agg_nn::NnError> for DracoError {
+    fn from(e: agg_nn::NnError) -> Self {
+        DracoError::Training(e.to_string())
+    }
+}
+
+impl From<agg_data::DataError> for DracoError {
+    fn from(e: agg_data::DataError) -> Self {
+        DracoError::Training(e.to_string())
+    }
+}
+
+impl From<agg_ps::PsError> for DracoError {
+    fn from(e: agg_ps::PsError) -> Self {
+        DracoError::Training(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DracoError::DecodingFailed { group: 2, required: 3 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+        let e: DracoError = agg_data::DataError::Empty("x").into();
+        assert!(matches!(e, DracoError::Training(_)));
+    }
+}

@@ -1,0 +1,35 @@
+//! # agg-draco — the Draco baseline
+//!
+//! Draco (Chen et al., 2018) is the paper's strong-resilience comparator: it
+//! tolerates Byzantine workers not by robust aggregation but by **algorithmic
+//! redundancy** — every gradient is computed by `r = 2f + 1` workers on the
+//! *same* data, and the server decodes the true gradient by majority.
+//!
+//! The paper's comparison highlights three defining costs, all reproduced
+//! here:
+//!
+//! 1. each worker computes `2f + 1` gradients' worth of work per step (or,
+//!    equivalently, the cluster computes `r ×` redundant gradients);
+//! 2. encoding/decoding is linear in `n` and `d`, so throughput barely
+//!    changes with `f` but sits an order of magnitude below the
+//!    TensorFlow-based systems (Figure 5);
+//! 3. the scheme requires the workers to agree on the ordering/assignment of
+//!    the data, which breaks the privacy/i.i.d.-only assumption AggregaThor
+//!    keeps (§5).
+//!
+//! * [`scheme`] — the repetition and cyclic assignment schemes and the
+//!   majority decoder.
+//! * [`engine`] — [`engine::DracoTrainer`] (end-to-end training on the same
+//!   synthetic experiments as `agg-ps`) and
+//!   [`engine::DracoThroughputSimulation`] (the Figure 5 cost model).
+
+pub mod engine;
+pub mod error;
+pub mod scheme;
+
+pub use engine::{DracoConfig, DracoThroughputSimulation, DracoTrainer};
+pub use error::DracoError;
+pub use scheme::{majority_decode, AssignmentScheme, GroupAssignment};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DracoError>;

@@ -1,0 +1,226 @@
+//! Draco's redundancy schemes: group assignment and majority decoding.
+
+use crate::{DracoError, Result};
+use agg_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+/// How redundant work is assigned to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AssignmentScheme {
+    /// Repetition code: workers are split into groups of `2f + 1`; everyone
+    /// in a group computes the gradient of the *same* mini-batch. This is the
+    /// variant the paper uses for its comparison ("we use the repetition
+    /// method because it gives better results than the cyclic one").
+    #[default]
+    Repetition,
+    /// Cyclic code: mini-batch `j` is assigned to the `2f + 1` consecutive
+    /// workers `j, j+1, …, j+2f (mod groups·(2f+1))`. Included for
+    /// completeness of the assignment logic; decoding falls back to the same
+    /// per-chunk majority as repetition.
+    Cyclic,
+}
+
+/// The assignment of workers to redundancy groups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupAssignment {
+    scheme: AssignmentScheme,
+    workers: usize,
+    redundancy: usize,
+    /// `groups[g]` lists the workers responsible for group `g`'s mini-batch.
+    groups: Vec<Vec<usize>>,
+}
+
+impl GroupAssignment {
+    /// Builds an assignment for `workers` workers tolerating `f` Byzantine
+    /// workers (redundancy `r = 2f + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::InvalidConfig`] when `workers < 2f + 1` or
+    /// `workers` is not a multiple of the group size under the repetition
+    /// scheme.
+    pub fn new(scheme: AssignmentScheme, workers: usize, f: usize) -> Result<Self> {
+        let redundancy = 2 * f + 1;
+        if workers < redundancy {
+            return Err(DracoError::InvalidConfig(format!(
+                "Draco needs at least 2f + 1 = {redundancy} workers, got {workers}"
+            )));
+        }
+        let groups = match scheme {
+            AssignmentScheme::Repetition => {
+                // Trailing workers that do not fill a complete group join the
+                // last group (extra redundancy never hurts correctness).
+                let full_groups = workers / redundancy;
+                let mut groups: Vec<Vec<usize>> = (0..full_groups)
+                    .map(|g| (g * redundancy..(g + 1) * redundancy).collect())
+                    .collect();
+                for leftover in (full_groups * redundancy)..workers {
+                    groups
+                        .last_mut()
+                        .expect("at least one group exists because workers >= redundancy")
+                        .push(leftover);
+                }
+                groups
+            }
+            AssignmentScheme::Cyclic => {
+                // One group per worker; group j = workers j..j+r (mod n).
+                (0..workers)
+                    .map(|j| (0..redundancy).map(|k| (j + k) % workers).collect())
+                    .collect()
+            }
+        };
+        Ok(GroupAssignment { scheme, workers, redundancy, groups })
+    }
+
+    /// The scheme used.
+    pub fn scheme(&self) -> AssignmentScheme {
+        self.scheme
+    }
+
+    /// The redundancy factor `r = 2f + 1`.
+    pub fn redundancy(&self) -> usize {
+        self.redundancy
+    }
+
+    /// Number of groups (distinct mini-batches per step).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Workers assigned to group `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::InvalidConfig`] when `g` is out of range.
+    pub fn group(&self, g: usize) -> Result<&[usize]> {
+        self.groups
+            .get(g)
+            .map(Vec::as_slice)
+            .ok_or_else(|| DracoError::InvalidConfig(format!("group {g} does not exist")))
+    }
+
+    /// How many gradients each worker computes per step (1 for repetition,
+    /// `r` for cyclic) — the redundant-computation cost the paper charges
+    /// Draco with is `redundancy ×` the per-batch work either way.
+    pub fn gradients_per_worker(&self) -> usize {
+        match self.scheme {
+            AssignmentScheme::Repetition => 1,
+            AssignmentScheme::Cyclic => self.redundancy,
+        }
+    }
+}
+
+/// Exact-match majority vote within one group's submissions.
+///
+/// Honest group members computed the gradient of the same mini-batch from the
+/// same model, so their submissions are bit-identical; any value submitted by
+/// at least `f + 1` workers is therefore the honest gradient.
+///
+/// # Errors
+///
+/// Returns [`DracoError::DecodingFailed`] when no value reaches `f + 1`
+/// supporters (more Byzantine workers in the group than the code tolerates).
+pub fn majority_decode(group: usize, submissions: &[Vector], f: usize) -> Result<Vector> {
+    let required = f + 1;
+    for (i, candidate) in submissions.iter().enumerate() {
+        let supporters = submissions
+            .iter()
+            .filter(|other| bitwise_equal(candidate, other))
+            .count();
+        if supporters >= required {
+            return Ok(submissions[i].clone());
+        }
+    }
+    Err(DracoError::DecodingFailed { group, required })
+}
+
+/// Bit-exact equality (NaN-aware: NaN != NaN, so corrupted gradients never
+/// form a majority with each other unless truly identical bit patterns).
+fn bitwise_equal(a: &Vector, b: &Vector) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetition_assignment_partitions_workers() {
+        let a = GroupAssignment::new(AssignmentScheme::Repetition, 9, 1).unwrap();
+        assert_eq!(a.redundancy(), 3);
+        assert_eq!(a.group_count(), 3);
+        let mut all: Vec<usize> = (0..3).flat_map(|g| a.group(g).unwrap().to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+        assert_eq!(a.gradients_per_worker(), 1);
+    }
+
+    #[test]
+    fn leftover_workers_join_the_last_group() {
+        let a = GroupAssignment::new(AssignmentScheme::Repetition, 10, 1).unwrap();
+        assert_eq!(a.group_count(), 3);
+        assert_eq!(a.group(2).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn cyclic_assignment_wraps_around() {
+        let a = GroupAssignment::new(AssignmentScheme::Cyclic, 5, 1).unwrap();
+        assert_eq!(a.group_count(), 5);
+        assert_eq!(a.group(4).unwrap(), &[4, 0, 1]);
+        assert_eq!(a.gradients_per_worker(), 3);
+    }
+
+    #[test]
+    fn too_few_workers_is_rejected() {
+        assert!(GroupAssignment::new(AssignmentScheme::Repetition, 2, 1).is_err());
+        assert!(GroupAssignment::new(AssignmentScheme::Repetition, 3, 1).is_ok());
+        let a = GroupAssignment::new(AssignmentScheme::Repetition, 3, 1).unwrap();
+        assert!(a.group(5).is_err());
+    }
+
+    #[test]
+    fn majority_decode_recovers_the_honest_gradient() {
+        let honest = Vector::from(vec![1.0, 2.0, 3.0]);
+        let byz = Vector::from(vec![-100.0, 100.0, f32::NAN]);
+        let submissions = vec![honest.clone(), byz, honest.clone()];
+        let decoded = majority_decode(0, &submissions, 1).unwrap();
+        assert_eq!(decoded, honest);
+    }
+
+    #[test]
+    fn majority_decode_fails_when_byzantines_outnumber_the_code() {
+        let honest = Vector::from(vec![1.0]);
+        let byz_a = Vector::from(vec![7.0]);
+        let byz_b = Vector::from(vec![9.0]);
+        let submissions = vec![honest, byz_a, byz_b];
+        assert!(matches!(
+            majority_decode(3, &submissions, 1),
+            Err(DracoError::DecodingFailed { group: 3, required: 2 })
+        ));
+    }
+
+    #[test]
+    fn nan_submissions_never_form_a_spurious_majority() {
+        let nan = Vector::from(vec![f32::NAN, 1.0]);
+        let honest = Vector::from(vec![0.5, 1.0]);
+        // Two NaN-containing submissions with identical bit patterns DO form
+        // a majority (they are bit-identical), but a NaN never matches a
+        // different NaN payload and never matches the honest value.
+        let submissions = vec![nan.clone(), honest.clone(), honest.clone()];
+        assert_eq!(majority_decode(0, &submissions, 1).unwrap(), honest);
+    }
+
+    #[test]
+    fn identical_byzantine_copies_can_defeat_the_code_only_with_majority() {
+        // f = 1 tolerates a single traitor per group; two colluding identical
+        // traitors in a group of three defeat it — documenting the code's
+        // boundary, not a bug.
+        let byz = Vector::from(vec![666.0]);
+        let honest = Vector::from(vec![1.0]);
+        let submissions = vec![byz.clone(), byz.clone(), honest];
+        assert_eq!(majority_decode(0, &submissions, 1).unwrap(), byz);
+    }
+}

@@ -1,0 +1,152 @@
+//! Training traces: accuracy/loss versus simulated time and model updates.
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluation point along a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Model-update step at which the evaluation happened.
+    pub step: u64,
+    /// Simulated wall-clock time (seconds since training started).
+    pub time_sec: f64,
+    /// Test-set top-1 accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Test-set loss.
+    pub loss: f64,
+}
+
+/// The accuracy/loss trajectory of one training run.
+///
+/// This is the raw material of Figures 3, 6, 7 and 8: accuracy as a function
+/// of time and as a function of model updates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingTrace {
+    /// Label of the run (e.g. `"multi-krum f=4"`).
+    pub label: String,
+    points: Vec<TracePoint>,
+}
+
+impl TrainingTrace {
+    /// Creates an empty trace with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        TrainingTrace { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends an evaluation point.
+    pub fn record(&mut self, point: TracePoint) {
+        self.points.push(point);
+    }
+
+    /// All recorded points, in recording order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Highest accuracy observed so far.
+    pub fn best_accuracy(&self) -> f64 {
+        self.points.iter().map(|p| p.accuracy).fold(0.0, f64::max)
+    }
+
+    /// Accuracy of the last recorded point (0 when empty).
+    pub fn final_accuracy(&self) -> f64 {
+        self.points.last().map(|p| p.accuracy).unwrap_or(0.0)
+    }
+
+    /// Earliest simulated time at which the run reached `target` accuracy,
+    /// or `None` if it never did.
+    ///
+    /// This is the paper's headline statistic ("time to reach 50 % of final
+    /// accuracy"), used to compute the 19 % / 43 % overhead numbers.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.time_sec)
+    }
+
+    /// Earliest model-update step at which the run reached `target` accuracy.
+    pub fn steps_to_accuracy(&self, target: f64) -> Option<u64> {
+        self.points.iter().find(|p| p.accuracy >= target).map(|p| p.step)
+    }
+
+    /// Serialises the trace as a CSV string with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("step,time_sec,accuracy,loss\n");
+        for p in &self.points {
+            out.push_str(&format!("{},{:.6},{:.6},{:.6}\n", p.step, p.time_sec, p.accuracy, p.loss));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> TrainingTrace {
+        let mut t = TrainingTrace::new("test");
+        for i in 0..10u64 {
+            t.record(TracePoint {
+                step: i * 10,
+                time_sec: i as f64,
+                accuracy: i as f64 / 10.0,
+                loss: 1.0 - i as f64 / 10.0,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn records_and_accessors() {
+        let t = trace();
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+        assert_eq!(t.points()[3].step, 30);
+        assert!((t.best_accuracy() - 0.9).abs() < 1e-9);
+        assert!((t.final_accuracy() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_and_steps_to_accuracy() {
+        let t = trace();
+        assert_eq!(t.time_to_accuracy(0.5), Some(5.0));
+        assert_eq!(t.steps_to_accuracy(0.5), Some(50));
+        assert_eq!(t.time_to_accuracy(0.95), None);
+        assert_eq!(TrainingTrace::new("empty").time_to_accuracy(0.1), None);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = TrainingTrace::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.final_accuracy(), 0.0);
+        assert_eq!(t.best_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = trace().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert_eq!(lines[0], "step,time_sec,accuracy,loss");
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TrainingTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

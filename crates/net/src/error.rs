@@ -1,0 +1,43 @@
+//! Error type for the communication layer.
+
+use thiserror::Error;
+
+/// Errors produced by packet encoding/decoding and transport configuration.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A packet buffer is too short or structurally invalid.
+    #[error("malformed packet: {0}")]
+    MalformedPacket(String),
+
+    /// Decoded packets disagree about the gradient they belong to.
+    #[error("inconsistent packet stream: {0}")]
+    InconsistentStream(String),
+
+    /// Invalid configuration value.
+    #[error("invalid network configuration: {0}")]
+    InvalidConfig(String),
+
+    /// The reassembled gradient is unusable under the configured policy
+    /// (e.g. every packet of the gradient was lost and the policy is
+    /// drop-gradient).
+    #[error("gradient dropped: {0}")]
+    GradientDropped(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(NetError::MalformedPacket("too short".into())
+            .to_string()
+            .contains("too short"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

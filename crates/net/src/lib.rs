@@ -1,0 +1,35 @@
+//! # agg-net — the simulated communication layer
+//!
+//! The paper modifies TensorFlow's networking stack to add **lossyMPI**, a
+//! UDP-based transport that trades reliability for speed, and relies on the
+//! Byzantine-resilient GAR above it to absorb whatever the transport loses
+//! (§3.3). This crate reproduces that layer as a discrete simulation:
+//!
+//! * [`packet`] — gradients are split into MTU-sized packets with sequence
+//!   numbers and a small reliable metadata header, exactly the scheme the
+//!   paper describes for packet ordering.
+//! * [`link`] — a lossy link model: independent packet drops, reordering and
+//!   duplication at configurable rates (the paper injects a 10 % drop rate
+//!   with `tc`).
+//! * [`transport`] — the two transports compared in Figure 8:
+//!   [`transport::ReliableTransport`] (TCP/gRPC-like: delivers everything,
+//!   pays for it with retransmissions and congestion back-off under loss) and
+//!   [`transport::LossyTransport`] (UDP/lossyMPI-like: constant speed, lost
+//!   coordinates surface according to a [`transport::LossPolicy`]).
+//!
+//! Nothing here opens real sockets: the parameter-server simulator in
+//! `agg-ps` drives these models and charges the returned transfer times to
+//! its discrete-event clock.
+
+pub mod error;
+pub mod link;
+pub mod packet;
+pub mod transport;
+
+pub use error::NetError;
+pub use link::{LinkConfig, LinkStats, LossyLink};
+pub use packet::{GradientCodec, Packet};
+pub use transport::{LossPolicy, LossyTransport, ReliableTransport, TransferOutcome, Transport};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetError>;

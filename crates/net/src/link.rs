@@ -1,0 +1,241 @@
+//! The lossy link model: independent packet drops, reordering and
+//! duplication, as injected in the paper's Figure 8 experiments with `tc`.
+
+use crate::packet::Packet;
+use crate::{NetError, Result};
+use agg_tensor::rng::{derive_seed, seeded_rng};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Static characteristics of a (simulated) network link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Usable bandwidth in bytes per second (the paper's clusters use 10 Gbps
+    /// Ethernet ≈ 1.25 GB/s).
+    pub bandwidth_bytes_per_sec: f64,
+    /// One-way propagation latency in seconds.
+    pub latency_sec: f64,
+    /// Independent probability that a packet is dropped.
+    pub drop_rate: f64,
+    /// Probability that a delivered packet is displaced in the arrival order.
+    pub reorder_rate: f64,
+    /// Probability that a delivered packet is duplicated.
+    pub duplicate_rate: f64,
+}
+
+impl LinkConfig {
+    /// A clean 10 Gbps data-centre link (the paper's baseline environment).
+    pub fn datacenter() -> Self {
+        LinkConfig {
+            bandwidth_bytes_per_sec: 1.25e9,
+            latency_sec: 100e-6,
+            drop_rate: 0.0,
+            reorder_rate: 0.0,
+            duplicate_rate: 0.0,
+        }
+    }
+
+    /// The same link with an artificially injected drop rate (the paper uses
+    /// `tc` to add 10 % loss).
+    pub fn with_drop_rate(mut self, drop_rate: f64) -> Self {
+        self.drop_rate = drop_rate;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] for non-positive bandwidth or
+    /// probabilities outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.bandwidth_bytes_per_sec <= 0.0 {
+            return Err(NetError::InvalidConfig("bandwidth must be positive".to_string()));
+        }
+        if self.latency_sec < 0.0 {
+            return Err(NetError::InvalidConfig("latency must be non-negative".to_string()));
+        }
+        for (name, p) in [
+            ("drop_rate", self.drop_rate),
+            ("reorder_rate", self.reorder_rate),
+            ("duplicate_rate", self.duplicate_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(NetError::InvalidConfig(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Time to push `bytes` through the link (serialisation + propagation).
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_sec + self.latency_sec
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::datacenter()
+    }
+}
+
+/// What happened to one batch of packets pushed through a lossy link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets handed to the link.
+    pub sent: usize,
+    /// Packets delivered (including duplicates).
+    pub delivered: usize,
+    /// Packets dropped.
+    pub dropped: usize,
+    /// Packets duplicated.
+    pub duplicated: usize,
+    /// Packets displaced from their original position.
+    pub reordered: usize,
+}
+
+/// A link that applies drops, duplication and reordering to packet batches.
+#[derive(Debug, Clone)]
+pub struct LossyLink {
+    config: LinkConfig,
+    rng: SmallRng,
+}
+
+impl LossyLink {
+    /// Creates a lossy link with its own deterministic RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(config: LinkConfig, seed: u64, stream: u64) -> Result<Self> {
+        config.validate()?;
+        Ok(LossyLink { config, rng: seeded_rng(derive_seed(seed, stream ^ 0x11AC)) })
+    }
+
+    /// The link's static configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Pushes a batch of packets through the link, returning the delivered
+    /// packets (in arrival order) and the statistics of what happened.
+    pub fn transmit(&mut self, packets: &[Packet]) -> (Vec<Packet>, LinkStats) {
+        let mut stats = LinkStats { sent: packets.len(), ..Default::default() };
+        let mut delivered: Vec<Packet> = Vec::with_capacity(packets.len());
+        for p in packets {
+            if self.rng.gen::<f64>() < self.config.drop_rate {
+                stats.dropped += 1;
+                continue;
+            }
+            delivered.push(p.clone());
+            if self.rng.gen::<f64>() < self.config.duplicate_rate {
+                delivered.push(p.clone());
+                stats.duplicated += 1;
+            }
+        }
+        // Reordering: displace each selected packet to a random position.
+        let len = delivered.len();
+        for i in 0..len {
+            if self.rng.gen::<f64>() < self.config.reorder_rate {
+                let j = self.rng.gen_range(0..len);
+                if i != j {
+                    delivered.swap(i, j);
+                    stats.reordered += 1;
+                }
+            }
+        }
+        stats.delivered = delivered.len();
+        (delivered, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::GradientCodec;
+    use agg_tensor::Vector;
+
+    fn packets(n_coords: usize) -> Vec<Packet> {
+        GradientCodec::new(10)
+            .unwrap()
+            .split(0, 0, &Vector::from_iter((0..n_coords).map(|i| i as f32)))
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LinkConfig::datacenter().validate().is_ok());
+        assert!(LinkConfig { bandwidth_bytes_per_sec: 0.0, ..LinkConfig::datacenter() }
+            .validate()
+            .is_err());
+        assert!(LinkConfig::datacenter().with_drop_rate(1.5).validate().is_err());
+        assert!(LinkConfig { latency_sec: -1.0, ..LinkConfig::datacenter() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn transfer_time_has_bandwidth_and_latency_terms() {
+        let link = LinkConfig {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency_sec: 0.5,
+            ..LinkConfig::datacenter()
+        };
+        assert!((link.transfer_time(1000) - 1.5).abs() < 1e-9);
+        assert!((link.transfer_time(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossless_link_delivers_everything_in_order() {
+        let mut link = LossyLink::new(LinkConfig::datacenter(), 1, 0).unwrap();
+        let ps = packets(100);
+        let (delivered, stats) = link.transmit(&ps);
+        assert_eq!(delivered, ps);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.delivered, ps.len());
+    }
+
+    #[test]
+    fn drop_rate_drops_about_the_right_fraction() {
+        let config = LinkConfig::datacenter().with_drop_rate(0.3);
+        let mut link = LossyLink::new(config, 2, 0).unwrap();
+        let ps = packets(10_000);
+        let (_, stats) = link.transmit(&ps);
+        let rate = stats.dropped as f64 / stats.sent as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn duplication_and_reordering_happen() {
+        let config = LinkConfig {
+            duplicate_rate: 0.2,
+            reorder_rate: 0.5,
+            ..LinkConfig::datacenter()
+        };
+        let mut link = LossyLink::new(config, 3, 0).unwrap();
+        let ps = packets(1000);
+        let (delivered, stats) = link.transmit(&ps);
+        assert!(stats.duplicated > 0);
+        assert!(stats.reordered > 0);
+        assert_eq!(delivered.len(), stats.delivered);
+        assert!(delivered.len() > ps.len());
+    }
+
+    #[test]
+    fn link_is_deterministic_per_seed() {
+        let config = LinkConfig::datacenter().with_drop_rate(0.2);
+        let ps = packets(500);
+        let (a, _) = LossyLink::new(config, 7, 1).unwrap().transmit(&ps);
+        let (b, _) = LossyLink::new(config, 7, 1).unwrap().transmit(&ps);
+        assert_eq!(a, b);
+        let (c, _) = LossyLink::new(config, 8, 1).unwrap().transmit(&ps);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        assert!(LossyLink::new(LinkConfig::datacenter().with_drop_rate(2.0), 0, 0).is_err());
+    }
+}

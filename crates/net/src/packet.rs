@@ -1,0 +1,308 @@
+//! Packetisation of gradients.
+//!
+//! A gradient of dimension `d` is split into packets carrying at most
+//! `coords_per_packet` consecutive `f32` coordinates. Every packet carries a
+//! small header — worker id, step, sequence number, total packet count,
+//! coordinate offset and count — which is exactly the "reliability scheme for
+//! metadata (accompanying gradients) and packets ordering" the paper adds on
+//! top of UDP: the payload may be lost, but a delivered packet always knows
+//! where its coordinates belong.
+
+use crate::{NetError, Result};
+use agg_tensor::Vector;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Header + payload of one gradient packet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Worker that produced the gradient.
+    pub worker: u32,
+    /// Model-update step the gradient belongs to.
+    pub step: u64,
+    /// Sequence number of this packet within the gradient (0-based).
+    pub sequence: u32,
+    /// Total number of packets the gradient was split into.
+    pub total: u32,
+    /// Index of the first coordinate carried by this packet.
+    pub offset: u32,
+    /// The coordinates carried by this packet.
+    pub payload: Vec<f32>,
+}
+
+/// Number of header bytes in the wire format.
+pub const HEADER_BYTES: usize = 4 + 8 + 4 + 4 + 4 + 4;
+
+impl Packet {
+    /// Serialises the packet into a length-delimited byte buffer
+    /// (little-endian).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_BYTES + 4 * self.payload.len());
+        buf.put_u32_le(self.worker);
+        buf.put_u64_le(self.step);
+        buf.put_u32_le(self.sequence);
+        buf.put_u32_le(self.total);
+        buf.put_u32_le(self.offset);
+        buf.put_u32_le(self.payload.len() as u32);
+        for &v in &self.payload {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a packet from a byte buffer produced by [`Packet::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::MalformedPacket`] for truncated or inconsistent
+    /// buffers.
+    pub fn decode(mut data: Bytes) -> Result<Packet> {
+        if data.len() < HEADER_BYTES {
+            return Err(NetError::MalformedPacket(format!(
+                "{} bytes is shorter than the {HEADER_BYTES}-byte header",
+                data.len()
+            )));
+        }
+        let worker = data.get_u32_le();
+        let step = data.get_u64_le();
+        let sequence = data.get_u32_le();
+        let total = data.get_u32_le();
+        let offset = data.get_u32_le();
+        let count = data.get_u32_le() as usize;
+        if data.remaining() < count * 4 {
+            return Err(NetError::MalformedPacket(format!(
+                "payload declares {count} coordinates but only {} bytes remain",
+                data.remaining()
+            )));
+        }
+        let payload = (0..count).map(|_| data.get_f32_le()).collect();
+        Ok(Packet { worker, step, sequence, total, offset, payload })
+    }
+
+    /// Number of bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + 4 * self.payload.len()
+    }
+}
+
+/// Splits gradients into packets and reassembles them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradientCodec {
+    coords_per_packet: usize,
+}
+
+impl GradientCodec {
+    /// Creates a codec carrying `coords_per_packet` coordinates per packet.
+    ///
+    /// The default MTU-style choice is 350 coordinates ≈ 1400 payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when `coords_per_packet == 0`.
+    pub fn new(coords_per_packet: usize) -> Result<Self> {
+        if coords_per_packet == 0 {
+            return Err(NetError::InvalidConfig(
+                "coords_per_packet must be positive".to_string(),
+            ));
+        }
+        Ok(GradientCodec { coords_per_packet })
+    }
+
+    /// The codec used throughout the experiments (≈1.4 kB payload per
+    /// packet, a typical Ethernet MTU).
+    pub fn default_mtu() -> Self {
+        GradientCodec { coords_per_packet: 350 }
+    }
+
+    /// Coordinates carried per packet.
+    pub fn coords_per_packet(&self) -> usize {
+        self.coords_per_packet
+    }
+
+    /// Splits a gradient into packets.
+    pub fn split(&self, worker: u32, step: u64, gradient: &Vector) -> Vec<Packet> {
+        let d = gradient.len();
+        let total = d.div_ceil(self.coords_per_packet).max(1) as u32;
+        let mut packets = Vec::with_capacity(total as usize);
+        let data = gradient.as_slice();
+        for (seq, chunk) in data.chunks(self.coords_per_packet).enumerate() {
+            packets.push(Packet {
+                worker,
+                step,
+                sequence: seq as u32,
+                total,
+                offset: (seq * self.coords_per_packet) as u32,
+                payload: chunk.to_vec(),
+            });
+        }
+        if packets.is_empty() {
+            // Zero-dimensional gradient still produces one empty packet so
+            // the receiver learns the step happened.
+            packets.push(Packet { worker, step, sequence: 0, total: 1, offset: 0, payload: vec![] });
+        }
+        packets
+    }
+
+    /// Reassembles a gradient of dimension `dimension` from whichever packets
+    /// arrived (possibly out of order, duplicated or incomplete).
+    ///
+    /// Missing coordinates are set to `NaN`; the caller's loss policy decides
+    /// what to do with them. Returns the reassembled vector and the number of
+    /// missing coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InconsistentStream`] when packets disagree about
+    /// the worker or step, and [`NetError::MalformedPacket`] when a packet's
+    /// coordinates fall outside the gradient.
+    pub fn reassemble(
+        &self,
+        packets: &[Packet],
+        dimension: usize,
+    ) -> Result<(Vector, usize)> {
+        let mut data = vec![f32::NAN; dimension];
+        let mut filled = vec![false; dimension];
+        if let Some(first) = packets.first() {
+            for p in packets {
+                if p.worker != first.worker || p.step != first.step {
+                    return Err(NetError::InconsistentStream(format!(
+                        "packet from worker {} step {} mixed with worker {} step {}",
+                        p.worker, p.step, first.worker, first.step
+                    )));
+                }
+                let offset = p.offset as usize;
+                if offset + p.payload.len() > dimension {
+                    return Err(NetError::MalformedPacket(format!(
+                        "packet covers coordinates {}..{} of a {}-dimensional gradient",
+                        offset,
+                        offset + p.payload.len(),
+                        dimension
+                    )));
+                }
+                for (i, &v) in p.payload.iter().enumerate() {
+                    data[offset + i] = v;
+                    filled[offset + i] = true;
+                }
+            }
+        }
+        let missing = filled.iter().filter(|&&f| !f).count();
+        Ok((Vector::from(data), missing))
+    }
+}
+
+impl Default for GradientCodec {
+    fn default() -> Self {
+        GradientCodec::default_mtu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(d: usize) -> Vector {
+        Vector::from_iter((0..d).map(|i| i as f32))
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = Packet {
+            worker: 3,
+            step: 42,
+            sequence: 7,
+            total: 9,
+            offset: 700,
+            payload: vec![1.5, -2.5, f32::NAN],
+        };
+        let decoded = Packet::decode(p.encode()).unwrap();
+        assert_eq!(decoded.worker, 3);
+        assert_eq!(decoded.step, 42);
+        assert_eq!(decoded.sequence, 7);
+        assert_eq!(decoded.offset, 700);
+        assert_eq!(decoded.payload.len(), 3);
+        assert!(decoded.payload[2].is_nan());
+        assert_eq!(p.wire_bytes(), HEADER_BYTES + 12);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let p = Packet { worker: 0, step: 0, sequence: 0, total: 1, offset: 0, payload: vec![1.0; 10] };
+        let encoded = p.encode();
+        assert!(Packet::decode(encoded.slice(0..10)).is_err());
+        assert!(Packet::decode(encoded.slice(0..HEADER_BYTES + 4)).is_err());
+    }
+
+    #[test]
+    fn split_covers_every_coordinate_exactly_once() {
+        let codec = GradientCodec::new(10).unwrap();
+        let g = gradient(35);
+        let packets = codec.split(1, 5, &g);
+        assert_eq!(packets.len(), 4);
+        assert_eq!(packets[3].payload.len(), 5);
+        assert!(packets.iter().all(|p| p.total == 4));
+        let (restored, missing) = codec.reassemble(&packets, 35).unwrap();
+        assert_eq!(missing, 0);
+        assert_eq!(restored, g);
+    }
+
+    #[test]
+    fn reassembly_tolerates_reordering_and_duplication() {
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let mut packets = codec.split(0, 0, &g);
+        packets.reverse();
+        packets.push(packets[0].clone()); // duplicate
+        let (restored, missing) = codec.reassemble(&packets, 20).unwrap();
+        assert_eq!(missing, 0);
+        assert_eq!(restored, g);
+    }
+
+    #[test]
+    fn missing_packets_surface_as_nan() {
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let mut packets = codec.split(0, 0, &g);
+        packets.remove(1); // drop coordinates 8..16
+        let (restored, missing) = codec.reassemble(&packets, 20).unwrap();
+        assert_eq!(missing, 8);
+        assert!(restored[8].is_nan());
+        assert!(restored[15].is_nan());
+        assert_eq!(restored[0], 0.0);
+        assert_eq!(restored[19], 19.0);
+    }
+
+    #[test]
+    fn reassembly_rejects_mixed_streams_and_bad_offsets() {
+        let codec = GradientCodec::new(8).unwrap();
+        let a = codec.split(0, 0, &gradient(16));
+        let b = codec.split(1, 0, &gradient(16));
+        let mixed: Vec<Packet> = a.iter().chain(b.iter()).cloned().collect();
+        assert!(codec.reassemble(&mixed, 16).is_err());
+        // A packet that claims to extend beyond the gradient.
+        let too_far = vec![Packet {
+            worker: 0,
+            step: 0,
+            sequence: 0,
+            total: 1,
+            offset: 14,
+            payload: vec![0.0; 8],
+        }];
+        assert!(codec.reassemble(&too_far, 16).is_err());
+    }
+
+    #[test]
+    fn empty_gradient_still_produces_a_packet() {
+        let codec = GradientCodec::default();
+        let packets = codec.split(2, 9, &Vector::zeros(0));
+        assert_eq!(packets.len(), 1);
+        let (restored, missing) = codec.reassemble(&packets, 0).unwrap();
+        assert_eq!(restored.len(), 0);
+        assert_eq!(missing, 0);
+    }
+
+    #[test]
+    fn zero_coords_per_packet_is_rejected() {
+        assert!(GradientCodec::new(0).is_err());
+        assert_eq!(GradientCodec::default().coords_per_packet(), 350);
+    }
+}

@@ -1,0 +1,371 @@
+//! The two transports compared in the paper's Figure 8: a reliable TCP-like
+//! channel and the lossy UDP-like `lossyMPI` channel, plus the policies for
+//! handling whatever the lossy channel fails to deliver (§3.3).
+
+use crate::link::{LinkConfig, LinkStats, LossyLink};
+use crate::packet::GradientCodec;
+use crate::{NetError, Result};
+use agg_tensor::Vector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the receiving endpoint treats lost coordinates (§3.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LossPolicy {
+    /// Drop the whole gradient if any coordinate is missing ("the most
+    /// straightforward solution"). The caller receives `None` for that
+    /// gradient.
+    DropGradient,
+    /// Keep missing coordinates as `NaN`; the selective-averaging GAR ignores
+    /// them.
+    SelectiveNan,
+    /// Fill missing coordinates with pseudo-random values and let the
+    /// Byzantine-resilient GAR on top absorb them — AggregaThor's approach.
+    #[default]
+    RandomFill,
+}
+
+/// Everything that happened while transferring one gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferOutcome {
+    /// The gradient as seen by the receiver; `None` when the loss policy
+    /// dropped it entirely.
+    pub gradient: Option<Vector>,
+    /// Simulated wall-clock time the transfer took, in seconds.
+    pub time_sec: f64,
+    /// Bytes put on the wire (including retransmissions for the reliable
+    /// transport).
+    pub bytes_sent: usize,
+    /// Number of coordinates that never arrived (before policy handling).
+    pub missing_coordinates: usize,
+    /// Raw link statistics.
+    pub link_stats: LinkStats,
+}
+
+/// A one-way gradient transfer channel from a worker to the parameter
+/// server (the model transfer in the opposite direction reuses the same
+/// models with the roles swapped).
+pub trait Transport: Send + fmt::Debug {
+    /// Short transport name (`"tcp"`, `"lossy-udp"`).
+    fn name(&self) -> &'static str;
+
+    /// Transfers one gradient, returning what the receiver observes and how
+    /// long it took.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] only for structural failures (codec
+    /// inconsistencies); packet loss is not an error, it is the point.
+    fn transfer(&mut self, worker: u32, step: u64, gradient: &Vector) -> Result<TransferOutcome>;
+}
+
+/// A reliable, in-order transport modelling TCP/gRPC.
+///
+/// Every byte is delivered. The cost of reliability under loss follows the
+/// classic Mathis bound: the achievable throughput of a long-lived TCP flow
+/// is `MSS / (RTT · √(2p/3))`, so a 10 % loss rate collapses throughput by
+/// orders of magnitude — which is exactly the behaviour the paper observes
+/// ("TCP reducing (halving) its transmission rate following packet losses").
+/// Lost bytes are also retransmitted (`/(1 − p)`).
+#[derive(Debug, Clone)]
+pub struct ReliableTransport {
+    link: LinkConfig,
+    codec: GradientCodec,
+    /// Round-trip time used by the congestion model.
+    rtt_sec: f64,
+}
+
+impl ReliableTransport {
+    /// Creates a reliable transport over the given link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when the link is invalid.
+    pub fn new(link: LinkConfig, codec: GradientCodec) -> Result<Self> {
+        link.validate()?;
+        // Effective RTT floor of 1 ms: under the loss rates this model is
+        // exercised with, queues build up and retransmission timers fire, so
+        // the propagation latency alone undersells the recovery cost.
+        Ok(ReliableTransport { link, codec, rtt_sec: (2.0 * link.latency_sec).max(1e-3) })
+    }
+
+    /// Effective throughput (bytes/sec) under the configured loss rate.
+    pub fn effective_bandwidth(&self) -> f64 {
+        let p = self.link.drop_rate;
+        if p <= 0.0 {
+            return self.link.bandwidth_bytes_per_sec;
+        }
+        // Mathis et al.: rate ≈ MSS / (RTT * sqrt(2p/3)).
+        let mss = (self.codec.coords_per_packet() * 4) as f64;
+        let congestion_limited = mss / (self.rtt_sec * (2.0 * p / 3.0).sqrt());
+        congestion_limited.min(self.link.bandwidth_bytes_per_sec)
+    }
+}
+
+impl Transport for ReliableTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn transfer(&mut self, worker: u32, step: u64, gradient: &Vector) -> Result<TransferOutcome> {
+        let packets = self.codec.split(worker, step, gradient);
+        let payload_bytes: usize = packets.iter().map(|p| p.wire_bytes()).sum();
+        let p = self.link.drop_rate;
+        // Retransmissions inflate the bytes actually sent.
+        let bytes_sent = (payload_bytes as f64 / (1.0 - p).max(1e-3)).ceil() as usize;
+        let time_sec = bytes_sent as f64 / self.effective_bandwidth() + self.link.latency_sec;
+        Ok(TransferOutcome {
+            gradient: Some(gradient.clone()),
+            time_sec,
+            bytes_sent,
+            missing_coordinates: 0,
+            link_stats: LinkStats {
+                sent: packets.len(),
+                delivered: packets.len(),
+                ..Default::default()
+            },
+        })
+    }
+}
+
+/// The lossy UDP-like transport (the paper's `lossyMPI`).
+///
+/// Packets travel at full link speed with no retransmission of gradient
+/// payload; whatever is lost is handled by the configured [`LossPolicy`].
+#[derive(Debug)]
+pub struct LossyTransport {
+    link: LossyLink,
+    link_config: LinkConfig,
+    codec: GradientCodec,
+    policy: LossPolicy,
+}
+
+impl LossyTransport {
+    /// Creates a lossy transport over the given link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when the link is invalid.
+    pub fn new(
+        link: LinkConfig,
+        codec: GradientCodec,
+        policy: LossPolicy,
+        seed: u64,
+        stream: u64,
+    ) -> Result<Self> {
+        Ok(LossyTransport {
+            link: LossyLink::new(link, seed, stream)?,
+            link_config: link,
+            codec,
+            policy,
+        })
+    }
+
+    /// The configured loss policy.
+    pub fn policy(&self) -> LossPolicy {
+        self.policy
+    }
+
+    /// Deterministic pseudo-random fill for lost coordinates (mirrors the
+    /// `RandomFill` sanitisation policy in `agg-core`).
+    fn random_fill(index: usize) -> f32 {
+        let mut z = (index as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 41) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
+    }
+}
+
+impl Transport for LossyTransport {
+    fn name(&self) -> &'static str {
+        "lossy-udp"
+    }
+
+    fn transfer(&mut self, worker: u32, step: u64, gradient: &Vector) -> Result<TransferOutcome> {
+        let packets = self.codec.split(worker, step, gradient);
+        let bytes_sent: usize = packets.iter().map(|p| p.wire_bytes()).sum();
+        let (delivered, link_stats) = self.link.transmit(&packets);
+        let (mut reassembled, missing) = self.codec.reassemble(&delivered, gradient.len())?;
+        // UDP pays no congestion penalty: time is bytes / bandwidth + latency,
+        // independent of the drop rate (only a tiny metadata retransmission
+        // overhead is charged per lost packet).
+        let metadata_overhead = link_stats.dropped * crate::packet::HEADER_BYTES;
+        let time_sec = self.link_config.transfer_time(bytes_sent + metadata_overhead);
+        let gradient_out = match self.policy {
+            LossPolicy::DropGradient => {
+                if missing > 0 {
+                    None
+                } else {
+                    Some(reassembled)
+                }
+            }
+            LossPolicy::SelectiveNan => Some(reassembled),
+            LossPolicy::RandomFill => {
+                reassembled.replace_non_finite(Self::random_fill);
+                Some(reassembled)
+            }
+        };
+        Ok(TransferOutcome {
+            gradient: gradient_out,
+            time_sec,
+            bytes_sent,
+            missing_coordinates: missing,
+            link_stats,
+        })
+    }
+}
+
+/// Builds a transport by name, mirroring the original framework's choice of
+/// communication backend (gRPC vs lossyMPI).
+///
+/// # Errors
+///
+/// Returns [`NetError::InvalidConfig`] for unknown transport names or invalid
+/// links.
+pub fn build_transport(
+    name: &str,
+    link: LinkConfig,
+    policy: LossPolicy,
+    seed: u64,
+    stream: u64,
+) -> Result<Box<dyn Transport>> {
+    match name {
+        "tcp" | "grpc" | "reliable" => Ok(Box::new(ReliableTransport::new(
+            link,
+            GradientCodec::default_mtu(),
+        )?)),
+        "udp" | "lossy" | "lossympi" | "lossy-udp" => Ok(Box::new(LossyTransport::new(
+            link,
+            GradientCodec::default_mtu(),
+            policy,
+            seed,
+            stream,
+        )?)),
+        other => Err(NetError::InvalidConfig(format!("unknown transport '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(d: usize) -> Vector {
+        Vector::from_iter((0..d).map(|i| (i as f32).sin()))
+    }
+
+    #[test]
+    fn reliable_transport_always_delivers_everything() {
+        let mut t = ReliableTransport::new(
+            LinkConfig::datacenter().with_drop_rate(0.1),
+            GradientCodec::new(16).unwrap(),
+        )
+        .unwrap();
+        let g = gradient(100);
+        let out = t.transfer(0, 0, &g).unwrap();
+        assert_eq!(out.gradient.as_ref().unwrap(), &g);
+        assert_eq!(out.missing_coordinates, 0);
+        assert!(out.bytes_sent > 400);
+    }
+
+    #[test]
+    fn loss_collapses_reliable_throughput_but_not_lossy() {
+        let clean = LinkConfig::datacenter();
+        let lossy_link = clean.with_drop_rate(0.10);
+        let codec = GradientCodec::default_mtu();
+        let g = gradient(100_000);
+
+        let mut tcp_clean = ReliableTransport::new(clean, codec).unwrap();
+        let mut tcp_lossy = ReliableTransport::new(lossy_link, codec).unwrap();
+        let t_clean = tcp_clean.transfer(0, 0, &g).unwrap().time_sec;
+        let t_lossy = tcp_lossy.transfer(0, 0, &g).unwrap().time_sec;
+        assert!(
+            t_lossy > 5.0 * t_clean,
+            "10% loss should slow TCP by a large factor: {t_clean} vs {t_lossy}"
+        );
+
+        let mut udp =
+            LossyTransport::new(lossy_link, codec, LossPolicy::RandomFill, 1, 0).unwrap();
+        let t_udp = udp.transfer(0, 0, &g).unwrap().time_sec;
+        assert!(
+            t_udp < t_lossy / 5.0,
+            "lossy transport should be much faster than TCP under loss: {t_udp} vs {t_lossy}"
+        );
+    }
+
+    #[test]
+    fn drop_gradient_policy_drops_incomplete_gradients() {
+        let link = LinkConfig::datacenter().with_drop_rate(0.5);
+        let codec = GradientCodec::new(10).unwrap();
+        let mut t = LossyTransport::new(link, codec, LossPolicy::DropGradient, 3, 0).unwrap();
+        let g = gradient(1000);
+        let out = t.transfer(0, 0, &g).unwrap();
+        assert!(out.gradient.is_none(), "with 50% loss the gradient is practically always incomplete");
+        assert!(out.missing_coordinates > 0);
+    }
+
+    #[test]
+    fn selective_policy_exposes_nan_random_fill_hides_them() {
+        let link = LinkConfig::datacenter().with_drop_rate(0.3);
+        let codec = GradientCodec::new(10).unwrap();
+        let g = gradient(1000);
+
+        let mut selective =
+            LossyTransport::new(link, codec, LossPolicy::SelectiveNan, 5, 0).unwrap();
+        let out = selective.transfer(0, 0, &g).unwrap();
+        let received = out.gradient.unwrap();
+        assert!(out.missing_coordinates > 0);
+        assert_eq!(received.count_non_finite(), out.missing_coordinates);
+
+        let mut filled = LossyTransport::new(link, codec, LossPolicy::RandomFill, 5, 0).unwrap();
+        let out = filled.transfer(0, 0, &g).unwrap();
+        let received = out.gradient.unwrap();
+        assert!(out.missing_coordinates > 0);
+        assert!(received.is_finite());
+    }
+
+    #[test]
+    fn zero_loss_lossy_transport_is_lossless() {
+        let mut t = LossyTransport::new(
+            LinkConfig::datacenter(),
+            GradientCodec::new(16).unwrap(),
+            LossPolicy::SelectiveNan,
+            7,
+            0,
+        )
+        .unwrap();
+        let g = gradient(200);
+        let out = t.transfer(0, 0, &g).unwrap();
+        assert_eq!(out.gradient.unwrap(), g);
+        assert_eq!(out.missing_coordinates, 0);
+    }
+
+    #[test]
+    fn transport_registry_builds_by_name() {
+        let link = LinkConfig::datacenter();
+        assert_eq!(
+            build_transport("tcp", link, LossPolicy::RandomFill, 0, 0).unwrap().name(),
+            "tcp"
+        );
+        assert_eq!(
+            build_transport("lossympi", link, LossPolicy::RandomFill, 0, 0).unwrap().name(),
+            "lossy-udp"
+        );
+        assert!(build_transport("pigeon", link, LossPolicy::RandomFill, 0, 0).is_err());
+    }
+
+    #[test]
+    fn effective_bandwidth_is_monotone_in_loss() {
+        let codec = GradientCodec::default_mtu();
+        let b0 = ReliableTransport::new(LinkConfig::datacenter(), codec)
+            .unwrap()
+            .effective_bandwidth();
+        let b5 = ReliableTransport::new(LinkConfig::datacenter().with_drop_rate(0.05), codec)
+            .unwrap()
+            .effective_bandwidth();
+        let b10 = ReliableTransport::new(LinkConfig::datacenter().with_drop_rate(0.10), codec)
+            .unwrap()
+            .effective_bandwidth();
+        assert!(b0 > b5 && b5 > b10);
+    }
+}

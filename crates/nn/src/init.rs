@@ -1,0 +1,98 @@
+//! Weight initialisers.
+
+use agg_tensor::rng::seeded_rng;
+use rand::Rng;
+use rand_distr_shim::sample_normal;
+
+/// Internal helper avoiding a direct `rand_distr` dependency for one call
+/// site: Box–Muller transform over the crate-standard RNG.
+mod rand_distr_shim {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Samples one standard-normal value.
+    pub fn sample_normal(rng: &mut SmallRng) -> f32 {
+        // Box–Muller; u1 is kept away from zero to avoid ln(0).
+        let u1: f32 = rng.gen_range(1e-7f32..1.0);
+        let u2: f32 = rng.gen_range(0.0f32..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+/// Weight initialisation schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He normal: `N(0, sqrt(2 / fan_in))`, the standard choice before ReLU.
+    HeNormal,
+    /// Uniform in a fixed small range, for reproducible toy tests.
+    SmallUniform,
+}
+
+impl Init {
+    /// Generates `count` values for a layer with the given fan-in/fan-out.
+    pub fn generate(self, count: usize, fan_in: usize, fan_out: usize, seed: u64) -> Vec<f32> {
+        let mut rng = seeded_rng(seed);
+        match self {
+            Init::Zeros => vec![0.0; count],
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                (0..count).map(|_| rng.gen_range(-a..a)).collect()
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                (0..count).map(|_| sample_normal(&mut rng) * std).collect()
+            }
+            Init::SmallUniform => (0..count).map(|_| rng.gen_range(-0.05..0.05)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_are_zero() {
+        assert!(Init::Zeros.generate(10, 4, 4, 0).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_per_seed() {
+        let a = Init::HeNormal.generate(64, 16, 16, 7);
+        let b = Init::HeNormal.generate(64, 16, 16, 7);
+        assert_eq!(a, b);
+        let c = Init::HeNormal.generate(64, 16, 16, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let fan_in = 100;
+        let fan_out = 100;
+        let a = (6.0 / 200.0f32).sqrt();
+        let w = Init::XavierUniform.generate(1000, fan_in, fan_out, 1);
+        assert!(w.iter().all(|&x| x.abs() <= a));
+        // Not degenerate.
+        assert!(w.iter().any(|&x| x.abs() > a / 10.0));
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let w = Init::HeNormal.generate(10_000, 50, 10, 3);
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        let std: f32 =
+            (w.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32).sqrt();
+        let expected = (2.0f32 / 50.0).sqrt();
+        assert!((std - expected).abs() < expected * 0.1, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn small_uniform_is_bounded() {
+        let w = Init::SmallUniform.generate(100, 1, 1, 4);
+        assert!(w.iter().all(|&x| x.abs() <= 0.05));
+    }
+}

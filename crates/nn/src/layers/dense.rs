@@ -1,0 +1,258 @@
+//! Fully connected (dense) layer.
+
+use crate::init::Init;
+use crate::layer::Layer;
+use crate::{NnError, Result};
+use agg_tensor::Tensor;
+
+/// A fully connected layer: `y = x · W + b`.
+///
+/// Expects rank-2 input `[batch, in_features]` (insert a
+/// [`crate::layers::Flatten`] before it when coming from a convolution).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// Row-major `[in_features, out_features]`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with the given initialiser and seed.
+    pub fn new(in_features: usize, out_features: usize, init: Init, seed: u64) -> Self {
+        Dense {
+            in_features,
+            out_features,
+            weights: init.generate(in_features * out_features, in_features, out_features, seed),
+            bias: Init::Zeros.generate(out_features, in_features, out_features, seed),
+            grad_weights: vec![0.0; in_features * out_features],
+            grad_bias: vec![0.0; out_features],
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<usize> {
+        let shape = input.shape();
+        if shape.len() != 2 || shape[1] != self.in_features {
+            return Err(NnError::BadInputShape {
+                layer: "dense",
+                expected: format!("[batch, {}]", self.in_features),
+                actual: shape.to_vec(),
+            });
+        }
+        Ok(shape[0])
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        if input_shape != [self.in_features] {
+            return Err(NnError::BadInputShape {
+                layer: "dense",
+                expected: format!("[{}]", self.in_features),
+                actual: input_shape.to_vec(),
+            });
+        }
+        Ok(vec![self.out_features])
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let batch = self.check_input(input)?;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; batch * self.out_features];
+        for n in 0..batch {
+            let x_row = &x[n * self.in_features..(n + 1) * self.in_features];
+            let out_row = &mut out[n * self.out_features..(n + 1) * self.out_features];
+            out_row.copy_from_slice(&self.bias);
+            for (i, &xi) in x_row.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let w_row = &self.weights[i * self.out_features..(i + 1) * self.out_features];
+                for (o, &w) in w_row.iter().enumerate() {
+                    out_row[o] += xi * w;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(&[batch, self.out_features], out).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or(NnError::BackwardBeforeForward("dense"))?;
+        let batch = input.shape()[0];
+        let go = grad_output.as_slice();
+        let x = input.as_slice();
+        let mut grad_input = vec![0.0f32; batch * self.in_features];
+        for n in 0..batch {
+            let go_row = &go[n * self.out_features..(n + 1) * self.out_features];
+            let x_row = &x[n * self.in_features..(n + 1) * self.in_features];
+            for (o, &g) in go_row.iter().enumerate() {
+                self.grad_bias[o] += g;
+            }
+            let gi_row = &mut grad_input[n * self.in_features..(n + 1) * self.in_features];
+            for (i, &xi) in x_row.iter().enumerate() {
+                let w_row = &self.weights[i * self.out_features..(i + 1) * self.out_features];
+                let gw_row =
+                    &mut self.grad_weights[i * self.out_features..(i + 1) * self.out_features];
+                let mut acc = 0.0;
+                for (o, &g) in go_row.iter().enumerate() {
+                    gw_row[o] += xi * g;
+                    acc += w_row[o] * g;
+                }
+                gi_row[i] += acc;
+            }
+        }
+        Tensor::from_vec(&[batch, self.in_features], grad_input).map_err(NnError::from)
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn collect_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(&self.weights);
+        out.extend_from_slice(&self.bias);
+    }
+
+    fn collect_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(&self.grad_weights);
+        out.extend_from_slice(&self.grad_bias);
+    }
+
+    fn load_params(&mut self, data: &[f32]) -> usize {
+        let nw = self.weights.len();
+        let nb = self.bias.len();
+        self.weights.copy_from_slice(&data[..nw]);
+        self.bias.copy_from_slice(&data[nw..nw + nb]);
+        nw + nb
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn forward_flops(&self, _input_shape: &[usize]) -> u64 {
+        2 * self.in_features as u64 * self.out_features as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_dense() -> Dense {
+        // 2 -> 2 with known weights: W = [[1, 2], [3, 4]], b = [0.5, -0.5]
+        let mut layer = Dense::new(2, 2, Init::Zeros, 0);
+        layer.load_params(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        layer
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut layer = simple_dense();
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]).unwrap();
+        let y = layer.forward(&x, true).unwrap();
+        // [1*1 + 1*3 + 0.5, 1*2 + 1*4 - 0.5] = [4.5, 5.5]
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn backward_computes_all_three_gradients() {
+        let mut layer = simple_dense();
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]).unwrap();
+        layer.forward(&x, true).unwrap();
+        let go = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]).unwrap();
+        let gi = layer.backward(&go).unwrap();
+        // dL/dx_i = sum_o W[i][o] * go[o] => [1+2, 3+4] = [3, 7]
+        assert_eq!(gi.as_slice(), &[3.0, 7.0]);
+        let mut grads = Vec::new();
+        layer.collect_grads(&mut grads);
+        // dW[i][o] = x_i * go_o => [[1,1],[2,2]]; db = [1,1]
+        assert_eq!(grads, vec![1.0, 1.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut layer = simple_dense();
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 0.0]).unwrap();
+        let go = Tensor::from_vec(&[1, 2], vec![1.0, 0.0]).unwrap();
+        for _ in 0..2 {
+            layer.forward(&x, true).unwrap();
+            layer.backward(&go).unwrap();
+        }
+        let mut grads = Vec::new();
+        layer.collect_grads(&mut grads);
+        assert_eq!(grads[0], 2.0);
+        layer.zero_grads();
+        grads.clear();
+        layer.collect_grads(&mut grads);
+        assert!(grads.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let layer = Dense::new(3, 4, Init::HeNormal, 42);
+        let mut params = Vec::new();
+        layer.collect_params(&mut params);
+        assert_eq!(params.len(), layer.param_count());
+        let mut other = Dense::new(3, 4, Init::Zeros, 0);
+        assert_eq!(other.load_params(&params), 16);
+        let mut copied = Vec::new();
+        other.collect_params(&mut copied);
+        assert_eq!(copied, params);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let mut layer = Dense::new(2, 3, Init::Zeros, 0);
+        let bad = Tensor::zeros(&[1, 5]);
+        assert!(matches!(
+            layer.forward(&bad, true).unwrap_err(),
+            NnError::BadInputShape { .. }
+        ));
+        assert!(layer.output_shape(&[5]).is_err());
+        assert_eq!(layer.output_shape(&[2]).unwrap(), vec![3]);
+        assert!(matches!(
+            layer.backward(&Tensor::zeros(&[1, 3])).unwrap_err(),
+            NnError::BackwardBeforeForward(_)
+        ));
+    }
+
+    #[test]
+    fn batch_processing_is_independent_per_sample() {
+        let mut layer = simple_dense();
+        let x = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 2]);
+        assert_eq!(&y.as_slice()[..2], &[1.5, 1.5]); // row [1,0]
+        assert_eq!(&y.as_slice()[2..], &[3.5, 3.5]); // row [0,1]
+    }
+
+    #[test]
+    fn flops_estimate_is_positive() {
+        assert_eq!(Dense::new(10, 20, Init::Zeros, 0).forward_flops(&[10]), 400);
+    }
+}

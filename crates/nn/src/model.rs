@@ -1,0 +1,321 @@
+//! The [`Sequential`] model: an ordered stack of layers with the flattened
+//! parameter/gradient view the parameter-server protocol exchanges.
+
+use crate::layer::Layer;
+use crate::loss::{LossOutput, SoftmaxCrossEntropy};
+use crate::{NnError, Result};
+use agg_tensor::{Tensor, Vector};
+
+/// A feed-forward stack of layers trained with softmax cross-entropy.
+///
+/// The model is the unit shipped between the parameter server and the
+/// workers: [`Sequential::parameters`] flattens every layer's weights into a
+/// single [`Vector`] (the `x` of Equation 2), [`Sequential::set_parameters`]
+/// installs such a vector, and [`Sequential::gradient`] runs
+/// forward + backward over a mini-batch and returns the flattened gradient
+/// (the `G(x, ξ)` a worker submits).
+#[derive(Debug)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    loss: SoftmaxCrossEntropy,
+    input_shape: Vec<usize>,
+    name: String,
+}
+
+/// Summary of one forward/backward evaluation over a mini-batch.
+#[derive(Debug, Clone)]
+pub struct BatchEvaluation {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Fraction of correctly classified samples in the batch.
+    pub accuracy: f32,
+    /// Flattened gradient of the mean loss with respect to every parameter.
+    pub gradient: Vector,
+}
+
+impl Sequential {
+    /// Creates an empty model expecting inputs of `input_shape` (excluding
+    /// the batch axis).
+    pub fn new(name: impl Into<String>, input_shape: &[usize]) -> Self {
+        Sequential {
+            layers: Vec::new(),
+            loss: SoftmaxCrossEntropy::new(),
+            input_shape: input_shape.to_vec(),
+            name: name.into(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with_layer(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Model name (used by experiment configs and reports).
+    pub fn model_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The expected per-sample input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable parameters (the `d` of the paper).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Per-layer (name, parameter count) pairs, mirroring Table 1.
+    pub fn layer_summary(&self) -> Vec<(&'static str, usize)> {
+        self.layers.iter().map(|l| (l.name(), l.param_count())).collect()
+    }
+
+    /// Output shape (excluding batch) after every layer, validating the
+    /// layer chain against the configured input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer's shape error if the chain is inconsistent.
+    pub fn output_shape(&self) -> Result<Vec<usize>> {
+        let mut shape = self.input_shape.clone();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+
+    /// Approximate forward FLOPs for one sample, used by the cluster cost
+    /// model.
+    pub fn flops_per_sample(&self) -> u64 {
+        let mut shape = self.input_shape.clone();
+        let mut total = 0u64;
+        for layer in &self.layers {
+            total += layer.forward_flops(&shape);
+            if let Ok(next) = layer.output_shape(&shape) {
+                shape = next;
+            }
+        }
+        total
+    }
+
+    /// Flattens all parameters into a single vector.
+    pub fn parameters(&self) -> Vector {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.collect_params(&mut out);
+        }
+        Vector::from(out)
+    }
+
+    /// Installs a flattened parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParameterSizeMismatch`] when the vector length does
+    /// not equal [`Sequential::param_count`].
+    pub fn set_parameters(&mut self, params: &Vector) -> Result<()> {
+        if params.len() != self.param_count() {
+            return Err(NnError::ParameterSizeMismatch {
+                expected: self.param_count(),
+                actual: params.len(),
+            });
+        }
+        let mut data = params.as_slice();
+        for layer in &mut self.layers {
+            let consumed = layer.load_params(data);
+            data = &data[consumed..];
+        }
+        Ok(())
+    }
+
+    /// Flattens the currently accumulated gradients into a single vector.
+    pub fn gradients(&self) -> Vector {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.collect_grads(&mut out);
+        }
+        Vector::from(out)
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_gradients(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Forward pass only (inference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    /// Evaluates the loss on a batch without computing gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and loss errors.
+    pub fn evaluate_loss(&mut self, input: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+        let logits = self.forward(input, false)?;
+        self.loss.evaluate(&logits, labels)
+    }
+
+    /// Classification accuracy on a batch (inference mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and loss errors.
+    pub fn accuracy(&mut self, input: &Tensor, labels: &[usize]) -> Result<f32> {
+        let out = self.evaluate_loss(input, labels)?;
+        Ok(out.correct_predictions as f32 / labels.len().max(1) as f32)
+    }
+
+    /// Runs forward + backward on a mini-batch and returns loss, accuracy and
+    /// the flattened gradient of the **mean** loss.
+    ///
+    /// Gradients are zeroed before the backward pass, so consecutive calls
+    /// are independent (one call = one worker gradient estimate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and loss errors.
+    pub fn gradient(&mut self, input: &Tensor, labels: &[usize]) -> Result<BatchEvaluation> {
+        self.zero_gradients();
+        let logits = self.forward(input, true)?;
+        let loss_out = self.loss.evaluate(&logits, labels)?;
+        let mut grad = loss_out.grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(BatchEvaluation {
+            loss: loss_out.loss,
+            accuracy: loss_out.correct_predictions as f32 / labels.len().max(1) as f32,
+            gradient: self.gradients(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Dense, Relu};
+
+    fn tiny_model(seed: u64) -> Sequential {
+        Sequential::new("tiny", &[4])
+            .with_layer(Box::new(Dense::new(4, 8, Init::HeNormal, seed)))
+            .with_layer(Box::new(Relu::new()))
+            .with_layer(Box::new(Dense::new(8, 3, Init::HeNormal, seed + 1)))
+    }
+
+    fn batch() -> (Tensor, Vec<usize>) {
+        let x = Tensor::from_vec(
+            &[2, 4],
+            vec![0.5, -0.2, 0.1, 0.9, -0.5, 0.3, 0.8, -0.1],
+        )
+        .unwrap();
+        (x, vec![0, 2])
+    }
+
+    #[test]
+    fn param_count_and_shapes() {
+        let model = tiny_model(1);
+        assert_eq!(model.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(model.output_shape().unwrap(), vec![3]);
+        assert_eq!(model.layer_count(), 3);
+        assert!(model.flops_per_sample() > 0);
+    }
+
+    #[test]
+    fn parameters_round_trip() {
+        let model = tiny_model(2);
+        let params = model.parameters();
+        let mut other = tiny_model(3);
+        assert_ne!(other.parameters(), params);
+        other.set_parameters(&params).unwrap();
+        assert_eq!(other.parameters(), params);
+        assert!(other.set_parameters(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut model = tiny_model(4);
+        let (x, labels) = batch();
+        let analytic = model.gradient(&x, &labels).unwrap().gradient;
+        let params = model.parameters();
+        let eps = 1e-2f32;
+        // Spot-check a spread of coordinates (full check would be slow).
+        for &i in &[0usize, 7, 13, 20, 40, analytic.len() - 1] {
+            let mut plus = params.clone();
+            plus[i] += eps;
+            model.set_parameters(&plus).unwrap();
+            let lp = model.evaluate_loss(&x, &labels).unwrap().loss;
+            let mut minus = params.clone();
+            minus[i] -= eps;
+            model.set_parameters(&minus).unwrap();
+            let lm = model.evaluate_loss(&x, &labels).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[i]).abs() < 2e-2,
+                "param {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_calls_are_independent() {
+        let mut model = tiny_model(5);
+        let (x, labels) = batch();
+        let g1 = model.gradient(&x, &labels).unwrap().gradient;
+        let g2 = model.gradient(&x, &labels).unwrap().gradient;
+        assert_eq!(g1, g2, "gradients must not accumulate across calls");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut model = tiny_model(6);
+        let (x, labels) = batch();
+        let initial = model.evaluate_loss(&x, &labels).unwrap().loss;
+        // 50 steps of plain gradient descent on the same batch.
+        for _ in 0..50 {
+            let eval = model.gradient(&x, &labels).unwrap();
+            let mut params = model.parameters();
+            params.axpy(-0.5, &eval.gradient).unwrap();
+            model.set_parameters(&params).unwrap();
+        }
+        let final_loss = model.evaluate_loss(&x, &labels).unwrap().loss;
+        assert!(
+            final_loss < initial * 0.5,
+            "loss should drop substantially: {initial} -> {final_loss}"
+        );
+        assert_eq!(model.accuracy(&x, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_is_between_zero_and_one() {
+        let mut model = tiny_model(7);
+        let (x, labels) = batch();
+        let acc = model.accuracy(&x, &labels).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,284 @@
+//! Cluster description and policy-based device allocation.
+//!
+//! The paper highlights that AggregaThor "simplifies the experimentation on
+//! large and possibly heterogeneous server farms by providing automatic,
+//! policy-based device selection and cluster-wide allocation". This module is
+//! the simulated counterpart: a cluster is a list of nodes with devices and
+//! relative speeds, jobs (`ps`, `worker`, `eval`) are mapped onto nodes by a
+//! placement policy, and the resulting assignment feeds the cost model.
+
+use crate::{PsError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The kind of compute device a node offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// General-purpose CPU cores.
+    Cpu,
+    /// A CUDA-class accelerator.
+    Gpu,
+}
+
+/// The role a process plays in the TensorFlow-style cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Job {
+    /// The (trusted) parameter server.
+    ParameterServer,
+    /// A gradient-computing worker.
+    Worker,
+    /// The evaluation node that measures test accuracy out of band.
+    Evaluator,
+}
+
+/// One machine in the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Host name (informational).
+    pub name: String,
+    /// Device kind the node contributes.
+    pub device: DeviceKind,
+    /// Sustained throughput of the node in FLOP/s for the gradient
+    /// computation (the cost model divides model FLOPs by this).
+    pub flops_per_sec: f64,
+}
+
+impl Node {
+    /// A node modelled after the paper's Grid5000 machines (2× Xeon E5-2630,
+    /// treated as ~50 GFLOP/s sustained for this workload).
+    pub fn grid5000_cpu(index: usize) -> Self {
+        Node {
+            name: format!("g5k-node-{index}"),
+            device: DeviceKind::Cpu,
+            flops_per_sec: 5.0e10,
+        }
+    }
+
+    /// A GPU node (used by the heterogeneous-cluster tests).
+    pub fn gpu(index: usize) -> Self {
+        Node { name: format!("gpu-node-{index}"), device: DeviceKind::Gpu, flops_per_sec: 5.0e11 }
+    }
+}
+
+/// How jobs are assigned to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PlacementPolicy {
+    /// One job per node, round-robin, parameter server first (the paper's
+    /// deployment: 1 PS + 19 workers on 20 nodes).
+    #[default]
+    OneJobPerNode,
+    /// Pack everything onto the first node (the "local deployment" of the
+    /// artifact appendix, used for quick checks).
+    Collocated,
+    /// Prefer GPU nodes for workers, CPU nodes for the parameter server.
+    GpuWorkers,
+}
+
+/// A cluster: nodes plus the placement of the parameter server, the workers
+/// and the evaluator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    nodes: Vec<Node>,
+    /// `assignments[i] = (job, node index)` for every process, in creation
+    /// order: PS, workers 0..n, evaluator.
+    assignments: Vec<(Job, usize)>,
+    workers: usize,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster of `node_count` identical Grid5000-like CPU nodes and
+    /// places 1 parameter server, `workers` workers and 1 evaluator according
+    /// to the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when there are zero nodes or zero
+    /// workers, or when `OneJobPerNode` does not have enough nodes.
+    pub fn homogeneous(node_count: usize, workers: usize, policy: PlacementPolicy) -> Result<Self> {
+        let nodes: Vec<Node> = (0..node_count).map(Node::grid5000_cpu).collect();
+        ClusterSpec::with_nodes(nodes, workers, policy)
+    }
+
+    /// The paper's evaluation platform: 20 nodes, 19 workers, 1 PS (the
+    /// evaluator shares the PS node, as the original in-graph deployment
+    /// does).
+    pub fn paper_default() -> Self {
+        ClusterSpec::homogeneous(20, 19, PlacementPolicy::OneJobPerNode)
+            .expect("the paper configuration is valid")
+    }
+
+    /// Builds a cluster from explicit nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] for empty node lists, zero workers,
+    /// or a `OneJobPerNode` placement without enough nodes.
+    pub fn with_nodes(nodes: Vec<Node>, workers: usize, policy: PlacementPolicy) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(PsError::InvalidConfig("cluster needs at least one node".into()));
+        }
+        if workers == 0 {
+            return Err(PsError::InvalidConfig("cluster needs at least one worker".into()));
+        }
+        let mut assignments = Vec::with_capacity(workers + 2);
+        match policy {
+            PlacementPolicy::Collocated => {
+                assignments.push((Job::ParameterServer, 0));
+                for _ in 0..workers {
+                    assignments.push((Job::Worker, 0));
+                }
+                assignments.push((Job::Evaluator, 0));
+            }
+            PlacementPolicy::OneJobPerNode => {
+                if nodes.len() < workers + 1 {
+                    return Err(PsError::InvalidConfig(format!(
+                        "one-job-per-node placement needs {} nodes, cluster has {}",
+                        workers + 1,
+                        nodes.len()
+                    )));
+                }
+                assignments.push((Job::ParameterServer, 0));
+                for w in 0..workers {
+                    assignments.push((Job::Worker, 1 + w));
+                }
+                // The evaluator shares the PS node (out-of-band evaluation).
+                assignments.push((Job::Evaluator, 0));
+            }
+            PlacementPolicy::GpuWorkers => {
+                let gpu_nodes: Vec<usize> = nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.device == DeviceKind::Gpu)
+                    .map(|(i, _)| i)
+                    .collect();
+                let cpu_nodes: Vec<usize> = nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.device == DeviceKind::Cpu)
+                    .map(|(i, _)| i)
+                    .collect();
+                let ps_node = *cpu_nodes.first().unwrap_or(&0);
+                assignments.push((Job::ParameterServer, ps_node));
+                let preferred: Vec<usize> = if gpu_nodes.is_empty() {
+                    (0..nodes.len()).collect()
+                } else {
+                    gpu_nodes
+                };
+                for w in 0..workers {
+                    assignments.push((Job::Worker, preferred[w % preferred.len()]));
+                }
+                assignments.push((Job::Evaluator, ps_node));
+            }
+        }
+        Ok(ClusterSpec { nodes, assignments, workers })
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node running the parameter server.
+    pub fn parameter_server_node(&self) -> &Node {
+        let idx = self
+            .assignments
+            .iter()
+            .find(|(job, _)| *job == Job::ParameterServer)
+            .map(|&(_, i)| i)
+            .unwrap_or(0);
+        &self.nodes[idx]
+    }
+
+    /// The node running worker `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when `w` is out of range.
+    pub fn worker_node(&self, w: usize) -> Result<&Node> {
+        self.assignments
+            .iter()
+            .filter(|(job, _)| *job == Job::Worker)
+            .nth(w)
+            .map(|&(_, i)| &self.nodes[i])
+            .ok_or_else(|| PsError::InvalidConfig(format!("worker {w} is not placed")))
+    }
+
+    /// Full placement listing (job, node name) for reporting.
+    pub fn placement(&self) -> Vec<(Job, &str)> {
+        self.assignments
+            .iter()
+            .map(|&(job, i)| (job, self.nodes[i].name.as_str()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_the_evaluation_setup() {
+        let cluster = ClusterSpec::paper_default();
+        assert_eq!(cluster.worker_count(), 19);
+        assert_eq!(cluster.nodes().len(), 20);
+        // Every worker gets its own node, distinct from the PS node.
+        let ps_name = cluster.parameter_server_node().name.clone();
+        for w in 0..19 {
+            assert_ne!(cluster.worker_node(w).unwrap().name, ps_name);
+        }
+    }
+
+    #[test]
+    fn one_job_per_node_requires_enough_nodes() {
+        assert!(ClusterSpec::homogeneous(5, 10, PlacementPolicy::OneJobPerNode).is_err());
+        assert!(ClusterSpec::homogeneous(11, 10, PlacementPolicy::OneJobPerNode).is_ok());
+    }
+
+    #[test]
+    fn collocated_placement_packs_one_node() {
+        let cluster = ClusterSpec::homogeneous(1, 4, PlacementPolicy::Collocated).unwrap();
+        assert_eq!(cluster.worker_count(), 4);
+        for w in 0..4 {
+            assert_eq!(cluster.worker_node(w).unwrap().name, "g5k-node-0");
+        }
+    }
+
+    #[test]
+    fn gpu_policy_prefers_gpu_nodes_for_workers() {
+        let nodes = vec![Node::grid5000_cpu(0), Node::gpu(1), Node::gpu(2)];
+        let cluster = ClusterSpec::with_nodes(nodes, 4, PlacementPolicy::GpuWorkers).unwrap();
+        assert_eq!(cluster.parameter_server_node().device, DeviceKind::Cpu);
+        for w in 0..4 {
+            assert_eq!(cluster.worker_node(w).unwrap().device, DeviceKind::Gpu);
+        }
+    }
+
+    #[test]
+    fn gpu_policy_falls_back_to_cpu_only_clusters() {
+        let nodes = vec![Node::grid5000_cpu(0), Node::grid5000_cpu(1)];
+        let cluster = ClusterSpec::with_nodes(nodes, 3, PlacementPolicy::GpuWorkers).unwrap();
+        assert_eq!(cluster.worker_count(), 3);
+        assert!(cluster.worker_node(0).is_ok());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(ClusterSpec::with_nodes(vec![], 1, PlacementPolicy::Collocated).is_err());
+        assert!(ClusterSpec::homogeneous(2, 0, PlacementPolicy::Collocated).is_err());
+        let cluster = ClusterSpec::homogeneous(2, 1, PlacementPolicy::Collocated).unwrap();
+        assert!(cluster.worker_node(5).is_err());
+    }
+
+    #[test]
+    fn placement_listing_contains_every_job() {
+        let cluster = ClusterSpec::homogeneous(3, 2, PlacementPolicy::OneJobPerNode).unwrap();
+        let placement = cluster.placement();
+        assert_eq!(placement.len(), 4); // PS + 2 workers + evaluator
+        assert!(placement.iter().any(|(j, _)| *j == Job::ParameterServer));
+        assert!(placement.iter().any(|(j, _)| *j == Job::Evaluator));
+    }
+}

@@ -1,0 +1,319 @@
+//! The run configuration: the reproduction's counterpart of the original
+//! `runner.py` command line.
+//!
+//! | `runner.py` flag | Field here |
+//! |---|---|
+//! | `--experiment` | [`ExperimentKind`] |
+//! | `--aggregator` / `--aggregator-args` | [`RunnerConfig::gar`] |
+//! | `--optimizer` / `--optimizer-args` | [`RunnerConfig::optimizer`] |
+//! | `--learning-rate` / args | [`RunnerConfig::learning_rate`] |
+//! | `--nb-workers` | [`RunnerConfig::workers`] |
+//! | `--max-step` | [`RunnerConfig::max_steps`] |
+//! | `--evaluation-delta` | [`RunnerConfig::eval_every`] |
+//! | `--l1-regularize` / `--l2-regularize` | [`RunnerConfig::regularization`] |
+//! | (attack experiments) | [`RunnerConfig::attack`], [`RunnerConfig::byzantine_count`], [`RunnerConfig::data_poisoning`] |
+//! | (communication backend) | [`RunnerConfig::transport`], [`RunnerConfig::lossy_links`], [`RunnerConfig::link`] |
+
+use crate::cost::CostModel;
+use crate::{PsError, Result};
+use agg_attacks::AttackKind;
+use agg_core::GarConfig;
+use agg_data::corruption::Corruption;
+use agg_data::synthetic::{gaussian_blobs, synthetic_images, BlobConfig, ImageConfig};
+use agg_data::Dataset;
+use agg_net::{LinkConfig, LossPolicy};
+use agg_nn::models;
+use agg_nn::optim::{OptimizerKind, Regularization};
+use agg_nn::schedule::LearningRate;
+use agg_nn::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// Which model + dataset combination to train (the `--experiment` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentKind {
+    /// A multi-layer perceptron over Gaussian-blob features — the fast proxy
+    /// used by the convergence experiments.
+    MlpBlobs {
+        /// Feature dimension.
+        input_dim: usize,
+        /// Hidden width (single hidden layer).
+        hidden: usize,
+        /// Number of classes.
+        classes: usize,
+        /// Total number of samples generated.
+        samples: usize,
+    },
+    /// A small CNN over `1 × 8 × 8` synthetic images — exercises the
+    /// convolutional pipeline end to end.
+    TinyImages {
+        /// Number of classes.
+        classes: usize,
+        /// Total number of samples generated.
+        samples: usize,
+    },
+    /// The paper's Table 1 CNN over CIFAR-10-shaped synthetic images.
+    /// Expensive; used by parameter-count checks and micro-benchmarks, not by
+    /// the convergence sweeps.
+    PaperCnn {
+        /// Total number of samples generated.
+        samples: usize,
+    },
+}
+
+impl ExperimentKind {
+    /// The default proxy experiment used throughout the figure reproductions.
+    pub fn default_proxy() -> Self {
+        ExperimentKind::MlpBlobs { input_dim: 32, hidden: 64, classes: 10, samples: 4000 }
+    }
+
+    /// Builds only the model for this experiment (used to give every worker
+    /// its own model replica without regenerating the dataset).
+    pub fn build_model(&self, seed: u64) -> Sequential {
+        match *self {
+            ExperimentKind::MlpBlobs { input_dim, hidden, classes, .. } => {
+                models::synthetic_mlp(input_dim, &[hidden], classes, seed)
+            }
+            ExperimentKind::TinyImages { classes, .. } => models::small_cnn(1, classes, seed),
+            ExperimentKind::PaperCnn { .. } => models::paper_cnn(seed),
+        }
+    }
+
+    /// Builds the model and the train/test datasets for this experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError`] when the synthetic dataset cannot be generated.
+    pub fn build(&self, seed: u64) -> Result<(Sequential, Dataset, Dataset)> {
+        match *self {
+            ExperimentKind::MlpBlobs { input_dim, hidden, classes, samples } => {
+                let model = models::synthetic_mlp(input_dim, &[hidden], classes, seed);
+                let data = gaussian_blobs(
+                    &BlobConfig {
+                        classes,
+                        dim: input_dim,
+                        samples,
+                        separation: 2.5,
+                        noise: 0.6,
+                    },
+                    seed,
+                )?;
+                let (train, test) = data.split(0.2)?;
+                Ok((model, train, test))
+            }
+            ExperimentKind::TinyImages { classes, samples } => {
+                let model = models::small_cnn(1, classes, seed);
+                let data = synthetic_images(&ImageConfig::tiny(samples, classes), seed)?;
+                let (train, test) = data.split(0.2)?;
+                Ok((model, train, test))
+            }
+            ExperimentKind::PaperCnn { samples } => {
+                let model = models::paper_cnn(seed);
+                let data = synthetic_images(&ImageConfig::cifar_like(samples), seed)?;
+                let (train, test) = data.split(0.2)?;
+                Ok((model, train, test))
+            }
+        }
+    }
+}
+
+/// Which transport carries gradients from workers to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Reliable TCP/gRPC-like transport on every link (including the degraded
+    /// ones, which then pay the congestion-collapse penalty).
+    Reliable,
+    /// The lossy UDP-like transport (`lossyMPI`) with the given loss policy
+    /// on the degraded links designated by [`RunnerConfig::lossy_links`]; the
+    /// remaining links stay reliable, matching the paper's deployment where
+    /// unreliable communication is used "only at (up to) f links".
+    Lossy {
+        /// How lost coordinates are handled at the receiving endpoint.
+        policy: LossPolicy,
+    },
+}
+
+/// Full configuration of one distributed training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// Model + dataset.
+    pub experiment: ExperimentKind,
+    /// Gradient aggregation rule.
+    pub gar: GarConfig,
+    /// Total number of workers `n`.
+    pub workers: usize,
+    /// Number of actually Byzantine workers in this run (≤ `workers`). Their
+    /// behaviour is [`RunnerConfig::attack`] or, if set,
+    /// [`RunnerConfig::data_poisoning`].
+    pub byzantine_count: usize,
+    /// The behaviour of the Byzantine workers.
+    pub attack: AttackKind,
+    /// When set, Byzantine workers honestly train on a corrupted copy of the
+    /// dataset instead of running `attack` (the Figure 7 experiment).
+    pub data_poisoning: Option<Corruption>,
+    /// Optimizer applied by the parameter server.
+    pub optimizer: OptimizerKind,
+    /// Learning-rate schedule.
+    pub learning_rate: LearningRate,
+    /// Optional L1/L2 regularisation.
+    pub regularization: Regularization,
+    /// Mini-batch size `b` per worker.
+    pub batch_size: usize,
+    /// Number of synchronous model updates to run.
+    pub max_steps: u64,
+    /// Evaluate test accuracy every this many steps.
+    pub eval_every: u64,
+    /// Number of test samples used per evaluation.
+    pub eval_samples: usize,
+    /// Gradient transport used on the degraded links.
+    pub transport: TransportKind,
+    /// How many worker↔server links (taken from the highest worker ids) are
+    /// subject to the [`RunnerConfig::link`] packet-drop rate. The remaining
+    /// links see a clean network. This models the paper's Figure 8 setup,
+    /// where artificial drops are injected on the links under study.
+    pub lossy_links: usize,
+    /// Link characteristics (bandwidth, latency, loss) of the degraded links;
+    /// clean links share the bandwidth/latency but drop nothing.
+    pub link: LinkConfig,
+    /// Simulation cost model.
+    pub cost: CostModel,
+    /// Experiment seed; everything (data, init, sampling, attacks, links)
+    /// derives from it.
+    pub seed: u64,
+}
+
+impl RunnerConfig {
+    /// A small, fast configuration with sensible defaults: 11 workers, no
+    /// Byzantine behaviour, averaging GAR, RMSProp with the paper's fixed
+    /// learning rate.
+    pub fn quick_default() -> Self {
+        RunnerConfig {
+            experiment: ExperimentKind::default_proxy(),
+            gar: GarConfig::new(agg_core::GarKind::Average, 0),
+            workers: 11,
+            byzantine_count: 0,
+            attack: AttackKind::None,
+            data_poisoning: None,
+            optimizer: OptimizerKind::RmsProp,
+            learning_rate: LearningRate::paper_default(),
+            regularization: Regularization::none(),
+            batch_size: 25,
+            max_steps: 100,
+            eval_every: 10,
+            eval_samples: 256,
+            transport: TransportKind::Reliable,
+            lossy_links: 0,
+            link: LinkConfig::datacenter(),
+            cost: CostModel::paper_like(),
+            seed: 1,
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(PsError::InvalidConfig("at least one worker is required".into()));
+        }
+        if self.byzantine_count > self.workers {
+            return Err(PsError::InvalidConfig(format!(
+                "byzantine_count {} exceeds worker count {}",
+                self.byzantine_count, self.workers
+            )));
+        }
+        if self.batch_size == 0 {
+            return Err(PsError::InvalidConfig("batch size must be positive".into()));
+        }
+        if self.max_steps == 0 {
+            return Err(PsError::InvalidConfig("max_steps must be positive".into()));
+        }
+        if self.eval_every == 0 {
+            return Err(PsError::InvalidConfig("eval_every must be positive".into()));
+        }
+        if self.lossy_links > self.workers {
+            return Err(PsError::InvalidConfig(format!(
+                "lossy_links {} exceeds worker count {}",
+                self.lossy_links, self.workers
+            )));
+        }
+        self.link.validate().map_err(PsError::from)?;
+        // Build the GAR once to surface configuration errors early.
+        self.gar.build().map_err(PsError::from)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_default_is_valid() {
+        assert!(RunnerConfig::quick_default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut c = RunnerConfig::quick_default();
+        c.workers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RunnerConfig::quick_default();
+        c.byzantine_count = 20;
+        assert!(c.validate().is_err());
+
+        let mut c = RunnerConfig::quick_default();
+        c.batch_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RunnerConfig::quick_default();
+        c.max_steps = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RunnerConfig::quick_default();
+        c.eval_every = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RunnerConfig::quick_default();
+        c.lossy_links = 100;
+        assert!(c.validate().is_err());
+
+        let mut c = RunnerConfig::quick_default();
+        c.link = LinkConfig::datacenter().with_drop_rate(2.0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn experiments_build_model_and_data() {
+        let (model, train, test) =
+            ExperimentKind::default_proxy().build(3).unwrap();
+        assert!(model.param_count() > 0);
+        assert!(train.len() > test.len());
+        assert_eq!(train.classes(), 10);
+
+        let (model, train, _) =
+            ExperimentKind::TinyImages { classes: 4, samples: 100 }.build(3).unwrap();
+        assert_eq!(model.input_shape(), &[1, 8, 8]);
+        assert_eq!(train.sample_shape(), &[1, 8, 8]);
+    }
+
+    #[test]
+    fn experiment_build_is_deterministic() {
+        let a = ExperimentKind::default_proxy().build(7).unwrap();
+        let b = ExperimentKind::default_proxy().build(7).unwrap();
+        assert_eq!(a.0.parameters(), b.0.parameters());
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn config_serialises_to_json() {
+        let c = RunnerConfig::quick_default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunnerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workers, c.workers);
+        assert_eq!(back.gar, c.gar);
+    }
+}

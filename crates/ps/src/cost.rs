@@ -1,0 +1,194 @@
+//! The simulation time model.
+//!
+//! The reproduction runs gradient numerics for real but does not own a 20-node
+//! Grid5000 cluster, so wall-clock time is *simulated*:
+//!
+//! * **Gradient computation** — `flops(model) · batch / node_flops_per_sec`
+//!   plus a fixed per-batch overhead (framework/launch cost).
+//! * **Communication** — handled by `agg-net`'s transports (bytes over a
+//!   bandwidth/latency link, with the TCP congestion model under loss).
+//! * **Aggregation** — the GAR kernel is executed and *measured* for real,
+//!   then linearly rescaled when the experiment asks to model a larger
+//!   gradient dimension than the proxy model actually has (all implemented
+//!   GARs are `O(n²·d)`, i.e. linear in `d` for a fixed worker count).
+//!
+//! The optional [`VirtualModelCost`] is the knob for that rescaling: the
+//! Figure 3–8 experiments train a small proxy model for accuracy while
+//! charging time as if the model were the paper's 1.75 M-parameter CNN (or
+//! the ResNet50 stand-in), which preserves the compute/communication/
+//! aggregation ratios the figures depend on. DESIGN.md §6 documents this
+//! substitution.
+
+use serde::{Deserialize, Serialize};
+
+/// Pretend-costs of a model larger than the proxy actually trained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VirtualModelCost {
+    /// Gradient dimension to charge for (e.g. 1.75 M for the paper CNN).
+    pub dimension: usize,
+    /// Forward FLOPs per sample to charge for.
+    pub flops_per_sample: u64,
+}
+
+impl VirtualModelCost {
+    /// The paper's Table 1 CNN (≈1.75 M parameters, ≈65 MFLOP forward per
+    /// sample).
+    pub fn paper_cnn() -> Self {
+        VirtualModelCost { dimension: 1_756_426, flops_per_sample: 65_000_000 }
+    }
+
+    /// The ResNet50-class large model of Figure 5(b) (≈25 M parameters,
+    /// ≈4 GFLOP forward per sample).
+    pub fn resnet50() -> Self {
+        VirtualModelCost { dimension: 25_000_000, flops_per_sample: 4_000_000_000 }
+    }
+}
+
+/// The time model used by the training engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed overhead charged per gradient computation (framework dispatch,
+    /// data loading), in seconds.
+    pub gradient_overhead_sec: f64,
+    /// Multiplier applied to forward FLOPs to account for the backward pass
+    /// (≈2× forward) and optimizer bookkeeping.
+    pub backward_multiplier: f64,
+    /// Fixed time charged per server model update (optimizer step), per
+    /// million parameters.
+    pub update_sec_per_million_params: f64,
+    /// Optional virtual model whose dimension/FLOPs are charged instead of
+    /// the proxy model's.
+    pub virtual_model: Option<VirtualModelCost>,
+}
+
+impl CostModel {
+    /// Costs calibrated to the paper's platform (see module docs): with the
+    /// Table 1 CNN and a mini-batch of 100 a worker takes ≈0.4 s per
+    /// gradient, matching the ≈48 batches/s the paper reports for 18
+    /// workers.
+    pub fn paper_like() -> Self {
+        CostModel {
+            gradient_overhead_sec: 5e-3,
+            backward_multiplier: 3.0,
+            update_sec_per_million_params: 2e-3,
+            virtual_model: None,
+        }
+    }
+
+    /// Same cost constants but charging for a virtual (larger) model.
+    pub fn with_virtual_model(mut self, virtual_model: VirtualModelCost) -> Self {
+        self.virtual_model = Some(virtual_model);
+        self
+    }
+
+    /// Effective gradient dimension to charge communication/aggregation for.
+    pub fn effective_dimension(&self, actual_dimension: usize) -> usize {
+        self.virtual_model.map(|v| v.dimension).unwrap_or(actual_dimension)
+    }
+
+    /// Effective forward FLOPs per sample to charge computation for.
+    pub fn effective_flops(&self, actual_flops: u64) -> u64 {
+        self.virtual_model.map(|v| v.flops_per_sample).unwrap_or(actual_flops)
+    }
+
+    /// Time for one worker to compute one mini-batch gradient.
+    pub fn gradient_time(
+        &self,
+        model_forward_flops: u64,
+        batch_size: usize,
+        node_flops_per_sec: f64,
+    ) -> f64 {
+        let flops = self.effective_flops(model_forward_flops) as f64
+            * batch_size as f64
+            * self.backward_multiplier;
+        self.gradient_overhead_sec + flops / node_flops_per_sec.max(1.0)
+    }
+
+    /// Time charged for the server's optimizer step.
+    pub fn update_time(&self, actual_dimension: usize) -> f64 {
+        let d = self.effective_dimension(actual_dimension) as f64;
+        self.update_sec_per_million_params * d / 1e6
+    }
+
+    /// Rescales a measured aggregation wall-clock time from the proxy
+    /// dimension to the effective dimension (linear in `d`).
+    pub fn scale_aggregation_time(&self, measured_sec: f64, actual_dimension: usize) -> f64 {
+        if actual_dimension == 0 {
+            return measured_sec;
+        }
+        let factor =
+            self.effective_dimension(actual_dimension) as f64 / actual_dimension as f64;
+        measured_sec * factor
+    }
+
+    /// Number of bytes exchanged for one gradient or one model copy.
+    pub fn payload_bytes(&self, actual_dimension: usize) -> usize {
+        self.effective_dimension(actual_dimension) * std::mem::size_of::<f32>()
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cnn_gradient_time_is_sub_second() {
+        // Table 1 CNN, b = 100, Grid5000-class node (~50 GFLOP/s).
+        let cost = CostModel::paper_like().with_virtual_model(VirtualModelCost::paper_cnn());
+        let t = cost.gradient_time(1, 100, 5.0e10);
+        assert!(t > 0.1 && t < 1.5, "gradient time {t} out of the plausible range");
+    }
+
+    #[test]
+    fn virtual_model_overrides_actual_costs() {
+        let cost = CostModel::paper_like().with_virtual_model(VirtualModelCost::paper_cnn());
+        assert_eq!(cost.effective_dimension(1000), 1_756_426);
+        assert_eq!(cost.effective_flops(5), 65_000_000);
+        let plain = CostModel::paper_like();
+        assert_eq!(plain.effective_dimension(1000), 1000);
+        assert_eq!(plain.effective_flops(5), 5);
+    }
+
+    #[test]
+    fn gradient_time_scales_with_batch_and_node_speed() {
+        let cost = CostModel::paper_like();
+        let slow = cost.gradient_time(1_000_000, 10, 1e9);
+        let fast = cost.gradient_time(1_000_000, 10, 1e10);
+        assert!(slow > fast);
+        let small_batch = cost.gradient_time(1_000_000, 10, 1e9);
+        let big_batch = cost.gradient_time(1_000_000, 100, 1e9);
+        assert!(big_batch > small_batch);
+    }
+
+    #[test]
+    fn aggregation_scaling_is_linear_in_dimension() {
+        let cost = CostModel::paper_like().with_virtual_model(VirtualModelCost::paper_cnn());
+        let measured = 1e-3;
+        let scaled = cost.scale_aggregation_time(measured, 1756);
+        assert!((scaled / measured - 1000.0).abs() / 1000.0 < 0.01);
+        // Without a virtual model the measurement passes through.
+        assert_eq!(CostModel::paper_like().scale_aggregation_time(1e-3, 1756), 1e-3);
+        // Degenerate dimension does not divide by zero.
+        assert_eq!(cost.scale_aggregation_time(1e-3, 0), 1e-3);
+    }
+
+    #[test]
+    fn payload_bytes_are_four_per_parameter() {
+        let cost = CostModel::paper_like();
+        assert_eq!(cost.payload_bytes(1000), 4000);
+        let virt = cost.with_virtual_model(VirtualModelCost::resnet50());
+        assert_eq!(virt.payload_bytes(1000), 100_000_000);
+    }
+
+    #[test]
+    fn update_time_grows_with_dimension() {
+        let cost = CostModel::paper_like();
+        assert!(cost.update_time(10_000_000) > cost.update_time(1_000_000));
+    }
+}

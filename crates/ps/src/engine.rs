@@ -1,0 +1,608 @@
+//! The synchronous training engine (Equation 4 of the paper) and the
+//! throughput simulator behind the scalability experiments.
+
+use crate::cluster::{ClusterSpec, PlacementPolicy};
+use crate::config::{RunnerConfig, TransportKind};
+use crate::cost::CostModel;
+use crate::report::TrainingReport;
+use crate::server::ParameterServer;
+use crate::worker::{Worker, WorkerRole};
+use crate::{PsError, Result};
+use agg_attacks::{Attack, AttackContext};
+use agg_core::GarConfig;
+use agg_data::corruption::corrupt;
+use agg_data::{Dataset, MiniBatchSampler};
+use agg_metrics::{LatencyBreakdown, ThroughputMeter, TracePoint, TrainingTrace};
+use agg_net::{GradientCodec, LinkConfig, LossyTransport, ReliableTransport, Transport};
+use agg_nn::Sequential;
+use agg_tensor::rng::{derive_seed, gaussian_vector, seeded_rng};
+use agg_tensor::Vector;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The synchronous parameter-server training loop.
+///
+/// One round:
+/// 1. the server broadcasts the model to every worker;
+/// 2. every honest (and data-poisoned) worker computes a mini-batch gradient;
+/// 3. the adversary crafts the Byzantine submissions, knowing every honest
+///    gradient (omniscient attacker, §3.1);
+/// 4. gradients travel over each worker's transport (possibly lossy);
+/// 5. the server aggregates with the configured GAR and applies the
+///    optimizer step.
+///
+/// Simulated time advances by the broadcast time plus the slowest worker's
+/// compute+transfer time (synchronous training: the server waits for all)
+/// plus the measured-and-rescaled aggregation time.
+#[derive(Debug)]
+pub struct SyncTrainingEngine {
+    config: RunnerConfig,
+    cluster: ClusterSpec,
+    server: ParameterServer,
+    workers: Vec<Worker>,
+    attack: Box<dyn Attack>,
+    eval_model: Sequential,
+    test_set: Dataset,
+    actual_dimension: usize,
+    model_flops: u64,
+    /// Per-round aggregation time calibrated by running the GAR for real at
+    /// (close to) the virtual model's dimension; `None` when no virtual model
+    /// is configured, in which case the per-round measurement is used
+    /// directly.
+    calibrated_aggregation_sec: Option<f64>,
+    clock_sec: f64,
+}
+
+impl SyncTrainingEngine {
+    /// Builds the engine from a runner configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when the configuration is
+    /// inconsistent, and propagates model/data construction failures.
+    pub fn new(config: RunnerConfig) -> Result<Self> {
+        config.validate()?;
+        let (model, train, test) = config.experiment.build(config.seed)?;
+        let actual_dimension = model.param_count();
+        let model_flops = model.flops_per_sample();
+
+        let cluster =
+            ClusterSpec::homogeneous(config.workers + 1, config.workers, PlacementPolicy::OneJobPerNode)?;
+
+        let server = ParameterServer::new(
+            model.parameters(),
+            config.gar,
+            config.optimizer,
+            config.learning_rate,
+            config.regularization,
+        )?;
+
+        let clean = Arc::new(train);
+        let poisoned: Option<Arc<Dataset>> = match &config.data_poisoning {
+            Some(c) => Some(Arc::new(
+                corrupt(&clean, *c, derive_seed(config.seed, 777)).map_err(PsError::from)?,
+            )),
+            None => None,
+        };
+
+        let honest_count = config.workers - config.byzantine_count;
+        let mut workers = Vec::with_capacity(config.workers);
+        for id in 0..config.workers {
+            let role = if id < honest_count {
+                WorkerRole::Honest
+            } else if poisoned.is_some() {
+                WorkerRole::DataPoisoned
+            } else {
+                WorkerRole::Attacker
+            };
+            let dataset = match role {
+                WorkerRole::DataPoisoned => {
+                    Arc::clone(poisoned.as_ref().expect("checked above"))
+                }
+                _ => Arc::clone(&clean),
+            };
+            let sampler = MiniBatchSampler::new(config.batch_size, config.seed, id as u64)
+                .map_err(PsError::from)?;
+            let transport = Self::build_transport(&config, id)?;
+            let node = cluster.worker_node(id)?;
+            let worker_model = config.experiment.build_model(derive_seed(config.seed, id as u64));
+            workers.push(Worker::new(
+                id,
+                role,
+                worker_model,
+                dataset,
+                sampler,
+                transport,
+                node.flops_per_sec,
+            ));
+        }
+
+        let attack = config.attack.build();
+        let calibrated_aggregation_sec =
+            Self::calibrate_aggregation(&config, config.workers)?;
+        Ok(SyncTrainingEngine {
+            config,
+            cluster,
+            server,
+            workers,
+            attack,
+            eval_model: model,
+            test_set: test,
+            actual_dimension,
+            model_flops,
+            calibrated_aggregation_sec,
+            clock_sec: 0.0,
+        })
+    }
+
+    /// Measures the configured GAR for real at (close to) the virtual model's
+    /// dimension and rescales linearly, so the simulated aggregation time is
+    /// faithful to the large model the experiment pretends to train (see
+    /// DESIGN.md §6). Without a virtual model no calibration is needed.
+    fn calibrate_aggregation(config: &RunnerConfig, workers: usize) -> Result<Option<f64>> {
+        let Some(virtual_model) = config.cost.virtual_model else {
+            return Ok(None);
+        };
+        let calibration_dim = virtual_model.dimension.min(200_000);
+        let gar = config.gar.build().map_err(PsError::from)?;
+        let mut rng = seeded_rng(derive_seed(config.seed, 0xCA11));
+        let gradients: Vec<Vector> = (0..workers)
+            .map(|_| gaussian_vector(&mut rng, calibration_dim, 0.0, 1.0))
+            .collect();
+        // Best of two runs: the first may pay one-time warm-up costs.
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let start = Instant::now();
+            if gar.aggregate(&gradients).is_err() {
+                // Preconditions not met (e.g. too few workers for f): the
+                // run will skip every round anyway, so no calibration.
+                return Ok(None);
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        Ok(Some(best * virtual_model.dimension as f64 / calibration_dim as f64))
+    }
+
+    fn build_transport(config: &RunnerConfig, worker_id: usize) -> Result<Box<dyn Transport>> {
+        // The last `lossy_links` worker↔server links are the ones subject to
+        // the configured packet-loss rate (the paper injects its artificial
+        // drops with `tc` on the links it studies); the remaining links see a
+        // clean network. Whether the degraded links run the lossy UDP-like
+        // transport or a reliable TCP-like one is decided by
+        // `config.transport`, which is exactly the comparison of Figure 8(b).
+        let degraded = worker_id >= config.workers.saturating_sub(config.lossy_links);
+        let link = if degraded {
+            config.link
+        } else {
+            LinkConfig { drop_rate: 0.0, ..config.link }
+        };
+        let codec = GradientCodec::default_mtu();
+        match config.transport {
+            TransportKind::Lossy { policy } if degraded => Ok(Box::new(
+                LossyTransport::new(link, codec, policy, config.seed, worker_id as u64)
+                    .map_err(PsError::from)?,
+            )),
+            _ => Ok(Box::new(
+                ReliableTransport::new(link, codec).map_err(PsError::from)?,
+            )),
+        }
+    }
+
+    /// The cluster this engine simulates.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The gradient dimension of the (proxy) model actually trained.
+    pub fn model_dimension(&self) -> usize {
+        self.actual_dimension
+    }
+
+    /// Forward FLOPs per sample of the (proxy) model actually trained.
+    pub fn model_flops(&self) -> u64 {
+        self.model_flops
+    }
+
+    /// Per-worker role assignment (for reports and tests).
+    pub fn worker_roles(&self) -> Vec<WorkerRole> {
+        self.workers.iter().map(Worker::role).collect()
+    }
+
+    /// Runs the configured number of steps and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError`] for unrecoverable failures (model errors,
+    /// structural transport failures). GAR rejections and dropped gradients
+    /// are recorded in the report, not raised.
+    pub fn run(&mut self) -> Result<TrainingReport> {
+        let label = format!(
+            "{} f={} b={} n={}{}",
+            self.server.gar_name(),
+            self.config.gar.f,
+            self.config.batch_size,
+            self.config.workers,
+            match self.config.transport {
+                TransportKind::Reliable => String::new(),
+                TransportKind::Lossy { .. } =>
+                    format!(" lossy({} links)", self.config.lossy_links),
+            }
+        );
+        let mut trace = TrainingTrace::new(label.clone());
+        let mut throughput = ThroughputMeter::new();
+        let mut latency = LatencyBreakdown::new();
+        let mut skipped = 0u64;
+
+        self.evaluate(&mut trace, 0)?;
+
+        let cost = self.config.cost;
+        let dim_scale = cost.effective_dimension(self.actual_dimension) as f64
+            / self.actual_dimension.max(1) as f64;
+
+        for step in 0..self.config.max_steps {
+            let params = self.server.parameters().clone();
+            let model_bytes = cost.payload_bytes(self.actual_dimension);
+            let broadcast_time = self.config.link.transfer_time(model_bytes);
+
+            // Phase 1: honest (and data-poisoned) workers compute and send.
+            let mut honest_gradients: Vec<Vector> = Vec::new();
+            let mut submissions: Vec<Vector> = Vec::new();
+            let mut dropped_gradients = 0u64;
+            let mut max_worker_time: f64 = 0.0;
+            let mut attacker_ids: Vec<usize> = Vec::new();
+            for worker in &mut self.workers {
+                if worker.role() == WorkerRole::Attacker {
+                    attacker_ids.push(worker.id());
+                    continue;
+                }
+                let node_flops = worker.node_flops_per_sec();
+                let computation = worker.compute_gradient(&params, |model, batch| {
+                    cost.gradient_time(model.flops_per_sample(), batch, node_flops)
+                })?;
+                let transfer = worker.send_gradient(step, &computation.gradient)?;
+                let worker_time = computation.compute_time_sec + transfer.time_sec * dim_scale;
+                max_worker_time = max_worker_time.max(worker_time);
+                if worker.role() == WorkerRole::Honest {
+                    honest_gradients.push(computation.gradient);
+                }
+                match transfer.gradient {
+                    Some(g) => submissions.push(g),
+                    None => dropped_gradients += 1,
+                }
+            }
+
+            // Phase 2: the adversary crafts the Byzantine submissions.
+            if !attacker_ids.is_empty() {
+                let ctx = AttackContext {
+                    honest_gradients: &honest_gradients,
+                    model: &params,
+                    byzantine_count: attacker_ids.len(),
+                    declared_f: self.config.gar.f,
+                    step,
+                    seed: self.config.seed,
+                };
+                let crafted = self.attack.craft(&ctx);
+                for (slot, gradient) in attacker_ids.iter().zip(crafted.into_iter()) {
+                    let worker = &mut self.workers[*slot];
+                    let transfer = worker.send_gradient(step, &gradient)?;
+                    // Byzantine workers have "arbitrarily fast" channels in
+                    // the threat model: their submissions never extend the
+                    // round, so only honest worker time bounds the wait.
+                    match transfer.gradient {
+                        Some(g) => submissions.push(g),
+                        None => dropped_gradients += 1,
+                    }
+                }
+            }
+
+            // Phase 3: aggregation and model update at the server.
+            let round_wait = broadcast_time + max_worker_time;
+            let mut aggregation_time = 0.0;
+            match self.server.apply_round(&submissions) {
+                Ok(outcome) => {
+                    let kernel_sec = match self.calibrated_aggregation_sec {
+                        Some(calibrated) => calibrated,
+                        None => cost.scale_aggregation_time(
+                            outcome.aggregation_wall_sec,
+                            self.actual_dimension,
+                        ),
+                    };
+                    aggregation_time = kernel_sec + cost.update_time(self.actual_dimension);
+                }
+                Err(PsError::Aggregation(_)) => {
+                    skipped += 1;
+                }
+                Err(other) => return Err(other),
+            }
+
+            self.clock_sec += round_wait + aggregation_time;
+            latency.record_round(round_wait, aggregation_time);
+            throughput.record_round(
+                submissions.len() as u64 + dropped_gradients,
+                round_wait + aggregation_time,
+            );
+
+            if (step + 1) % self.config.eval_every == 0 || step + 1 == self.config.max_steps {
+                self.evaluate(&mut trace, self.server.step())?;
+            }
+        }
+
+        Ok(TrainingReport {
+            label,
+            trace,
+            throughput,
+            latency,
+            steps_completed: self.server.step(),
+            skipped_updates: skipped,
+            simulated_time_sec: self.clock_sec,
+        })
+    }
+
+    /// Evaluates test accuracy at the current parameters and records a trace
+    /// point. Evaluation runs on the dedicated evaluator node, out of band,
+    /// so it does not advance the simulated clock (matching the paper's
+    /// `/job:eval` design).
+    fn evaluate(&mut self, trace: &mut TrainingTrace, step: u64) -> Result<()> {
+        self.eval_model
+            .set_parameters(self.server.parameters())
+            .map_err(PsError::from)?;
+        let (batch, labels) = self
+            .test_set
+            .head_batch(self.config.eval_samples)
+            .map_err(PsError::from)?;
+        let out = self.eval_model.evaluate_loss(&batch, &labels).map_err(PsError::from)?;
+        let accuracy = out.correct_predictions as f64 / labels.len().max(1) as f64;
+        trace.record(TracePoint {
+            step,
+            time_sec: self.clock_sec,
+            accuracy,
+            loss: out.loss as f64,
+        });
+        Ok(())
+    }
+}
+
+/// Cost-only simulation of aggregator throughput (Figure 5): no model is
+/// trained; random gradients of a proxy dimension are aggregated for real
+/// (wall-clock measured) while computation and communication are charged
+/// analytically from the cost model.
+#[derive(Debug, Clone)]
+pub struct ThroughputSimulation {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// GAR under test.
+    pub gar: GarConfig,
+    /// Mini-batch size per worker.
+    pub batch_size: usize,
+    /// Cost model (set a virtual model to emulate the CNN or ResNet50).
+    pub cost: CostModel,
+    /// Link characteristics.
+    pub link: LinkConfig,
+    /// Dimension of the random gradients actually aggregated (the measured
+    /// kernel time is rescaled to the virtual dimension).
+    pub proxy_dimension: usize,
+    /// Number of rounds to average over.
+    pub rounds: usize,
+    /// Seed for the random gradients.
+    pub seed: u64,
+}
+
+/// Result of a throughput simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputResult {
+    /// Gradients (mini-batches) processed per second of simulated time.
+    pub batches_per_sec: f64,
+    /// Mean simulated round time in seconds.
+    pub round_time_sec: f64,
+    /// Mean (rescaled) aggregation time per round in seconds.
+    pub aggregation_time_sec: f64,
+    /// Mean per-worker computation + communication time per round.
+    pub compute_comm_time_sec: f64,
+}
+
+impl ThroughputSimulation {
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError`] when the GAR configuration is invalid or its
+    /// preconditions cannot be met with the configured worker count.
+    pub fn run(&self) -> Result<ThroughputResult> {
+        if self.workers == 0 || self.rounds == 0 || self.proxy_dimension == 0 {
+            return Err(PsError::InvalidConfig(
+                "workers, rounds and proxy_dimension must be positive".into(),
+            ));
+        }
+        let gar = self.gar.build().map_err(PsError::from)?;
+        let mut rng = seeded_rng(derive_seed(self.seed, 0xF16));
+        let node = crate::cluster::Node::grid5000_cpu(0);
+
+        let mut total_aggregation = 0.0;
+        for round in 0..self.rounds {
+            let gradients: Vec<Vector> = (0..self.workers)
+                .map(|_| gaussian_vector(&mut rng, self.proxy_dimension, 0.0, 1.0))
+                .collect();
+            let start = Instant::now();
+            gar.aggregate(&gradients).map_err(PsError::from)?;
+            let wall = start.elapsed().as_secs_f64();
+            // Skip the first (warm-up) round if there is more than one.
+            if round > 0 || self.rounds == 1 {
+                total_aggregation += self.cost.scale_aggregation_time(wall, self.proxy_dimension);
+            }
+        }
+        let measured_rounds = if self.rounds == 1 { 1 } else { self.rounds - 1 };
+        let aggregation_time = total_aggregation / measured_rounds as f64
+            + self.cost.update_time(self.proxy_dimension);
+
+        let compute = self.cost.gradient_time(1, self.batch_size, node.flops_per_sec);
+        let gradient_bytes = self.cost.payload_bytes(self.proxy_dimension);
+        let comm = 2.0 * self.link.transfer_time(gradient_bytes);
+        let compute_comm = compute + comm;
+        let round_time = compute_comm + aggregation_time;
+        Ok(ThroughputResult {
+            batches_per_sec: self.workers as f64 / round_time,
+            round_time_sec: round_time,
+            aggregation_time_sec: aggregation_time,
+            compute_comm_time_sec: compute_comm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentKind;
+    use crate::cost::VirtualModelCost;
+    use agg_attacks::AttackKind;
+    use agg_core::GarKind;
+    use agg_net::LossPolicy;
+
+    fn quick_config(gar: GarKind, f: usize, workers: usize) -> RunnerConfig {
+        RunnerConfig {
+            experiment: ExperimentKind::MlpBlobs {
+                input_dim: 16,
+                hidden: 24,
+                classes: 4,
+                samples: 600,
+            },
+            gar: GarConfig::new(gar, f),
+            workers,
+            max_steps: 60,
+            eval_every: 15,
+            eval_samples: 120,
+            batch_size: 16,
+            learning_rate: agg_nn::schedule::LearningRate::Fixed { rate: 0.01 },
+            seed: 5,
+            ..RunnerConfig::quick_default()
+        }
+    }
+
+    #[test]
+    fn engine_trains_to_good_accuracy_without_byzantine_workers() {
+        let mut engine = SyncTrainingEngine::new(quick_config(GarKind::Average, 0, 5)).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.steps_completed, 60);
+        assert_eq!(report.skipped_updates, 0);
+        assert!(report.simulated_time_sec > 0.0);
+        assert!(
+            report.final_accuracy() > 0.6,
+            "expected learning progress, got {}",
+            report.final_accuracy()
+        );
+        assert!(report.trace.len() >= 4);
+    }
+
+    #[test]
+    fn multi_krum_resists_an_attack_that_ruins_averaging() {
+        let mut byzantine_avg = quick_config(GarKind::Average, 0, 9);
+        byzantine_avg.byzantine_count = 2;
+        byzantine_avg.attack = AttackKind::Reversed { scale: 50.0 };
+        let avg_report = SyncTrainingEngine::new(byzantine_avg).unwrap().run().unwrap();
+
+        let mut byzantine_mk = quick_config(GarKind::MultiKrum, 2, 9);
+        byzantine_mk.byzantine_count = 2;
+        byzantine_mk.attack = AttackKind::Reversed { scale: 50.0 };
+        let mk_report = SyncTrainingEngine::new(byzantine_mk).unwrap().run().unwrap();
+
+        assert!(
+            mk_report.final_accuracy() > avg_report.final_accuracy() + 0.15,
+            "Multi-Krum ({:.3}) should clearly beat averaging ({:.3}) under attack",
+            mk_report.final_accuracy(),
+            avg_report.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn worker_roles_follow_the_configuration() {
+        let mut config = quick_config(GarKind::MultiKrum, 2, 7);
+        config.byzantine_count = 2;
+        config.attack = AttackKind::Random { magnitude: 10.0 };
+        let engine = SyncTrainingEngine::new(config).unwrap();
+        let roles = engine.worker_roles();
+        assert_eq!(roles.iter().filter(|r| r.is_byzantine()).count(), 2);
+        assert_eq!(roles[0], WorkerRole::Honest);
+        assert_eq!(roles[6], WorkerRole::Attacker);
+        assert_eq!(engine.cluster().worker_count(), 7);
+        assert!(engine.model_dimension() > 0);
+    }
+
+    #[test]
+    fn data_poisoning_creates_data_poisoned_workers() {
+        let mut config = quick_config(GarKind::MultiKrum, 1, 7);
+        config.byzantine_count = 1;
+        config.data_poisoning = Some(agg_data::corruption::Corruption::LabelShift);
+        let engine = SyncTrainingEngine::new(config).unwrap();
+        assert_eq!(
+            engine.worker_roles().iter().filter(|&&r| r == WorkerRole::DataPoisoned).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected_at_construction() {
+        let mut config = quick_config(GarKind::Average, 0, 3);
+        config.byzantine_count = 5;
+        assert!(SyncTrainingEngine::new(config).is_err());
+    }
+
+    #[test]
+    fn lossy_transport_assigns_lossy_links_to_the_last_workers() {
+        let mut config = quick_config(GarKind::MultiKrum, 2, 7);
+        config.transport = TransportKind::Lossy { policy: LossPolicy::RandomFill };
+        config.lossy_links = 2;
+        config.link = LinkConfig::datacenter().with_drop_rate(0.1);
+        let mut engine = SyncTrainingEngine::new(config).unwrap();
+        let report = engine.run().unwrap();
+        // Training must still make progress despite the lossy links.
+        assert!(report.final_accuracy() > 0.5, "accuracy {}", report.final_accuracy());
+    }
+
+    #[test]
+    fn gar_precondition_failures_become_skipped_updates() {
+        // Multi-Krum with f = 4 needs 11 workers; give it only 5, so every
+        // round is rejected and skipped rather than crashing the run.
+        let mut config = quick_config(GarKind::MultiKrum, 4, 5);
+        config.max_steps = 5;
+        let mut engine = SyncTrainingEngine::new(config).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.steps_completed, 0);
+        assert_eq!(report.skipped_updates, 5);
+    }
+
+    #[test]
+    fn throughput_simulation_reports_sane_numbers() {
+        let sim = ThroughputSimulation {
+            workers: 10,
+            gar: GarConfig::new(GarKind::MultiKrum, 1),
+            batch_size: 100,
+            cost: CostModel::paper_like().with_virtual_model(VirtualModelCost::paper_cnn()),
+            link: LinkConfig::datacenter(),
+            proxy_dimension: 20_000,
+            rounds: 3,
+            seed: 0,
+        };
+        let result = sim.run().unwrap();
+        assert!(result.batches_per_sec > 0.0);
+        assert!(result.round_time_sec > 0.0);
+        assert!(result.aggregation_time_sec > 0.0);
+        assert!(result.compute_comm_time_sec > 0.0);
+        // Sanity: the simulated CNN throughput is in the tens of batches/sec,
+        // the regime Figure 5(a) reports.
+        assert!(result.batches_per_sec > 1.0 && result.batches_per_sec < 500.0);
+    }
+
+    #[test]
+    fn throughput_simulation_validates_inputs() {
+        let sim = ThroughputSimulation {
+            workers: 0,
+            gar: GarConfig::new(GarKind::Average, 0),
+            batch_size: 10,
+            cost: CostModel::paper_like(),
+            link: LinkConfig::datacenter(),
+            proxy_dimension: 100,
+            rounds: 1,
+            seed: 0,
+        };
+        assert!(sim.run().is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the parameter-server runtime.
+
+use thiserror::Error;
+
+/// Errors produced while configuring or running distributed training.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum PsError {
+    /// The run configuration is inconsistent (e.g. more Byzantine workers
+    /// than workers, or a GAR whose precondition the cluster cannot satisfy).
+    #[error("invalid configuration: {0}")]
+    InvalidConfig(String),
+
+    /// A gradient aggregation error that the engine could not recover from.
+    #[error("aggregation failed: {0}")]
+    Aggregation(String),
+
+    /// A model/optimizer error.
+    #[error("model failure: {0}")]
+    Model(String),
+
+    /// A dataset error.
+    #[error("data failure: {0}")]
+    Data(String),
+
+    /// A transport error.
+    #[error("network failure: {0}")]
+    Network(String),
+
+    /// A worker attempted an operation the security patch forbids (e.g.
+    /// writing the shared parameters directly).
+    #[error("access denied: worker {worker} attempted to {action}")]
+    AccessDenied {
+        /// Offending worker id.
+        worker: usize,
+        /// Description of the rejected action.
+        action: String,
+    },
+}
+
+impl From<agg_core::AggregationError> for PsError {
+    fn from(e: agg_core::AggregationError) -> Self {
+        PsError::Aggregation(e.to_string())
+    }
+}
+
+impl From<agg_nn::NnError> for PsError {
+    fn from(e: agg_nn::NnError) -> Self {
+        PsError::Model(e.to_string())
+    }
+}
+
+impl From<agg_data::DataError> for PsError {
+    fn from(e: agg_data::DataError) -> Self {
+        PsError::Data(e.to_string())
+    }
+}
+
+impl From<agg_net::NetError> for PsError {
+    fn from(e: agg_net::NetError) -> Self {
+        PsError::Network(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: PsError = agg_core::AggregationError::NoGradients("krum").into();
+        assert!(e.to_string().contains("krum"));
+        let e: PsError = agg_data::DataError::Empty("x").into();
+        assert!(matches!(e, PsError::Data(_)));
+        let e: PsError = agg_net::NetError::InvalidConfig("bad".into()).into();
+        assert!(matches!(e, PsError::Network(_)));
+    }
+
+    #[test]
+    fn access_denied_names_the_worker() {
+        let e = PsError::AccessDenied { worker: 3, action: "overwrite parameters".into() };
+        assert!(e.to_string().contains('3'));
+    }
+}

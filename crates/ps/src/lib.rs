@@ -1,0 +1,48 @@
+//! # agg-ps — the parameter-server runtime
+//!
+//! This crate is the reproduction's counterpart of the AggregaThor framework
+//! itself (§3 of the paper): a synchronous parameter-server training engine
+//! with Byzantine workers, a cluster/device-allocation model, and the
+//! configuration surface of the original `runner.py`.
+//!
+//! The original system distributes real TensorFlow graphs over a Grid5000
+//! cluster; the reproduction simulates the cluster with a discrete-event
+//! clock while running the *numerics* (gradients, aggregation, model updates)
+//! for real:
+//!
+//! * [`cluster`] — nodes, jobs (`ps` / `worker` / `eval`) and the policy-based
+//!   device allocation the paper advertises.
+//! * [`config`] — [`config::RunnerConfig`], mirroring the command-line surface
+//!   of `runner.py` (`--aggregator`, `--optimizer`, `--learning-rate`,
+//!   `--nb-workers`, …).
+//! * [`cost`] — the time model: analytic gradient-computation and
+//!   communication costs, measured (and dimension-scaled) aggregation cost.
+//! * [`worker`] — honest, data-poisoned and actively adversarial workers.
+//! * [`server`] — the trusted parameter server: GAR + optimizer + the
+//!   access-control patch that keeps Byzantine workers from overwriting the
+//!   shared model directly.
+//! * [`engine`] — the synchronous training loop (Equation 4) and the
+//!   throughput simulator used by the scalability experiments.
+//! * [`report`] — the structured result of a run (traces, throughput,
+//!   latency breakdown).
+
+pub mod cluster;
+pub mod config;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod report;
+pub mod server;
+pub mod worker;
+
+pub use cluster::{ClusterSpec, DeviceKind, Job, Node, PlacementPolicy};
+pub use config::{ExperimentKind, RunnerConfig, TransportKind};
+pub use cost::{CostModel, VirtualModelCost};
+pub use engine::{SyncTrainingEngine, ThroughputSimulation};
+pub use error::PsError;
+pub use report::TrainingReport;
+pub use server::ParameterServer;
+pub use worker::{Worker, WorkerRole};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PsError>;

@@ -1,0 +1,83 @@
+//! Structured results of a training run.
+
+use agg_metrics::{LatencyBreakdown, ThroughputMeter, TrainingTrace};
+use serde::{Deserialize, Serialize};
+
+/// Everything a training run produced, ready for the experiment harness to
+/// turn into the paper's tables and figures.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Human-readable label of the run (GAR, `f`, batch size, transport).
+    pub label: String,
+    /// Accuracy/loss versus simulated time and model updates.
+    pub trace: TrainingTrace,
+    /// Aggregator throughput.
+    pub throughput: ThroughputMeter,
+    /// Per-round latency breakdown (Figure 4).
+    pub latency: LatencyBreakdown,
+    /// Model updates actually applied.
+    pub steps_completed: u64,
+    /// Rounds skipped because the GAR rejected the submission (e.g. every
+    /// gradient was dropped by the transport).
+    pub skipped_updates: u64,
+    /// Total simulated wall-clock time of the run, in seconds.
+    pub simulated_time_sec: f64,
+}
+
+impl TrainingReport {
+    /// Final test accuracy (0 when nothing was evaluated).
+    pub fn final_accuracy(&self) -> f64 {
+        self.trace.final_accuracy()
+    }
+
+    /// Best test accuracy seen during the run.
+    pub fn best_accuracy(&self) -> f64 {
+        self.trace.best_accuracy()
+    }
+
+    /// Simulated time to reach the given accuracy, if ever reached.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.trace.time_to_accuracy(target)
+    }
+
+    /// One-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} steps ({} skipped), {:.1}s simulated, final accuracy {:.3}, throughput {:.2} grad/s, aggregation share {:.1}%",
+            self.label,
+            self.steps_completed,
+            self.skipped_updates,
+            self.simulated_time_sec,
+            self.final_accuracy(),
+            self.throughput.gradients_per_sec(),
+            100.0 * self.latency.aggregation_share(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_metrics::TracePoint;
+
+    #[test]
+    fn summary_mentions_the_label_and_accuracy() {
+        let mut report = TrainingReport { label: "multi-krum f=4".into(), ..Default::default() };
+        report.trace.record(TracePoint { step: 10, time_sec: 1.0, accuracy: 0.5, loss: 1.0 });
+        report.steps_completed = 10;
+        let s = report.summary();
+        assert!(s.contains("multi-krum f=4"));
+        assert!(s.contains("0.500"));
+        assert_eq!(report.final_accuracy(), 0.5);
+        assert_eq!(report.best_accuracy(), 0.5);
+        assert_eq!(report.time_to_accuracy(0.4), Some(1.0));
+        assert_eq!(report.time_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn default_report_is_empty() {
+        let report = TrainingReport::default();
+        assert_eq!(report.final_accuracy(), 0.0);
+        assert_eq!(report.steps_completed, 0);
+    }
+}

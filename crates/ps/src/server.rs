@@ -1,0 +1,217 @@
+//! The trusted parameter server.
+//!
+//! Holds the global model, applies the configured gradient aggregation rule
+//! and optimizer (Equation 4 of the paper), and enforces the access-control
+//! behaviour the paper adds to TensorFlow: vanilla TensorFlow lets any node
+//! execute arbitrary operations anywhere in the cluster, so a single
+//! Byzantine worker could overwrite the shared parameters; the paper's code
+//! patch makes the `ps` job "discard remote graph definitions and
+//! executions". [`ParameterServer::handle_remote_write`] models that patch.
+
+use crate::{PsError, Result};
+use agg_core::{Gar, GarConfig};
+use agg_nn::optim::{Optimizer, OptimizerKind, Regularization};
+use agg_nn::schedule::LearningRate;
+use agg_tensor::Vector;
+use std::time::Instant;
+
+/// Result of one aggregation + update round at the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundOutcome {
+    /// Wall-clock seconds the aggregation kernel took (measured for real).
+    pub aggregation_wall_sec: f64,
+    /// Learning rate applied this step.
+    pub learning_rate: f32,
+    /// Model-update step index after the update.
+    pub step: u64,
+}
+
+/// The synchronous parameter server.
+#[derive(Debug)]
+pub struct ParameterServer {
+    params: Vector,
+    gar: Box<dyn Gar>,
+    gar_config: GarConfig,
+    optimizer: Box<dyn Optimizer>,
+    learning_rate: LearningRate,
+    regularization: Regularization,
+    step: u64,
+    /// Whether the TensorFlow-style vulnerability patch is active. It is on
+    /// by default; tests switch it off to demonstrate the vulnerability the
+    /// paper describes.
+    reject_remote_writes: bool,
+}
+
+impl ParameterServer {
+    /// Creates a parameter server with initial parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError`] when the GAR configuration is invalid.
+    pub fn new(
+        initial_params: Vector,
+        gar_config: GarConfig,
+        optimizer: OptimizerKind,
+        learning_rate: LearningRate,
+        regularization: Regularization,
+    ) -> Result<Self> {
+        let gar = gar_config.build().map_err(PsError::from)?;
+        Ok(ParameterServer {
+            params: initial_params,
+            gar,
+            gar_config,
+            optimizer: optimizer.build(),
+            learning_rate,
+            regularization,
+            step: 0,
+            reject_remote_writes: true,
+        })
+    }
+
+    /// The current global model parameters.
+    pub fn parameters(&self) -> &Vector {
+        &self.params
+    }
+
+    /// The number of model updates applied so far.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// The configured GAR.
+    pub fn gar_config(&self) -> GarConfig {
+        self.gar_config
+    }
+
+    /// Name of the active aggregation rule.
+    pub fn gar_name(&self) -> &'static str {
+        self.gar.name()
+    }
+
+    /// Disables the TensorFlow vulnerability patch (test/demonstration only).
+    pub fn allow_remote_writes_for_testing(&mut self) {
+        self.reject_remote_writes = false;
+    }
+
+    /// A worker attempts to overwrite the shared parameters directly — the
+    /// attack vector the paper's TensorFlow patch closes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::AccessDenied`] while the patch is active (the
+    /// default). When the patch is disabled the write succeeds, demonstrating
+    /// why the patch is necessary.
+    pub fn handle_remote_write(&mut self, worker: usize, values: &Vector) -> Result<()> {
+        if self.reject_remote_writes {
+            return Err(PsError::AccessDenied {
+                worker,
+                action: "overwrite the shared parameters via a remote graph execution".into(),
+            });
+        }
+        self.params = values.clone();
+        Ok(())
+    }
+
+    /// Aggregates one round of submitted gradients and applies the optimizer
+    /// step. Returns the measured aggregation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::Aggregation`] when the GAR rejects the submission
+    /// (e.g. not enough gradients for the declared `f`), and [`PsError::Model`]
+    /// when the optimizer step fails.
+    pub fn apply_round(&mut self, gradients: &[Vector]) -> Result<RoundOutcome> {
+        let start = Instant::now();
+        let mut aggregated = self.gar.aggregate(gradients).map_err(PsError::from)?;
+        let aggregation_wall_sec = start.elapsed().as_secs_f64();
+
+        self.regularization
+            .apply(&mut aggregated, &self.params)
+            .map_err(PsError::from)?;
+        let lr = self.learning_rate.at(self.step);
+        self.optimizer
+            .step(&mut self.params, &aggregated, lr)
+            .map_err(PsError::from)?;
+        self.step += 1;
+        Ok(RoundOutcome { aggregation_wall_sec, learning_rate: lr, step: self.step })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_core::GarKind;
+
+    fn server(kind: GarKind, f: usize, d: usize) -> ParameterServer {
+        ParameterServer::new(
+            Vector::zeros(d),
+            GarConfig::new(kind, f),
+            OptimizerKind::Sgd,
+            LearningRate::Fixed { rate: 0.1 },
+            Regularization::none(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn apply_round_moves_parameters_against_the_gradient() {
+        let mut s = server(GarKind::Average, 0, 3);
+        let gradients = vec![Vector::from(vec![1.0, 0.0, -1.0]); 4];
+        let outcome = s.apply_round(&gradients).unwrap();
+        assert_eq!(outcome.step, 1);
+        assert_eq!(outcome.learning_rate, 0.1);
+        assert!(outcome.aggregation_wall_sec >= 0.0);
+        assert_eq!(s.parameters().as_slice(), &[-0.1, 0.0, 0.1]);
+        assert_eq!(s.step(), 1);
+    }
+
+    #[test]
+    fn gar_precondition_failures_surface_as_errors() {
+        let mut s = server(GarKind::MultiKrum, 4, 2);
+        // Multi-Krum with f = 4 needs 11 gradients.
+        let gradients = vec![Vector::zeros(2); 5];
+        assert!(matches!(s.apply_round(&gradients), Err(PsError::Aggregation(_))));
+        assert_eq!(s.step(), 0, "a failed round must not advance the step");
+    }
+
+    #[test]
+    fn remote_writes_are_rejected_by_default() {
+        let mut s = server(GarKind::Average, 0, 2);
+        let result = s.handle_remote_write(3, &Vector::from(vec![9.0, 9.0]));
+        assert!(matches!(result, Err(PsError::AccessDenied { worker: 3, .. })));
+        assert_eq!(s.parameters().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn unpatched_server_is_vulnerable() {
+        // This is the vulnerability of vanilla TensorFlow the paper fixes:
+        // without the patch a single worker rewrites the model at will.
+        let mut s = server(GarKind::Average, 0, 2);
+        s.allow_remote_writes_for_testing();
+        s.handle_remote_write(3, &Vector::from(vec![9.0, 9.0])).unwrap();
+        assert_eq!(s.parameters().as_slice(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn regularization_is_applied() {
+        let mut s = ParameterServer::new(
+            Vector::from(vec![1.0, -1.0]),
+            GarConfig::new(GarKind::Average, 0),
+            OptimizerKind::Sgd,
+            LearningRate::Fixed { rate: 1.0 },
+            Regularization { l1: 0.0, l2: 0.1 },
+            )
+        .unwrap();
+        // Zero data gradient: only the L2 pull towards zero acts.
+        s.apply_round(&[Vector::zeros(2)]).unwrap();
+        assert!(s.parameters()[0] < 1.0);
+        assert!(s.parameters()[1] > -1.0);
+    }
+
+    #[test]
+    fn gar_accessors() {
+        let s = server(GarKind::Bulyan, 1, 4);
+        assert_eq!(s.gar_name(), "bulyan");
+        assert_eq!(s.gar_config().f, 1);
+    }
+}

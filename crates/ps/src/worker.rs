@@ -1,0 +1,186 @@
+//! Workers: honest gradient estimators, data-poisoned workers and actively
+//! adversarial workers.
+
+use crate::{PsError, Result};
+use agg_data::{Dataset, MiniBatchSampler};
+use agg_net::{Transport, TransferOutcome};
+use agg_nn::Sequential;
+use agg_tensor::Vector;
+use std::sync::Arc;
+
+/// The behaviour of one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerRole {
+    /// Computes honest gradients on clean data.
+    Honest,
+    /// Computes real gradients, but on a corrupted local dataset (the
+    /// "corrupted data" Byzantine behaviour of Figure 7).
+    DataPoisoned,
+    /// Does not compute gradients at all; the adversary crafts its submission
+    /// centrally (omniscient attack).
+    Attacker,
+}
+
+impl WorkerRole {
+    /// `true` for every non-honest role.
+    pub fn is_byzantine(&self) -> bool {
+        !matches!(self, WorkerRole::Honest)
+    }
+}
+
+/// The result of one worker's local step.
+#[derive(Debug, Clone)]
+pub struct WorkerComputation {
+    /// The gradient estimate the worker submits.
+    pub gradient: Vector,
+    /// Training loss observed on the worker's mini-batch.
+    pub loss: f32,
+    /// Seconds of simulated compute time the gradient cost.
+    pub compute_time_sec: f64,
+}
+
+/// One simulated worker process.
+///
+/// Each worker owns a private copy of the model (as a TensorFlow worker owns
+/// its sub-graph), an i.i.d. mini-batch sampler over its local dataset view,
+/// and the transport its gradients travel over.
+#[derive(Debug)]
+pub struct Worker {
+    id: usize,
+    role: WorkerRole,
+    model: Sequential,
+    dataset: Arc<Dataset>,
+    sampler: MiniBatchSampler,
+    transport: Box<dyn Transport>,
+    node_flops_per_sec: f64,
+}
+
+impl Worker {
+    /// Creates a worker.
+    pub fn new(
+        id: usize,
+        role: WorkerRole,
+        model: Sequential,
+        dataset: Arc<Dataset>,
+        sampler: MiniBatchSampler,
+        transport: Box<dyn Transport>,
+        node_flops_per_sec: f64,
+    ) -> Self {
+        Worker { id, role, model, dataset, sampler, transport, node_flops_per_sec }
+    }
+
+    /// Worker index within the cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The worker's behaviour.
+    pub fn role(&self) -> WorkerRole {
+        self.role
+    }
+
+    /// Sustained FLOP/s of the node this worker runs on.
+    pub fn node_flops_per_sec(&self) -> f64 {
+        self.node_flops_per_sec
+    }
+
+    /// Computes one mini-batch gradient at the given model parameters.
+    ///
+    /// The returned compute time uses the provided closure so the engine's
+    /// cost model stays in one place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError`] when the model rejects the parameters or batch.
+    pub fn compute_gradient(
+        &mut self,
+        params: &Vector,
+        compute_time: impl FnOnce(&Sequential, usize) -> f64,
+    ) -> Result<WorkerComputation> {
+        self.model.set_parameters(params).map_err(PsError::from)?;
+        let (batch, labels) = self.sampler.next_batch(&self.dataset).map_err(PsError::from)?;
+        let evaluation = self.model.gradient(&batch, &labels).map_err(PsError::from)?;
+        let time = compute_time(&self.model, labels.len());
+        Ok(WorkerComputation {
+            gradient: evaluation.gradient,
+            loss: evaluation.loss,
+            compute_time_sec: time,
+        })
+    }
+
+    /// Sends a gradient to the parameter server over this worker's transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::Network`] for structural transport failures (loss is
+    /// not an error).
+    pub fn send_gradient(&mut self, step: u64, gradient: &Vector) -> Result<TransferOutcome> {
+        self.transport
+            .transfer(self.id as u32, step, gradient)
+            .map_err(PsError::from)
+    }
+
+    /// Name of the transport this worker uses (for reports).
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_data::synthetic::{gaussian_blobs, BlobConfig};
+    use agg_net::{GradientCodec, LinkConfig, ReliableTransport};
+    use agg_nn::models;
+
+    fn make_worker(role: WorkerRole) -> Worker {
+        let model = models::synthetic_mlp(8, &[16], 4, 0);
+        let dataset = Arc::new(
+            gaussian_blobs(
+                &BlobConfig { classes: 4, dim: 8, samples: 64, ..Default::default() },
+                1,
+            )
+            .unwrap(),
+        );
+        let sampler = MiniBatchSampler::new(8, 1, 0).unwrap();
+        let transport = Box::new(
+            ReliableTransport::new(LinkConfig::datacenter(), GradientCodec::default_mtu())
+                .unwrap(),
+        );
+        Worker::new(0, role, model, dataset, sampler, transport, 5e10)
+    }
+
+    #[test]
+    fn roles_classify_byzantine_behaviour() {
+        assert!(!WorkerRole::Honest.is_byzantine());
+        assert!(WorkerRole::DataPoisoned.is_byzantine());
+        assert!(WorkerRole::Attacker.is_byzantine());
+    }
+
+    #[test]
+    fn honest_worker_computes_a_gradient_of_model_dimension() {
+        let mut worker = make_worker(WorkerRole::Honest);
+        let params = worker.model.parameters();
+        let result = worker.compute_gradient(&params, |_, b| b as f64 * 0.01).unwrap();
+        assert_eq!(result.gradient.len(), params.len());
+        assert!(result.loss.is_finite());
+        assert!((result.compute_time_sec - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_rejects_wrong_parameter_size() {
+        let mut worker = make_worker(WorkerRole::Honest);
+        assert!(worker.compute_gradient(&Vector::zeros(3), |_, _| 0.0).is_err());
+    }
+
+    #[test]
+    fn send_gradient_goes_through_the_transport() {
+        let mut worker = make_worker(WorkerRole::Honest);
+        let g = Vector::from(vec![1.0; 100]);
+        let outcome = worker.send_gradient(0, &g).unwrap();
+        assert_eq!(outcome.gradient.unwrap(), g);
+        assert_eq!(worker.transport_name(), "tcp");
+        assert_eq!(worker.id(), 0);
+        assert_eq!(worker.node_flops_per_sec(), 5e10);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for tensor operations.
+
+use thiserror::Error;
+
+/// Errors produced by shape-checked tensor, matrix and vector operations.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands were expected to have the same length.
+    #[error("dimension mismatch: expected length {expected}, got {actual}")]
+    DimensionMismatch {
+        /// Length required by the operation.
+        expected: usize,
+        /// Length that was actually provided.
+        actual: usize,
+    },
+
+    /// Two operands were expected to have compatible shapes.
+    #[error("shape mismatch: {left:?} is not compatible with {right:?} for {op}")]
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+
+    /// An operation that requires a non-empty input received an empty one.
+    #[error("empty input for {0}")]
+    EmptyInput(&'static str),
+
+    /// An index was out of bounds.
+    #[error("index {index} out of bounds for axis of size {size}")]
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Size of the axis being indexed.
+        size: usize,
+    },
+
+    /// A reshape would change the number of elements.
+    #[error("cannot reshape {elements} elements into shape {shape:?}")]
+    InvalidReshape {
+        /// Number of elements in the source.
+        elements: usize,
+        /// Requested target shape.
+        shape: Vec<usize>,
+    },
+}
+
+impl TensorError {
+    /// Convenience constructor for a length mismatch.
+    pub fn dim(expected: usize, actual: usize) -> Self {
+        TensorError::DimensionMismatch { expected, actual }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::dim(3, 4);
+        assert_eq!(e.to_string(), "dimension mismatch: expected length 3, got 4");
+        let e = TensorError::EmptyInput("median");
+        assert!(e.to_string().contains("median"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! # agg-tensor
+//!
+//! Dense numeric primitives used throughout the AggregaThor reproduction:
+//!
+//! * [`Vector`] — a flat `f32` vector, the representation of a gradient or a
+//!   flattened model. All gradient aggregation rules (GARs) operate on slices
+//!   of these.
+//! * [`Matrix`] — a row-major 2-D matrix used by dense layers.
+//! * [`Tensor`] — an n-dimensional array (row-major) used by convolutional
+//!   layers and data pipelines.
+//! * [`stats`] — robust statistics on slices and across collections of
+//!   vectors: median, trimmed mean, k-closest-to-median averaging, squared
+//!   distances. These are the numeric kernels the paper's Multi-Krum and
+//!   Bulyan implementations are built from.
+//! * [`rng`] — small deterministic RNG helpers so every experiment in the
+//!   reproduction is seedable and repeatable.
+//!
+//! The crate intentionally avoids BLAS or SIMD intrinsics: the reproduction
+//! targets correctness and *relative* performance shape, not absolute FLOP
+//! throughput.
+//!
+//! ```
+//! use agg_tensor::Vector;
+//!
+//! let a = Vector::from(vec![1.0, 2.0, 3.0]);
+//! let b = Vector::from(vec![1.0, 0.0, 3.0]);
+//! assert_eq!(a.squared_distance(&b), 4.0);
+//! ```
+
+pub mod error;
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+pub mod tensor;
+pub mod vector;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use tensor::Tensor;
+pub use vector::Vector;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

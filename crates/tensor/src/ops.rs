@@ -1,0 +1,172 @@
+//! Free-standing elementwise operations and activation primitives shared by
+//! the neural-network crate and the data pipeline.
+
+use crate::Vector;
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    if x > 0.0 {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// Derivative of the rectified linear unit with respect to its input.
+#[inline]
+pub fn relu_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Hyperbolic tangent (thin wrapper, provided for symmetry).
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Numerically stable softmax over a slice, written into a new `Vec`.
+///
+/// Subtracts the maximum before exponentiation so large logits do not
+/// overflow. An all-`-inf` input produces a uniform distribution.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return vec![1.0 / logits.len() as f32; logits.len()];
+    }
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Index of the maximum value (ties broken toward the lower index).
+/// Returns `None` for an empty slice.
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            None => best = Some((i, v)),
+            Some((_, bv)) if v > bv => best = Some((i, v)),
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Cross-entropy loss between a softmax distribution and a one-hot label.
+///
+/// Probabilities are clamped away from zero for numerical stability.
+pub fn cross_entropy(probabilities: &[f32], label: usize) -> f32 {
+    let p = probabilities.get(label).copied().unwrap_or(0.0);
+    -(p.max(1e-12)).ln()
+}
+
+/// Min-max scales a vector into `[0, 1]` in place.
+///
+/// Constant vectors map to all-zeros. Mirrors the paper's preprocessing step
+/// ("we perform min-max scaling as a pre-processing step").
+pub fn min_max_scale(v: &mut Vector) {
+    let Ok((lo, hi)) = v.min_max() else { return };
+    let range = hi - lo;
+    if range <= 0.0 || !range.is_finite() {
+        v.map_inplace(|_| 0.0);
+    } else {
+        v.map_inplace(|x| (x - lo) / range);
+    }
+}
+
+/// Clips a gradient vector to a maximum L2 norm, returning the scaling factor
+/// that was applied (1.0 when no clipping happened).
+pub fn clip_by_norm(v: &mut Vector, max_norm: f32) -> f32 {
+    let norm = v.norm();
+    if norm > max_norm && norm > 0.0 {
+        let factor = max_norm / norm;
+        v.scale(factor);
+        factor
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_grad() {
+        assert_eq!(relu(2.0), 2.0);
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu_grad(2.0), 1.0);
+        assert_eq!(relu_grad(-2.0), 0.0);
+        assert_eq!(relu_grad(0.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.99);
+        assert!(sigmoid(-10.0) < 0.01);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Huge logits must not overflow.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn cross_entropy_behaviour() {
+        assert!(cross_entropy(&[1.0, 0.0], 0) < 1e-6);
+        assert!(cross_entropy(&[0.0, 1.0], 0) > 10.0);
+        // Out-of-range label treated as zero probability, still finite.
+        assert!(cross_entropy(&[0.5, 0.5], 7).is_finite());
+    }
+
+    #[test]
+    fn min_max_scaling() {
+        let mut v = Vector::from(vec![2.0, 4.0, 6.0]);
+        min_max_scale(&mut v);
+        assert_eq!(v.as_slice(), &[0.0, 0.5, 1.0]);
+        let mut constant = Vector::from(vec![3.0, 3.0]);
+        min_max_scale(&mut constant);
+        assert_eq!(constant.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_by_norm_scales_only_when_needed() {
+        let mut v = Vector::from(vec![3.0, 4.0]);
+        let factor = clip_by_norm(&mut v, 10.0);
+        assert_eq!(factor, 1.0);
+        assert_eq!(v.norm(), 5.0);
+        let factor = clip_by_norm(&mut v, 1.0);
+        assert!((factor - 0.2).abs() < 1e-6);
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,409 @@
+//! Robust statistics kernels.
+//!
+//! These are the numeric building blocks of the paper's gradient aggregation
+//! rules: coordinate-wise medians, trimmed means, selection of the `k` values
+//! closest to a reference, and pairwise squared distances between gradients.
+//!
+//! All functions are careful about non-finite values: the paper stresses that
+//! real malicious workers will send `NaN`/`±Inf` coordinates, so the kernels
+//! either tolerate them (treat them as "infinitely far") or expose an explicit
+//! policy.
+
+use crate::{Result, TensorError, Vector};
+
+/// Median of a slice, ignoring NaN values.
+///
+/// For an even count the midpoint (average of the two central values) is
+/// returned, matching the conventional coordinate-wise median used by
+/// Bulyan and the Median GAR.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] if `values` is empty or contains only
+/// NaN values.
+pub fn median(values: &[f32]) -> Result<f32> {
+    let mut finite: Vec<f32> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if finite.is_empty() {
+        return Err(TensorError::EmptyInput("median"));
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let n = finite.len();
+    if n % 2 == 1 {
+        Ok(finite[n / 2])
+    } else {
+        Ok(0.5 * (finite[n / 2 - 1] + finite[n / 2]))
+    }
+}
+
+/// Lower median of a slice (the ⌈n/2⌉-th smallest value), ignoring NaN.
+///
+/// Bulyan's theoretical analysis uses an order-statistic median; the lower
+/// median keeps the output equal to one of the input values.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] if `values` is empty or all NaN.
+pub fn lower_median(values: &[f32]) -> Result<f32> {
+    let mut finite: Vec<f32> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if finite.is_empty() {
+        return Err(TensorError::EmptyInput("lower_median"));
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    Ok(finite[(finite.len() - 1) / 2])
+}
+
+/// Mean of the `beta` values closest to `center` (in absolute difference).
+///
+/// This is the inner step of Bulyan: for each coordinate, average the
+/// `m - 2f` values closest to the coordinate-wise median. Non-finite values
+/// sort as infinitely far from the center so they are never selected unless
+/// fewer than `beta` finite values exist.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] if `values` is empty, and
+/// [`TensorError::DimensionMismatch`] if `beta` is zero or exceeds
+/// `values.len()`.
+pub fn mean_closest_to(values: &[f32], center: f32, beta: usize) -> Result<f32> {
+    if values.is_empty() {
+        return Err(TensorError::EmptyInput("mean_closest_to"));
+    }
+    if beta == 0 || beta > values.len() {
+        return Err(TensorError::dim(values.len(), beta));
+    }
+    let mut keyed: Vec<(f32, f32)> = values
+        .iter()
+        .map(|&v| {
+            let key = if v.is_finite() { (v - center).abs() } else { f32::INFINITY };
+            (key, v)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let selected = &keyed[..beta];
+    Ok(selected.iter().map(|(_, v)| v).sum::<f32>() / beta as f32)
+}
+
+/// Trimmed mean: drops the `trim` smallest and `trim` largest values and
+/// averages the rest. NaN values are dropped before trimming.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] when nothing remains after trimming.
+pub fn trimmed_mean(values: &[f32], trim: usize) -> Result<f32> {
+    let mut finite: Vec<f32> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if finite.len() <= 2 * trim {
+        return Err(TensorError::EmptyInput("trimmed_mean"));
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let kept = &finite[trim..finite.len() - trim];
+    Ok(kept.iter().sum::<f32>() / kept.len() as f32)
+}
+
+/// Arithmetic mean ignoring NaN values; returns `None` if all values are NaN
+/// or the slice is empty.
+pub fn nan_mean(values: &[f32]) -> Option<f32> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &v in values {
+        if !v.is_nan() {
+            sum += v;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(sum / count as f32)
+    }
+}
+
+/// Full pairwise squared-distance matrix between `n` vectors.
+///
+/// Entry `(i, j)` holds `||v_i - v_j||²`. The matrix is symmetric with a zero
+/// diagonal. This is the O(n²·d) kernel that dominates Multi-Krum's cost and
+/// that Bulyan reuses across its iterations (the paper's key optimisation).
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] for an empty input and
+/// [`TensorError::DimensionMismatch`] if the vectors disagree on length.
+pub fn pairwise_squared_distances(vectors: &[Vector]) -> Result<Vec<Vec<f32>>> {
+    if vectors.is_empty() {
+        return Err(TensorError::EmptyInput("pairwise_squared_distances"));
+    }
+    let d = vectors[0].len();
+    for v in vectors {
+        if v.len() != d {
+            return Err(TensorError::dim(d, v.len()));
+        }
+    }
+    let n = vectors.len();
+    let mut out = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = vectors[i].squared_distance(&vectors[j]);
+            out[i][j] = dist;
+            out[j][i] = dist;
+        }
+    }
+    Ok(out)
+}
+
+/// Indices of the `k` smallest values in `values`, in ascending value order.
+///
+/// NaN values are ranked last (treated as `+∞`), which is exactly the
+/// behaviour the robust GARs need: a gradient whose distance to every other
+/// gradient is NaN must never be selected.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when `k > values.len()`.
+pub fn k_smallest_indices(values: &[f32], k: usize) -> Result<Vec<usize>> {
+    if k > values.len() {
+        return Err(TensorError::dim(values.len(), k));
+    }
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let va = if values[a].is_nan() { f32::INFINITY } else { values[a] };
+        let vb = if values[b].is_nan() { f32::INFINITY } else { values[b] };
+        va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    Ok(idx)
+}
+
+/// Coordinate-wise mean of a set of equally sized vectors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] for an empty set and
+/// [`TensorError::DimensionMismatch`] when lengths disagree.
+pub fn coordinate_mean(vectors: &[Vector]) -> Result<Vector> {
+    if vectors.is_empty() {
+        return Err(TensorError::EmptyInput("coordinate_mean"));
+    }
+    let d = vectors[0].len();
+    let mut acc = Vector::zeros(d);
+    for v in vectors {
+        if v.len() != d {
+            return Err(TensorError::dim(d, v.len()));
+        }
+        acc.axpy(1.0, v)?;
+    }
+    acc.scale(1.0 / vectors.len() as f32);
+    Ok(acc)
+}
+
+/// Coordinate-wise median of a set of equally sized vectors (NaN-tolerant).
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] for an empty set, a coordinate that is
+/// NaN in every vector, and [`TensorError::DimensionMismatch`] when lengths
+/// disagree.
+pub fn coordinate_median(vectors: &[Vector]) -> Result<Vector> {
+    if vectors.is_empty() {
+        return Err(TensorError::EmptyInput("coordinate_median"));
+    }
+    let d = vectors[0].len();
+    for v in vectors {
+        if v.len() != d {
+            return Err(TensorError::dim(d, v.len()));
+        }
+    }
+    let mut out = Vec::with_capacity(d);
+    // One scratch buffer reused across coordinates: the per-coordinate cost
+    // is on the critical path of the Median GAR (and of Bulyan), so no
+    // allocation or full sort per coordinate.
+    let mut column: Vec<f32> = Vec::with_capacity(vectors.len());
+    for c in 0..d {
+        column.clear();
+        column.extend(vectors.iter().map(|v| v[c]).filter(|x| !x.is_nan()));
+        out.push(median_of_scratch(&mut column)?);
+    }
+    Ok(Vector::from(out))
+}
+
+/// Median of a NaN-free scratch buffer using selection instead of a full
+/// sort. The buffer is reordered in place.
+fn median_of_scratch(column: &mut [f32]) -> Result<f32> {
+    let k = column.len();
+    if k == 0 {
+        return Err(TensorError::EmptyInput("median"));
+    }
+    let cmp = |a: &f32, b: &f32| a.partial_cmp(b).expect("NaN filtered by caller");
+    if k % 2 == 1 {
+        let (_, mid, _) = column.select_nth_unstable_by(k / 2, cmp);
+        Ok(*mid)
+    } else {
+        let (below, upper, _) = column.select_nth_unstable_by(k / 2, cmp);
+        let upper = *upper;
+        let lower = below.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        Ok(0.5 * (lower + upper))
+    }
+}
+
+/// Sample variance (unbiased, divide by `n - 1`) of a slice; 0 for fewer than
+/// two finite values.
+pub fn variance(values: &[f32]) -> f32 {
+    let finite: Vec<f32> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.len() < 2 {
+        return 0.0;
+    }
+    let mean = finite.iter().sum::<f32>() / finite.len() as f32;
+    finite.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / (finite.len() - 1) as f32
+}
+
+/// Coordinate-wise standard deviation across a set of vectors.
+///
+/// Used by the "little is enough"-style omniscient attack, which perturbs the
+/// honest mean by a multiple of the per-coordinate standard deviation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] for an empty set and
+/// [`TensorError::DimensionMismatch`] when lengths disagree.
+pub fn coordinate_std(vectors: &[Vector]) -> Result<Vector> {
+    if vectors.is_empty() {
+        return Err(TensorError::EmptyInput("coordinate_std"));
+    }
+    let d = vectors[0].len();
+    for v in vectors {
+        if v.len() != d {
+            return Err(TensorError::dim(d, v.len()));
+        }
+    }
+    let mut out = Vec::with_capacity(d);
+    let mut column = Vec::with_capacity(vectors.len());
+    for c in 0..d {
+        column.clear();
+        column.extend(vectors.iter().map(|v| v[c]));
+        out.push(variance(&column).sqrt());
+    }
+    Ok(Vector::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn median_ignores_nan_and_rejects_empty() {
+        assert_eq!(median(&[f32::NAN, 1.0, 3.0]).unwrap(), 2.0);
+        assert!(median(&[]).is_err());
+        assert!(median(&[f32::NAN]).is_err());
+    }
+
+    #[test]
+    fn lower_median_is_an_input_value() {
+        assert_eq!(lower_median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(lower_median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn mean_closest_selects_neighbours_of_center() {
+        // center 2.0, closest two values are 1.9 and 2.2
+        let v = [10.0, 1.9, 2.2, -5.0];
+        let m = mean_closest_to(&v, 2.0, 2).unwrap();
+        assert!((m - 2.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_closest_never_selects_non_finite_when_enough_finite() {
+        let v = [f32::NAN, 1.0, f32::INFINITY, 3.0];
+        let m = mean_closest_to(&v, 2.0, 2).unwrap();
+        assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    fn mean_closest_validates_beta() {
+        assert!(mean_closest_to(&[1.0], 0.0, 0).is_err());
+        assert!(mean_closest_to(&[1.0], 0.0, 2).is_err());
+        assert!(mean_closest_to(&[], 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let v = [100.0, 1.0, 2.0, 3.0, -50.0];
+        assert_eq!(trimmed_mean(&v, 1).unwrap(), 2.0);
+        assert!(trimmed_mean(&v, 2).is_ok());
+        assert!(trimmed_mean(&v, 3).is_err());
+    }
+
+    #[test]
+    fn nan_mean_behaviour() {
+        assert_eq!(nan_mean(&[1.0, f32::NAN, 3.0]), Some(2.0));
+        assert_eq!(nan_mean(&[f32::NAN]), None);
+        assert_eq!(nan_mean(&[]), None);
+    }
+
+    #[test]
+    fn pairwise_distances_symmetric_zero_diagonal() {
+        let vs = vec![
+            Vector::from(vec![0.0, 0.0]),
+            Vector::from(vec![3.0, 4.0]),
+            Vector::from(vec![0.0, 1.0]),
+        ];
+        let d = pairwise_squared_distances(&vs).unwrap();
+        assert_eq!(d[0][0], 0.0);
+        assert_eq!(d[0][1], 25.0);
+        assert_eq!(d[1][0], 25.0);
+        assert_eq!(d[0][2], 1.0);
+        assert!(pairwise_squared_distances(&[]).is_err());
+    }
+
+    #[test]
+    fn pairwise_distances_rejects_ragged_input() {
+        let vs = vec![Vector::zeros(2), Vector::zeros(3)];
+        assert!(pairwise_squared_distances(&vs).is_err());
+    }
+
+    #[test]
+    fn k_smallest_ranks_nan_last() {
+        let v = [5.0, f32::NAN, 1.0, 3.0];
+        assert_eq!(k_smallest_indices(&v, 2).unwrap(), vec![2, 3]);
+        assert_eq!(k_smallest_indices(&v, 4).unwrap(), vec![2, 3, 0, 1]);
+        assert!(k_smallest_indices(&v, 5).is_err());
+    }
+
+    #[test]
+    fn coordinate_mean_and_median() {
+        let vs = vec![
+            Vector::from(vec![1.0, 10.0]),
+            Vector::from(vec![2.0, 20.0]),
+            Vector::from(vec![3.0, 90.0]),
+        ];
+        assert_eq!(coordinate_mean(&vs).unwrap().as_slice(), &[2.0, 40.0]);
+        assert_eq!(coordinate_median(&vs).unwrap().as_slice(), &[2.0, 20.0]);
+        assert!(coordinate_mean(&[]).is_err());
+        assert!(coordinate_median(&[]).is_err());
+    }
+
+    #[test]
+    fn coordinate_median_tolerates_nan_columns() {
+        let vs = vec![
+            Vector::from(vec![1.0, f32::NAN]),
+            Vector::from(vec![3.0, 5.0]),
+            Vector::from(vec![2.0, 7.0]),
+        ];
+        let m = coordinate_median(&vs).unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        assert_eq!(variance(&[1.0, 1.0, 1.0]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-6);
+        assert_eq!(variance(&[1.0]), 0.0);
+        let vs = vec![Vector::from(vec![1.0, 0.0]), Vector::from(vec![3.0, 0.0])];
+        let s = coordinate_std(&vs).unwrap();
+        assert!((s[0] - (2.0f32).sqrt()).abs() < 1e-6);
+        assert_eq!(s[1], 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Byzantine training: what happens when an adversary controls workers.
+//!
+//! Reproduces the paper's core story in miniature: with `f` Byzantine workers
+//! sending adversarial gradients, plain averaging (vanilla TensorFlow's
+//! `SyncReplicasOptimizer`) is destroyed, the coordinate-wise median and
+//! Multi-Krum survive, and Bulyan additionally resists the stealthy
+//! dimensional-leeway attack.
+//!
+//! ```text
+//! cargo run --release -p agg-apps --example byzantine_training
+//! ```
+
+use agg_attacks::AttackKind;
+use agg_core::{GarConfig, GarKind};
+use agg_metrics::Table;
+use agg_ps::{RunnerConfig, SyncTrainingEngine};
+
+fn run(gar: GarKind, f: usize, attack: AttackKind, byzantine: usize) -> f64 {
+    let config = RunnerConfig {
+        gar: GarConfig::new(gar, f),
+        workers: 19,
+        byzantine_count: byzantine,
+        attack,
+        max_steps: 150,
+        eval_every: 25,
+        learning_rate: agg_nn::schedule::LearningRate::Fixed { rate: 0.01 },
+        seed: 7,
+        ..RunnerConfig::quick_default()
+    };
+    SyncTrainingEngine::new(config)
+        .expect("valid configuration")
+        .run()
+        .expect("run completes")
+        .final_accuracy()
+}
+
+fn main() {
+    let attacks = [
+        ("none", AttackKind::None, 0usize),
+        ("reversed x100", AttackKind::Reversed { scale: 100.0 }, 4),
+        ("random", AttackKind::Random { magnitude: 100.0 }, 4),
+        ("NaN / Inf", AttackKind::NonFinite, 4),
+        ("little-is-enough", AttackKind::LittleIsEnough { z: 1.5 }, 4),
+    ];
+    let defences = [
+        ("Average (vanilla TF)", GarKind::Average, 0usize),
+        ("Median", GarKind::Median, 4),
+        ("Multi-Krum", GarKind::MultiKrum, 4),
+        ("Bulyan", GarKind::Bulyan, 4),
+    ];
+
+    let mut header = vec!["attack \\ defence".to_string()];
+    header.extend(defences.iter().map(|(n, _, _)| n.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Final test accuracy: 19 workers, 4 Byzantine (except row 'none')",
+        &header_refs,
+    );
+    for (attack_name, attack, byzantine) in attacks {
+        let mut row = vec![attack_name.to_string()];
+        for (_, gar, f) in defences {
+            let accuracy = run(gar, f, attack, byzantine);
+            row.push(format!("{accuracy:.3}"));
+        }
+        table.add_row(&row);
+        println!("finished attack: {attack_name}");
+    }
+    println!("\n{table}");
+    println!(
+        "reading guide: averaging collapses under every active attack; the robust GARs hold. \
+         Under 'little-is-enough' the weakly resilient rules lose more accuracy than Bulyan \
+         (strong resilience) — the gap the paper motivates Bulyan with."
+    );
+}

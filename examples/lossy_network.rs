@@ -1,0 +1,103 @@
+//! Lossy networking: Byzantine resilience as a performance booster.
+//!
+//! The paper's §3.3 / Figure 8 insight: once a Byzantine-resilient GAR sits
+//! at the top of the stack, the transport underneath no longer has to be
+//! reliable — lost packets just look like (tolerated) malformed gradients.
+//! Over a saturated/lossy network, dropping TCP for a UDP-like transport
+//! buys a large speed-up at no accuracy cost.
+//!
+//! ```text
+//! cargo run --release -p agg-apps --example lossy_network
+//! ```
+
+use agg_core::{GarConfig, GarKind};
+use agg_metrics::Table;
+use agg_net::{GradientCodec, LinkConfig, LossPolicy, LossyTransport, ReliableTransport, Transport};
+use agg_ps::{CostModel, RunnerConfig, SyncTrainingEngine, TransportKind, VirtualModelCost};
+use agg_tensor::rng::{gaussian_vector, seeded_rng};
+
+fn transfer_comparison() {
+    println!("-- single gradient transfer: 1.75M parameters over a 10 Gbps link --");
+    let gradient = gaussian_vector(&mut seeded_rng(1), 1_756_426, 0.0, 1.0);
+    let codec = GradientCodec::default_mtu();
+    let mut table = Table::new(
+        "Transfer time of one gradient",
+        &["transport", "drop rate", "time (s)", "coordinates lost"],
+    );
+    for drop in [0.0, 0.05, 0.10] {
+        let link = LinkConfig::datacenter().with_drop_rate(drop);
+        let mut tcp = ReliableTransport::new(link, codec).expect("valid link");
+        let out = tcp.transfer(0, 0, &gradient).expect("transfer");
+        table.add_row(&[
+            "TCP (gRPC-like)".to_string(),
+            format!("{:.0}%", drop * 100.0),
+            format!("{:.3}", out.time_sec),
+            out.missing_coordinates.to_string(),
+        ]);
+        let mut udp = LossyTransport::new(link, codec, LossPolicy::RandomFill, 3, 0)
+            .expect("valid link");
+        let out = udp.transfer(0, 0, &gradient).expect("transfer");
+        table.add_row(&[
+            "lossyMPI (UDP-like)".to_string(),
+            format!("{:.0}%", drop * 100.0),
+            format!("{:.3}", out.time_sec),
+            out.missing_coordinates.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn training_comparison() {
+    println!("-- end-to-end training under a 10% drop rate (19 workers, 8 lossy links) --");
+    let base = RunnerConfig {
+        workers: 19,
+        max_steps: 100,
+        eval_every: 20,
+        learning_rate: agg_nn::schedule::LearningRate::Fixed { rate: 0.01 },
+        link: LinkConfig::datacenter().with_drop_rate(0.10),
+        cost: CostModel::paper_like().with_virtual_model(VirtualModelCost::paper_cnn()),
+        seed: 11,
+        ..RunnerConfig::quick_default()
+    };
+
+    let mut tcp = base.clone();
+    tcp.gar = GarConfig::new(GarKind::Average, 0);
+    tcp.transport = TransportKind::Reliable;
+    tcp.lossy_links = 8; // the same 8 links are degraded in both deployments
+    let tcp_report = SyncTrainingEngine::new(tcp).expect("valid").run().expect("runs");
+
+    let mut udp = base;
+    udp.gar = GarConfig::new(GarKind::MultiKrum, 8);
+    udp.transport = TransportKind::Lossy { policy: LossPolicy::RandomFill };
+    udp.lossy_links = 8;
+    let udp_report = SyncTrainingEngine::new(udp).expect("valid").run().expect("runs");
+
+    let mut table = Table::new(
+        "Accuracy vs simulated time under loss",
+        &["system", "final accuracy", "time to 30% accuracy (s)", "total simulated time (s)"],
+    );
+    for (name, report) in [
+        ("TF over gRPC (reliable)", &tcp_report),
+        ("AggregaThor f=8 over lossyMPI", &udp_report),
+    ] {
+        table.add_row(&[
+            name.to_string(),
+            format!("{:.3}", report.final_accuracy()),
+            report
+                .time_to_accuracy(0.30)
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "never".into()),
+            format!("{:.1}", report.simulated_time_sec),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "the robust GAR lets the unreliable transport win: same accuracy, far less time \
+         (the paper reports a >6x speed-up to 30% accuracy)."
+    );
+}
+
+fn main() {
+    transfer_comparison();
+    training_comparison();
+}

@@ -1,0 +1,132 @@
+//! Attack × defence matrix: the resilience claims of the paper, checked end
+//! to end on the proxy experiment.
+//!
+//! * Plain averaging collapses under every active attack (§2.2).
+//! * Median, Multi-Krum and Bulyan keep learning under attacks within their
+//!   declared `f` (weak resilience).
+//! * Bulyan resists the dimensional-leeway attack at least as well as
+//!   Multi-Krum (strong resilience, §4.3).
+//! * Corrupted-data workers (Figure 7) ruin averaging but not Multi-Krum.
+
+use agg_attacks::AttackKind;
+use agg_core::{GarConfig, GarKind};
+use agg_data::corruption::Corruption;
+use agg_nn::schedule::LearningRate;
+use agg_ps::{RunnerConfig, SyncTrainingEngine, TrainingReport};
+
+fn run(gar: GarKind, f: usize, attack: AttackKind, byzantine: usize) -> TrainingReport {
+    let config = RunnerConfig {
+        gar: GarConfig::new(gar, f),
+        workers: 19,
+        byzantine_count: byzantine,
+        attack,
+        max_steps: 100,
+        eval_every: 25,
+        eval_samples: 256,
+        learning_rate: LearningRate::Fixed { rate: 0.01 },
+        seed: 21,
+        ..RunnerConfig::quick_default()
+    };
+    SyncTrainingEngine::new(config).expect("valid").run().expect("runs")
+}
+
+const GOOD: f64 = 0.7;
+const BAD: f64 = 0.5;
+
+#[test]
+fn averaging_collapses_under_reversed_gradients() {
+    let report = run(GarKind::Average, 0, AttackKind::Reversed { scale: 100.0 }, 4);
+    assert!(report.final_accuracy() < BAD, "accuracy {}", report.final_accuracy());
+}
+
+#[test]
+fn averaging_collapses_under_non_finite_gradients() {
+    let report = run(GarKind::Average, 0, AttackKind::NonFinite, 1);
+    assert!(report.final_accuracy() < BAD, "accuracy {}", report.final_accuracy());
+}
+
+#[test]
+fn multi_krum_survives_reversed_gradients() {
+    let report = run(GarKind::MultiKrum, 4, AttackKind::Reversed { scale: 100.0 }, 4);
+    assert!(report.final_accuracy() > GOOD, "accuracy {}", report.final_accuracy());
+}
+
+#[test]
+fn multi_krum_survives_random_gradients() {
+    let report = run(GarKind::MultiKrum, 4, AttackKind::Random { magnitude: 100.0 }, 4);
+    assert!(report.final_accuracy() > GOOD, "accuracy {}", report.final_accuracy());
+}
+
+#[test]
+fn multi_krum_survives_non_finite_gradients() {
+    let report = run(GarKind::MultiKrum, 4, AttackKind::NonFinite, 4);
+    assert!(report.final_accuracy() > GOOD, "accuracy {}", report.final_accuracy());
+    assert_eq!(report.skipped_updates, 0);
+}
+
+#[test]
+fn median_survives_reversed_gradients() {
+    let report = run(GarKind::Median, 4, AttackKind::Reversed { scale: 100.0 }, 4);
+    assert!(report.final_accuracy() > GOOD, "accuracy {}", report.final_accuracy());
+}
+
+#[test]
+fn bulyan_survives_every_crude_attack() {
+    for attack in [
+        AttackKind::Reversed { scale: 100.0 },
+        AttackKind::Random { magnitude: 100.0 },
+        AttackKind::NonFinite,
+        AttackKind::ConstantDrift { value: 50.0 },
+    ] {
+        let report = run(GarKind::Bulyan, 4, attack, 4);
+        assert!(
+            report.final_accuracy() > GOOD,
+            "Bulyan under {attack:?}: accuracy {}",
+            report.final_accuracy()
+        );
+    }
+}
+
+#[test]
+fn bulyan_resists_the_dimensional_leeway_attack_at_least_as_well_as_multi_krum() {
+    let attack = AttackKind::LittleIsEnough { z: 1.5 };
+    let multi_krum = run(GarKind::MultiKrum, 4, attack, 4);
+    let bulyan = run(GarKind::Bulyan, 4, attack, 4);
+    assert!(
+        bulyan.final_accuracy() >= multi_krum.final_accuracy() - 0.05,
+        "strong resilience should not lose to weak: bulyan {} vs multi-krum {}",
+        bulyan.final_accuracy(),
+        multi_krum.final_accuracy()
+    );
+    // And Bulyan under the stealthy attack still learns.
+    assert!(bulyan.final_accuracy() > 0.6, "bulyan accuracy {}", bulyan.final_accuracy());
+}
+
+fn run_poisoned(gar: GarKind, f: usize, poisoned: usize) -> TrainingReport {
+    let config = RunnerConfig {
+        gar: GarConfig::new(gar, f),
+        workers: 19,
+        byzantine_count: poisoned,
+        data_poisoning: Some(Corruption::HugeValues),
+        max_steps: 100,
+        eval_every: 25,
+        eval_samples: 256,
+        learning_rate: LearningRate::Fixed { rate: 0.01 },
+        seed: 21,
+        ..RunnerConfig::quick_default()
+    };
+    SyncTrainingEngine::new(config).expect("valid").run().expect("runs")
+}
+
+#[test]
+fn corrupted_data_ruins_averaging_but_not_multi_krum() {
+    // The Figure 7 experiment: a single worker training on malformed records.
+    let tf = run_poisoned(GarKind::Average, 0, 1);
+    let aggregathor = run_poisoned(GarKind::MultiKrum, 1, 1);
+    assert!(tf.final_accuracy() < BAD, "averaging should degrade, got {}", tf.final_accuracy());
+    assert!(
+        aggregathor.final_accuracy() > GOOD,
+        "Multi-Krum should match the ideal run, got {}",
+        aggregathor.final_accuracy()
+    );
+}
