@@ -282,7 +282,8 @@ mod tests {
     fn attacks_are_deterministic() {
         let honest = honest_cloud(8, 6);
         let model = Vector::zeros(6);
-        for kind in [AttackKind::Random { magnitude: 10.0 }, AttackKind::LittleIsEnough { z: 1.5 }] {
+        for kind in [AttackKind::Random { magnitude: 10.0 }, AttackKind::LittleIsEnough { z: 1.5 }]
+        {
             let a = kind.build().craft(&ctx(&honest, &model, 2));
             let b = kind.build().craft(&ctx(&honest, &model, 2));
             assert_eq!(a, b);

@@ -1,7 +1,9 @@
 //! Criterion benchmarks of the communication layer: packetisation,
 //! reassembly and the lossy-link simulation behind the Figure 8 experiments.
 
-use agg_net::{GradientCodec, LinkConfig, LossPolicy, LossyTransport, ReliableTransport, Transport};
+use agg_net::{
+    GradientCodec, LinkConfig, LossPolicy, LossyTransport, ReliableTransport, Transport,
+};
 use agg_tensor::rng::{gaussian_vector, seeded_rng};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 

@@ -9,11 +9,9 @@ fn bench_mlp_gradient(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn_mlp_gradient");
     group.sample_size(20);
     let mut model = models::synthetic_mlp(32, &[64], 10, 0);
-    let data = gaussian_blobs(
-        &BlobConfig { classes: 10, dim: 32, samples: 256, ..Default::default() },
-        1,
-    )
-    .unwrap();
+    let data =
+        gaussian_blobs(&BlobConfig { classes: 10, dim: 32, samples: 256, ..Default::default() }, 1)
+            .unwrap();
     let (batch, labels) = data.head_batch(64).unwrap();
     group.bench_function("batch64", |b| {
         b.iter(|| model.gradient(black_box(&batch), black_box(&labels)).unwrap())

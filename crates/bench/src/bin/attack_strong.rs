@@ -20,10 +20,7 @@ fn run(kind: GarKind, f: usize, attack: Option<AttackKind>, steps: u64) -> Train
         config.byzantine_count = f;
         config.attack = attack;
     }
-    SyncTrainingEngine::new(config)
-        .expect("valid configuration")
-        .run()
-        .expect("run completes")
+    SyncTrainingEngine::new(config).expect("valid configuration").run().expect("run completes")
 }
 
 fn main() {

@@ -76,7 +76,11 @@ fn sweep(title: &str, virtual_model: VirtualModelCost, systems: &[System]) {
 
 fn main() {
     let systems = vec![
-        System { name: "TF/Average", gar: Some(GarConfig::new(GarKind::Average, 0)), draco_f: None },
+        System {
+            name: "TF/Average",
+            gar: Some(GarConfig::new(GarKind::Average, 0)),
+            draco_f: None,
+        },
         System { name: "Median", gar: Some(GarConfig::new(GarKind::Median, 4)), draco_f: None },
         System {
             name: "Multi-Krum f=1",

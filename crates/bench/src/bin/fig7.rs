@@ -17,10 +17,7 @@ fn run(kind: GarKind, f: usize, poisoned_workers: usize, steps: u64) -> Training
     if poisoned_workers > 0 {
         config.data_poisoning = Some(Corruption::HugeValues);
     }
-    SyncTrainingEngine::new(config)
-        .expect("valid configuration")
-        .run()
-        .expect("run completes")
+    SyncTrainingEngine::new(config).expect("valid configuration").run().expect("run completes")
 }
 
 fn main() {

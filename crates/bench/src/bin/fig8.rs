@@ -26,10 +26,7 @@ fn run(scenario: &Scenario, drop_rate: f64, steps: u64) -> TrainingReport {
     config.transport = scenario.transport;
     config.lossy_links = scenario.lossy_links;
     config.link = LinkConfig::datacenter().with_drop_rate(drop_rate);
-    SyncTrainingEngine::new(config)
-        .expect("valid configuration")
-        .run()
-        .expect("run completes")
+    SyncTrainingEngine::new(config).expect("valid configuration").run().expect("run completes")
 }
 
 fn report(title: &str, drop_rate: f64, scenarios: &[Scenario], steps: u64) {
@@ -75,7 +72,12 @@ fn main() {
             lossy_links: 8,
         },
     ];
-    report("Figure 8(a): 0% artificial drop rate, lossy transport on 8 links", 0.0, &no_loss, steps);
+    report(
+        "Figure 8(a): 0% artificial drop rate, lossy transport on 8 links",
+        0.0,
+        &no_loss,
+        steps,
+    );
     println!("expected shape: the three strategies converge almost identically.\n");
 
     let lossy = [

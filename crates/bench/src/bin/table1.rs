@@ -9,10 +9,8 @@ use agg_nn::models;
 
 fn main() {
     let model = models::paper_cnn(0);
-    let mut table = Table::new(
-        "Table 1: CNN model parameters (paper: ~1.75M total)",
-        &["layer", "parameters"],
-    );
+    let mut table =
+        Table::new("Table 1: CNN model parameters (paper: ~1.75M total)", &["layer", "parameters"]);
     for (name, params) in model.layer_summary() {
         table.add_row(&[name.to_string(), params.to_string()]);
     }

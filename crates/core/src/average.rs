@@ -70,10 +70,7 @@ mod tests {
     #[test]
     fn rejects_empty_and_ragged_batches() {
         let gar = Average::new();
-        assert!(matches!(
-            gar.aggregate(&[]).unwrap_err(),
-            AggregationError::NoGradients(_)
-        ));
+        assert!(matches!(gar.aggregate(&[]).unwrap_err(), AggregationError::NoGradients(_)));
         let gs = vec![Vector::zeros(2), Vector::zeros(3)];
         assert!(matches!(
             gar.aggregate(&gs).unwrap_err(),

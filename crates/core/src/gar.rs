@@ -128,10 +128,7 @@ mod tests {
 
     #[test]
     fn validate_batch_rejects_empty_and_ragged() {
-        assert_eq!(
-            validate_batch("test", &[]).unwrap_err(),
-            AggregationError::NoGradients("test")
-        );
+        assert_eq!(validate_batch("test", &[]).unwrap_err(), AggregationError::NoGradients("test"));
         let gs = vec![Vector::zeros(3), Vector::zeros(4)];
         assert!(matches!(
             validate_batch("test", &gs).unwrap_err(),

@@ -134,11 +134,8 @@ mod tests {
     #[test]
     fn excludes_non_finite_gradients() {
         let gar = GeometricMedian::new(1);
-        let gs = vec![
-            Vector::from(vec![1.0]),
-            Vector::from(vec![1.2]),
-            Vector::from(vec![f32::NAN]),
-        ];
+        let gs =
+            vec![Vector::from(vec![1.0]), Vector::from(vec![1.2]), Vector::from(vec![f32::NAN])];
         let out = gar.aggregate(&gs).unwrap();
         assert!(out.is_finite());
         assert!(out[0] >= 1.0 && out[0] <= 1.2);
@@ -167,9 +164,8 @@ mod tests {
 
     #[test]
     fn more_iterations_do_not_move_the_estimate_far() {
-        let gs: Vec<Vector> = (0..9)
-            .map(|i| Vector::from(vec![(i % 3) as f32, (i / 3) as f32]))
-            .collect();
+        let gs: Vec<Vector> =
+            (0..9).map(|i| Vector::from(vec![(i % 3) as f32, (i / 3) as f32])).collect();
         let coarse = GeometricMedian::with_iterations(1, 2).unwrap().aggregate(&gs).unwrap();
         let fine = GeometricMedian::with_iterations(1, 32).unwrap().aggregate(&gs).unwrap();
         assert!(coarse.distance(&fine) < 0.5);

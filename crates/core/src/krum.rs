@@ -24,8 +24,8 @@ pub struct Krum {
 impl Krum {
     /// Creates Krum declared to tolerate `f` Byzantine workers.
     pub fn new(f: usize) -> Self {
-        let inner = MultiKrum::with_selection(f, 1)
-            .expect("m = 1 is always a valid selection size");
+        let inner =
+            MultiKrum::with_selection(f, 1).expect("m = 1 is always a valid selection size");
         Krum { inner }
     }
 

@@ -57,9 +57,7 @@ impl Gar for MeaMed {
             column.clear();
             column.extend(gradients.iter().map(|g| g[c]));
             let med = stats::median(&column).map_err(AggregationError::from)?;
-            out.push(
-                stats::mean_closest_to(&column, med, keep).map_err(AggregationError::from)?,
-            );
+            out.push(stats::mean_closest_to(&column, med, keep).map_err(AggregationError::from)?);
         }
         Ok(Vector::from(out))
     }
@@ -102,11 +100,8 @@ mod tests {
     #[test]
     fn tolerates_non_finite_values() {
         let gar = MeaMed::new(1);
-        let gs = vec![
-            Vector::from(vec![1.0]),
-            Vector::from(vec![2.0]),
-            Vector::from(vec![f32::NAN]),
-        ];
+        let gs =
+            vec![Vector::from(vec![1.0]), Vector::from(vec![2.0]), Vector::from(vec![f32::NAN])];
         let out = gar.aggregate(&gs).unwrap();
         assert!(out.is_finite());
         assert!(out[0] >= 1.0 && out[0] <= 2.0);

@@ -74,11 +74,7 @@ mod tests {
     #[test]
     fn single_outlier_cannot_move_the_median_far() {
         let gar = CoordinateMedian::new(1);
-        let gs = vec![
-            Vector::from(vec![1.0]),
-            Vector::from(vec![1.1]),
-            Vector::from(vec![1e9]),
-        ];
+        let gs = vec![Vector::from(vec![1.0]), Vector::from(vec![1.1]), Vector::from(vec![1e9])];
         let out = gar.aggregate(&gs).unwrap();
         assert!((out[0] - 1.1).abs() < 1e-6);
     }
@@ -86,11 +82,8 @@ mod tests {
     #[test]
     fn nan_coordinates_are_ignored() {
         let gar = CoordinateMedian::new(1);
-        let gs = vec![
-            Vector::from(vec![1.0]),
-            Vector::from(vec![2.0]),
-            Vector::from(vec![f32::NAN]),
-        ];
+        let gs =
+            vec![Vector::from(vec![1.0]), Vector::from(vec![2.0]), Vector::from(vec![f32::NAN])];
         assert_eq!(gar.aggregate(&gs).unwrap().as_slice(), &[1.5]);
     }
 

@@ -64,11 +64,8 @@ pub fn krum_score(
     index: usize,
     neighbours: usize,
 ) -> f32 {
-    let mut row: Vec<f32> = active
-        .iter()
-        .filter(|&&j| j != index)
-        .map(|&j| distances[index][j])
-        .collect();
+    let mut row: Vec<f32> =
+        active.iter().filter(|&&j| j != index).map(|&j| distances[index][j]).collect();
     row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     row.iter().take(neighbours).sum()
 }
@@ -76,15 +73,9 @@ pub fn krum_score(
 /// Krum scores for every member of `active`, in the same order as `active`.
 pub fn krum_scores(distances: &[Vec<f32>], active: &[usize], neighbours: usize) -> Vec<f32> {
     if active.len() * active.len() < PARALLEL_THRESHOLD {
-        active
-            .iter()
-            .map(|&i| krum_score(distances, active, i, neighbours))
-            .collect()
+        active.iter().map(|&i| krum_score(distances, active, i, neighbours)).collect()
     } else {
-        active
-            .par_iter()
-            .map(|&i| krum_score(distances, active, i, neighbours))
-            .collect()
+        active.par_iter().map(|&i| krum_score(distances, active, i, neighbours)).collect()
     }
 }
 
@@ -157,11 +148,9 @@ impl MultiKrum {
         match self.m {
             None => Ok(max_m),
             Some(m) if m <= max_m => Ok(m),
-            Some(m) => Err(AggregationError::InvalidSelectionSize {
-                rule: "multi-krum",
-                m,
-                max: max_m,
-            }),
+            Some(m) => {
+                Err(AggregationError::InvalidSelectionSize { rule: "multi-krum", m, max: max_m })
+            }
         }
     }
 
@@ -325,11 +314,7 @@ mod tests {
     fn krum_score_uses_only_nearest_neighbours() {
         // Three points on a line: 0, 1, 10. With 1 neighbour the score of the
         // middle point is the distance to its closest neighbour only.
-        let gs = vec![
-            Vector::from(vec![0.0]),
-            Vector::from(vec![1.0]),
-            Vector::from(vec![10.0]),
-        ];
+        let gs = vec![Vector::from(vec![0.0]), Vector::from(vec![1.0]), Vector::from(vec![10.0])];
         let d = distance_matrix(&gs);
         let active = vec![0, 1, 2];
         assert_eq!(krum_score(&d, &active, 1, 1), 1.0);

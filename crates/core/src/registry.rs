@@ -2,11 +2,11 @@
 //! `--aggregator` / `--aggregator-args` flags of the original AggregaThor
 //! runner (`runner.py`).
 
+use crate::AggregationError;
 use crate::{
     Average, Bulyan, CoordinateMedian, Gar, GeometricMedian, Krum, MeaMed, MultiKrum, Result,
     SelectiveAverage, TrimmedMean,
 };
-use crate::AggregationError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;

@@ -104,12 +104,7 @@ pub fn check_multi_krum(n: usize, f: usize) -> Result<()> {
 pub fn check_bulyan(n: usize, f: usize) -> Result<()> {
     let required = bulyan_min_workers(f);
     if n < required {
-        return Err(AggregationError::NotEnoughWorkers {
-            rule: "bulyan",
-            f,
-            required,
-            actual: n,
-        });
+        return Err(AggregationError::NotEnoughWorkers { rule: "bulyan", f, required, actual: n });
     }
     Ok(())
 }
@@ -153,11 +148,7 @@ pub fn max_f_bulyan(n: usize) -> Option<usize> {
 ///
 /// Returns `None` when the configuration is inadmissible.
 pub fn theoretical_slowdown(n: usize, f: usize, strong: bool) -> Option<f64> {
-    let m_tilde = if strong {
-        bulyan_max_m(n, f).ok()?
-    } else {
-        multi_krum_max_m(n, f).ok()?
-    };
+    let m_tilde = if strong { bulyan_max_m(n, f).ok()? } else { multi_krum_max_m(n, f).ok()? };
     Some((m_tilde as f64 / n as f64).sqrt())
 }
 

@@ -38,8 +38,7 @@ pub fn apply_policy(policy: SanitizePolicy, gradients: &[Vector]) -> (Vec<Vector
     match policy {
         SanitizePolicy::PassThrough => (gradients.to_vec(), 0),
         SanitizePolicy::DropCorrupt => {
-            let kept: Vec<Vector> =
-                gradients.iter().filter(|g| g.is_finite()).cloned().collect();
+            let kept: Vec<Vector> = gradients.iter().filter(|g| g.is_finite()).cloned().collect();
             let dropped = gradients.len() - kept.len();
             (kept, dropped)
         }

@@ -78,20 +78,14 @@ mod tests {
     #[test]
     fn skips_lost_coordinates() {
         let gar = SelectiveAverage::new();
-        let gs = vec![
-            Vector::from(vec![1.0, f32::NAN]),
-            Vector::from(vec![3.0, 8.0]),
-        ];
+        let gs = vec![Vector::from(vec![1.0, f32::NAN]), Vector::from(vec![3.0, 8.0])];
         assert_eq!(gar.aggregate(&gs).unwrap().as_slice(), &[2.0, 8.0]);
     }
 
     #[test]
     fn coordinate_lost_everywhere_becomes_zero_update() {
         let gar = SelectiveAverage::new();
-        let gs = vec![
-            Vector::from(vec![1.0, f32::NAN]),
-            Vector::from(vec![3.0, f32::NAN]),
-        ];
+        let gs = vec![Vector::from(vec![1.0, f32::NAN]), Vector::from(vec![3.0, f32::NAN])];
         assert_eq!(gar.aggregate(&gs).unwrap().as_slice(), &[2.0, 0.0]);
     }
 

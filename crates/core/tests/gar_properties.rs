@@ -7,22 +7,15 @@ use proptest::prelude::*;
 
 /// Strategy: an honest gradient cluster of dimension `d` centred on `center`
 /// with bounded spread.
-fn honest_cluster(
-    n: usize,
-    d: usize,
-) -> impl Strategy<Value = (Vec<Vector>, f32)> {
+fn honest_cluster(n: usize, d: usize) -> impl Strategy<Value = (Vec<Vector>, f32)> {
     (-10.0f32..10.0).prop_flat_map(move |center| {
-        prop::collection::vec(prop::collection::vec(-1.0f32..1.0, d), n).prop_map(
-            move |noise| {
-                let grads = noise
-                    .into_iter()
-                    .map(|nv| {
-                        Vector::from_iter(nv.into_iter().map(|x| center + 0.1 * x))
-                    })
-                    .collect();
-                (grads, center)
-            },
-        )
+        prop::collection::vec(prop::collection::vec(-1.0f32..1.0, d), n).prop_map(move |noise| {
+            let grads = noise
+                .into_iter()
+                .map(|nv| Vector::from_iter(nv.into_iter().map(|x| center + 0.1 * x)))
+                .collect();
+            (grads, center)
+        })
     })
 }
 
@@ -30,12 +23,7 @@ fn honest_cluster(
 /// non-finite.
 fn byzantine_gradient(d: usize) -> impl Strategy<Value = Vector> {
     prop::collection::vec(
-        prop_oneof![
-            -1e9f32..1e9,
-            Just(f32::NAN),
-            Just(f32::INFINITY),
-            Just(f32::NEG_INFINITY),
-        ],
+        prop_oneof![-1e9f32..1e9, Just(f32::NAN), Just(f32::INFINITY), Just(f32::NEG_INFINITY),],
         d,
     )
     .prop_map(Vector::from)

@@ -44,20 +44,12 @@ pub fn corrupt(dataset: &Dataset, corruption: Corruption, seed: u64) -> Result<D
             Dataset::new(dataset.samples().clone(), labels, classes)
         }
         Corruption::RandomLabels => {
-            let labels = dataset
-                .labels()
-                .iter()
-                .map(|_| rng.gen_range(0..classes))
-                .collect();
+            let labels = dataset.labels().iter().map(|_| rng.gen_range(0..classes)).collect();
             Dataset::new(dataset.samples().clone(), labels, classes)
         }
         Corruption::NoiseFeatures => {
-            let data: Vec<f32> = dataset
-                .samples()
-                .as_slice()
-                .iter()
-                .map(|_| rng.gen_range(0.0..1.0))
-                .collect();
+            let data: Vec<f32> =
+                dataset.samples().as_slice().iter().map(|_| rng.gen_range(0.0..1.0)).collect();
             let samples = Tensor::from_vec(dataset.samples().shape(), data)?;
             Dataset::new(samples, dataset.labels().to_vec(), classes)
         }
@@ -114,12 +106,7 @@ mod tests {
     fn random_labels_change_a_substantial_fraction() {
         let d = data();
         let c = corrupt(&d, Corruption::RandomLabels, 1).unwrap();
-        let changed = d
-            .labels()
-            .iter()
-            .zip(c.labels())
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = d.labels().iter().zip(c.labels()).filter(|(a, b)| a != b).count();
         assert!(changed > d.len() / 2);
     }
 

@@ -156,8 +156,8 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let samples = Tensor::from_vec(&[4, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
-            .unwrap();
+        let samples =
+            Tensor::from_vec(&[4, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
         Dataset::new(samples, vec![0, 1, 0, 1], 2).unwrap()
     }
 

@@ -54,9 +54,8 @@ impl MiniBatchSampler {
         if dataset.is_empty() {
             return Err(DataError::Empty("MiniBatchSampler::next_batch"));
         }
-        let indices: Vec<usize> = (0..self.batch_size)
-            .map(|_| self.rng.gen_range(0..dataset.len()))
-            .collect();
+        let indices: Vec<usize> =
+            (0..self.batch_size).map(|_| self.rng.gen_range(0..dataset.len())).collect();
         dataset.batch(&indices)
     }
 }
@@ -136,9 +135,9 @@ mod tests {
         for _ in 0..2000 {
             let (x, _) = single.next_batch(&d).unwrap();
             // Find which index this sample corresponds to (exact match).
-            for i in 0..d.len() {
+            for (i, seen_slot) in seen.iter_mut().enumerate() {
                 if d.samples().index_axis0(i).unwrap() == x.index_axis0(0).unwrap() {
-                    seen[i] = true;
+                    *seen_slot = true;
                     break;
                 }
             }

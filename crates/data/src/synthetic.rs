@@ -162,18 +162,15 @@ pub fn synthetic_images(config: &ImageConfig, seed: u64) -> Result<Dataset> {
                     let u = x as f32 / config.width as f32;
                     let v = y as f32 / config.height as f32;
                     let t = freq * std::f32::consts::TAU * (u * cos_a + v * sin_a);
-                    let value =
-                        (t + phase + channel_shift).sin() + noise.sample(&mut rng);
+                    let value = (t + phase + channel_shift).sin() + noise.sample(&mut rng);
                     data.push(value);
                 }
             }
         }
     }
     min_max_scale_flat(&mut data);
-    let samples = Tensor::from_vec(
-        &[config.samples, config.channels, config.height, config.width],
-        data,
-    )?;
+    let samples =
+        Tensor::from_vec(&[config.samples, config.channels, config.height, config.width], data)?;
     Dataset::new(samples, labels, config.classes)
 }
 
@@ -254,14 +251,8 @@ mod tests {
     #[test]
     fn images_are_deterministic_per_seed() {
         let config = ImageConfig::tiny(10, 2);
-        assert_eq!(
-            synthetic_images(&config, 5).unwrap(),
-            synthetic_images(&config, 5).unwrap()
-        );
-        assert_ne!(
-            synthetic_images(&config, 5).unwrap(),
-            synthetic_images(&config, 6).unwrap()
-        );
+        assert_eq!(synthetic_images(&config, 5).unwrap(), synthetic_images(&config, 5).unwrap());
+        assert_ne!(synthetic_images(&config, 5).unwrap(), synthetic_images(&config, 6).unwrap());
     }
 
     #[test]
@@ -286,12 +277,9 @@ mod tests {
                 *v /= counts[label] as f32;
             }
         }
-        let diff: f32 = means[0]
-            .iter()
-            .zip(means[1].iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
-            / per as f32;
+        let diff: f32 =
+            means[0].iter().zip(means[1].iter()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+                / per as f32;
         assert!(diff > 0.05, "class mean images too similar: {diff}");
     }
 }

@@ -97,9 +97,7 @@ impl DracoConfig {
             )));
         }
         if self.byzantine_count > self.workers {
-            return Err(DracoError::InvalidConfig(
-                "byzantine_count exceeds worker count".into(),
-            ));
+            return Err(DracoError::InvalidConfig("byzantine_count exceeds worker count".into()));
         }
         if self.batch_size == 0 || self.max_steps == 0 || self.eval_every == 0 {
             return Err(DracoError::InvalidConfig(
@@ -208,9 +206,8 @@ impl DracoTrainer {
                 group_honest.push(eval.gradient);
             }
 
-            for g in 0..self.assignment.group_count() {
+            for (g, honest) in group_honest.iter().enumerate() {
                 let members = self.assignment.group(g)?.to_vec();
-                let honest = &group_honest[g];
                 let byz_members = members.iter().filter(|&&w| self.is_byzantine(w)).count();
                 let submissions: Vec<Vector> = if byz_members == 0 {
                     vec![honest.clone(); members.len()]
@@ -328,9 +325,8 @@ impl DracoThroughputSimulation {
         let assignment = GroupAssignment::new(self.scheme, self.workers, self.f)?;
         let node_flops = 5.0e10;
         let single = self.cost.gradient_time(1, self.batch_size, node_flops);
-        let compute = single
-            * assignment.gradients_per_worker() as f64
-            * (1.0 + self.encode_overhead_factor);
+        let compute =
+            single * assignment.gradients_per_worker() as f64 * (1.0 + self.encode_overhead_factor);
         let comm = 2.0 * self.link.transfer_time(self.dimension * 4);
         let decode = self.decode_sec_per_worker_million_params
             * self.workers as f64
@@ -469,6 +465,7 @@ mod tests {
         // "changing the number of Byzantine workers does not have a
         // remarkable effect").
         assert!(t1 < 10.0 && t4 < 10.0);
-        assert!(base(10).run().is_err() == false || true);
+        // f = 10 needs redundancy 2f + 1 = 21 > 18 workers: invalid.
+        assert!(base(10).run().is_err());
     }
 }

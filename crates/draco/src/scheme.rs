@@ -64,9 +64,7 @@ impl GroupAssignment {
             }
             AssignmentScheme::Cyclic => {
                 // One group per worker; group j = workers j..j+r (mod n).
-                (0..workers)
-                    .map(|j| (0..redundancy).map(|k| (j + k) % workers).collect())
-                    .collect()
+                (0..workers).map(|j| (0..redundancy).map(|k| (j + k) % workers).collect()).collect()
             }
         };
         Ok(GroupAssignment { scheme, workers, redundancy, groups })
@@ -123,10 +121,7 @@ impl GroupAssignment {
 pub fn majority_decode(group: usize, submissions: &[Vector], f: usize) -> Result<Vector> {
     let required = f + 1;
     for (i, candidate) in submissions.iter().enumerate() {
-        let supporters = submissions
-            .iter()
-            .filter(|other| bitwise_equal(candidate, other))
-            .count();
+        let supporters = submissions.iter().filter(|other| bitwise_equal(candidate, other)).count();
         if supporters >= required {
             return Ok(submissions[i].clone());
         }
@@ -137,10 +132,7 @@ pub fn majority_decode(group: usize, submissions: &[Vector], f: usize) -> Result
 /// Bit-exact equality (NaN-aware: NaN != NaN, so corrupted gradients never
 /// form a majority with each other unless truly identical bit patterns).
 fn bitwise_equal(a: &Vector, b: &Vector) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.to_bits() == y.to_bits())
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 #[cfg(test)]

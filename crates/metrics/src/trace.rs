@@ -68,10 +68,7 @@ impl TrainingTrace {
     /// This is the paper's headline statistic ("time to reach 50 % of final
     /// accuracy"), used to compute the 19 % / 43 % overhead numbers.
     pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|p| p.accuracy >= target)
-            .map(|p| p.time_sec)
+        self.points.iter().find(|p| p.accuracy >= target).map(|p| p.time_sec)
     }
 
     /// Earliest model-update step at which the run reached `target` accuracy.
@@ -83,7 +80,10 @@ impl TrainingTrace {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("step,time_sec,accuracy,loss\n");
         for p in &self.points {
-            out.push_str(&format!("{},{:.6},{:.6},{:.6}\n", p.step, p.time_sec, p.accuracy, p.loss));
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6}\n",
+                p.step, p.time_sec, p.accuracy, p.loss
+            ));
         }
         out
     }

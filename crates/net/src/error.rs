@@ -30,9 +30,7 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(NetError::MalformedPacket("too short".into())
-            .to_string()
-            .contains("too short"));
+        assert!(NetError::MalformedPacket("too short".into()).to_string().contains("too short"));
     }
 
     #[test]

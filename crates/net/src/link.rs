@@ -62,9 +62,7 @@ impl LinkConfig {
             ("duplicate_rate", self.duplicate_rate),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(NetError::InvalidConfig(format!(
-                    "{name} must be in [0, 1], got {p}"
-                )));
+                return Err(NetError::InvalidConfig(format!("{name} must be in [0, 1], got {p}")));
             }
         }
         Ok(())
@@ -159,9 +157,11 @@ mod tests {
     use agg_tensor::Vector;
 
     fn packets(n_coords: usize) -> Vec<Packet> {
-        GradientCodec::new(10)
-            .unwrap()
-            .split(0, 0, &Vector::from_iter((0..n_coords).map(|i| i as f32)))
+        GradientCodec::new(10).unwrap().split(
+            0,
+            0,
+            &Vector::from_iter((0..n_coords).map(|i| i as f32)),
+        )
     }
 
     #[test]
@@ -171,9 +171,7 @@ mod tests {
             .validate()
             .is_err());
         assert!(LinkConfig::datacenter().with_drop_rate(1.5).validate().is_err());
-        assert!(LinkConfig { latency_sec: -1.0, ..LinkConfig::datacenter() }
-            .validate()
-            .is_err());
+        assert!(LinkConfig { latency_sec: -1.0, ..LinkConfig::datacenter() }.validate().is_err());
     }
 
     #[test]
@@ -209,11 +207,8 @@ mod tests {
 
     #[test]
     fn duplication_and_reordering_happen() {
-        let config = LinkConfig {
-            duplicate_rate: 0.2,
-            reorder_rate: 0.5,
-            ..LinkConfig::datacenter()
-        };
+        let config =
+            LinkConfig { duplicate_rate: 0.2, reorder_rate: 0.5, ..LinkConfig::datacenter() };
         let mut link = LossyLink::new(config, 3, 0).unwrap();
         let ps = packets(1000);
         let (delivered, stats) = link.transmit(&ps);

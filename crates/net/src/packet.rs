@@ -101,9 +101,7 @@ impl GradientCodec {
     /// Returns [`NetError::InvalidConfig`] when `coords_per_packet == 0`.
     pub fn new(coords_per_packet: usize) -> Result<Self> {
         if coords_per_packet == 0 {
-            return Err(NetError::InvalidConfig(
-                "coords_per_packet must be positive".to_string(),
-            ));
+            return Err(NetError::InvalidConfig("coords_per_packet must be positive".to_string()));
         }
         Ok(GradientCodec { coords_per_packet })
     }
@@ -138,7 +136,14 @@ impl GradientCodec {
         if packets.is_empty() {
             // Zero-dimensional gradient still produces one empty packet so
             // the receiver learns the step happened.
-            packets.push(Packet { worker, step, sequence: 0, total: 1, offset: 0, payload: vec![] });
+            packets.push(Packet {
+                worker,
+                step,
+                sequence: 0,
+                total: 1,
+                offset: 0,
+                payload: vec![],
+            });
         }
         packets
     }
@@ -155,11 +160,7 @@ impl GradientCodec {
     /// Returns [`NetError::InconsistentStream`] when packets disagree about
     /// the worker or step, and [`NetError::MalformedPacket`] when a packet's
     /// coordinates fall outside the gradient.
-    pub fn reassemble(
-        &self,
-        packets: &[Packet],
-        dimension: usize,
-    ) -> Result<(Vector, usize)> {
+    pub fn reassemble(&self, packets: &[Packet], dimension: usize) -> Result<(Vector, usize)> {
         let mut data = vec![f32::NAN; dimension];
         let mut filled = vec![false; dimension];
         if let Some(first) = packets.first() {
@@ -226,7 +227,8 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation() {
-        let p = Packet { worker: 0, step: 0, sequence: 0, total: 1, offset: 0, payload: vec![1.0; 10] };
+        let p =
+            Packet { worker: 0, step: 0, sequence: 0, total: 1, offset: 0, payload: vec![1.0; 10] };
         let encoded = p.encode();
         assert!(Packet::decode(encoded.slice(0..10)).is_err());
         assert!(Packet::decode(encoded.slice(0..HEADER_BYTES + 4)).is_err());

@@ -231,10 +231,9 @@ pub fn build_transport(
     stream: u64,
 ) -> Result<Box<dyn Transport>> {
     match name {
-        "tcp" | "grpc" | "reliable" => Ok(Box::new(ReliableTransport::new(
-            link,
-            GradientCodec::default_mtu(),
-        )?)),
+        "tcp" | "grpc" | "reliable" => {
+            Ok(Box::new(ReliableTransport::new(link, GradientCodec::default_mtu())?))
+        }
         "udp" | "lossy" | "lossympi" | "lossy-udp" => Ok(Box::new(LossyTransport::new(
             link,
             GradientCodec::default_mtu(),
@@ -284,8 +283,7 @@ mod tests {
             "10% loss should slow TCP by a large factor: {t_clean} vs {t_lossy}"
         );
 
-        let mut udp =
-            LossyTransport::new(lossy_link, codec, LossPolicy::RandomFill, 1, 0).unwrap();
+        let mut udp = LossyTransport::new(lossy_link, codec, LossPolicy::RandomFill, 1, 0).unwrap();
         let t_udp = udp.transfer(0, 0, &g).unwrap().time_sec;
         assert!(
             t_udp < t_lossy / 5.0,
@@ -300,7 +298,10 @@ mod tests {
         let mut t = LossyTransport::new(link, codec, LossPolicy::DropGradient, 3, 0).unwrap();
         let g = gradient(1000);
         let out = t.transfer(0, 0, &g).unwrap();
-        assert!(out.gradient.is_none(), "with 50% loss the gradient is practically always incomplete");
+        assert!(
+            out.gradient.is_none(),
+            "with 50% loss the gradient is practically always incomplete"
+        );
         assert!(out.missing_coordinates > 0);
     }
 
@@ -357,9 +358,8 @@ mod tests {
     #[test]
     fn effective_bandwidth_is_monotone_in_loss() {
         let codec = GradientCodec::default_mtu();
-        let b0 = ReliableTransport::new(LinkConfig::datacenter(), codec)
-            .unwrap()
-            .effective_bandwidth();
+        let b0 =
+            ReliableTransport::new(LinkConfig::datacenter(), codec).unwrap().effective_bandwidth();
         let b5 = ReliableTransport::new(LinkConfig::datacenter().with_drop_rate(0.05), codec)
             .unwrap()
             .effective_bandwidth();

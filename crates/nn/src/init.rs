@@ -2,22 +2,7 @@
 
 use agg_tensor::rng::seeded_rng;
 use rand::Rng;
-use rand_distr_shim::sample_normal;
-
-/// Internal helper avoiding a direct `rand_distr` dependency for one call
-/// site: Box–Muller transform over the crate-standard RNG.
-mod rand_distr_shim {
-    use rand::rngs::SmallRng;
-    use rand::Rng;
-
-    /// Samples one standard-normal value.
-    pub fn sample_normal(rng: &mut SmallRng) -> f32 {
-        // Box–Muller; u1 is kept away from zero to avoid ln(0).
-        let u1: f32 = rng.gen_range(1e-7f32..1.0);
-        let u2: f32 = rng.gen_range(0.0f32..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-    }
-}
+use rand_distr::{Distribution, Normal};
 
 /// Weight initialisation schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +29,8 @@ impl Init {
             }
             Init::HeNormal => {
                 let std = (2.0 / fan_in.max(1) as f32).sqrt();
-                (0..count).map(|_| sample_normal(&mut rng) * std).collect()
+                let normal = Normal::new(0.0f32, std).expect("std is positive and finite");
+                (0..count).map(|_| normal.sample(&mut rng)).collect()
             }
             Init::SmallUniform => (0..count).map(|_| rng.gen_range(-0.05..0.05)).collect(),
         }

@@ -75,10 +75,7 @@ impl Conv2d {
                 actual: vec![h, w],
             });
         }
-        Ok((
-            (padded_h - self.kernel) / self.stride + 1,
-            (padded_w - self.kernel) / self.stride + 1,
-        ))
+        Ok(((padded_h - self.kernel) / self.stride + 1, (padded_w - self.kernel) / self.stride + 1))
     }
 
     fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
@@ -157,10 +154,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(NnError::BackwardBeforeForward("conv2d"))?;
+        let input = self.cached_input.take().ok_or(NnError::BackwardBeforeForward("conv2d"))?;
         let (batch, h, w) = self.check_input(&input)?;
         let (oh, ow) = self.spatial_output(h, w)?;
         let x = input.as_slice();

@@ -97,10 +97,7 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(NnError::BackwardBeforeForward("dense"))?;
+        let input = self.cached_input.take().ok_or(NnError::BackwardBeforeForward("dense"))?;
         let batch = input.shape()[0];
         let go = grad_output.as_slice();
         let x = input.as_slice();
@@ -229,10 +226,7 @@ mod tests {
     fn shape_errors() {
         let mut layer = Dense::new(2, 3, Init::Zeros, 0);
         let bad = Tensor::zeros(&[1, 5]);
-        assert!(matches!(
-            layer.forward(&bad, true).unwrap_err(),
-            NnError::BadInputShape { .. }
-        ));
+        assert!(matches!(layer.forward(&bad, true).unwrap_err(), NnError::BadInputShape { .. }));
         assert!(layer.output_shape(&[5]).is_err());
         assert_eq!(layer.output_shape(&[2]).unwrap(), vec![3]);
         assert!(matches!(

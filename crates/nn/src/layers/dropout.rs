@@ -60,24 +60,16 @@ impl Layer for Dropout {
         let mask: Vec<f32> = (0..input.len())
             .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
             .collect();
-        let data: Vec<f32> = input
-            .as_slice()
-            .iter()
-            .zip(mask.iter())
-            .map(|(&x, &m)| x * m)
-            .collect();
+        let data: Vec<f32> =
+            input.as_slice().iter().zip(mask.iter()).map(|(&x, &m)| x * m).collect();
         self.mask = Some(mask);
         Tensor::from_vec(&self.shape, data).map_err(NnError::from)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let mask = self.mask.take().ok_or(NnError::BackwardBeforeForward("dropout"))?;
-        let data: Vec<f32> = grad_output
-            .as_slice()
-            .iter()
-            .zip(mask.iter())
-            .map(|(&g, &m)| g * m)
-            .collect();
+        let data: Vec<f32> =
+            grad_output.as_slice().iter().zip(mask.iter()).map(|(&g, &m)| g * m).collect();
         Tensor::from_vec(&self.shape, data).map_err(NnError::from)
     }
 }

@@ -49,10 +49,7 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let shape = self
-            .input_shape
-            .take()
-            .ok_or(NnError::BackwardBeforeForward("flatten"))?;
+        let shape = self.input_shape.take().ok_or(NnError::BackwardBeforeForward("flatten"))?;
         grad_output.reshaped(&shape).map_err(NnError::from)
     }
 }

@@ -133,10 +133,8 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let (input_shape, argmax) = self
-            .cached
-            .take()
-            .ok_or(NnError::BackwardBeforeForward("maxpool2d"))?;
+        let (input_shape, argmax) =
+            self.cached.take().ok_or(NnError::BackwardBeforeForward("maxpool2d"))?;
         let go = grad_output.as_slice();
         let mut grad_input = vec![0.0f32; input_shape.iter().product()];
         for (o, &idx) in argmax.iter().enumerate() {
@@ -193,11 +191,8 @@ mod tests {
     fn same_padding_forward_ignores_padded_cells() {
         let mut pool = MaxPool2d::same(2, 2);
         // 3x3 input pooled to 2x2; last row/col windows extend past the edge.
-        let x = Tensor::from_vec(
-            &[1, 1, 3, 3],
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(&[1, 1, 3, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0])
+            .unwrap();
         let y = pool.forward(&x, true).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.as_slice(), &[5.0, 6.0, 8.0, 9.0]);

@@ -134,14 +134,10 @@ mod tests {
             plus[i] += eps;
             let mut minus = base.clone();
             minus[i] -= eps;
-            let lp = loss
-                .evaluate(&Tensor::from_vec(&[1, 3], plus).unwrap(), &labels)
-                .unwrap()
-                .loss;
-            let lm = loss
-                .evaluate(&Tensor::from_vec(&[1, 3], minus).unwrap(), &labels)
-                .unwrap()
-                .loss;
+            let lp =
+                loss.evaluate(&Tensor::from_vec(&[1, 3], plus).unwrap(), &labels).unwrap().loss;
+            let lm =
+                loss.evaluate(&Tensor::from_vec(&[1, 3], minus).unwrap(), &labels).unwrap().loss;
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - analytic.as_slice()[i]).abs() < 1e-3,

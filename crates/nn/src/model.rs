@@ -228,11 +228,7 @@ mod tests {
     }
 
     fn batch() -> (Tensor, Vec<usize>) {
-        let x = Tensor::from_vec(
-            &[2, 4],
-            vec![0.5, -0.2, 0.1, 0.9, -0.5, 0.3, 0.8, -0.1],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(&[2, 4], vec![0.5, -0.2, 0.1, 0.9, -0.5, 0.3, 0.8, -0.1]).unwrap();
         (x, vec![0, 2])
     }
 

@@ -109,10 +109,7 @@ mod tests {
         let model = paper_cnn(0);
         let d = model.param_count();
         // The paper reports "a total of 1.75M parameters".
-        assert!(
-            (1_700_000..=1_800_000).contains(&d),
-            "expected ~1.75M parameters, got {d}"
-        );
+        assert!((1_700_000..=1_800_000).contains(&d), "expected ~1.75M parameters, got {d}");
         assert_eq!(model.output_shape().unwrap(), vec![10]);
     }
 
@@ -121,17 +118,11 @@ mod tests {
         let model = paper_cnn(1);
         // Conv1 4864 params, Conv2 102464, FC1 1573248, FC2 73920, FC3 1930.
         let summary = model.layer_summary();
-        let conv_params: Vec<usize> = summary
-            .iter()
-            .filter(|(n, _)| *n == "conv2d")
-            .map(|&(_, p)| p)
-            .collect();
+        let conv_params: Vec<usize> =
+            summary.iter().filter(|(n, _)| *n == "conv2d").map(|&(_, p)| p).collect();
         assert_eq!(conv_params, vec![4864, 102_464]);
-        let dense_params: Vec<usize> = summary
-            .iter()
-            .filter(|(n, _)| *n == "dense")
-            .map(|&(_, p)| p)
-            .collect();
+        let dense_params: Vec<usize> =
+            summary.iter().filter(|(n, _)| *n == "dense").map(|&(_, p)| p).collect();
         assert_eq!(dense_params, vec![1_573_248, 73_920, 1930]);
     }
 
@@ -155,10 +146,7 @@ mod tests {
     fn large_model_is_in_the_resnet50_parameter_regime() {
         let model = large_model(0);
         let d = model.param_count();
-        assert!(
-            (20_000_000..=30_000_000).contains(&d),
-            "expected ~25M parameters, got {d}"
-        );
+        assert!((20_000_000..=30_000_000).contains(&d), "expected ~25M parameters, got {d}");
         // Its per-sample compute must dwarf the small CNN's.
         assert!(model.flops_per_sample() > 20 * small_cnn(3, 10, 0).flops_per_sample());
     }

@@ -85,9 +85,7 @@ impl Optimizer for Momentum {
 
     fn step(&mut self, params: &mut Vector, gradient: &Vector, lr: f32) -> Result<()> {
         check_lengths(params, gradient)?;
-        let velocity = self
-            .velocity
-            .get_or_insert_with(|| Vector::zeros(params.len()));
+        let velocity = self.velocity.get_or_insert_with(|| Vector::zeros(params.len()));
         if velocity.len() != params.len() {
             *velocity = Vector::zeros(params.len());
         }
@@ -137,9 +135,7 @@ impl Optimizer for RmsProp {
 
     fn step(&mut self, params: &mut Vector, gradient: &Vector, lr: f32) -> Result<()> {
         check_lengths(params, gradient)?;
-        let ms = self
-            .mean_square
-            .get_or_insert_with(|| Vector::zeros(params.len()));
+        let ms = self.mean_square.get_or_insert_with(|| Vector::zeros(params.len()));
         if ms.len() != params.len() {
             *ms = Vector::zeros(params.len());
         }
@@ -245,9 +241,7 @@ impl Optimizer for Adagrad {
 
     fn step(&mut self, params: &mut Vector, gradient: &Vector, lr: f32) -> Result<()> {
         check_lengths(params, gradient)?;
-        let acc = self
-            .accumulator
-            .get_or_insert_with(|| Vector::zeros(params.len()));
+        let acc = self.accumulator.get_or_insert_with(|| Vector::zeros(params.len()));
         if acc.len() != params.len() {
             *acc = Vector::zeros(params.len());
         }

@@ -81,12 +81,7 @@ mod tests {
 
     #[test]
     fn polynomial_decays_to_end_value() {
-        let lr = LearningRate::Polynomial {
-            initial: 1.0,
-            end: 0.1,
-            decay_steps: 100,
-            power: 1.0,
-        };
+        let lr = LearningRate::Polynomial { initial: 1.0, end: 0.1, decay_steps: 100, power: 1.0 };
         assert_eq!(lr.at(0), 1.0);
         assert!((lr.at(50) - 0.55).abs() < 1e-6);
         assert!((lr.at(100) - 0.1).abs() < 1e-6);

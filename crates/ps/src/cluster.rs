@@ -46,11 +46,7 @@ impl Node {
     /// A node modelled after the paper's Grid5000 machines (2× Xeon E5-2630,
     /// treated as ~50 GFLOP/s sustained for this workload).
     pub fn grid5000_cpu(index: usize) -> Self {
-        Node {
-            name: format!("g5k-node-{index}"),
-            device: DeviceKind::Cpu,
-            flops_per_sec: 5.0e10,
-        }
+        Node { name: format!("g5k-node-{index}"), device: DeviceKind::Cpu, flops_per_sec: 5.0e10 }
     }
 
     /// A GPU node (used by the heterogeneous-cluster tests).
@@ -158,11 +154,8 @@ impl ClusterSpec {
                     .collect();
                 let ps_node = *cpu_nodes.first().unwrap_or(&0);
                 assignments.push((Job::ParameterServer, ps_node));
-                let preferred: Vec<usize> = if gpu_nodes.is_empty() {
-                    (0..nodes.len()).collect()
-                } else {
-                    gpu_nodes
-                };
+                let preferred: Vec<usize> =
+                    if gpu_nodes.is_empty() { (0..nodes.len()).collect() } else { gpu_nodes };
                 for w in 0..workers {
                     assignments.push((Job::Worker, preferred[w % preferred.len()]));
                 }
@@ -209,10 +202,7 @@ impl ClusterSpec {
 
     /// Full placement listing (job, node name) for reporting.
     pub fn placement(&self) -> Vec<(Job, &str)> {
-        self.assignments
-            .iter()
-            .map(|&(job, i)| (job, self.nodes[i].name.as_str()))
-            .collect()
+        self.assignments.iter().map(|&(job, i)| (job, self.nodes[i].name.as_str())).collect()
     }
 }
 

@@ -88,13 +88,7 @@ impl ExperimentKind {
             ExperimentKind::MlpBlobs { input_dim, hidden, classes, samples } => {
                 let model = models::synthetic_mlp(input_dim, &[hidden], classes, seed);
                 let data = gaussian_blobs(
-                    &BlobConfig {
-                        classes,
-                        dim: input_dim,
-                        samples,
-                        separation: 2.5,
-                        noise: 0.6,
-                    },
+                    &BlobConfig { classes, dim: input_dim, samples, separation: 2.5, noise: 0.6 },
                     seed,
                 )?;
                 let (train, test) = data.split(0.2)?;
@@ -288,8 +282,7 @@ mod tests {
 
     #[test]
     fn experiments_build_model_and_data() {
-        let (model, train, test) =
-            ExperimentKind::default_proxy().build(3).unwrap();
+        let (model, train, test) = ExperimentKind::default_proxy().build(3).unwrap();
         assert!(model.param_count() > 0);
         assert!(train.len() > test.len());
         assert_eq!(train.classes(), 10);

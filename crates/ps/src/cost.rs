@@ -116,8 +116,7 @@ impl CostModel {
         if actual_dimension == 0 {
             return measured_sec;
         }
-        let factor =
-            self.effective_dimension(actual_dimension) as f64 / actual_dimension as f64;
+        let factor = self.effective_dimension(actual_dimension) as f64 / actual_dimension as f64;
         measured_sec * factor
     }
 

@@ -66,8 +66,11 @@ impl SyncTrainingEngine {
         let actual_dimension = model.param_count();
         let model_flops = model.flops_per_sample();
 
-        let cluster =
-            ClusterSpec::homogeneous(config.workers + 1, config.workers, PlacementPolicy::OneJobPerNode)?;
+        let cluster = ClusterSpec::homogeneous(
+            config.workers + 1,
+            config.workers,
+            PlacementPolicy::OneJobPerNode,
+        )?;
 
         let server = ParameterServer::new(
             model.parameters(),
@@ -96,9 +99,7 @@ impl SyncTrainingEngine {
                 WorkerRole::Attacker
             };
             let dataset = match role {
-                WorkerRole::DataPoisoned => {
-                    Arc::clone(poisoned.as_ref().expect("checked above"))
-                }
+                WorkerRole::DataPoisoned => Arc::clone(poisoned.as_ref().expect("checked above")),
                 _ => Arc::clone(&clean),
             };
             let sampler = MiniBatchSampler::new(config.batch_size, config.seed, id as u64)
@@ -118,8 +119,7 @@ impl SyncTrainingEngine {
         }
 
         let attack = config.attack.build();
-        let calibrated_aggregation_sec =
-            Self::calibrate_aggregation(&config, config.workers)?;
+        let calibrated_aggregation_sec = Self::calibrate_aggregation(&config, config.workers)?;
         Ok(SyncTrainingEngine {
             config,
             cluster,
@@ -146,9 +146,8 @@ impl SyncTrainingEngine {
         let calibration_dim = virtual_model.dimension.min(200_000);
         let gar = config.gar.build().map_err(PsError::from)?;
         let mut rng = seeded_rng(derive_seed(config.seed, 0xCA11));
-        let gradients: Vec<Vector> = (0..workers)
-            .map(|_| gaussian_vector(&mut rng, calibration_dim, 0.0, 1.0))
-            .collect();
+        let gradients: Vec<Vector> =
+            (0..workers).map(|_| gaussian_vector(&mut rng, calibration_dim, 0.0, 1.0)).collect();
         // Best of two runs: the first may pay one-time warm-up costs.
         let mut best = f64::INFINITY;
         for _ in 0..2 {
@@ -171,20 +170,15 @@ impl SyncTrainingEngine {
         // transport or a reliable TCP-like one is decided by
         // `config.transport`, which is exactly the comparison of Figure 8(b).
         let degraded = worker_id >= config.workers.saturating_sub(config.lossy_links);
-        let link = if degraded {
-            config.link
-        } else {
-            LinkConfig { drop_rate: 0.0, ..config.link }
-        };
+        let link =
+            if degraded { config.link } else { LinkConfig { drop_rate: 0.0, ..config.link } };
         let codec = GradientCodec::default_mtu();
         match config.transport {
             TransportKind::Lossy { policy } if degraded => Ok(Box::new(
                 LossyTransport::new(link, codec, policy, config.seed, worker_id as u64)
                     .map_err(PsError::from)?,
             )),
-            _ => Ok(Box::new(
-                ReliableTransport::new(link, codec).map_err(PsError::from)?,
-            )),
+            _ => Ok(Box::new(ReliableTransport::new(link, codec).map_err(PsError::from)?)),
         }
     }
 
@@ -224,8 +218,7 @@ impl SyncTrainingEngine {
             self.config.workers,
             match self.config.transport {
                 TransportKind::Reliable => String::new(),
-                TransportKind::Lossy { .. } =>
-                    format!(" lossy({} links)", self.config.lossy_links),
+                TransportKind::Lossy { .. } => format!(" lossy({} links)", self.config.lossy_links),
             }
         );
         let mut trace = TrainingTrace::new(label.clone());
@@ -282,7 +275,7 @@ impl SyncTrainingEngine {
                     seed: self.config.seed,
                 };
                 let crafted = self.attack.craft(&ctx);
-                for (slot, gradient) in attacker_ids.iter().zip(crafted.into_iter()) {
+                for (slot, gradient) in attacker_ids.iter().zip(crafted) {
                     let worker = &mut self.workers[*slot];
                     let transfer = worker.send_gradient(step, &gradient)?;
                     // Byzantine workers have "arbitrarily fast" channels in
@@ -343,13 +336,9 @@ impl SyncTrainingEngine {
     /// so it does not advance the simulated clock (matching the paper's
     /// `/job:eval` design).
     fn evaluate(&mut self, trace: &mut TrainingTrace, step: u64) -> Result<()> {
-        self.eval_model
-            .set_parameters(self.server.parameters())
-            .map_err(PsError::from)?;
-        let (batch, labels) = self
-            .test_set
-            .head_batch(self.config.eval_samples)
-            .map_err(PsError::from)?;
+        self.eval_model.set_parameters(self.server.parameters()).map_err(PsError::from)?;
+        let (batch, labels) =
+            self.test_set.head_batch(self.config.eval_samples).map_err(PsError::from)?;
         let out = self.eval_model.evaluate_loss(&batch, &labels).map_err(PsError::from)?;
         let accuracy = out.correct_predictions as f64 / labels.len().max(1) as f64;
         trace.record(TracePoint {

@@ -125,13 +125,9 @@ impl ParameterServer {
         let mut aggregated = self.gar.aggregate(gradients).map_err(PsError::from)?;
         let aggregation_wall_sec = start.elapsed().as_secs_f64();
 
-        self.regularization
-            .apply(&mut aggregated, &self.params)
-            .map_err(PsError::from)?;
+        self.regularization.apply(&mut aggregated, &self.params).map_err(PsError::from)?;
         let lr = self.learning_rate.at(self.step);
-        self.optimizer
-            .step(&mut self.params, &aggregated, lr)
-            .map_err(PsError::from)?;
+        self.optimizer.step(&mut self.params, &aggregated, lr).map_err(PsError::from)?;
         self.step += 1;
         Ok(RoundOutcome { aggregation_wall_sec, learning_rate: lr, step: self.step })
     }
@@ -200,7 +196,7 @@ mod tests {
             OptimizerKind::Sgd,
             LearningRate::Fixed { rate: 1.0 },
             Regularization { l1: 0.0, l2: 0.1 },
-            )
+        )
         .unwrap();
         // Zero data gradient: only the L2 pull towards zero acts.
         s.apply_round(&[Vector::zeros(2)]).unwrap();

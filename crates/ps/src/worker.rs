@@ -3,7 +3,7 @@
 
 use crate::{PsError, Result};
 use agg_data::{Dataset, MiniBatchSampler};
-use agg_net::{Transport, TransferOutcome};
+use agg_net::{TransferOutcome, Transport};
 use agg_nn::Sequential;
 use agg_tensor::Vector;
 use std::sync::Arc;
@@ -115,9 +115,7 @@ impl Worker {
     /// Returns [`PsError::Network`] for structural transport failures (loss is
     /// not an error).
     pub fn send_gradient(&mut self, step: u64, gradient: &Vector) -> Result<TransferOutcome> {
-        self.transport
-            .transfer(self.id as u32, step, gradient)
-            .map_err(PsError::from)
+        self.transport.transfer(self.id as u32, step, gradient).map_err(PsError::from)
     }
 
     /// Name of the transport this worker uses (for reports).
@@ -144,8 +142,7 @@ mod tests {
         );
         let sampler = MiniBatchSampler::new(8, 1, 0).unwrap();
         let transport = Box::new(
-            ReliableTransport::new(LinkConfig::datacenter(), GradientCodec::default_mtu())
-                .unwrap(),
+            ReliableTransport::new(LinkConfig::datacenter(), GradientCodec::default_mtu()).unwrap(),
         );
         Worker::new(0, role, model, dataset, sampler, transport, 5e10)
     }

@@ -39,11 +39,6 @@ impl Vector {
         Vector { data: vec![value; len] }
     }
 
-    /// Creates a vector from an iterator of values.
-    pub fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
-        Vector { data: iter.into_iter().collect() }
-    }
-
     /// Number of coordinates.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -95,12 +90,7 @@ impl Vector {
     /// Returns [`TensorError::DimensionMismatch`] if lengths differ.
     pub fn dot(&self, other: &Vector) -> Result<f32> {
         self.check_len(other)?;
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum())
     }
 
     /// Euclidean (L2) norm.
@@ -129,11 +119,7 @@ impl Vector {
     /// Panics if the lengths differ; distance computation is on the hot path
     /// of Multi-Krum so the checked variant is [`Vector::try_squared_distance`].
     pub fn squared_distance(&self, other: &Vector) -> f32 {
-        assert_eq!(
-            self.len(),
-            other.len(),
-            "squared_distance requires equal lengths"
-        );
+        assert_eq!(self.len(), other.len(), "squared_distance requires equal lengths");
         // Four independent accumulators so the reduction is free to
         // vectorise: this is the innermost kernel of Multi-Krum's O(n²·d)
         // distance computation and dominates the aggregation cost the
@@ -349,14 +335,7 @@ impl Add<&Vector> for &Vector {
     type Output = Vector;
     fn add(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector addition requires equal lengths");
-        Vector {
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| a + b)
-                .collect(),
-        }
+        Vector { data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect() }
     }
 }
 
@@ -364,14 +343,7 @@ impl Sub<&Vector> for &Vector {
     type Output = Vector;
     fn sub(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector subtraction requires equal lengths");
-        Vector {
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| a - b)
-                .collect(),
-        }
+        Vector { data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect() }
     }
 }
 

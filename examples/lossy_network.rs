@@ -12,7 +12,9 @@
 
 use agg_core::{GarConfig, GarKind};
 use agg_metrics::Table;
-use agg_net::{GradientCodec, LinkConfig, LossPolicy, LossyTransport, ReliableTransport, Transport};
+use agg_net::{
+    GradientCodec, LinkConfig, LossPolicy, LossyTransport, ReliableTransport, Transport,
+};
 use agg_ps::{CostModel, RunnerConfig, SyncTrainingEngine, TransportKind, VirtualModelCost};
 use agg_tensor::rng::{gaussian_vector, seeded_rng};
 
@@ -34,8 +36,8 @@ fn transfer_comparison() {
             format!("{:.3}", out.time_sec),
             out.missing_coordinates.to_string(),
         ]);
-        let mut udp = LossyTransport::new(link, codec, LossPolicy::RandomFill, 3, 0)
-            .expect("valid link");
+        let mut udp =
+            LossyTransport::new(link, codec, LossPolicy::RandomFill, 3, 0).expect("valid link");
         let out = udp.transfer(0, 0, &gradient).expect("transfer");
         table.add_row(&[
             "lossyMPI (UDP-like)".to_string(),
@@ -76,10 +78,9 @@ fn training_comparison() {
         "Accuracy vs simulated time under loss",
         &["system", "final accuracy", "time to 30% accuracy (s)", "total simulated time (s)"],
     );
-    for (name, report) in [
-        ("TF over gRPC (reliable)", &tcp_report),
-        ("AggregaThor f=8 over lossyMPI", &udp_report),
-    ] {
+    for (name, report) in
+        [("TF over gRPC (reliable)", &tcp_report), ("AggregaThor f=8 over lossyMPI", &udp_report)]
+    {
         table.add_row(&[
             name.to_string(),
             format!("{:.3}", report.final_accuracy()),

@@ -36,10 +36,7 @@ fn main() {
     };
     println!(
         "training: {} workers, GAR = {}, batch = {}, {} steps",
-        config.workers,
-        config.gar,
-        config.batch_size,
-        config.max_steps
+        config.workers, config.gar, config.batch_size, config.max_steps
     );
 
     let mut engine = SyncTrainingEngine::new(config).expect("configuration is valid");
@@ -47,7 +44,10 @@ fn main() {
 
     println!("\naccuracy trace (step, simulated seconds, test accuracy):");
     for point in report.trace.points() {
-        println!("  step {:4}  t = {:7.2}s  accuracy = {:.3}", point.step, point.time_sec, point.accuracy);
+        println!(
+            "  step {:4}  t = {:7.2}s  accuracy = {:.3}",
+            point.step, point.time_sec, point.accuracy
+        );
     }
     println!("\n{}", report.summary());
 }

@@ -9,7 +9,9 @@
 //!   which AggregaThor does not.
 
 use agg_core::{GarConfig, GarKind};
-use agg_draco::{AssignmentScheme, DracoConfig, DracoThroughputSimulation, DracoTrainer, GroupAssignment};
+use agg_draco::{
+    AssignmentScheme, DracoConfig, DracoThroughputSimulation, DracoTrainer, GroupAssignment,
+};
 use agg_net::LinkConfig;
 use agg_nn::optim::OptimizerKind;
 use agg_nn::schedule::LearningRate;

@@ -78,14 +78,8 @@ fn accuracy_per_update_is_comparable_across_robust_rules() {
 
 #[test]
 fn runs_are_reproducible_for_a_fixed_seed() {
-    let a = SyncTrainingEngine::new(clean_config(GarKind::MultiKrum, 2))
-        .unwrap()
-        .run()
-        .unwrap();
-    let b = SyncTrainingEngine::new(clean_config(GarKind::MultiKrum, 2))
-        .unwrap()
-        .run()
-        .unwrap();
+    let a = SyncTrainingEngine::new(clean_config(GarKind::MultiKrum, 2)).unwrap().run().unwrap();
+    let b = SyncTrainingEngine::new(clean_config(GarKind::MultiKrum, 2)).unwrap().run().unwrap();
     assert_eq!(a.trace.points().len(), b.trace.points().len());
     for (pa, pb) in a.trace.points().iter().zip(b.trace.points()) {
         assert_eq!(pa.step, pb.step);

@@ -6,7 +6,9 @@
 use agg_core::{GarConfig, GarKind};
 use agg_net::{LinkConfig, LossPolicy};
 use agg_nn::schedule::LearningRate;
-use agg_ps::{CostModel, RunnerConfig, SyncTrainingEngine, TrainingReport, TransportKind, VirtualModelCost};
+use agg_ps::{
+    CostModel, RunnerConfig, SyncTrainingEngine, TrainingReport, TransportKind, VirtualModelCost,
+};
 
 fn lossy_config(
     gar: GarKind,
@@ -69,8 +71,7 @@ fn plain_averaging_over_lossy_links_is_hurt_by_loss() {
     let report = run(lossy_config(GarKind::Average, 0, LossPolicy::SelectiveNan, 0.10, 8));
     let robust = run(lossy_config(GarKind::MultiKrum, 8, LossPolicy::RandomFill, 0.10, 8));
     assert!(
-        report.final_accuracy() < robust.final_accuracy() - 0.1
-            || report.skipped_updates > 0,
+        report.final_accuracy() < robust.final_accuracy() - 0.1 || report.skipped_updates > 0,
         "averaging ({}, {} skipped) should do clearly worse than the robust stack ({})",
         report.final_accuracy(),
         report.skipped_updates,
@@ -99,10 +100,16 @@ fn lossy_transport_is_much_faster_than_tcp_under_loss() {
     udp.max_steps = 10;
     let udp_report = run(udp);
 
+    // Compare the compute + communication component only: it is derived
+    // purely from the cost model and link simulation, hence deterministic.
+    // Total simulated time also contains the aggregation term, which the
+    // engine calibrates from real wall-clock timings when a virtual model is
+    // set — a fixed ratio over it would be flaky across machines and loads.
+    let tcp_comm = tcp_report.latency.compute_comm_sec();
+    let udp_comm = udp_report.latency.compute_comm_sec();
     assert!(
-        tcp_report.simulated_time_sec > 2.0 * udp_report.simulated_time_sec,
-        "TCP under loss ({:.1}s) should be several times slower than lossyMPI ({:.1}s)",
-        tcp_report.simulated_time_sec,
-        udp_report.simulated_time_sec
+        tcp_comm > 2.0 * udp_comm,
+        "TCP under loss ({tcp_comm:.1}s) should be several times slower than \
+         lossyMPI ({udp_comm:.1}s)"
     );
 }

@@ -1,0 +1,235 @@
+//! Vendored, offline shim of `criterion`.
+//!
+//! Mirrors the macro/API surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!` / `Criterion::benchmark_group` /
+//! `bench_function` / `bench_with_input` / `BenchmarkId` / `black_box`) and,
+//! like the real crate, runs in two modes:
+//!
+//! - **bench mode** (`cargo bench`, i.e. a `--bench` CLI flag is present):
+//!   warms up, takes `sample_size` timed samples, and prints median ns/iter;
+//! - **test mode** (`cargo test` compiles bench targets too): executes each
+//!   benchmark body exactly once as a smoke check, so the test suite stays
+//!   fast while still exercising every bench path.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Criterion {
+    /// Builds a `Criterion` configured from the process CLI arguments,
+    /// mirroring how cargo invokes bench targets.
+    pub fn from_args() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self.measure, name, 10, routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a routine under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        run_benchmark(self.criterion.measure, &id, self.sample_size, routine);
+        self
+    }
+
+    /// Benchmarks a routine parameterised by `input` under `group/id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_benchmark(self.criterion.measure, &full, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is immediate in this shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"krum/10000"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a bare parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    measure: bool,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records total time and iteration count.
+    ///
+    /// In test mode the routine runs exactly once (smoke check).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            self.iterations = 1;
+            return;
+        }
+        // Calibrate: aim for at least ~5 ms of work per sample.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_sample =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += per_sample;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    measure: bool,
+    id: &str,
+    sample_size: usize,
+    mut routine: F,
+) {
+    if !measure {
+        let mut bencher = Bencher { measure, elapsed: Duration::ZERO, iterations: 0 };
+        routine(&mut bencher);
+        println!("bench {id}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { measure, elapsed: Duration::ZERO, iterations: 0 };
+        routine(&mut bencher);
+        if bencher.iterations > 0 {
+            samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+    if samples.is_empty() {
+        println!("bench {id}: no samples");
+        return;
+    }
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "bench {id}: median {} [{} .. {}] ({} samples)",
+        format_ns(median),
+        format_ns(lo),
+        format_ns(hi),
+        samples.len()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($function(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { measure: false };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50).bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_takes_samples() {
+        let mut c = Criterion { measure: true };
+        let mut runs = 0u64;
+        c.bench_function("f", |b| b.iter(|| runs += 1));
+        assert!(runs > 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("krum", 10_000);
+        assert_eq!(id.label, "krum/10000");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

@@ -1,0 +1,473 @@
+//! Vendored, offline shim of `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use: range strategies, `Just`, `prop::collection::vec`,
+//! `prop::num::f32` classes, `prop_map` / `prop_flat_map`, `prop_oneof!`,
+//! and the `proptest!` / `prop_assert!` macros.
+//!
+//! Unlike the real crate there is no shrinking: each test runs a fixed
+//! number of deterministic cases (seeded per test name and case index), and
+//! a failing case panics with the ordinary assertion message. Determinism
+//! means failures reproduce exactly across machines and CI runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The generator driving every strategy.
+pub type TestRng = SmallRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator for one (test, case) pair.
+pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy (the unit `prop_oneof!` works over).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+pub struct OneOf<T> {
+    alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        OneOf { alternatives }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.gen_range(0..self.alternatives.len());
+        self.alternatives[index].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Collection and numeric strategy namespaces (mirrors `proptest::prelude::prop`).
+pub mod prop {
+    /// Strategies over collections.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// An inclusive size specification for generated collections.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            min: usize,
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(exact: usize) -> Self {
+                SizeRange { min: exact, max: exact }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(range: std::ops::Range<usize>) -> Self {
+                assert!(range.start < range.end, "empty size range");
+                SizeRange { min: range.start, max: range.end - 1 }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange { min: *range.start(), max: *range.end() }
+            }
+        }
+
+        /// Generates `Vec`s whose elements come from `element` and whose
+        /// length is drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.min == self.size.max {
+                    self.size.min
+                } else {
+                    rng.gen_range(self.size.min..=self.size.max)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Strategies over numeric classes.
+    pub mod num {
+        /// `f32` value classes.
+        pub mod f32 {
+            use super::super::super::{Strategy, TestRng};
+            use rand::Rng;
+
+            /// A class of `f32` values usable as a strategy; classes combine
+            /// with `|` into a uniform choice.
+            #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+            pub enum F32Class {
+                /// Normal (non-zero, non-subnormal, finite) values.
+                Normal,
+                /// Positive or negative zero.
+                Zero,
+                /// Any finite value.
+                Any,
+            }
+
+            /// Normal `f32` values with a wide exponent spread.
+            pub const NORMAL: F32Class = F32Class::Normal;
+            /// Zero values.
+            pub const ZERO: F32Class = F32Class::Zero;
+            /// Any finite value.
+            pub const ANY: F32Class = F32Class::Any;
+
+            impl Strategy for F32Class {
+                type Value = f32;
+
+                fn generate(&self, rng: &mut TestRng) -> f32 {
+                    match self {
+                        F32Class::Zero => {
+                            if rng.gen::<bool>() {
+                                0.0
+                            } else {
+                                -0.0
+                            }
+                        }
+                        F32Class::Any if rng.gen_range(0u32..16) == 0 => {
+                            // "Any finite value" includes zero now and then.
+                            0.0
+                        }
+                        F32Class::Normal | F32Class::Any => {
+                            // sign * mantissa * 2^exponent over the entire
+                            // normal-float exponent range, like the real
+                            // proptest NORMAL class: values span from
+                            // f32::MIN_POSITIVE up to near f32::MAX, so
+                            // kernels see overflow-provoking magnitudes.
+                            let sign = if rng.gen::<bool>() { 1.0f32 } else { -1.0 };
+                            let mantissa = rng.gen_range(1.0f32..2.0);
+                            let exponent = rng.gen_range(-126i32..=127);
+                            let value = sign * mantissa * (exponent as f32).exp2();
+                            debug_assert!(value.is_normal());
+                            value
+                        }
+                    }
+                }
+            }
+
+            impl std::ops::BitOr for F32Class {
+                type Output = super::super::super::OneOf<f32>;
+
+                fn bitor(self, rhs: F32Class) -> Self::Output {
+                    super::super::super::OneOf::new(vec![
+                        super::super::super::Strategy::boxed(self),
+                        super::super::super::Strategy::boxed(rhs),
+                    ])
+                }
+            }
+        }
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion (panics on failure in this shim, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($arg:tt)+) => { ::std::assert!($cond, $($arg)+) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { ::std::assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($arg:tt)+) => { ::std::assert_eq!($left, $right, $($arg)+) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { ::std::assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($arg:tt)+) => { ::std::assert_ne!($left, $right, $($arg)+) };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::rng_for(::std::stringify!($name), __case);
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f32..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in prop::collection::vec(0u64..100, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn oneof_only_picks_alternatives(x in prop_oneof![Just(1u32), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_feeds_dependent_strategy(
+            (len, v) in (1usize..5).prop_flat_map(|len| {
+                prop::collection::vec(0i32..10, len).prop_map(move |v| (len, v))
+            }),
+        ) {
+            prop_assert_eq!(v.len(), len);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_is_respected(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        use super::Strategy;
+        let a = (0.0f64..1.0).generate(&mut super::rng_for("t", 0));
+        let b = (0.0f64..1.0).generate(&mut super::rng_for("t", 0));
+        let c = (0.0f64..1.0).generate(&mut super::rng_for("t", 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f32_classes_generate_their_class() {
+        use super::Strategy;
+        let mut rng = super::rng_for("classes", 0);
+        for _ in 0..100 {
+            let n = prop::num::f32::NORMAL.generate(&mut rng);
+            assert!(n.is_normal(), "{n} should be a normal float");
+            let z = prop::num::f32::ZERO.generate(&mut rng);
+            assert_eq!(z, 0.0);
+            let u = (prop::num::f32::NORMAL | prop::num::f32::ZERO).generate(&mut rng);
+            assert!(u.is_finite());
+        }
+    }
+}

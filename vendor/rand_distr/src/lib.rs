@@ -1,0 +1,193 @@
+//! Vendored, offline shim of `rand_distr`.
+//!
+//! Provides [`Normal`] (Box–Muller over the workspace's deterministic
+//! generators) and [`Uniform`], both generic over `f32` / `f64`, plus the
+//! [`Distribution`] trait re-exported from the vendored `rand`.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Floating-point scalars the distributions are generic over.
+pub trait Float: Copy + PartialOrd {
+    /// Converts from `f64` (used for the unit uniforms driving the samplers).
+    fn from_f64(x: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+    /// `true` when the value is finite.
+    fn is_finite(self) -> bool;
+    /// The additive identity.
+    fn zero() -> Self;
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+/// Error returned by [`Normal::new`] on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean is non-finite.
+    MeanTooSmall,
+    /// The standard deviation is negative or non-finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "mean of Normal distribution is non-finite"),
+            NormalError::BadVariance => {
+                write!(f, "standard deviation of Normal distribution is invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] when `mean` is non-finite or `std_dev` is
+    /// negative or non-finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < F::zero() {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller transform; u1 is kept away from 0 so ln(u1) is finite.
+        let u1 = standard_unit(rng).max(1e-12);
+        let u2 = standard_unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// The continuous uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<F: Float> {
+    low: F,
+    high: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Creates a uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `low >= high` (mirrors `rand 0.8` semantics).
+    pub fn new(low: F, high: F) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        Uniform { low, high }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // The affine transform can round up to exactly `high` when the
+        // bounds are not representable; resample to keep the half-open
+        // contract (`low` itself is always admissible, so this terminates).
+        loop {
+            let u = standard_unit(rng);
+            let value =
+                F::from_f64(self.low.to_f64() + (self.high.to_f64() - self.low.to_f64()) * u);
+            if value < self.high {
+                return value;
+            }
+        }
+    }
+}
+
+/// One uniform `f64` in `[0, 1)` drawn from any generator.
+fn standard_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let normal = Normal::new(2.0f64, 3.0).unwrap();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let uniform = Uniform::new(-1.0f32, 1.0);
+        for _ in 0..10_000 {
+            let x = uniform.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+}

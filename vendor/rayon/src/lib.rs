@@ -1,0 +1,171 @@
+//! Vendored, offline shim of `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `par_iter()` / `into_par_iter()` followed by `.map(...).collect()` — with
+//! genuine data parallelism: items are split into contiguous chunks, one per
+//! available core, and mapped on scoped OS threads. Order is preserved.
+
+use std::num::NonZeroUsize;
+
+/// Conversion into a parallel iterator (mirrors rayon's trait of the same
+/// name).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter()` on borrowed slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+
+    /// Builds a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// A materialised parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every element through `f`, in parallel at collect time.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`], ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map on scoped threads (one chunk per core) and collects the
+    /// results in input order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: From<Vec<U>>,
+    {
+        C::from(parallel_map(self.items, &self.f))
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<U>(self) -> U
+    where
+        U: Send + std::iter::Sum<U>,
+        F: Fn(T) -> U + Sync,
+    {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+}
+
+fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let total = items.len();
+    let chunk_size = total.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("rayon shim worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data: Vec<i64> = (0..257).collect();
+        let out: Vec<i64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[256], 257);
+    }
+
+    #[test]
+    fn map_sum() {
+        let total: usize = (0..100usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let out: Vec<usize> = vec![7].into_par_iter().map(|i| i).collect();
+        assert_eq!(out, vec![7]);
+    }
+}

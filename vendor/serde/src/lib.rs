@@ -1,0 +1,432 @@
+//! Vendored, offline shim of `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides a
+//! self-contained data model compatible with how the workspace uses serde:
+//! `#[derive(Serialize, Deserialize)]` on structs and enums, serialised
+//! through [`serde_json`](../serde_json) for config round-trips.
+//!
+//! Instead of serde's visitor architecture, both traits go through a single
+//! JSON-like [`Value`] tree: [`Serialize`] renders a value into the tree and
+//! [`Deserialize`] rebuilds the value from it. Formats (here: only JSON)
+//! convert between [`Value`] and text. Enum representation mirrors serde's
+//! externally-tagged default so the emitted JSON looks familiar.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data tree every value serialises through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (used for `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, enum payloads).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `self` is not a map or the key is missing.
+    pub fn get_field(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field '{key}'"))),
+            other => {
+                Err(Error::new(format!("expected map with field '{key}', got {}", other.kind())))
+            }
+        }
+    }
+
+    /// A short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialisation error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialisation into the [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialisation out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+fn narrow<T, S>(value: S, target: &'static str) -> Result<T, Error>
+where
+    T: TryFrom<S>,
+    S: std::fmt::Display + Copy,
+{
+    T::try_from(value).map_err(|_| Error::new(format!("number {value} out of range for {target}")))
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(v) => narrow(*v, stringify!($t)),
+                    Value::I64(v) if *v >= 0 => narrow(*v as u64, stringify!($t)),
+                    Value::F64(v)
+                        if v.fract() == 0.0 && *v >= 0.0 && *v <= <$t>::MAX as f64 =>
+                    {
+                        Ok(*v as $t)
+                    }
+                    other => Err(Error::new(format!(
+                        "expected {} in range, got {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::I64(v) => narrow(*v, stringify!($t)),
+                    Value::U64(v) => narrow(*v, stringify!($t)),
+                    Value::F64(v)
+                        if v.fract() == 0.0
+                            && *v >= <$t>::MIN as f64
+                            && *v <= <$t>::MAX as f64 =>
+                    {
+                        Ok(*v as $t)
+                    }
+                    other => Err(Error::new(format!(
+                        "expected {} in range, got {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(v) => Ok(*v as $t),
+                    Value::I64(v) => Ok(*v as $t),
+                    Value::U64(v) => Ok(*v as $t),
+                    other => Err(Error::new(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+/// `&'static str` fields (e.g. rule names) round-trip by leaking the parsed
+/// string; acceptable for configuration-sized data in tests and tools.
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::new(format!("expected single-char string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!("expected sequence, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(value)?))
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Seq(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error::new(format!(
+                                "expected tuple of {expected}, got sequence of {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::new(format!(
+                        "expected sequence, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl<K: Serialize + ToString, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for HashMap<K, V, S>
+{
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Ord + std::str::FromStr, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_entries(value)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash + std::str::FromStr, V: Deserialize, S> Deserialize
+    for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_entries(value)
+    }
+}
+
+fn map_entries<C, K, V>(value: &Value) -> Result<C, Error>
+where
+    C: FromIterator<(K, V)>,
+    K: std::str::FromStr,
+    V: Deserialize,
+{
+    match value {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| {
+                let key =
+                    k.parse::<K>().map_err(|_| Error::new(format!("unparseable map key '{k}'")))?;
+                Ok((key, V::from_value(v)?))
+            })
+            .collect(),
+        other => Err(Error::new(format!("expected map, got {}", other.kind()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        let some = Some(7usize).to_value();
+        assert_eq!(Option::<usize>::from_value(&some).unwrap(), Some(7));
+        assert_eq!(Option::<usize>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let v = (1u32, "x".to_string()).to_value();
+        let back: (u32, String) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1, "x".to_string()));
+    }
+
+    #[test]
+    fn get_field_reports_missing_keys() {
+        let v = Value::Map(vec![("a".to_string(), Value::U64(1))]);
+        assert!(v.get_field("a").is_ok());
+        assert!(v.get_field("b").is_err());
+        assert!(Value::Null.get_field("a").is_err());
+    }
+}

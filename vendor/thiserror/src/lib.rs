@@ -1,0 +1,6 @@
+//! Vendored, offline shim of `thiserror`.
+//!
+//! Re-exports the [`Error`] derive macro, which generates `Display` (from
+//! `#[error("...")]` attributes) and `std::error::Error` impls.
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,319 @@
+//! The `#[derive(Error)]` macro backing the vendored thiserror shim.
+//!
+//! Supports the shapes this workspace uses: enums whose variants carry an
+//! `#[error("format string")]` attribute referencing fields by name
+//! (`{field}`, `{field:?}`) or by position (`{0}`, `{0:?}`). Generates
+//! `std::fmt::Display` and `std::error::Error` impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One enum variant: name, field shape, and its `#[error(...)]` format
+/// literal (source representation, including the surrounding quotes).
+struct Variant {
+    name: String,
+    fields: VariantFields,
+    format: String,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Extracts the string-literal source from an `#[error(...)]` attribute
+/// body, if this bracket group is one.
+fn error_attribute_literal(group: &proc_macro::Group) -> Option<String> {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "error" => {}
+        _ => return None,
+    }
+    match it.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+            match args.stream().into_iter().next() {
+                Some(TokenTree::Literal(lit)) => Some(lit.to_string()),
+                other => {
+                    panic!("thiserror shim: #[error(...)] needs a string literal, got {other:?}")
+                }
+            }
+        }
+        other => panic!("thiserror shim: malformed #[error] attribute: {other:?}"),
+    }
+}
+
+/// Parses named-field names from the tokens inside `{ ... }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        while i + 1 < tokens.len() {
+            match (&tokens[i], &tokens[i + 1]) {
+                (TokenTree::Punct(p), TokenTree::Group(g))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            other => panic!("thiserror shim: expected field name, got {other:?}"),
+        }
+        i += 1;
+        // Skip `: Type` up to a top-level comma.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts tuple fields from the tokens inside `( ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 && idx + 1 != tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+/// Rewrites positional placeholders `{0}` / `{0:?}` to `{_0}` / `{_0:?}` so
+/// the generated `write!` can use inline captures of the bound `_N` names.
+/// Operates on the literal's source representation; `{{` escapes survive.
+fn rewrite_positional(format_src: &str) -> String {
+    let chars: Vec<char> = format_src.chars().collect();
+    let mut out = String::with_capacity(chars.len() + 4);
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if i + 1 < chars.len() && chars[i + 1] == '{' {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            // Peek at the placeholder name.
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            let is_positional =
+                j > i + 1 && j < chars.len() && (chars[j] == '}' || chars[j] == ':');
+            out.push('{');
+            if is_positional {
+                out.push('_');
+            }
+            i += 1;
+            continue;
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Collects the identifiers referenced by `{name}` / `{name:spec}`
+/// placeholders in a format literal's source representation.
+fn referenced_names(format_src: &str) -> Vec<String> {
+    let chars: Vec<char> = format_src.chars().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if i + 1 < chars.len() && chars[i + 1] == '{' {
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if j > i + 1 && j < chars.len() && (chars[j] == '}' || chars[j] == ':') {
+                let name: String = chars[i + 1..j].iter().collect();
+                if !name.chars().next().unwrap().is_ascii_digit() && !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Derives `Display` + `std::error::Error` from `#[error("...")]` attributes.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip item-level attributes and visibility.
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {}
+        other => panic!("thiserror shim: only enums are supported, got {other:?}"),
+    }
+    i += 1;
+    let enum_name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("thiserror shim: expected enum name, got {other:?}"),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("thiserror shim: expected enum body, got {other:?}"),
+    };
+
+    // Parse variants with their #[error] attributes.
+    let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut k = 0;
+    while k < body_tokens.len() {
+        let mut format = None;
+        // Collect attributes, remembering the #[error] literal.
+        while k + 1 < body_tokens.len() {
+            match (&body_tokens[k], &body_tokens[k + 1]) {
+                (TokenTree::Punct(p), TokenTree::Group(g))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if let Some(lit) = error_attribute_literal(g) {
+                        format = Some(lit);
+                    }
+                    k += 2;
+                }
+                _ => break,
+            }
+        }
+        let name = match body_tokens.get(k) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("thiserror shim: expected variant name, got {other:?}"),
+        };
+        k += 1;
+        let fields = match body_tokens.get(k) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                k += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream()));
+                k += 1;
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        let format = format.unwrap_or_else(|| {
+            panic!("thiserror shim: variant {enum_name}::{name} is missing #[error(\"...\")]")
+        });
+        variants.push(Variant { name, fields, format });
+        while let Some(tok) = body_tokens.get(k) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+    }
+
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let name = &v.name;
+            match &v.fields {
+                VariantFields::Unit => {
+                    format!("{enum_name}::{name} => ::std::write!(__f, {}),", v.format)
+                }
+                VariantFields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|p| format!("_{p}")).collect();
+                    format!(
+                        "{enum_name}::{name}({}) => ::std::write!(__f, {}),",
+                        binds.join(", "),
+                        rewrite_positional(&v.format)
+                    )
+                }
+                VariantFields::Named(field_names) => {
+                    let used = referenced_names(&v.format);
+                    let binds: Vec<String> =
+                        field_names.iter().filter(|f| used.contains(f)).cloned().collect();
+                    let pattern = if binds.is_empty() {
+                        "{ .. }".to_string()
+                    } else {
+                        format!("{{ {}, .. }}", binds.join(", "))
+                    };
+                    format!("{enum_name}::{name} {pattern} => ::std::write!(__f, {}),", v.format)
+                }
+            }
+        })
+        .collect();
+
+    let code = format!(
+        "impl ::std::fmt::Display for {enum_name} {{\n\
+             fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}\n\
+         impl ::std::error::Error for {enum_name} {{}}\n",
+        arms.join("\n")
+    );
+    code.parse().expect("thiserror shim: generated invalid impl")
+}
