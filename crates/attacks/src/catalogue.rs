@@ -171,6 +171,9 @@ impl Attack for LittleIsEnough {
 
     fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
         let mean = ctx.honest_mean();
+        // The slice kernel is the right tool here: `craft` receives borrowed
+        // honest gradients once per round, so packing them into an arena
+        // would add an O(n·d) copy for a single std computation.
         let std = stats::coordinate_std(ctx.honest_gradients)
             .unwrap_or_else(|_| Vector::zeros(ctx.dimension()));
         let mut crafted = mean;

@@ -6,9 +6,11 @@
 //! both the gradient dimension `d` and the worker count `n` so the scaling
 //! claims can be checked from the Criterion report.
 
-use agg_core::{Average, Bulyan, CoordinateMedian, Gar, Krum, MultiKrum, TrimmedMean};
+use agg_core::{
+    reference, Average, Bulyan, CoordinateMedian, Gar, GarKind, Krum, MultiKrum, TrimmedMean,
+};
 use agg_tensor::rng::{gaussian_vector, seeded_rng};
-use agg_tensor::Vector;
+use agg_tensor::{GradientBatch, Vector};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn gradients(n: usize, d: usize, seed: u64) -> Vec<Vector> {
@@ -81,5 +83,39 @@ fn bench_f_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dimension_sweep, bench_worker_sweep, bench_f_ablation);
+/// Arena kernels versus the frozen pre-arena reference implementations, side
+/// by side: the before/after evidence for the contiguous `GradientBatch`
+/// refactor (triangular distances computed once, fused phase-2, clone-free
+/// averaging). The `gar_perf` binary emits the same comparison as JSON.
+fn bench_arena_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gar_arena_vs_reference_n19_f4");
+    group.sample_size(10);
+    for &d in &[10_000usize, 100_000] {
+        let gs = gradients(19, d, 4);
+        let batch = GradientBatch::from_vectors(&gs).unwrap();
+        let mk = MultiKrum::new(4).unwrap();
+        group.bench_with_input(BenchmarkId::new("multi-krum-arena", d), &batch, |b, batch| {
+            b.iter(|| mk.aggregate_batch(black_box(batch)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("multi-krum-reference", d), &gs, |b, gs| {
+            b.iter(|| reference::aggregate(GarKind::MultiKrum, 4, black_box(gs)).unwrap())
+        });
+        let bulyan = Bulyan::new(4).unwrap();
+        group.bench_with_input(BenchmarkId::new("bulyan-arena", d), &batch, |b, batch| {
+            b.iter(|| bulyan.aggregate_batch(black_box(batch)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bulyan-reference", d), &gs, |b, gs| {
+            b.iter(|| reference::aggregate(GarKind::Bulyan, 4, black_box(gs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dimension_sweep,
+    bench_worker_sweep,
+    bench_f_ablation,
+    bench_arena_vs_reference
+);
 criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! `gar_perf` — the repo's gradient-aggregation perf trajectory.
+//!
+//! Times one aggregation round (ns/round, median of repeated samples) for
+//! the six rules of the paper's §4.2 cost analysis at the paper's deployment
+//! size (n = 19 workers, f = 4 Byzantine) across gradient dimensions
+//! d ∈ {1k, 10k, 100k}, on two code paths:
+//!
+//! * **arena** — the live [`agg_core::Gar::aggregate_batch`] kernels over
+//!   the contiguous [`GradientBatch`] arena (triangular distance matrix,
+//!   fused column-block kernels, partial selection);
+//! * **reference** — the frozen pre-arena implementations in
+//!   [`agg_core::reference`] (dense both-triangles matrix, per-coordinate
+//!   gathers over scattered vectors, allocate-and-sort scoring).
+//!
+//! The results are written as machine-readable JSON (default
+//! `BENCH_gar.json`, override with `--out <path>`) so CI can archive a perf
+//! trajectory per commit, and printed as a table for humans.
+
+use agg_core::{reference, Gar, GarConfig, GarKind};
+use agg_tensor::rng::{gaussian_vector, seeded_rng};
+use agg_tensor::{GradientBatch, Vector};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The paper's deployment: 19 workers, 4 declared Byzantine.
+const N: usize = 19;
+const F: usize = 4;
+const DIMS: [usize; 3] = [1_000, 10_000, 100_000];
+const RULES: [GarKind; 6] = [
+    GarKind::Average,
+    GarKind::Median,
+    GarKind::TrimmedMean,
+    GarKind::Krum,
+    GarKind::MultiKrum,
+    GarKind::Bulyan,
+];
+
+/// Per-cell time budget; each cell still takes at least `MIN_SAMPLES` runs.
+const BUDGET_NS: u128 = 150_000_000;
+const MIN_SAMPLES: usize = 5;
+const MAX_SAMPLES: usize = 60;
+
+/// Median ns/round of repeated timed runs (first run is warm-up).
+fn median_round_ns(mut run: impl FnMut()) -> u128 {
+    run();
+    let mut samples: Vec<u128> = Vec::new();
+    let mut total = 0u128;
+    while samples.len() < MIN_SAMPLES || (total < BUDGET_NS && samples.len() < MAX_SAMPLES) {
+        let start = Instant::now();
+        run();
+        let ns = start.elapsed().as_nanos().max(1);
+        total += ns;
+        samples.push(ns);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Cell {
+    rule: &'static str,
+    d: usize,
+    arena_ns: u128,
+    reference_ns: u128,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.reference_ns as f64 / self.arena_ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_gar.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().expect("--out requires a path");
+            }
+            other => {
+                eprintln!("gar_perf: unknown argument '{other}' (supported: --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("gar_perf: n = {N}, f = {F}, dims = {DIMS:?} (median ns/round)");
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>9}",
+        "rule", "d", "arena_ns", "reference_ns", "speedup"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &d in &DIMS {
+        let mut rng = seeded_rng(0xA66_7A70 ^ d as u64);
+        let gradients: Vec<Vector> =
+            (0..N).map(|_| gaussian_vector(&mut rng, d, 0.0, 1.0)).collect();
+        let batch = GradientBatch::from_vectors(&gradients).expect("consistent batch");
+        for kind in RULES {
+            let gar: Box<dyn Gar> = GarConfig::new(kind, F).build().expect("valid GAR config");
+            let arena_ns = median_round_ns(|| {
+                gar.aggregate_batch(&batch).expect("arena aggregation succeeds");
+            });
+            let reference_ns = median_round_ns(|| {
+                reference::aggregate(kind, F, &gradients).expect("reference aggregation succeeds");
+            });
+            let cell = Cell { rule: kind.name(), d, arena_ns, reference_ns };
+            println!(
+                "{:<14} {:>8} {:>14} {:>14} {:>8.2}x",
+                cell.rule,
+                cell.d,
+                cell.arena_ns,
+                cell.reference_ns,
+                cell.speedup()
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"gar_perf\",\n");
+    let _ = writeln!(json, "  \"n\": {N},");
+    let _ = writeln!(json, "  \"f\": {F},");
+    json.push_str("  \"unit\": \"median_ns_per_round\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"rule\": \"{}\", \"d\": {}, \"arena_ns\": {}, \"reference_ns\": {}, \
+             \"speedup\": {:.2}}}{comma}",
+            cell.rule,
+            cell.d,
+            cell.arena_ns,
+            cell.reference_ns,
+            cell.speedup()
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_gar.json");
+    println!("\nwrote {out_path}");
+}

@@ -1,9 +1,9 @@
 //! Plain gradient averaging — the non-resilient baseline
 //! (`tf.train.SyncReplicasOptimizer` in the paper's evaluation).
 
-use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::gar::{ensure_batch_nonempty, Gar, GarProperties, Resilience};
 use crate::Result;
-use agg_tensor::{stats, Vector};
+use agg_tensor::{GradientBatch, Vector};
 
 /// Coordinate-wise arithmetic mean of all submitted gradients.
 ///
@@ -45,9 +45,9 @@ impl Gar for Average {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        validate_batch("average", gradients)?;
-        Ok(stats::coordinate_mean(gradients)?)
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        ensure_batch_nonempty("average", batch)?;
+        Ok(batch.coordinate_mean()?)
     }
 }
 

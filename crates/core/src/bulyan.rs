@@ -11,15 +11,17 @@
 //!    closest to that median.
 //!
 //! The implementation follows the paper's optimisation: the O(n²·d) pairwise
-//! distance matrix is computed **once** (it is the Multi-Krum distance
-//! matrix); subsequent selection iterations only re-rank scores over the
-//! shrinking active set, so the additional cost per iteration is O(n²) rather
-//! than O(n²·d).
+//! distance matrix is computed **once** (it is the Multi-Krum triangular
+//! [`agg_tensor::DistanceMatrix`], each unordered pair computed exactly
+//! once); subsequent selection iterations only re-rank scores over the
+//! shrinking active set, so the additional cost per iteration is O(n²)
+//! rather than O(n²·d). The second phase runs fused over column blocks of
+//! the [`GradientBatch`] arena with per-block scratch and quickselect.
 
-use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
-use crate::multi_krum::{distance_matrix, krum_scores};
+use crate::gar::{ensure_batch_nonempty, validate_batch, Gar, GarProperties, Resilience};
+use crate::multi_krum::krum_scores;
 use crate::{resilience, AggregationError, Result};
-use agg_tensor::{stats, Vector};
+use agg_tensor::{stats, GradientBatch, TensorError, Vector};
 
 /// The Bulyan gradient aggregation rule (strong Byzantine resilience,
 /// requires `n ≥ 4f + 3`).
@@ -67,12 +69,23 @@ impl Bulyan {
     /// the usual batch-validation errors.
     pub fn select(&self, gradients: &[Vector]) -> Result<Vec<usize>> {
         validate_batch("bulyan", gradients)?;
-        let n = gradients.len();
+        let batch = GradientBatch::from_vectors(gradients)
+            .expect("validate_batch guarantees a non-empty, consistent batch");
+        self.select_batch(&batch)
+    }
+
+    /// Arena variant of [`Bulyan::select`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Bulyan::select`].
+    pub fn select_batch(&self, batch: &GradientBatch) -> Result<Vec<usize>> {
+        let n = ensure_batch_nonempty("bulyan", batch)?;
         resilience::check_bulyan(n, self.f)?;
         let theta = resilience::bulyan_selection_count(n, self.f)?;
 
         // The paper's optimisation: distances are computed once, here.
-        let distances = distance_matrix(gradients);
+        let distances = batch.pairwise_squared_distances();
 
         let mut active: Vec<usize> = (0..n).collect();
         let mut selected = Vec::with_capacity(theta);
@@ -100,57 +113,21 @@ impl Gar for Bulyan {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        let selected_idx = self.select(gradients)?;
-        let n = gradients.len();
-        let beta = resilience::bulyan_beta(n, self.f)?;
-        let selected: Vec<&Vector> = selected_idx.iter().map(|&i| &gradients[i]).collect();
-        if selected.iter().all(|g| !g.is_finite()) {
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        let selected = self.select_batch(batch)?;
+        let beta = resilience::bulyan_beta(batch.n(), self.f)?;
+        if selected.iter().all(|&i| batch.row(i).iter().any(|x| !x.is_finite())) {
             return Err(AggregationError::AllGradientsCorrupt("bulyan"));
         }
-
-        let d = gradients[0].len();
-        let mut out = Vec::with_capacity(d);
-        // Reused scratch buffers: the per-coordinate loop runs d times and is
-        // the O(n·d) tail of Bulyan's cost, so no allocations inside it.
-        let mut column: Vec<f32> = Vec::with_capacity(selected.len());
-        let mut finite: Vec<f32> = Vec::with_capacity(selected.len());
-        let mut keyed: Vec<(f32, f32)> = Vec::with_capacity(selected.len());
-        let cmp = |a: &f32, b: &f32| a.partial_cmp(b).expect("NaN filtered before comparison");
-        for c in 0..d {
-            column.clear();
-            column.extend(selected.iter().map(|g| g[c]));
-            // Coordinate-wise median over the finite values (selection, not a
-            // full sort).
-            finite.clear();
-            finite.extend(column.iter().copied().filter(|x| !x.is_nan()));
-            let k = finite.len();
-            if k == 0 {
-                return Err(AggregationError::AllGradientsCorrupt("bulyan"));
-            }
-            let median = if k % 2 == 1 {
-                *finite.select_nth_unstable_by(k / 2, cmp).1
-            } else {
-                let upper = *finite.select_nth_unstable_by(k / 2, cmp).1;
-                let lower = finite[..k / 2].iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                0.5 * (lower + upper)
-            };
-            // Average of the β values closest to the median; non-finite
-            // values rank as infinitely far and are never selected while
-            // enough finite values exist.
-            keyed.clear();
-            keyed.extend(column.iter().map(|&v| {
-                let key = if v.is_finite() { (v - median).abs() } else { f32::INFINITY };
-                (key, v)
-            }));
-            let beta = beta.min(keyed.len()).max(1);
-            keyed.select_nth_unstable_by(beta - 1, |a, b| {
-                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let sum: f32 = keyed[..beta].iter().map(|&(_, v)| v).sum();
-            out.push(sum / beta as f32);
-        }
-        Ok(Vector::from(out))
+        // Phase 2, fused: for every coordinate of the selected rows, average
+        // the β values closest to the coordinate-wise median. Non-finite
+        // values rank as infinitely far and are never selected while enough
+        // finite values exist; a coordinate that is NaN in every selected
+        // row means the whole selection is corrupt.
+        batch.mean_around_median_of_rows(&selected, beta).map_err(|e| match e {
+            TensorError::EmptyInput(_) => AggregationError::AllGradientsCorrupt("bulyan"),
+            other => other.into(),
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 //! the parameter server.
 
 use crate::Result;
-use agg_tensor::Vector;
+use agg_tensor::{GradientBatch, Vector};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -65,14 +65,35 @@ pub trait Gar: Send + Sync + fmt::Debug {
     /// Static properties (name, resilience, preconditions).
     fn properties(&self) -> GarProperties;
 
-    /// Aggregates one round of gradients.
+    /// Aggregates one round of gradients packed into a contiguous
+    /// [`GradientBatch`] arena — the hot-path entry point.
+    ///
+    /// The arena guarantees dimensional consistency by construction, so
+    /// implementations only check their own preconditions (worker count,
+    /// corruption). Callers that hold gradients as separate vectors use
+    /// [`Gar::aggregate`], which packs them once and delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`crate::AggregationError`] when the batch is
+    /// empty, too small for the declared `f`, or entirely corrupt.
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector>;
+
+    /// Aggregates one round of gradients (thin adapter over
+    /// [`Gar::aggregate_batch`]: validates, packs the arena, aggregates).
     ///
     /// # Errors
     ///
     /// Implementations return [`crate::AggregationError`] when the submission
     /// violates the rule's preconditions (too few gradients, inconsistent
     /// dimensions) or when every candidate is corrupt.
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector>;
+    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
+        let rule = self.properties().name;
+        validate_batch(rule, gradients)?;
+        let batch = GradientBatch::from_vectors(gradients)
+            .expect("validate_batch guarantees a non-empty, consistent batch");
+        self.aggregate_batch(&batch)
+    }
 
     /// Convenience accessor for the rule name.
     fn name(&self) -> &'static str {
@@ -106,6 +127,22 @@ pub fn validate_batch(rule: &'static str, gradients: &[Vector]) -> Result<usize>
         }
     }
     Ok(d)
+}
+
+/// Validates that an arena batch is non-empty, returning the gradient count.
+///
+/// The arena enforces dimensional consistency at construction, so this is
+/// the only structural check an [`Gar::aggregate_batch`] implementation
+/// needs before its rule-specific preconditions.
+///
+/// # Errors
+///
+/// Returns [`crate::AggregationError::NoGradients`].
+pub fn ensure_batch_nonempty(rule: &'static str, batch: &GradientBatch) -> Result<usize> {
+    if batch.is_empty() {
+        return Err(crate::AggregationError::NoGradients(rule));
+    }
+    Ok(batch.n())
 }
 
 #[cfg(test)]

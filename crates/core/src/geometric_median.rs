@@ -8,9 +8,9 @@
 //! GAR: robust to a minority of outliers, but more expensive per round than
 //! Multi-Krum for the same dimension because of its iterative refinement.
 
-use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::gar::{ensure_batch_nonempty, Gar, GarProperties, Resilience};
 use crate::{resilience, AggregationError, Result};
-use agg_tensor::{stats, Vector};
+use agg_tensor::{ops, GradientBatch, Vector};
 
 /// Weiszfeld-iteration approximation of the geometric median.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,31 +64,35 @@ impl Gar for GeometricMedian {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        validate_batch("geometric-median", gradients)?;
-        resilience::check_median("geometric-median", gradients.len(), self.f)?;
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        let n = ensure_batch_nonempty("geometric-median", batch)?;
+        resilience::check_median("geometric-median", n, self.f)?;
         // Non-finite gradients cannot participate in distance computations;
         // they are excluded up front (equivalent to being infinitely far).
-        let finite: Vec<&Vector> = gradients.iter().filter(|g| g.is_finite()).collect();
+        // Rows are borrowed from the arena — no clones.
+        let finite: Vec<usize> =
+            (0..n).filter(|&i| batch.row(i).iter().all(|x| x.is_finite())).collect();
         if finite.is_empty() {
             return Err(AggregationError::AllGradientsCorrupt("geometric-median"));
         }
         // Start from the coordinate-wise median — already a robust point.
-        let owned: Vec<Vector> = finite.iter().map(|g| (*g).clone()).collect();
-        let mut estimate = stats::coordinate_median(&owned)?;
+        let mut estimate = batch.coordinate_median_of_rows(&finite)?;
         for _ in 0..self.iterations {
             let mut weight_sum = 0.0f32;
             let mut next = Vector::zeros(estimate.len());
             let mut coincides = false;
-            for g in &finite {
-                let distance = estimate.distance(g).max(1e-12);
+            for &r in &finite {
+                let row = batch.row(r);
+                let distance = ops::squared_distance(estimate.as_slice(), row).sqrt().max(1e-12);
                 if distance <= self.tolerance {
                     coincides = true;
                     break;
                 }
                 let w = 1.0 / distance;
                 weight_sum += w;
-                next.axpy(w, g)?;
+                for (a, &b) in next.iter_mut().zip(row) {
+                    *a += w * b;
+                }
             }
             if coincides || weight_sum == 0.0 {
                 break;

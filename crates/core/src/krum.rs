@@ -7,7 +7,7 @@
 use crate::gar::{Gar, GarProperties, Resilience};
 use crate::multi_krum::MultiKrum;
 use crate::{resilience, Result};
-use agg_tensor::Vector;
+use agg_tensor::{GradientBatch, Vector};
 
 /// The original Krum rule: select the single gradient with the smallest sum
 /// of distances to its `n − f − 2` nearest neighbours.
@@ -61,8 +61,8 @@ impl Gar for Krum {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        self.inner.aggregate(gradients)
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        self.inner.aggregate_batch(batch)
     }
 }
 

@@ -49,12 +49,14 @@ pub mod krum;
 pub mod meamed;
 pub mod median;
 pub mod multi_krum;
+pub mod reference;
 pub mod registry;
 pub mod resilience;
 pub mod sanitize;
 pub mod selective;
 pub mod trimmed_mean;
 
+pub use agg_tensor::{DistanceMatrix, GradientBatch};
 pub use average::Average;
 pub use bulyan::Bulyan;
 pub use error::AggregationError;

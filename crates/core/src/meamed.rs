@@ -7,9 +7,9 @@
 //! the trimmed mean (which always removes exactly the two tails), and is
 //! weakly Byzantine-resilient for `f < n/2`.
 
-use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
-use crate::{resilience, AggregationError, Result};
-use agg_tensor::{stats, Vector};
+use crate::gar::{ensure_batch_nonempty, Gar, GarProperties, Resilience};
+use crate::{resilience, Result};
+use agg_tensor::{GradientBatch, Vector};
 
 /// Coordinate-wise mean of the `n − f` values closest to the median.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,20 +46,11 @@ impl Gar for MeaMed {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        let d = validate_batch("meamed", gradients)?;
-        resilience::check_median("meamed", gradients.len(), self.f)?;
-        let n = gradients.len();
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        let n = ensure_batch_nonempty("meamed", batch)?;
+        resilience::check_median("meamed", n, self.f)?;
         let keep = (n - self.f).max(1);
-        let mut out = Vec::with_capacity(d);
-        let mut column = Vec::with_capacity(n);
-        for c in 0..d {
-            column.clear();
-            column.extend(gradients.iter().map(|g| g[c]));
-            let med = stats::median(&column).map_err(AggregationError::from)?;
-            out.push(stats::mean_closest_to(&column, med, keep).map_err(AggregationError::from)?);
-        }
-        Ok(Vector::from(out))
+        Ok(batch.mean_around_median(keep)?)
     }
 }
 

@@ -1,9 +1,9 @@
 //! Coordinate-wise median GAR (the "Median" baseline of the evaluation,
 //! following Xie et al., 2018).
 
-use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::gar::{ensure_batch_nonempty, Gar, GarProperties, Resilience};
 use crate::{resilience, Result};
-use agg_tensor::{stats, Vector};
+use agg_tensor::{GradientBatch, Vector};
 
 /// Coordinate-wise median of the submitted gradients.
 ///
@@ -48,10 +48,10 @@ impl Gar for CoordinateMedian {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        validate_batch("median", gradients)?;
-        resilience::check_median("median", gradients.len(), self.f)?;
-        Ok(stats::coordinate_median(gradients)?)
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        let n = ensure_batch_nonempty("median", batch)?;
+        resilience::check_median("median", n, self.f)?;
+        Ok(batch.coordinate_median()?)
     }
 }
 

@@ -8,74 +8,105 @@
 //! of Blanchard et al.
 //!
 //! The implementation mirrors the paper's "fast, memory scarce" description:
-//! the O(n²·d) pairwise-distance computation is parallelised (rayon), the
-//! score computation reuses the distance matrix, and the distance matrix is
-//! exposed so that [`crate::Bulyan`] can reuse it across its iterations
-//! instead of recomputing it.
+//! gradients live in a contiguous [`GradientBatch`] arena, the O(n²·d)
+//! pairwise-distance kernel computes each unordered pair exactly once (flat
+//! upper triangle, rayon-parallel when the work warrants it), scores are
+//! obtained by partial selection over a reusable scratch buffer instead of
+//! allocate-and-sort, and the [`DistanceMatrix`] is shared with
+//! [`crate::Bulyan`], which re-ranks scores across its iterations instead of
+//! recomputing distances.
 
-use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::gar::{ensure_batch_nonempty, validate_batch, Gar, GarProperties, Resilience};
 use crate::{resilience, AggregationError, Result};
-use agg_tensor::{stats, Vector};
+use agg_tensor::batch::PARALLEL_MIN_WORK;
+use agg_tensor::{stats, TensorError, Vector};
 use rayon::prelude::*;
 
-/// Below this many total elements (`n · d`) the kernels run sequentially:
-/// rayon's fixed dispatch overhead would otherwise dominate the measurement
-/// and distort the time model's linear-in-`d` rescaling.
-const PARALLEL_THRESHOLD: usize = 200_000;
+pub use agg_tensor::batch::{DistanceMatrix, GradientBatch};
 
-/// Pairwise squared-distance matrix, computed in parallel over rows for
-/// large inputs.
+/// Pairwise squared-distance matrix for a slice of vectors.
 ///
-/// Distances involving non-finite coordinates are mapped to `+∞` so corrupt
-/// gradients are never preferred by any score built on top of the matrix.
-pub fn distance_matrix(gradients: &[Vector]) -> Vec<Vec<f32>> {
-    let n = gradients.len();
-    let d = gradients.first().map(Vector::len).unwrap_or(0);
-    let row = |i: usize| -> Vec<f32> {
-        (0..n)
-            .map(|j| {
-                if i == j {
-                    0.0
-                } else {
-                    let dist = gradients[i].squared_distance(&gradients[j]);
-                    if dist.is_finite() {
-                        dist
-                    } else {
-                        f32::INFINITY
-                    }
-                }
-            })
-            .collect()
-    };
-    if n * d < PARALLEL_THRESHOLD {
-        (0..n).map(row).collect()
-    } else {
-        (0..n).into_par_iter().map(row).collect()
+/// Compatibility adapter over the single canonical kernel,
+/// [`GradientBatch::pairwise_squared_distances`]: each unordered pair is
+/// computed exactly once into the flat upper triangle. Distances involving
+/// non-finite coordinates are mapped to `+∞` so corrupt gradients are never
+/// preferred by any score built on top of the matrix.
+///
+/// # Panics
+///
+/// Panics when the vectors disagree on length (distance computation is on
+/// the hot path; callers validate dimensions first).
+pub fn distance_matrix(gradients: &[Vector]) -> DistanceMatrix {
+    match GradientBatch::from_vectors(gradients) {
+        Ok(batch) => batch.pairwise_squared_distances(),
+        Err(TensorError::EmptyInput(_)) => GradientBatch::new(0).pairwise_squared_distances(),
+        Err(e) => panic!("distance_matrix requires equally sized gradients: {e}"),
     }
 }
 
 /// Krum score of gradient `index` restricted to the `active` set: the sum of
 /// its `neighbours` smallest distances to other active gradients.
-///
-/// `distances` must be the full matrix returned by [`distance_matrix`].
 pub fn krum_score(
-    distances: &[Vec<f32>],
+    distances: &DistanceMatrix,
     active: &[usize],
     index: usize,
     neighbours: usize,
 ) -> f32 {
-    let mut row: Vec<f32> =
-        active.iter().filter(|&&j| j != index).map(|&j| distances[index][j]).collect();
-    row.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    row.iter().take(neighbours).sum()
+    let mut scratch = Vec::with_capacity(active.len());
+    krum_score_into(distances, active, index, neighbours, &mut scratch)
+}
+
+/// [`krum_score`] over a caller-provided scratch buffer: partial selection
+/// (`select_nth_unstable`) of the `neighbours` smallest distances, no
+/// allocation and no full sort.
+fn krum_score_into(
+    distances: &DistanceMatrix,
+    active: &[usize],
+    index: usize,
+    neighbours: usize,
+    scratch: &mut Vec<f32>,
+) -> f32 {
+    scratch.clear();
+    scratch.extend(active.iter().filter(|&&j| j != index).map(|&j| distances.get(index, j)));
+    let k = neighbours.min(scratch.len());
+    if k == 0 {
+        return 0.0;
+    }
+    if k < scratch.len() {
+        scratch.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
+    }
+    scratch[..k].iter().sum()
 }
 
 /// Krum scores for every member of `active`, in the same order as `active`.
-pub fn krum_scores(distances: &[Vec<f32>], active: &[usize], neighbours: usize) -> Vec<f32> {
-    if active.len() * active.len() < PARALLEL_THRESHOLD {
-        active.iter().map(|&i| krum_score(distances, active, i, neighbours)).collect()
+pub fn krum_scores(distances: &DistanceMatrix, active: &[usize], neighbours: usize) -> Vec<f32> {
+    // Gate on the actual work being dispatched: scoring gathers and
+    // partially selects |active| distances for each of the |active| members,
+    // i.e. |active|² element operations in total. PARALLEL_MIN_WORK is
+    // calibrated in exactly those units (element ops versus rayon's fixed
+    // dispatch overhead), so the same constant serves every kernel.
+    if active.len() * active.len() < PARALLEL_MIN_WORK {
+        let mut scratch = Vec::with_capacity(active.len());
+        active
+            .iter()
+            .map(|&i| krum_score_into(distances, active, i, neighbours, &mut scratch))
+            .collect()
     } else {
-        active.par_iter().map(|&i| krum_score(distances, active, i, neighbours)).collect()
+        // Chunked dispatch so each parallel task reuses one scratch buffer
+        // across its members instead of allocating per scored gradient.
+        let parts: Vec<Vec<f32>> = active
+            .chunks(64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|chunk| {
+                let mut scratch = Vec::with_capacity(active.len());
+                chunk
+                    .iter()
+                    .map(|&i| krum_score_into(distances, active, i, neighbours, &mut scratch))
+                    .collect()
+            })
+            .collect();
+        parts.into_iter().flatten().collect()
     }
 }
 
@@ -164,10 +195,21 @@ impl MultiKrum {
     /// Same conditions as [`MultiKrum::aggregate`].
     pub fn select(&self, gradients: &[Vector]) -> Result<Vec<usize>> {
         validate_batch("multi-krum", gradients)?;
-        let n = gradients.len();
+        let batch = GradientBatch::from_vectors(gradients)
+            .expect("validate_batch guarantees a non-empty, consistent batch");
+        self.select_batch(&batch)
+    }
+
+    /// Arena variant of [`MultiKrum::select`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiKrum::aggregate`].
+    pub fn select_batch(&self, batch: &GradientBatch) -> Result<Vec<usize>> {
+        let n = ensure_batch_nonempty("multi-krum", batch)?;
         let m = self.resolve_m(n)?;
         let neighbours = resilience::krum_neighbour_count(n, self.f)?;
-        let distances = distance_matrix(gradients);
+        let distances = batch.pairwise_squared_distances();
         let active: Vec<usize> = (0..n).collect();
         let scores = krum_scores(&distances, &active, neighbours);
         let ranked = stats::k_smallest_indices(&scores, m)?;
@@ -186,13 +228,14 @@ impl Gar for MultiKrum {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        let selected = self.select(gradients)?;
-        let chosen: Vec<Vector> = selected.iter().map(|&i| gradients[i].clone()).collect();
-        if chosen.iter().all(|g| !g.is_finite()) {
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        let selected = self.select_batch(batch)?;
+        // Clone-free selection averaging: the selected rows are averaged
+        // straight out of the arena.
+        if selected.iter().all(|&i| batch.row(i).iter().any(|x| !x.is_finite())) {
             return Err(AggregationError::AllGradientsCorrupt("multi-krum"));
         }
-        Ok(stats::coordinate_mean(&chosen)?)
+        Ok(batch.mean_of_rows(&selected)?)
     }
 }
 
@@ -306,8 +349,9 @@ mod tests {
     fn distance_matrix_maps_nan_to_infinity() {
         let gs = vec![Vector::from(vec![f32::NAN]), Vector::from(vec![1.0])];
         let d = distance_matrix(&gs);
-        assert_eq!(d[0][1], f32::INFINITY);
-        assert_eq!(d[0][0], 0.0);
+        assert_eq!(d.get(0, 1), f32::INFINITY);
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(distance_matrix(&[]).n(), 0);
     }
 
     #[test]
@@ -322,5 +366,18 @@ mod tests {
         assert_eq!(krum_score(&d, &active, 2, 1), 81.0);
         let scores = krum_scores(&d, &active, 1);
         assert_eq!(scores, vec![1.0, 1.0, 81.0]);
+    }
+
+    #[test]
+    fn scores_match_the_reference_implementation() {
+        let gs = batch(9, 1.0, 2, &[40.0, -40.0]);
+        let d = distance_matrix(&gs);
+        let dense = crate::reference::distance_matrix(&gs);
+        let active: Vec<usize> = (0..gs.len()).collect();
+        let fast = krum_scores(&d, &active, 7);
+        let slow = crate::reference::krum_scores(&dense, &active, 7);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+        }
     }
 }

@@ -8,9 +8,9 @@
 //! (sequence numbers) so that received coordinates land at the right offsets;
 //! that part is implemented in `agg-net`.
 
-use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::gar::{ensure_batch_nonempty, Gar, GarProperties, Resilience};
 use crate::{AggregationError, Result};
-use agg_tensor::{stats, Vector};
+use agg_tensor::{GradientBatch, Vector};
 
 /// Coordinate-wise mean that skips non-finite (lost) coordinates.
 ///
@@ -40,24 +40,14 @@ impl Gar for SelectiveAverage {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        let d = validate_batch("selective-average", gradients)?;
-        let mut out = Vec::with_capacity(d);
-        let mut column = Vec::with_capacity(gradients.len());
-        for c in 0..d {
-            column.clear();
-            column.extend(gradients.iter().map(|g| g[c]));
-            match stats::nan_mean(&column) {
-                Some(mean) => out.push(mean),
-                // Every sample of this coordinate was lost: fall back to a
-                // zero update for the coordinate rather than poisoning the
-                // model. This matches "not caring what happens at the lower
-                // layer" — the coordinate simply does not move this step.
-                None => out.push(0.0),
-            }
-        }
-        let out = Vector::from(out);
-        if gradients.iter().all(|g| g.count_non_finite() == g.len()) {
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        ensure_batch_nonempty("selective-average", batch)?;
+        // A coordinate that was lost in every submission becomes a zero
+        // update rather than poisoning the model — this matches "not caring
+        // what happens at the lower layer": the coordinate simply does not
+        // move this step.
+        let out = batch.coordinate_nan_mean()?;
+        if batch.rows().all(|row| row.iter().all(|x| !x.is_finite())) {
             return Err(AggregationError::AllGradientsCorrupt("selective-average"));
         }
         Ok(out)

@@ -2,9 +2,9 @@
 //! cited in the paper's related work), included as an additional weak
 //! baseline GAR.
 
-use crate::gar::{validate_batch, Gar, GarProperties, Resilience};
+use crate::gar::{ensure_batch_nonempty, Gar, GarProperties, Resilience};
 use crate::{resilience, AggregationError, Result};
-use agg_tensor::{stats, Vector};
+use agg_tensor::{GradientBatch, Vector};
 
 /// Coordinate-wise `f`-trimmed mean.
 ///
@@ -46,31 +46,21 @@ impl Gar for TrimmedMean {
         }
     }
 
-    fn aggregate(&self, gradients: &[Vector]) -> Result<Vector> {
-        let d = validate_batch("trimmed-mean", gradients)?;
-        resilience::check_median("trimmed-mean", gradients.len(), self.f)?;
-        if gradients.len() <= 2 * self.f {
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        let n = ensure_batch_nonempty("trimmed-mean", batch)?;
+        resilience::check_median("trimmed-mean", n, self.f)?;
+        if n <= 2 * self.f {
             return Err(AggregationError::NotEnoughWorkers {
                 rule: "trimmed-mean",
                 f: self.f,
                 required: 2 * self.f + 1,
-                actual: gradients.len(),
+                actual: n,
             });
         }
-        let mut out = Vec::with_capacity(d);
-        let mut column = Vec::with_capacity(gradients.len());
-        for c in 0..d {
-            column.clear();
-            column.extend(gradients.iter().map(|g| g[c]));
-            // NaN values are dropped by the kernel before trimming; if that
-            // leaves too few values the column falls back to the median of
-            // whatever finite values remain.
-            match stats::trimmed_mean(&column, self.f) {
-                Ok(v) => out.push(v),
-                Err(_) => out.push(stats::median(&column).map_err(AggregationError::from)?),
-            }
-        }
-        Ok(Vector::from(out))
+        // NaN values are dropped by the fused kernel before trimming; a
+        // column left with too few values falls back to the median of
+        // whatever finite values remain.
+        Ok(batch.coordinate_trimmed_mean(self.f)?)
     }
 }
 

@@ -10,7 +10,7 @@ use agg_nn::optim::{Optimizer, OptimizerKind};
 use agg_nn::schedule::LearningRate;
 use agg_nn::Sequential;
 use agg_ps::{CostModel, ExperimentKind, TrainingReport};
-use agg_tensor::{stats, Vector};
+use agg_tensor::{GradientBatch, Vector};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a Draco training run.
@@ -252,7 +252,10 @@ impl DracoTrainer {
             throughput.record_round(decoded_gradients.len() as u64, round_wait + decode_time);
 
             if !decoded_gradients.is_empty() {
-                let aggregated = stats::coordinate_mean(&decoded_gradients)
+                // Decoded group gradients are averaged through the
+                // contiguous arena, same as the `agg-ps` server path.
+                let aggregated = GradientBatch::from_vectors(&decoded_gradients)
+                    .and_then(|batch| batch.coordinate_mean())
                     .map_err(|e| DracoError::Training(e.to_string()))?;
                 let mut params = self.model.parameters();
                 let lr = self.config.learning_rate.at(self.step);

@@ -16,7 +16,7 @@ use agg_metrics::{LatencyBreakdown, ThroughputMeter, TracePoint, TrainingTrace};
 use agg_net::{GradientCodec, LinkConfig, LossyTransport, ReliableTransport, Transport};
 use agg_nn::Sequential;
 use agg_tensor::rng::{derive_seed, gaussian_vector, seeded_rng};
-use agg_tensor::Vector;
+use agg_tensor::{GradientBatch, Vector};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -146,13 +146,20 @@ impl SyncTrainingEngine {
         let calibration_dim = virtual_model.dimension.min(200_000);
         let gar = config.gar.build().map_err(PsError::from)?;
         let mut rng = seeded_rng(derive_seed(config.seed, 0xCA11));
-        let gradients: Vec<Vector> =
-            (0..workers).map(|_| gaussian_vector(&mut rng, calibration_dim, 0.0, 1.0)).collect();
+        // The calibration batch is packed into the arena once, outside the
+        // timed region, mirroring how the training loop hands rounds to the
+        // server.
+        let mut gradients = GradientBatch::with_capacity(calibration_dim, workers);
+        for _ in 0..workers {
+            gradients
+                .push_row(gaussian_vector(&mut rng, calibration_dim, 0.0, 1.0).as_slice())
+                .expect("calibration rows share one dimension");
+        }
         // Best of two runs: the first may pay one-time warm-up costs.
         let mut best = f64::INFINITY;
         for _ in 0..2 {
             let start = Instant::now();
-            if gar.aggregate(&gradients).is_err() {
+            if gar.aggregate_batch(&gradients).is_err() {
                 // Preconditions not met (e.g. too few workers for f): the
                 // run will skip every round anyway, so no calibration.
                 return Ok(None);
@@ -288,10 +295,17 @@ impl SyncTrainingEngine {
                 }
             }
 
-            // Phase 3: aggregation and model update at the server.
+            // Phase 3: aggregation and model update at the server. The
+            // round's submissions are packed into the contiguous arena once;
+            // the GAR then aggregates copy-free. A round that cannot even be
+            // packed (no submissions survived the transport) is skipped like
+            // any other GAR rejection.
             let round_wait = broadcast_time + max_worker_time;
             let mut aggregation_time = 0.0;
-            match self.server.apply_round(&submissions) {
+            let round_result = GradientBatch::from_vectors(&submissions)
+                .map_err(|e| PsError::Aggregation(e.to_string()))
+                .and_then(|batch| self.server.apply_round_batch(&batch));
+            match round_result {
                 Ok(outcome) => {
                     let kernel_sec = match self.calibrated_aggregation_sec {
                         Some(calibrated) => calibrated,
@@ -408,11 +422,14 @@ impl ThroughputSimulation {
 
         let mut total_aggregation = 0.0;
         for round in 0..self.rounds {
-            let gradients: Vec<Vector> = (0..self.workers)
-                .map(|_| gaussian_vector(&mut rng, self.proxy_dimension, 0.0, 1.0))
-                .collect();
+            let mut gradients = GradientBatch::with_capacity(self.proxy_dimension, self.workers);
+            for _ in 0..self.workers {
+                gradients
+                    .push_row(gaussian_vector(&mut rng, self.proxy_dimension, 0.0, 1.0).as_slice())
+                    .expect("proxy rounds share one dimension");
+            }
             let start = Instant::now();
-            gar.aggregate(&gradients).map_err(PsError::from)?;
+            gar.aggregate_batch(&gradients).map_err(PsError::from)?;
             let wall = start.elapsed().as_secs_f64();
             // Skip the first (warm-up) round if there is more than one.
             if round > 0 || self.rounds == 1 {

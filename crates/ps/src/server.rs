@@ -12,7 +12,7 @@ use crate::{PsError, Result};
 use agg_core::{Gar, GarConfig};
 use agg_nn::optim::{Optimizer, OptimizerKind, Regularization};
 use agg_nn::schedule::LearningRate;
-use agg_tensor::Vector;
+use agg_tensor::{GradientBatch, Vector};
 use std::time::Instant;
 
 /// Result of one aggregation + update round at the server.
@@ -122,9 +122,26 @@ impl ParameterServer {
     /// when the optimizer step fails.
     pub fn apply_round(&mut self, gradients: &[Vector]) -> Result<RoundOutcome> {
         let start = Instant::now();
-        let mut aggregated = self.gar.aggregate(gradients).map_err(PsError::from)?;
-        let aggregation_wall_sec = start.elapsed().as_secs_f64();
+        let aggregated = self.gar.aggregate(gradients).map_err(PsError::from)?;
+        self.finish_round(aggregated, start)
+    }
 
+    /// Arena variant of [`ParameterServer::apply_round`]: the gradients are
+    /// already packed into a contiguous [`GradientBatch`], so aggregation
+    /// runs straight on the arena with no further copies. This is the path
+    /// the training engine uses — it packs each round's submissions once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParameterServer::apply_round`].
+    pub fn apply_round_batch(&mut self, gradients: &GradientBatch) -> Result<RoundOutcome> {
+        let start = Instant::now();
+        let aggregated = self.gar.aggregate_batch(gradients).map_err(PsError::from)?;
+        self.finish_round(aggregated, start)
+    }
+
+    fn finish_round(&mut self, mut aggregated: Vector, start: Instant) -> Result<RoundOutcome> {
+        let aggregation_wall_sec = start.elapsed().as_secs_f64();
         self.regularization.apply(&mut aggregated, &self.params).map_err(PsError::from)?;
         let lr = self.learning_rate.at(self.step);
         self.optimizer.step(&mut self.params, &aggregated, lr).map_err(PsError::from)?;
@@ -159,6 +176,19 @@ mod tests {
         assert!(outcome.aggregation_wall_sec >= 0.0);
         assert_eq!(s.parameters().as_slice(), &[-0.1, 0.0, 0.1]);
         assert_eq!(s.step(), 1);
+    }
+
+    #[test]
+    fn batch_and_slice_rounds_agree() {
+        let mut by_slice = server(GarKind::MultiKrum, 1, 3);
+        let mut by_batch = server(GarKind::MultiKrum, 1, 3);
+        let gradients: Vec<Vector> =
+            (0..7).map(|i| Vector::from(vec![1.0 + 0.01 * i as f32, 0.0, -1.0])).collect();
+        let batch = GradientBatch::from_vectors(&gradients).unwrap();
+        by_slice.apply_round(&gradients).unwrap();
+        let outcome = by_batch.apply_round_batch(&batch).unwrap();
+        assert_eq!(outcome.step, 1);
+        assert_eq!(by_slice.parameters().as_slice(), by_batch.parameters().as_slice());
     }
 
     #[test]

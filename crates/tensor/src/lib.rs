@@ -8,6 +8,10 @@
 //! * [`Matrix`] — a row-major 2-D matrix used by dense layers.
 //! * [`Tensor`] — an n-dimensional array (row-major) used by convolutional
 //!   layers and data pipelines.
+//! * [`GradientBatch`] — a contiguous row-major `n×d` arena holding one
+//!   round of gradients, plus the fused, cache-friendly aggregation kernels
+//!   (triangular pairwise distances, column-block medians/means). This is
+//!   the hot-path representation the GARs aggregate over.
 //! * [`stats`] — robust statistics on slices and across collections of
 //!   vectors: median, trimmed mean, k-closest-to-median averaging, squared
 //!   distances. These are the numeric kernels the paper's Multi-Krum and
@@ -27,6 +31,7 @@
 //! assert_eq!(a.squared_distance(&b), 4.0);
 //! ```
 
+pub mod batch;
 pub mod error;
 pub mod matrix;
 pub mod ops;
@@ -35,6 +40,7 @@ pub mod stats;
 pub mod tensor;
 pub mod vector;
 
+pub use batch::{DistanceMatrix, GradientBatch};
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use tensor::Tensor;

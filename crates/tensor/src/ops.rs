@@ -74,6 +74,39 @@ pub fn cross_entropy(probabilities: &[f32], label: usize) -> f32 {
     -(p.max(1e-12)).ln()
 }
 
+/// Squared Euclidean distance between two equally sized slices.
+///
+/// This is the innermost kernel of Multi-Krum's O(n²·d) pairwise-distance
+/// computation: four independent accumulators keep the reduction free to
+/// vectorise. Non-finite coordinates propagate (NaN in, NaN out), matching
+/// the behaviour the robust GARs rely on to exclude malformed gradients.
+/// Operates on raw slices so both [`Vector`] and the contiguous
+/// [`crate::batch::GradientBatch`] rows share one implementation.
+///
+/// # Panics
+///
+/// Panics (debug) if the lengths differ; in release the shorter length wins.
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "squared_distance requires equal lengths");
+    let mut acc = [0.0f32; 4];
+    let chunks = a.chunks_exact(4);
+    let rem = chunks.remainder();
+    let other_chunks = b.chunks_exact(4);
+    let other_rem = other_chunks.remainder();
+    for (x, y) in chunks.zip(other_chunks) {
+        for lane in 0..4 {
+            let d = x[lane] - y[lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
+    for (x, y) in rem.iter().zip(other_rem.iter()) {
+        let d = x - y;
+        total += d * d;
+    }
+    total
+}
+
 /// Min-max scales a vector into `[0, 1]` in place.
 ///
 /// Constant vectors map to all-zeros. Mirrors the paper's preprocessing step

@@ -117,43 +117,37 @@ pub fn nan_mean(values: &[f32]) -> Option<f32> {
     }
 }
 
-/// Full pairwise squared-distance matrix between `n` vectors.
+/// Full pairwise squared-distance matrix between `n` vectors, as dense
+/// nested vectors.
 ///
 /// Entry `(i, j)` holds `||v_i - v_j||²`. The matrix is symmetric with a zero
-/// diagonal. This is the O(n²·d) kernel that dominates Multi-Krum's cost and
-/// that Bulyan reuses across its iterations (the paper's key optimisation).
+/// diagonal. This is a compatibility adapter over the single canonical
+/// kernel, [`crate::batch::GradientBatch::pairwise_squared_distances`], which
+/// computes each unordered pair exactly once into a flat upper triangle —
+/// prefer that entry point on the hot path. Like the canonical kernel,
+/// distances involving non-finite coordinates map to `+∞` so corrupt
+/// gradients are never preferred by any score built on the matrix.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::EmptyInput`] for an empty input and
 /// [`TensorError::DimensionMismatch`] if the vectors disagree on length.
 pub fn pairwise_squared_distances(vectors: &[Vector]) -> Result<Vec<Vec<f32>>> {
-    if vectors.is_empty() {
-        return Err(TensorError::EmptyInput("pairwise_squared_distances"));
-    }
-    let d = vectors[0].len();
-    for v in vectors {
-        if v.len() != d {
-            return Err(TensorError::dim(d, v.len()));
-        }
-    }
-    let n = vectors.len();
-    let mut out = vec![vec![0.0f32; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let dist = vectors[i].squared_distance(&vectors[j]);
-            out[i][j] = dist;
-            out[j][i] = dist;
-        }
-    }
-    Ok(out)
+    let batch = crate::batch::GradientBatch::from_vectors(vectors).map_err(|e| match e {
+        TensorError::EmptyInput(_) => TensorError::EmptyInput("pairwise_squared_distances"),
+        other => other,
+    })?;
+    Ok(batch.pairwise_squared_distances().to_dense())
 }
 
 /// Indices of the `k` smallest values in `values`, in ascending value order.
 ///
 /// NaN values are ranked last (treated as `+∞`), which is exactly the
 /// behaviour the robust GARs need: a gradient whose distance to every other
-/// gradient is NaN must never be selected.
+/// gradient is NaN must never be selected. Uses partial selection
+/// (`select_nth_unstable`) so the cost is O(n + k log k) rather than a full
+/// O(n log n) sort; ties break towards the lower index, matching the stable
+/// sort this replaced.
 ///
 /// # Errors
 ///
@@ -162,13 +156,17 @@ pub fn k_smallest_indices(values: &[f32], k: usize) -> Result<Vec<usize>> {
     if k > values.len() {
         return Err(TensorError::dim(values.len(), k));
     }
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let key = |i: usize| if values[i].is_nan() { f32::INFINITY } else { values[i] };
+    let order = |a: &usize, b: &usize| key(*a).total_cmp(&key(*b)).then(a.cmp(b));
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
-        let va = if values[a].is_nan() { f32::INFINITY } else { values[a] };
-        let vb = if values[b].is_nan() { f32::INFINITY } else { values[b] };
-        va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
-    });
-    idx.truncate(k);
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, order);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(order);
     Ok(idx)
 }
 
@@ -224,9 +222,18 @@ pub fn coordinate_median(vectors: &[Vector]) -> Result<Vector> {
     Ok(Vector::from(out))
 }
 
+/// Below this many elements an unstable sort (which degrades to insertion
+/// sort) beats `select_nth_unstable`'s pivoting machinery, and one sort can
+/// replace two selections. Gradient batches have one value per worker per
+/// coordinate, so the per-coordinate kernels live almost entirely in this
+/// regime.
+pub(crate) const SMALL_SORT: usize = 32;
+
 /// Median of a NaN-free scratch buffer using selection instead of a full
-/// sort. The buffer is reordered in place.
-fn median_of_scratch(column: &mut [f32]) -> Result<f32> {
+/// sort (one selection beats a sort when only the median is needed; kernels
+/// that also need the neighbourhood of the median sort instead — see
+/// `batch::mean_around_median`). The buffer is reordered in place.
+pub(crate) fn median_of_scratch(column: &mut [f32]) -> Result<f32> {
     let k = column.len();
     if k == 0 {
         return Err(TensorError::EmptyInput("median"));

@@ -120,27 +120,7 @@ impl Vector {
     /// of Multi-Krum so the checked variant is [`Vector::try_squared_distance`].
     pub fn squared_distance(&self, other: &Vector) -> f32 {
         assert_eq!(self.len(), other.len(), "squared_distance requires equal lengths");
-        // Four independent accumulators so the reduction is free to
-        // vectorise: this is the innermost kernel of Multi-Krum's O(n²·d)
-        // distance computation and dominates the aggregation cost the
-        // evaluation measures.
-        let mut acc = [0.0f32; 4];
-        let chunks = self.data.chunks_exact(4);
-        let rem = chunks.remainder();
-        let other_chunks = other.data.chunks_exact(4);
-        let other_rem = other_chunks.remainder();
-        for (a, b) in chunks.zip(other_chunks) {
-            for lane in 0..4 {
-                let d = a[lane] - b[lane];
-                acc[lane] += d * d;
-            }
-        }
-        let mut total = acc[0] + acc[1] + acc[2] + acc[3];
-        for (a, b) in rem.iter().zip(other_rem.iter()) {
-            let d = a - b;
-            total += d * d;
-        }
-        total
+        crate::ops::squared_distance(&self.data, &other.data)
     }
 
     /// Shape-checked variant of [`Vector::squared_distance`].
