@@ -7,8 +7,10 @@ use std::fmt;
 /// gradients (the paper grants the adversary all of it: §3.1).
 #[derive(Debug, Clone, Copy)]
 pub struct AttackContext<'a> {
-    /// The gradients computed by the correct workers this round.
-    pub honest_gradients: &'a [Vector],
+    /// The gradients computed by the correct workers this round, as borrowed
+    /// row views (arena rows or vector slices) — the engine hands these out
+    /// without cloning a single coordinate.
+    pub honest_gradients: &'a [&'a [f32]],
     /// The current global model parameters.
     pub model: &'a Vector,
     /// How many Byzantine gradients to produce.
@@ -34,12 +36,15 @@ impl<'a> AttackContext<'a> {
         if self.honest_gradients.is_empty() {
             return Vector::zeros(self.dimension());
         }
-        let mut acc = Vector::zeros(self.honest_gradients[0].len());
-        for g in self.honest_gradients {
-            let _ = acc.axpy(1.0, g);
+        let mut acc = vec![0.0f32; self.honest_gradients[0].len()];
+        for row in self.honest_gradients {
+            for (a, &v) in acc.iter_mut().zip(*row) {
+                *a += v;
+            }
         }
-        acc.scale(1.0 / self.honest_gradients.len() as f32);
-        acc
+        let scale = 1.0 / self.honest_gradients.len() as f32;
+        acc.iter_mut().for_each(|a| *a *= scale);
+        Vector::from(acc)
     }
 }
 
@@ -63,7 +68,7 @@ mod tests {
 
     #[test]
     fn honest_mean_is_the_coordinate_mean() {
-        let honest = vec![Vector::from(vec![1.0, 3.0]), Vector::from(vec![3.0, 5.0])];
+        let honest: Vec<&[f32]> = vec![&[1.0, 3.0], &[3.0, 5.0]];
         let model = Vector::zeros(2);
         let ctx = AttackContext {
             honest_gradients: &honest,

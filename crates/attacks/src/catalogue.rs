@@ -171,10 +171,10 @@ impl Attack for LittleIsEnough {
 
     fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
         let mean = ctx.honest_mean();
-        // The slice kernel is the right tool here: `craft` receives borrowed
-        // honest gradients once per round, so packing them into an arena
+        // The row-view kernel is the right tool here: `craft` receives
+        // borrowed honest rows once per round, so packing them into an arena
         // would add an O(n·d) copy for a single std computation.
-        let std = stats::coordinate_std(ctx.honest_gradients)
+        let std = stats::coordinate_std_of_rows(ctx.honest_gradients)
             .unwrap_or_else(|_| Vector::zeros(ctx.dimension()));
         let mut crafted = mean;
         let _ = crafted.axpy(self.z, &std);
@@ -249,7 +249,11 @@ mod tests {
             .collect()
     }
 
-    fn ctx<'a>(honest: &'a [Vector], model: &'a Vector, byz: usize) -> AttackContext<'a> {
+    fn views(honest: &[Vector]) -> Vec<&[f32]> {
+        honest.iter().map(Vector::as_slice).collect()
+    }
+
+    fn ctx<'a>(honest: &'a [&'a [f32]], model: &'a Vector, byz: usize) -> AttackContext<'a> {
         AttackContext {
             honest_gradients: honest,
             model,
@@ -263,6 +267,7 @@ mod tests {
     #[test]
     fn every_kind_produces_the_requested_count_and_dimension() {
         let honest = honest_cloud(8, 6);
+        let honest_views = views(&honest);
         let model = Vector::zeros(6);
         let kinds = [
             AttackKind::None,
@@ -275,7 +280,7 @@ mod tests {
         ];
         for kind in kinds {
             let attack = kind.build();
-            let crafted = attack.craft(&ctx(&honest, &model, 3));
+            let crafted = attack.craft(&ctx(&honest_views, &model, 3));
             assert_eq!(crafted.len(), 3, "{}", attack.name());
             assert!(crafted.iter().all(|g| g.len() == 6), "{}", attack.name());
         }
@@ -284,11 +289,12 @@ mod tests {
     #[test]
     fn attacks_are_deterministic() {
         let honest = honest_cloud(8, 6);
+        let honest_views = views(&honest);
         let model = Vector::zeros(6);
         for kind in [AttackKind::Random { magnitude: 10.0 }, AttackKind::LittleIsEnough { z: 1.5 }]
         {
-            let a = kind.build().craft(&ctx(&honest, &model, 2));
-            let b = kind.build().craft(&ctx(&honest, &model, 2));
+            let a = kind.build().craft(&ctx(&honest_views, &model, 2));
+            let b = kind.build().craft(&ctx(&honest_views, &model, 2));
             assert_eq!(a, b);
         }
     }
@@ -296,9 +302,10 @@ mod tests {
     #[test]
     fn reversed_gradient_points_against_the_mean() {
         let honest = honest_cloud(5, 4);
+        let honest_views = views(&honest);
         let model = Vector::zeros(4);
-        let crafted = ReversedGradient { scale: 10.0 }.craft(&ctx(&honest, &model, 1));
-        let mean = ctx(&honest, &model, 1).honest_mean();
+        let crafted = ReversedGradient { scale: 10.0 }.craft(&ctx(&honest_views, &model, 1));
+        let mean = ctx(&honest_views, &model, 1).honest_mean();
         let dot = crafted[0].dot(&mean).unwrap();
         assert!(dot < 0.0);
     }
@@ -306,8 +313,9 @@ mod tests {
     #[test]
     fn non_finite_attack_is_actually_non_finite() {
         let honest = honest_cloud(4, 9);
+        let honest_views = views(&honest);
         let model = Vector::zeros(9);
-        let crafted = NonFinite.craft(&ctx(&honest, &model, 2));
+        let crafted = NonFinite.craft(&ctx(&honest_views, &model, 2));
         assert!(crafted.iter().all(|g| !g.is_finite()));
     }
 
@@ -316,8 +324,9 @@ mod tests {
         // The paper's core claim in one test: a single Byzantine worker
         // defeats averaging while Multi-Krum stays within the honest cloud.
         let honest = honest_cloud(8, 5);
+        let honest_views = views(&honest);
         let model = Vector::zeros(5);
-        let byz = ReversedGradient { scale: 100.0 }.craft(&ctx(&honest, &model, 1));
+        let byz = ReversedGradient { scale: 100.0 }.craft(&ctx(&honest_views, &model, 1));
         let mut all = honest.clone();
         all.extend(byz);
 
@@ -334,8 +343,9 @@ mod tests {
         // (weak resilience) accepts it into its selection — exactly the
         // vulnerability that motivates Bulyan.
         let honest = honest_cloud(11, 20);
+        let honest_views = views(&honest);
         let model = Vector::zeros(20);
-        let context = ctx(&honest, &model, 4);
+        let context = ctx(&honest_views, &model, 4);
         let byz = LittleIsEnough { z: 0.5 }.craft(&context);
         let mut all = honest.clone();
         all.extend(byz);

@@ -1,0 +1,324 @@
+//! `round_perf` — end-to-end round-pipeline perf trajectory.
+//!
+//! Times one full training round (worker gradients → transport →
+//! reassembly → submissions arena → GAR aggregation; median ns/round) at the
+//! paper's deployment size (n = 19 workers, f = 4 Byzantine, d = 100k) over
+//! the two transports of Figure 8, on two code paths:
+//!
+//! * **pipeline** — the live zero-copy path: `Transport::transfer_into`
+//!   delivers every worker's gradient straight into its row of one reused
+//!   `GradientBatch` arena (lossy links go `split_bytes` → shared-buffer
+//!   `Bytes` packets → `RoundAssembler` bitset scatter), then the GAR
+//!   aggregates the arena in place.
+//! * **reference** — the pre-pipeline path the seed engine ran: per-worker
+//!   `GradientCodec::split` into `Vec<f32>`-payload packets, per-coordinate
+//!   reassembly into a fresh `Vector` (+ `Vec<bool>` mask), submissions
+//!   collected as `Vec<Vector>` and re-packed with
+//!   `GradientBatch::from_vectors` every round.
+//!
+//! A separate codec section isolates the wire leg (encode + decode of one
+//! d = 100k gradient): bulk 4-byte-chunk passes vs the legacy per-element
+//! `put_f32_le`/`get_f32_le` loops.
+//!
+//! Results are written as machine-readable JSON (default `BENCH_round.json`,
+//! override with `--out <path>`) so CI can archive the trajectory, and
+//! printed as a table for humans.
+
+use agg_core::{Gar, GarConfig, GarKind};
+use agg_net::{
+    GradientCodec, LinkConfig, LossPolicy, LossyLink, LossyTransport, Packet, ReliableTransport,
+    RoundAssembler, Transport,
+};
+use agg_tensor::rng::{gaussian_vector, seeded_rng};
+use agg_tensor::{GradientBatch, Vector};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The paper's deployment: 19 workers, 4 declared Byzantine, ~100k proxy
+/// dimension, 10 % injected loss on the lossy links.
+const N: usize = 19;
+const F: usize = 4;
+const D: usize = 100_000;
+const DROP_RATE: f64 = 0.10;
+const SEED: u64 = 9;
+const RULES: [GarKind; 2] = [GarKind::Average, GarKind::MultiKrum];
+
+/// Per-cell time budget; each cell still takes at least `MIN_SAMPLES` runs.
+const BUDGET_NS: u128 = 400_000_000;
+const MIN_SAMPLES: usize = 5;
+const MAX_SAMPLES: usize = 60;
+
+/// Median ns/round of repeated timed runs (first run is warm-up).
+fn median_round_ns(mut run: impl FnMut()) -> u128 {
+    run();
+    let mut samples: Vec<u128> = Vec::new();
+    let mut total = 0u128;
+    while samples.len() < MIN_SAMPLES || (total < BUDGET_NS && samples.len() < MAX_SAMPLES) {
+        let start = Instant::now();
+        run();
+        let ns = start.elapsed().as_nanos().max(1);
+        total += ns;
+        samples.push(ns);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Deterministic stand-in for the transport's lost-coordinate fill (same
+/// amount of work; the bench only compares time, not values).
+fn fill_lost(index: usize) -> f32 {
+    (index as f32).sin()
+}
+
+fn gradients() -> Vec<Vector> {
+    let mut rng = seeded_rng(0x0707 ^ SEED);
+    (0..N).map(|_| gaussian_vector(&mut rng, D, 0.0, 1.0)).collect()
+}
+
+/// The seed engine's round: legacy struct packets, per-coordinate
+/// reassembly, `Vec<Vector>` submissions, fresh arena every round.
+fn reference_round(
+    gar: Option<&dyn Gar>,
+    codec: GradientCodec,
+    links: &mut Option<Vec<LossyLink>>,
+    gradients: &[Vector],
+) {
+    let mut submissions: Vec<Vector> = Vec::new();
+    for (worker, gradient) in gradients.iter().enumerate() {
+        let packets = codec.split(worker as u32, 0, gradient);
+        let received = match links {
+            // Reliable link: every packet arrives; the seed transport
+            // cloned the gradient for the receiver.
+            None => {
+                std::hint::black_box(&packets);
+                gradient.clone()
+            }
+            Some(links) => {
+                let (delivered, _) = links[worker].transmit(&packets);
+                let (mut v, _missing) = codec.reassemble(&delivered, D).expect("consistent round");
+                v.replace_non_finite(fill_lost);
+                v
+            }
+        };
+        submissions.push(received);
+    }
+    let batch = GradientBatch::from_vectors(&submissions).expect("non-empty round");
+    if let Some(gar) = gar {
+        gar.aggregate_batch(&batch).expect("aggregation succeeds");
+    } else {
+        std::hint::black_box(batch.n());
+    }
+}
+
+/// The live round: `transfer_into` delivers each worker straight into its
+/// reused arena row; the GAR aggregates in place.
+fn pipeline_round(
+    gar: Option<&dyn Gar>,
+    transports: &mut [Box<dyn Transport>],
+    arena: &mut GradientBatch,
+    gradients: &[Vector],
+) {
+    arena.resize_rows(N);
+    for (worker, (transport, row)) in transports.iter_mut().zip(arena.rows_mut()).enumerate() {
+        transport
+            .transfer_into(worker as u32, 0, gradients[worker].as_slice(), row)
+            .expect("transfer succeeds");
+    }
+    if let Some(gar) = gar {
+        gar.aggregate_batch(arena).expect("aggregation succeeds");
+    } else {
+        std::hint::black_box(arena.n());
+    }
+}
+
+struct Cell {
+    transport: &'static str,
+    rule: &'static str,
+    pipeline_ns: u128,
+    reference_ns: u128,
+    /// Same round with the GAR call skipped: the wire → arena leg this PR
+    /// rebuilt, without the (path-independent) aggregation floor.
+    pipeline_wire_ns: u128,
+    reference_wire_ns: u128,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.reference_ns as f64 / self.pipeline_ns.max(1) as f64
+    }
+
+    fn wire_speedup(&self) -> f64 {
+        self.reference_wire_ns as f64 / self.pipeline_wire_ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_round.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().expect("--out requires a path");
+            }
+            other => {
+                eprintln!("round_perf: unknown argument '{other}' (supported: --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let codec = GradientCodec::default_mtu();
+    let clean = LinkConfig::datacenter();
+    let lossy = clean.with_drop_rate(DROP_RATE);
+    let gradients = gradients();
+
+    println!(
+        "round_perf: n = {N}, f = {F}, d = {D}, drop = {DROP_RATE} (median ns/round, end-to-end)"
+    );
+    println!(
+        "{:<11} {:<12} {:>13} {:>13} {:>8} {:>13} {:>13} {:>9}",
+        "transport",
+        "rule",
+        "pipeline_ns",
+        "reference_ns",
+        "speedup",
+        "pipe_wire_ns",
+        "ref_wire_ns",
+        "wire_spd"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for transport_name in ["tcp", "lossy-udp"] {
+        for kind in RULES {
+            let gar = GarConfig::new(kind, F).build().expect("valid GAR config");
+
+            let mut transports: Vec<Box<dyn Transport>> = (0..N)
+                .map(|worker| -> Box<dyn Transport> {
+                    match transport_name {
+                        "tcp" => {
+                            Box::new(ReliableTransport::new(clean, codec).expect("valid link"))
+                        }
+                        _ => Box::new(
+                            LossyTransport::new(
+                                lossy,
+                                codec,
+                                LossPolicy::RandomFill,
+                                SEED,
+                                worker as u64,
+                            )
+                            .expect("valid link"),
+                        ),
+                    }
+                })
+                .collect();
+            let mut arena = GradientBatch::with_capacity(D, N);
+            let pipeline_ns = median_round_ns(|| {
+                pipeline_round(Some(gar.as_ref()), &mut transports, &mut arena, &gradients);
+            });
+            let pipeline_wire_ns = median_round_ns(|| {
+                pipeline_round(None, &mut transports, &mut arena, &gradients);
+            });
+
+            // The reference arm drives the same link model (same per-worker
+            // RNG streams) through the legacy split/reassemble/Vec<Vector>
+            // path the seed engine ran.
+            let mut links: Option<Vec<LossyLink>> = match transport_name {
+                "tcp" => None,
+                _ => Some(
+                    (0..N)
+                        .map(|worker| {
+                            LossyLink::new(lossy, SEED, worker as u64).expect("valid link")
+                        })
+                        .collect(),
+                ),
+            };
+            let reference_ns = median_round_ns(|| {
+                reference_round(Some(gar.as_ref()), codec, &mut links, &gradients);
+            });
+            let reference_wire_ns = median_round_ns(|| {
+                reference_round(None, codec, &mut links, &gradients);
+            });
+
+            let cell = Cell {
+                transport: transport_name,
+                rule: kind.name(),
+                pipeline_ns,
+                reference_ns,
+                pipeline_wire_ns,
+                reference_wire_ns,
+            };
+            println!(
+                "{:<11} {:<12} {:>13} {:>13} {:>7.2}x {:>13} {:>13} {:>8.2}x",
+                cell.transport,
+                cell.rule,
+                cell.pipeline_ns,
+                cell.reference_ns,
+                cell.speedup(),
+                cell.pipeline_wire_ns,
+                cell.reference_wire_ns,
+                cell.wire_speedup()
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Codec-only section: the wire leg (encode + decode of one gradient).
+    let g = gradients[0].clone();
+    let bulk_codec_ns = {
+        let mut assembler = RoundAssembler::new(D);
+        let mut row = vec![0.0f32; D];
+        median_round_ns(|| {
+            let packets = codec.split_bytes(0, 0, g.as_slice());
+            let missing = assembler.assemble_into(&packets, &mut row).expect("consistent");
+            std::hint::black_box(missing);
+        })
+    };
+    let reference_codec_ns = median_round_ns(|| {
+        let encoded: Vec<_> = codec.split(0, 0, &g).iter().map(Packet::encode).collect();
+        let decoded: Vec<Packet> =
+            encoded.into_iter().map(|b| Packet::decode(b).expect("well-formed")).collect();
+        let (restored, _missing) = codec.reassemble(&decoded, D).expect("consistent");
+        std::hint::black_box(restored.len());
+    });
+    let codec_speedup = reference_codec_ns as f64 / bulk_codec_ns.max(1) as f64;
+    println!(
+        "\ncodec encode+decode d = {D}: bulk {bulk_codec_ns} ns, \
+         reference {reference_codec_ns} ns ({codec_speedup:.2}x)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"round_perf\",\n");
+    let _ = writeln!(json, "  \"n\": {N},");
+    let _ = writeln!(json, "  \"f\": {F},");
+    let _ = writeln!(json, "  \"d\": {D},");
+    let _ = writeln!(json, "  \"drop_rate\": {DROP_RATE},");
+    json.push_str("  \"unit\": \"median_ns_per_round\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"transport\": \"{}\", \"rule\": \"{}\", \"pipeline_ns\": {}, \
+             \"reference_ns\": {}, \"speedup\": {:.2}, \"pipeline_wire_ns\": {}, \
+             \"reference_wire_ns\": {}, \"wire_speedup\": {:.2}}}{comma}",
+            cell.transport,
+            cell.rule,
+            cell.pipeline_ns,
+            cell.reference_ns,
+            cell.speedup(),
+            cell.pipeline_wire_ns,
+            cell.reference_wire_ns,
+            cell.wire_speedup()
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"codec\": {{\"bulk_ns\": {bulk_codec_ns}, \"reference_ns\": {reference_codec_ns}, \
+         \"speedup\": {codec_speedup:.2}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_round.json");
+    println!("\nwrote {out_path}");
+}

@@ -1,6 +1,6 @@
 //! Draco training and throughput simulation.
 
-use crate::scheme::{majority_decode, AssignmentScheme, GroupAssignment};
+use crate::scheme::{majority_decode_ref, AssignmentScheme, GroupAssignment};
 use crate::{DracoError, Result};
 use agg_attacks::{Attack, AttackContext, AttackKind};
 use agg_data::{Dataset, MiniBatchSampler};
@@ -189,10 +189,13 @@ impl DracoTrainer {
             * effective_dim as f64
             / 1e6;
 
+        // One decoded-gradient arena reused across rounds (cleared and
+        // refilled in place, same as the `agg-ps` submissions arena).
+        let mut decoded_arena =
+            GradientBatch::with_capacity(self.model.param_count(), self.assignment.group_count());
+
         for step in 0..self.config.max_steps {
             let params = self.model.parameters();
-            let mut decoded_gradients: Vec<Vector> = Vec::new();
-            let mut honest_gradients: Vec<Vector> = Vec::new();
 
             // Every group's honest members compute the gradient of the same
             // mini-batch; collect them first so the adversary can be
@@ -202,10 +205,11 @@ impl DracoTrainer {
                 let (batch, labels) = self.samplers[g].next_batch(&self.train)?;
                 self.model.set_parameters(&params)?;
                 let eval = self.model.gradient(&batch, &labels)?;
-                honest_gradients.push(eval.gradient.clone());
                 group_honest.push(eval.gradient);
             }
+            let honest_views: Vec<&[f32]> = group_honest.iter().map(Vector::as_slice).collect();
 
+            decoded_arena.clear();
             for (g, honest) in group_honest.iter().enumerate() {
                 let members = self.assignment.group(g)?.to_vec();
                 let byz_members = members.iter().filter(|&&w| self.is_byzantine(w)).count();
@@ -213,7 +217,7 @@ impl DracoTrainer {
                     vec![honest.clone(); members.len()]
                 } else {
                     let ctx = AttackContext {
-                        honest_gradients: &honest_gradients,
+                        honest_gradients: &honest_views,
                         model: &params,
                         byzantine_count: byz_members,
                         declared_f: self.config.f,
@@ -232,8 +236,12 @@ impl DracoTrainer {
                         })
                         .collect()
                 };
-                match majority_decode(g, &submissions, self.config.f) {
-                    Ok(decoded) => decoded_gradients.push(decoded),
+                match majority_decode_ref(g, &submissions, self.config.f) {
+                    // The winning submission is copied once, straight into
+                    // the reused arena (no clone-then-repack round trip).
+                    Ok(decoded) => decoded_arena
+                        .push_row(decoded.as_slice())
+                        .map_err(|e| DracoError::Training(e.to_string()))?,
                     Err(_) => skipped += 1,
                 }
             }
@@ -249,13 +257,13 @@ impl DracoTrainer {
             let round_wait = compute + comm;
             self.clock_sec += round_wait + decode_time;
             latency.record_round(round_wait, decode_time);
-            throughput.record_round(decoded_gradients.len() as u64, round_wait + decode_time);
+            throughput.record_round(decoded_arena.n() as u64, round_wait + decode_time);
 
-            if !decoded_gradients.is_empty() {
-                // Decoded group gradients are averaged through the
-                // contiguous arena, same as the `agg-ps` server path.
-                let aggregated = GradientBatch::from_vectors(&decoded_gradients)
-                    .and_then(|batch| batch.coordinate_mean())
+            if !decoded_arena.is_empty() {
+                // Decoded group gradients are averaged straight off the
+                // reused arena, same as the `agg-ps` server path.
+                let aggregated = decoded_arena
+                    .coordinate_mean()
                     .map_err(|e| DracoError::Training(e.to_string()))?;
                 let mut params = self.model.parameters();
                 let lr = self.config.learning_rate.at(self.step);

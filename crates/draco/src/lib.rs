@@ -29,7 +29,7 @@ pub mod scheme;
 
 pub use engine::{DracoConfig, DracoThroughputSimulation, DracoTrainer};
 pub use error::DracoError;
-pub use scheme::{majority_decode, AssignmentScheme, GroupAssignment};
+pub use scheme::{majority_decode, majority_decode_ref, AssignmentScheme, GroupAssignment};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DracoError>;

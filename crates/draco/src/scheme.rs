@@ -119,11 +119,23 @@ impl GroupAssignment {
 /// Returns [`DracoError::DecodingFailed`] when no value reaches `f + 1`
 /// supporters (more Byzantine workers in the group than the code tolerates).
 pub fn majority_decode(group: usize, submissions: &[Vector], f: usize) -> Result<Vector> {
+    majority_decode_ref(group, submissions, f).cloned()
+}
+
+/// [`majority_decode`] without the output clone: returns a borrow of the
+/// winning submission, so round-based callers can copy it once, straight
+/// into a reused arena row.
+///
+/// # Errors
+///
+/// Returns [`DracoError::DecodingFailed`] when no gradient reaches the
+/// `f + 1` supporter majority.
+pub fn majority_decode_ref(group: usize, submissions: &[Vector], f: usize) -> Result<&Vector> {
     let required = f + 1;
-    for (i, candidate) in submissions.iter().enumerate() {
+    for candidate in submissions {
         let supporters = submissions.iter().filter(|other| bitwise_equal(candidate, other)).count();
         if supporters >= required {
-            return Ok(submissions[i].clone());
+            return Ok(candidate);
         }
     }
     Err(DracoError::DecodingFailed { group, required })

@@ -1,0 +1,290 @@
+//! Zero-copy reassembly of wire packets straight into an arena row.
+//!
+//! The paper keeps UDP viable for gradient traffic by adding a small
+//! **reliable metadata scheme** on top of the unreliable payload: every
+//! packet carries worker id, step, sequence number, total packet count, and
+//! the offset of its first coordinate, so a delivered packet always knows
+//! where its coordinates belong no matter how the link dropped, duplicated
+//! or reordered the rest of the gradient. [`RoundAssembler`] preserves that
+//! scheme exactly — it validates the same header fields and tolerates the
+//! same arrival pathologies as the legacy [`crate::GradientCodec::reassemble`]
+//! — but delivers the payload without the legacy path's intermediate
+//! allocations:
+//!
+//! * payloads are **scattered directly into a caller-provided arena row**
+//!   (`&mut [f32]`, e.g. one row of `agg_tensor::GradientBatch`) via the bulk
+//!   little-endian decode, instead of building a fresh `Vec<f32>` and then a
+//!   `Vector`;
+//! * received coordinates are tracked in a **compact bitset** (one bit per
+//!   coordinate, reused across rounds) instead of a `Vec<bool>`, so counting
+//!   what went missing is a popcount over `d/64` words;
+//! * packets arrive as cheap [`Bytes`] views of the sender's contiguous
+//!   encode buffer, so the whole wire → arena path copies each coordinate
+//!   exactly once.
+//!
+//! Missing coordinates surface as `NaN` in the destination row, matching the
+//! legacy reassembly contract: the caller's loss policy decides what to do
+//! with them.
+
+use crate::packet::{get_f32_slice_le, HEADER_BYTES};
+use crate::{NetError, Result};
+use bytes::Bytes;
+
+/// The reliable metadata accompanying one wire packet (parsed header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WireHeader {
+    worker: u32,
+    step: u64,
+    offset: usize,
+    count: usize,
+}
+
+/// Parses the fixed-size header of an encoded packet without consuming the
+/// buffer. The format is byte-identical to [`crate::Packet::encode`].
+fn parse_header(data: &[u8]) -> Result<WireHeader> {
+    if data.len() < HEADER_BYTES {
+        return Err(NetError::MalformedPacket(format!(
+            "{} bytes is shorter than the {HEADER_BYTES}-byte header",
+            data.len()
+        )));
+    }
+    let u32_at = |at: usize| -> u32 {
+        u32::from_le_bytes(data[at..at + 4].try_into().expect("4-byte window"))
+    };
+    let worker = u32_at(0);
+    let step = u64::from_le_bytes(data[4..12].try_into().expect("8-byte window"));
+    let offset = u32_at(20) as usize;
+    let count = u32_at(24) as usize;
+    if data.len() - HEADER_BYTES < count * 4 {
+        return Err(NetError::MalformedPacket(format!(
+            "payload declares {count} coordinates but only {} bytes remain",
+            data.len() - HEADER_BYTES
+        )));
+    }
+    Ok(WireHeader { worker, step, offset, count })
+}
+
+/// Reassembles one gradient per call from whichever encoded packets arrived,
+/// scattering payloads straight into a caller-provided row.
+///
+/// The bitset buffer is owned and reused, so a long-lived transport performs
+/// zero reassembly allocations after the first round.
+#[derive(Debug, Clone)]
+pub struct RoundAssembler {
+    dimension: usize,
+    /// One bit per coordinate, set when any delivered packet covered it.
+    filled: Vec<u64>,
+}
+
+impl RoundAssembler {
+    /// Creates an assembler for gradients of dimension `dimension`.
+    pub fn new(dimension: usize) -> Self {
+        RoundAssembler { dimension, filled: vec![0u64; dimension.div_ceil(64)] }
+    }
+
+    /// The gradient dimension this assembler reassembles.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Scatters the delivered packets of one gradient into `dst` and returns
+    /// the number of coordinates no packet covered (left as `NaN`).
+    ///
+    /// Packets may arrive out of order, duplicated or truncated to a subset;
+    /// the metadata header of each one says exactly where its payload
+    /// belongs. A delivered `NaN` payload coordinate counts as received —
+    /// only coordinates missing from every packet count as lost, which is
+    /// why the bitset (not a NaN scan of `dst`) is the source of truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InconsistentStream`] when packets disagree about
+    /// the worker or step, and [`NetError::MalformedPacket`] for truncated
+    /// buffers or coordinates outside the gradient — the same contract as
+    /// the legacy [`crate::GradientCodec::reassemble`].
+    pub fn assemble_into(&mut self, packets: &[Bytes], dst: &mut [f32]) -> Result<usize> {
+        if dst.len() != self.dimension {
+            return Err(NetError::InvalidConfig(format!(
+                "destination row has {} coordinates, assembler expects {}",
+                dst.len(),
+                self.dimension
+            )));
+        }
+        self.filled.fill(0);
+        let Some(first) = packets.first() else {
+            dst.fill(f32::NAN);
+            return Ok(self.dimension);
+        };
+        let reference = parse_header(first)?;
+        for packet in packets {
+            let header = parse_header(packet)?;
+            if header.worker != reference.worker || header.step != reference.step {
+                return Err(NetError::InconsistentStream(format!(
+                    "packet from worker {} step {} mixed with worker {} step {}",
+                    header.worker, header.step, reference.worker, reference.step
+                )));
+            }
+            if header.offset + header.count > self.dimension {
+                return Err(NetError::MalformedPacket(format!(
+                    "packet covers coordinates {}..{} of a {}-dimensional gradient",
+                    header.offset,
+                    header.offset + header.count,
+                    self.dimension
+                )));
+            }
+            let payload = &packet[HEADER_BYTES..HEADER_BYTES + 4 * header.count];
+            get_f32_slice_le(payload, &mut dst[header.offset..header.offset + header.count]);
+            self.mark(header.offset, header.count);
+        }
+        // NaN-fill only the gaps, found by walking the bitset's zero bits:
+        // at realistic loss rates most words are fully covered and skipped
+        // outright, so the row is written once (by payloads), not twice
+        // (NaN pre-fill + payloads).
+        let mut missing = 0usize;
+        for (w, &word) in self.filled.iter().enumerate() {
+            let base = w * 64;
+            let limit = (self.dimension - base).min(64);
+            let mut gaps = !word;
+            if limit < 64 {
+                gaps &= (1u64 << limit) - 1;
+            }
+            missing += gaps.count_ones() as usize;
+            while gaps != 0 {
+                dst[base + gaps.trailing_zeros() as usize] = f32::NAN;
+                gaps &= gaps - 1;
+            }
+        }
+        Ok(missing)
+    }
+
+    /// Sets the bits for coordinates `start..start + len`, word at a time.
+    fn mark(&mut self, start: usize, len: usize) {
+        let end = start + len;
+        let mut i = start;
+        while i < end {
+            let bit = i % 64;
+            let take = (64 - bit).min(end - i);
+            let mask = if take == 64 { !0u64 } else { ((1u64 << take) - 1) << bit };
+            self.filled[i / 64] |= mask;
+            i += take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::GradientCodec;
+
+    fn gradient(d: usize) -> Vec<f32> {
+        (0..d).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn assembles_a_full_round_bit_exactly() {
+        let codec = GradientCodec::new(10).unwrap();
+        let g = gradient(35);
+        let packets = codec.split_bytes(1, 5, &g);
+        assert_eq!(packets.len(), 4);
+        let mut assembler = RoundAssembler::new(35);
+        let mut row = vec![0.0f32; 35];
+        let missing = assembler.assemble_into(&packets, &mut row).unwrap();
+        assert_eq!(missing, 0);
+        assert_eq!(row, g);
+    }
+
+    #[test]
+    fn tolerates_reordering_and_duplication() {
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let mut packets = codec.split_bytes(0, 0, &g);
+        packets.reverse();
+        packets.push(packets[0].clone());
+        let mut assembler = RoundAssembler::new(20);
+        let mut row = vec![0.0f32; 20];
+        assert_eq!(assembler.assemble_into(&packets, &mut row).unwrap(), 0);
+        assert_eq!(row, g);
+    }
+
+    #[test]
+    fn missing_packets_surface_as_nan_and_are_counted() {
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let mut packets = codec.split_bytes(0, 0, &g);
+        packets.remove(1); // drop coordinates 8..16
+        let mut assembler = RoundAssembler::new(20);
+        let mut row = vec![0.0f32; 20];
+        let missing = assembler.assemble_into(&packets, &mut row).unwrap();
+        assert_eq!(missing, 8);
+        assert!(row[8].is_nan() && row[15].is_nan());
+        assert_eq!(row[0], 0.0);
+        assert_eq!(row[19], 19.0);
+    }
+
+    #[test]
+    fn nan_payload_counts_as_received() {
+        let codec = GradientCodec::new(4).unwrap();
+        let g = vec![f32::NAN, 1.0, f32::NEG_INFINITY, 2.0];
+        let packets = codec.split_bytes(0, 0, &g);
+        let mut assembler = RoundAssembler::new(4);
+        let mut row = vec![0.0f32; 4];
+        let missing = assembler.assemble_into(&packets, &mut row).unwrap();
+        assert_eq!(missing, 0, "a delivered NaN coordinate is not a lost coordinate");
+        assert!(row[0].is_nan());
+        assert_eq!(row[1], 1.0);
+        assert_eq!(row[2], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rejects_mixed_streams_truncation_and_bad_offsets() {
+        let codec = GradientCodec::new(8).unwrap();
+        let a = codec.split_bytes(0, 0, &gradient(16));
+        let b = codec.split_bytes(1, 0, &gradient(16));
+        let mixed: Vec<_> = a.iter().chain(b.iter()).cloned().collect();
+        let mut assembler = RoundAssembler::new(16);
+        let mut row = vec![0.0f32; 16];
+        assert!(matches!(
+            assembler.assemble_into(&mixed, &mut row),
+            Err(NetError::InconsistentStream(_))
+        ));
+        // Truncated header and truncated payload.
+        let truncated = vec![a[0].slice(0..10)];
+        assert!(matches!(
+            assembler.assemble_into(&truncated, &mut row),
+            Err(NetError::MalformedPacket(_))
+        ));
+        let short_payload = vec![a[0].slice(0..HEADER_BYTES + 4)];
+        assert!(matches!(
+            assembler.assemble_into(&short_payload, &mut row),
+            Err(NetError::MalformedPacket(_))
+        ));
+        // A packet whose coordinates extend beyond the gradient.
+        let far = codec.split_bytes(0, 0, &gradient(24));
+        let mut small = RoundAssembler::new(16);
+        assert!(matches!(
+            small.assemble_into(&far[2..3], &mut row),
+            Err(NetError::MalformedPacket(_))
+        ));
+    }
+
+    #[test]
+    fn empty_round_is_all_missing_and_empty_gradient_is_complete() {
+        let mut assembler = RoundAssembler::new(10);
+        let mut row = vec![0.0f32; 10];
+        assert_eq!(assembler.assemble_into(&[], &mut row).unwrap(), 10);
+        assert!(row.iter().all(|v| v.is_nan()));
+
+        let codec = GradientCodec::default();
+        let packets = codec.split_bytes(2, 9, &[]);
+        assert_eq!(packets.len(), 1);
+        let mut empty = RoundAssembler::new(0);
+        assert_eq!(empty.assemble_into(&packets, &mut []).unwrap(), 0);
+    }
+
+    #[test]
+    fn wrong_destination_length_is_rejected() {
+        let mut assembler = RoundAssembler::new(8);
+        let mut row = vec![0.0f32; 4];
+        assert!(matches!(assembler.assemble_into(&[], &mut row), Err(NetError::InvalidConfig(_))));
+    }
+}

@@ -11,25 +11,34 @@
 //! * [`link`] — a lossy link model: independent packet drops, reordering and
 //!   duplication at configurable rates (the paper injects a 10 % drop rate
 //!   with `tc`).
+//! * [`assembler`] — [`assembler::RoundAssembler`]: zero-copy reassembly of
+//!   whatever arrived straight into a caller-provided arena row, tracking
+//!   missing coordinates with a compact bitset.
 //! * [`transport`] — the two transports compared in Figure 8:
 //!   [`transport::ReliableTransport`] (TCP/gRPC-like: delivers everything,
 //!   pays for it with retransmissions and congestion back-off under loss) and
 //!   [`transport::LossyTransport`] (UDP/lossyMPI-like: constant speed, lost
-//!   coordinates surface according to a [`transport::LossPolicy`]).
+//!   coordinates surface according to a [`transport::LossPolicy`]). Both
+//!   deliver in place via [`transport::Transport::transfer_into`], so one
+//!   training round goes wire → arena with no intermediate `Vector`.
 //!
 //! Nothing here opens real sockets: the parameter-server simulator in
 //! `agg-ps` drives these models and charges the returned transfer times to
 //! its discrete-event clock.
 
+pub mod assembler;
 pub mod error;
 pub mod link;
 pub mod packet;
 pub mod transport;
 
+pub use assembler::RoundAssembler;
 pub use error::NetError;
 pub use link::{LinkConfig, LinkStats, LossyLink};
-pub use packet::{GradientCodec, Packet};
-pub use transport::{LossPolicy, LossyTransport, ReliableTransport, TransferOutcome, Transport};
+pub use packet::{get_f32_slice_le, put_f32_slice_le, GradientCodec, Packet};
+pub use transport::{
+    LossPolicy, LossyTransport, ReliableTransport, RowTransfer, TransferOutcome, Transport,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, NetError>;

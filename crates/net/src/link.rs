@@ -4,6 +4,7 @@
 use crate::packet::Packet;
 use crate::{NetError, Result};
 use agg_tensor::rng::{derive_seed, seeded_rng};
+use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -121,8 +122,20 @@ impl LossyLink {
     /// Pushes a batch of packets through the link, returning the delivered
     /// packets (in arrival order) and the statistics of what happened.
     pub fn transmit(&mut self, packets: &[Packet]) -> (Vec<Packet>, LinkStats) {
+        self.transmit_impl(packets)
+    }
+
+    /// [`LossyLink::transmit`] for encoded wire packets: `Bytes` views are
+    /// reference-counted, so delivery (and duplication) clones a pointer, not
+    /// a payload. Draws the exact same RNG sequence as the legacy path, so a
+    /// given seed drops/duplicates/reorders the same packet indices on both.
+    pub fn transmit_bytes(&mut self, packets: &[Bytes]) -> (Vec<Bytes>, LinkStats) {
+        self.transmit_impl(packets)
+    }
+
+    fn transmit_impl<T: Clone>(&mut self, packets: &[T]) -> (Vec<T>, LinkStats) {
         let mut stats = LinkStats { sent: packets.len(), ..Default::default() };
-        let mut delivered: Vec<Packet> = Vec::with_capacity(packets.len());
+        let mut delivered: Vec<T> = Vec::with_capacity(packets.len());
         for p in packets {
             if self.rng.gen::<f64>() < self.config.drop_rate {
                 stats.dropped += 1;

@@ -33,6 +33,32 @@ pub struct Packet {
 /// Number of header bytes in the wire format.
 pub const HEADER_BYTES: usize = 4 + 8 + 4 + 4 + 4 + 4;
 
+/// Bulk little-endian encode: appends `values` to `buf` in one pass over
+/// 4-byte chunks. This is the hot-path replacement for per-element
+/// `put_f32_le` loops — the reserved region is written in place and the
+/// chunked copy vectorises to a straight memcpy on little-endian targets.
+pub fn put_f32_slice_le(buf: &mut BytesMut, values: &[f32]) {
+    let start = buf.len();
+    buf.resize(start + 4 * values.len(), 0);
+    for (dst, &v) in buf[start..].chunks_exact_mut(4).zip(values) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bulk little-endian decode: fills `dst` from `src` in one pass over 4-byte
+/// chunks (the inverse of [`put_f32_slice_le`]; NaN payloads round-trip
+/// bit-exactly).
+///
+/// # Panics
+///
+/// Panics if `src.len() != 4 * dst.len()`.
+pub fn get_f32_slice_le(src: &[u8], dst: &mut [f32]) {
+    assert_eq!(src.len(), 4 * dst.len(), "byte payload must be 4 bytes per coordinate");
+    for (v, raw) in dst.iter_mut().zip(src.chunks_exact(4)) {
+        *v = f32::from_le_bytes(raw.try_into().expect("chunks_exact yields 4-byte chunks"));
+    }
+}
+
 impl Packet {
     /// Serialises the packet into a length-delimited byte buffer
     /// (little-endian).
@@ -117,6 +143,19 @@ impl GradientCodec {
         self.coords_per_packet
     }
 
+    /// Number of packets a gradient of dimension `d` splits into (a
+    /// zero-dimensional gradient still costs one metadata-only packet).
+    pub fn packet_count(&self, d: usize) -> usize {
+        d.div_ceil(self.coords_per_packet).max(1)
+    }
+
+    /// Total wire bytes (headers + payload) of a gradient of dimension `d` —
+    /// the analytic form of summing [`Packet::wire_bytes`] over a split,
+    /// without materialising any packet.
+    pub fn wire_bytes_total(&self, d: usize) -> usize {
+        self.packet_count(d) * HEADER_BYTES + 4 * d
+    }
+
     /// Splits a gradient into packets.
     pub fn split(&self, worker: u32, step: u64, gradient: &Vector) -> Vec<Packet> {
         let d = gradient.len();
@@ -146,6 +185,42 @@ impl GradientCodec {
             });
         }
         packets
+    }
+
+    /// Splits a gradient into **encoded wire packets**: every packet of the
+    /// gradient is written into one contiguous `BytesMut` (headers via the
+    /// header writers, payload via the bulk [`put_f32_slice_le`] pass) and
+    /// handed out as zero-copy [`Bytes`] slices of that single buffer.
+    ///
+    /// The wire format of each slice is byte-identical to
+    /// [`Packet::encode`], so the two codecs interoperate packet-for-packet;
+    /// this path just skips the per-packet `Vec<f32>` payloads and
+    /// per-element `put_f32_le` loops of the legacy split-then-encode pair.
+    pub fn split_bytes(&self, worker: u32, step: u64, gradient: &[f32]) -> Vec<Bytes> {
+        let d = gradient.len();
+        let total = self.packet_count(d);
+        let mut buf = BytesMut::with_capacity(self.wire_bytes_total(d));
+        let mut bounds = Vec::with_capacity(total);
+        let mut write_packet = |seq: usize, chunk: &[f32]| {
+            let start = buf.len();
+            buf.put_u32_le(worker);
+            buf.put_u64_le(step);
+            buf.put_u32_le(seq as u32);
+            buf.put_u32_le(total as u32);
+            buf.put_u32_le((seq * self.coords_per_packet) as u32);
+            buf.put_u32_le(chunk.len() as u32);
+            put_f32_slice_le(&mut buf, chunk);
+            bounds.push(start..buf.len());
+        };
+        if d == 0 {
+            write_packet(0, &[]);
+        } else {
+            for (seq, chunk) in gradient.chunks(self.coords_per_packet).enumerate() {
+                write_packet(seq, chunk);
+            }
+        }
+        let frozen = buf.freeze();
+        bounds.into_iter().map(|range| frozen.slice(range)).collect()
     }
 
     /// Reassembles a gradient of dimension `dimension` from whichever packets

@@ -2,10 +2,12 @@
 //! channel and the lossy UDP-like `lossyMPI` channel, plus the policies for
 //! handling whatever the lossy channel fails to deliver (§3.3).
 
+use crate::assembler::RoundAssembler;
 use crate::link::{LinkConfig, LinkStats, LossyLink};
 use crate::packet::GradientCodec;
 use crate::{NetError, Result};
 use agg_tensor::Vector;
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -42,6 +44,25 @@ pub struct TransferOutcome {
     pub link_stats: LinkStats,
 }
 
+/// What one in-place transfer did — [`TransferOutcome`] minus the owned
+/// gradient: the receiver's view was written straight into the caller's
+/// arena row instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowTransfer {
+    /// `false` when the loss policy dropped the gradient entirely (the row's
+    /// contents are then unspecified and must not be aggregated).
+    pub delivered: bool,
+    /// Simulated wall-clock time the transfer took, in seconds.
+    pub time_sec: f64,
+    /// Bytes put on the wire (including retransmissions for the reliable
+    /// transport).
+    pub bytes_sent: usize,
+    /// Number of coordinates that never arrived (before policy handling).
+    pub missing_coordinates: usize,
+    /// Raw link statistics.
+    pub link_stats: LinkStats,
+}
+
 /// A one-way gradient transfer channel from a worker to the parameter
 /// server (the model transfer in the opposite direction reuses the same
 /// models with the roles swapped).
@@ -49,14 +70,43 @@ pub trait Transport: Send + fmt::Debug {
     /// Short transport name (`"tcp"`, `"lossy-udp"`).
     fn name(&self) -> &'static str;
 
-    /// Transfers one gradient, returning what the receiver observes and how
-    /// long it took.
+    /// Transfers one gradient straight into `dst` — the hot path. The
+    /// receiver's view of the gradient (after loss and policy handling) is
+    /// written into the caller-provided row, typically one slot of a reused
+    /// `GradientBatch` arena, so a round moves wire → arena with no
+    /// intermediate `Vector`.
     ///
     /// # Errors
     ///
     /// Returns [`NetError`] only for structural failures (codec
-    /// inconsistencies); packet loss is not an error, it is the point.
-    fn transfer(&mut self, worker: u32, step: u64, gradient: &Vector) -> Result<TransferOutcome>;
+    /// inconsistencies, mismatched row length); packet loss is not an error,
+    /// it is the point.
+    fn transfer_into(
+        &mut self,
+        worker: u32,
+        step: u64,
+        gradient: &[f32],
+        dst: &mut [f32],
+    ) -> Result<RowTransfer>;
+
+    /// Transfers one gradient, returning what the receiver observes as an
+    /// owned [`Vector`] (convenience wrapper over
+    /// [`Transport::transfer_into`] for callers without an arena).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Transport::transfer_into`].
+    fn transfer(&mut self, worker: u32, step: u64, gradient: &Vector) -> Result<TransferOutcome> {
+        let mut row = vec![0.0f32; gradient.len()];
+        let outcome = self.transfer_into(worker, step, gradient.as_slice(), &mut row)?;
+        Ok(TransferOutcome {
+            gradient: outcome.delivered.then(|| Vector::from(row)),
+            time_sec: outcome.time_sec,
+            bytes_sent: outcome.bytes_sent,
+            missing_coordinates: outcome.missing_coordinates,
+            link_stats: outcome.link_stats,
+        })
+    }
 }
 
 /// A reliable, in-order transport modelling TCP/gRPC.
@@ -107,21 +157,38 @@ impl Transport for ReliableTransport {
         "tcp"
     }
 
-    fn transfer(&mut self, worker: u32, step: u64, gradient: &Vector) -> Result<TransferOutcome> {
-        let packets = self.codec.split(worker, step, gradient);
-        let payload_bytes: usize = packets.iter().map(|p| p.wire_bytes()).sum();
+    fn transfer_into(
+        &mut self,
+        _worker: u32,
+        _step: u64,
+        gradient: &[f32],
+        dst: &mut [f32],
+    ) -> Result<RowTransfer> {
+        if dst.len() != gradient.len() {
+            return Err(NetError::InvalidConfig(format!(
+                "destination row has {} coordinates, gradient has {}",
+                dst.len(),
+                gradient.len()
+            )));
+        }
+        // Reliable delivery means the receiver sees every byte; the cost
+        // model only needs the wire byte count, which is analytic — no
+        // packets are materialised at all.
+        let packet_count = self.codec.packet_count(gradient.len());
+        let payload_bytes = self.codec.wire_bytes_total(gradient.len());
         let p = self.link.drop_rate;
         // Retransmissions inflate the bytes actually sent.
         let bytes_sent = (payload_bytes as f64 / (1.0 - p).max(1e-3)).ceil() as usize;
         let time_sec = bytes_sent as f64 / self.effective_bandwidth() + self.link.latency_sec;
-        Ok(TransferOutcome {
-            gradient: Some(gradient.clone()),
+        dst.copy_from_slice(gradient);
+        Ok(RowTransfer {
+            delivered: true,
             time_sec,
             bytes_sent,
             missing_coordinates: 0,
             link_stats: LinkStats {
-                sent: packets.len(),
-                delivered: packets.len(),
+                sent: packet_count,
+                delivered: packet_count,
                 ..Default::default()
             },
         })
@@ -132,12 +199,19 @@ impl Transport for ReliableTransport {
 ///
 /// Packets travel at full link speed with no retransmission of gradient
 /// payload; whatever is lost is handled by the configured [`LossPolicy`].
+/// The wire path is zero-copy: the gradient is encoded into one contiguous
+/// buffer, the link shuffles reference-counted views of it, and the
+/// [`RoundAssembler`] scatters whatever arrives straight into the caller's
+/// arena row.
 #[derive(Debug)]
 pub struct LossyTransport {
     link: LossyLink,
     link_config: LinkConfig,
     codec: GradientCodec,
     policy: LossPolicy,
+    /// Reused across rounds; re-created only if the gradient dimension
+    /// changes mid-stream (which real deployments never do).
+    assembler: Option<RoundAssembler>,
 }
 
 impl LossyTransport {
@@ -158,6 +232,7 @@ impl LossyTransport {
             link_config: link,
             codec,
             policy,
+            assembler: None,
         })
     }
 
@@ -182,32 +257,40 @@ impl Transport for LossyTransport {
         "lossy-udp"
     }
 
-    fn transfer(&mut self, worker: u32, step: u64, gradient: &Vector) -> Result<TransferOutcome> {
-        let packets = self.codec.split(worker, step, gradient);
-        let bytes_sent: usize = packets.iter().map(|p| p.wire_bytes()).sum();
-        let (delivered, link_stats) = self.link.transmit(&packets);
-        let (mut reassembled, missing) = self.codec.reassemble(&delivered, gradient.len())?;
+    fn transfer_into(
+        &mut self,
+        worker: u32,
+        step: u64,
+        gradient: &[f32],
+        dst: &mut [f32],
+    ) -> Result<RowTransfer> {
+        let packets = self.codec.split_bytes(worker, step, gradient);
+        let bytes_sent: usize = packets.iter().map(Bytes::len).sum();
+        let (delivered, link_stats) = self.link.transmit_bytes(&packets);
+        let assembler = match &mut self.assembler {
+            Some(a) if a.dimension() == gradient.len() => a,
+            slot => slot.insert(RoundAssembler::new(gradient.len())),
+        };
+        let missing = assembler.assemble_into(&delivered, dst)?;
         // UDP pays no congestion penalty: time is bytes / bandwidth + latency,
         // independent of the drop rate (only a tiny metadata retransmission
         // overhead is charged per lost packet).
         let metadata_overhead = link_stats.dropped * crate::packet::HEADER_BYTES;
         let time_sec = self.link_config.transfer_time(bytes_sent + metadata_overhead);
-        let gradient_out = match self.policy {
-            LossPolicy::DropGradient => {
-                if missing > 0 {
-                    None
-                } else {
-                    Some(reassembled)
-                }
-            }
-            LossPolicy::SelectiveNan => Some(reassembled),
+        let delivered = match self.policy {
+            LossPolicy::DropGradient => missing == 0,
+            LossPolicy::SelectiveNan => true,
             LossPolicy::RandomFill => {
-                reassembled.replace_non_finite(Self::random_fill);
-                Some(reassembled)
+                for (i, v) in dst.iter_mut().enumerate() {
+                    if !v.is_finite() {
+                        *v = Self::random_fill(i);
+                    }
+                }
+                true
             }
         };
-        Ok(TransferOutcome {
-            gradient: gradient_out,
+        Ok(RowTransfer {
+            delivered,
             time_sec,
             bytes_sent,
             missing_coordinates: missing,

@@ -15,8 +15,9 @@ use agg_data::{Dataset, MiniBatchSampler};
 use agg_metrics::{LatencyBreakdown, ThroughputMeter, TracePoint, TrainingTrace};
 use agg_net::{GradientCodec, LinkConfig, LossyTransport, ReliableTransport, Transport};
 use agg_nn::Sequential;
-use agg_tensor::rng::{derive_seed, gaussian_vector, seeded_rng};
+use agg_tensor::rng::{derive_seed, gaussian_fill, seeded_rng};
 use agg_tensor::{GradientBatch, Vector};
+use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,6 +35,12 @@ use std::time::Instant;
 /// Simulated time advances by the broadcast time plus the slowest worker's
 /// compute+transfer time (synchronous training: the server waits for all)
 /// plus the measured-and-rescaled aggregation time.
+///
+/// Phase 1 fans the honest workers out over rayon: every worker owns its
+/// model, sampler and transport (each with its own derived RNG stream) and
+/// delivers its gradient into its own pre-assigned row of one reused
+/// submissions arena, so the round is bit-for-bit identical to the
+/// sequential ordering regardless of thread schedule.
 #[derive(Debug)]
 pub struct SyncTrainingEngine {
     config: RunnerConfig,
@@ -51,6 +58,28 @@ pub struct SyncTrainingEngine {
     /// directly.
     calibrated_aggregation_sec: Option<f64>,
     clock_sec: f64,
+    /// One submissions arena reused for every round: worker `i` owns row `i`,
+    /// undelivered rows are compacted away before aggregation, and the next
+    /// round resizes it back — no per-round `n × d` allocation.
+    round_arena: GradientBatch,
+    /// `false` forces Phase 1 through the plain sequential iterator (the
+    /// seed ordering). The determinism test runs both modes and asserts
+    /// identical reports.
+    phase1_parallel: bool,
+}
+
+/// What one worker contributed to a round (collected in worker-id order, so
+/// the parallel fan-out reduces deterministically).
+#[derive(Debug)]
+struct WorkerRound {
+    /// The pre-wire gradient of an honest worker (the omniscient adversary
+    /// sees these); `None` for attackers and data-poisoned workers.
+    honest_gradient: Option<Vector>,
+    /// Whether the transport delivered the submission into the worker's
+    /// arena row.
+    delivered: bool,
+    /// Simulated compute + transfer seconds.
+    worker_time: f64,
 }
 
 impl SyncTrainingEngine {
@@ -120,6 +149,7 @@ impl SyncTrainingEngine {
 
         let attack = config.attack.build();
         let calibrated_aggregation_sec = Self::calibrate_aggregation(&config, config.workers)?;
+        let round_arena = GradientBatch::with_capacity(actual_dimension, config.workers);
         Ok(SyncTrainingEngine {
             config,
             cluster,
@@ -132,7 +162,16 @@ impl SyncTrainingEngine {
             model_flops,
             calibrated_aggregation_sec,
             clock_sec: 0.0,
+            round_arena,
+            phase1_parallel: true,
         })
+    }
+
+    /// Forces Phase 1 through the sequential iterator (the seed ordering)
+    /// instead of the rayon fan-out. The two modes must produce bit-identical
+    /// reports — the determinism test asserts exactly that.
+    pub fn set_phase1_parallel(&mut self, parallel: bool) {
+        self.phase1_parallel = parallel;
     }
 
     /// Measures the configured GAR for real at (close to) the virtual model's
@@ -151,9 +190,7 @@ impl SyncTrainingEngine {
         // server.
         let mut gradients = GradientBatch::with_capacity(calibration_dim, workers);
         for _ in 0..workers {
-            gradients
-                .push_row(gaussian_vector(&mut rng, calibration_dim, 0.0, 1.0).as_slice())
-                .expect("calibration rows share one dimension");
+            gradients.push_row_with(|dst| gaussian_fill(&mut rng, dst, 0.0, 1.0));
         }
         // Best of two runs: the first may pay one-time warm-up costs.
         let mut best = f64::INFINITY;
@@ -244,37 +281,69 @@ impl SyncTrainingEngine {
             let model_bytes = cost.payload_bytes(self.actual_dimension);
             let broadcast_time = self.config.link.transfer_time(model_bytes);
 
-            // Phase 1: honest (and data-poisoned) workers compute and send.
-            let mut honest_gradients: Vec<Vector> = Vec::new();
-            let mut submissions: Vec<Vector> = Vec::new();
-            let mut dropped_gradients = 0u64;
-            let mut max_worker_time: f64 = 0.0;
-            let mut attacker_ids: Vec<usize> = Vec::new();
-            for worker in &mut self.workers {
+            // Phase 1: honest (and data-poisoned) workers compute and send,
+            // fanned out over rayon. Worker `i` delivers straight into arena
+            // row `i` (disjoint mutable slices), results are collected in
+            // worker-id order, and every worker draws only from its own RNG
+            // streams — so the round is deterministic under any schedule.
+            self.round_arena.resize_rows(self.workers.len());
+            let run_worker = |(worker, dst): (&mut Worker, &mut [f32])| -> Result<WorkerRound> {
                 if worker.role() == WorkerRole::Attacker {
-                    attacker_ids.push(worker.id());
-                    continue;
+                    // Crafted centrally in Phase 2; Byzantine channels are
+                    // "arbitrarily fast" and never extend the round.
+                    return Ok(WorkerRound {
+                        honest_gradient: None,
+                        delivered: false,
+                        worker_time: 0.0,
+                    });
                 }
                 let node_flops = worker.node_flops_per_sec();
                 let computation = worker.compute_gradient(&params, |model, batch| {
                     cost.gradient_time(model.flops_per_sample(), batch, node_flops)
                 })?;
-                let transfer = worker.send_gradient(step, &computation.gradient)?;
-                let worker_time = computation.compute_time_sec + transfer.time_sec * dim_scale;
-                max_worker_time = max_worker_time.max(worker_time);
-                if worker.role() == WorkerRole::Honest {
-                    honest_gradients.push(computation.gradient);
-                }
-                match transfer.gradient {
-                    Some(g) => submissions.push(g),
-                    None => dropped_gradients += 1,
-                }
+                let transfer =
+                    worker.send_gradient_into(step, computation.gradient.as_slice(), dst)?;
+                Ok(WorkerRound {
+                    honest_gradient: (worker.role() == WorkerRole::Honest)
+                        .then_some(computation.gradient),
+                    delivered: transfer.delivered,
+                    worker_time: computation.compute_time_sec + transfer.time_sec * dim_scale,
+                })
+            };
+            let jobs: Vec<(&mut Worker, &mut [f32])> =
+                self.workers.iter_mut().zip(self.round_arena.rows_mut()).collect();
+            let results: Vec<Result<WorkerRound>> = if self.phase1_parallel {
+                jobs.into_par_iter().map(run_worker).collect()
+            } else {
+                jobs.into_iter().map(run_worker).collect()
+            };
+            let mut rounds = Vec::with_capacity(results.len());
+            for result in results {
+                rounds.push(result?);
             }
+            let mut dropped_gradients = rounds
+                .iter()
+                .zip(&self.workers)
+                .filter(|(r, w)| w.role() != WorkerRole::Attacker && !r.delivered)
+                .count() as u64;
+            let max_worker_time = rounds.iter().map(|r| r.worker_time).fold(0.0f64, f64::max);
 
-            // Phase 2: the adversary crafts the Byzantine submissions.
+            // Phase 2: the adversary crafts the Byzantine submissions,
+            // seeing every honest gradient as a borrowed row view (§3.1's
+            // omniscient attacker, without cloning a coordinate).
+            let attacker_ids: Vec<usize> = self
+                .workers
+                .iter()
+                .filter(|w| w.role() == WorkerRole::Attacker)
+                .map(Worker::id)
+                .collect();
             if !attacker_ids.is_empty() {
+                let honest_views: Vec<&[f32]> = rounds
+                    .iter()
+                    .filter_map(|r| r.honest_gradient.as_ref().map(Vector::as_slice))
+                    .collect();
                 let ctx = AttackContext {
-                    honest_gradients: &honest_gradients,
+                    honest_gradients: &honest_views,
                     model: &params,
                     byzantine_count: attacker_ids.len(),
                     declared_f: self.config.gar.f,
@@ -282,29 +351,35 @@ impl SyncTrainingEngine {
                     seed: self.config.seed,
                 };
                 let crafted = self.attack.craft(&ctx);
-                for (slot, gradient) in attacker_ids.iter().zip(crafted) {
-                    let worker = &mut self.workers[*slot];
-                    let transfer = worker.send_gradient(step, &gradient)?;
-                    // Byzantine workers have "arbitrarily fast" channels in
-                    // the threat model: their submissions never extend the
-                    // round, so only honest worker time bounds the wait.
-                    match transfer.gradient {
-                        Some(g) => submissions.push(g),
-                        None => dropped_gradients += 1,
+                for (&slot, gradient) in attacker_ids.iter().zip(&crafted) {
+                    let worker = &mut self.workers[slot];
+                    let transfer = worker.send_gradient_into(
+                        step,
+                        gradient.as_slice(),
+                        self.round_arena.row_mut(slot),
+                    )?;
+                    rounds[slot].delivered = transfer.delivered;
+                    if !transfer.delivered {
+                        dropped_gradients += 1;
                     }
                 }
             }
 
-            // Phase 3: aggregation and model update at the server. The
-            // round's submissions are packed into the contiguous arena once;
-            // the GAR then aggregates copy-free. A round that cannot even be
-            // packed (no submissions survived the transport) is skipped like
-            // any other GAR rejection.
+            // Phase 3: aggregation and model update at the server. Each
+            // worker's submission already sits in its arena row; undelivered
+            // rows are compacted away in place (worker order preserved) and
+            // the GAR aggregates copy-free. A round with no surviving
+            // submissions is skipped like any other GAR rejection.
+            let keep: Vec<bool> = rounds.iter().map(|r| r.delivered).collect();
+            self.round_arena.retain_rows(&keep);
+            let submitted = self.round_arena.n() as u64;
             let round_wait = broadcast_time + max_worker_time;
             let mut aggregation_time = 0.0;
-            let round_result = GradientBatch::from_vectors(&submissions)
-                .map_err(|e| PsError::Aggregation(e.to_string()))
-                .and_then(|batch| self.server.apply_round_batch(&batch));
+            let round_result = if self.round_arena.is_empty() {
+                Err(PsError::Aggregation("no submissions survived the transport".into()))
+            } else {
+                self.server.apply_round_batch(&self.round_arena)
+            };
             match round_result {
                 Ok(outcome) => {
                     let kernel_sec = match self.calibrated_aggregation_sec {
@@ -324,10 +399,7 @@ impl SyncTrainingEngine {
 
             self.clock_sec += round_wait + aggregation_time;
             latency.record_round(round_wait, aggregation_time);
-            throughput.record_round(
-                submissions.len() as u64 + dropped_gradients,
-                round_wait + aggregation_time,
-            );
+            throughput.record_round(submitted + dropped_gradients, round_wait + aggregation_time);
 
             if (step + 1) % self.config.eval_every == 0 || step + 1 == self.config.max_steps {
                 self.evaluate(&mut trace, self.server.step())?;
@@ -420,13 +492,14 @@ impl ThroughputSimulation {
         let mut rng = seeded_rng(derive_seed(self.seed, 0xF16));
         let node = crate::cluster::Node::grid5000_cpu(0);
 
+        // One proxy arena reused for every round: cleared and refilled in
+        // place, so the simulation measures the kernel, not the allocator.
+        let mut gradients = GradientBatch::with_capacity(self.proxy_dimension, self.workers);
         let mut total_aggregation = 0.0;
         for round in 0..self.rounds {
-            let mut gradients = GradientBatch::with_capacity(self.proxy_dimension, self.workers);
+            gradients.clear();
             for _ in 0..self.workers {
-                gradients
-                    .push_row(gaussian_vector(&mut rng, self.proxy_dimension, 0.0, 1.0).as_slice())
-                    .expect("proxy rounds share one dimension");
+                gradients.push_row_with(|dst| gaussian_fill(&mut rng, dst, 0.0, 1.0));
             }
             let start = Instant::now();
             gar.aggregate_batch(&gradients).map_err(PsError::from)?;

@@ -3,7 +3,7 @@
 
 use crate::{PsError, Result};
 use agg_data::{Dataset, MiniBatchSampler};
-use agg_net::{TransferOutcome, Transport};
+use agg_net::{RowTransfer, TransferOutcome, Transport};
 use agg_nn::Sequential;
 use agg_tensor::Vector;
 use std::sync::Arc;
@@ -118,11 +118,35 @@ impl Worker {
         self.transport.transfer(self.id as u32, step, gradient).map_err(PsError::from)
     }
 
+    /// Sends a gradient straight into the server's arena row for this worker
+    /// (the zero-copy round path: the receiver's view is written into `dst`,
+    /// no intermediate `Vector`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::Network`] for structural transport failures (loss is
+    /// not an error).
+    pub fn send_gradient_into(
+        &mut self,
+        step: u64,
+        gradient: &[f32],
+        dst: &mut [f32],
+    ) -> Result<RowTransfer> {
+        self.transport.transfer_into(self.id as u32, step, gradient, dst).map_err(PsError::from)
+    }
+
     /// Name of the transport this worker uses (for reports).
     pub fn transport_name(&self) -> &'static str {
         self.transport.name()
     }
 }
+
+// Workers fan out across threads in the engine's parallel Phase 1; every
+// field (model, Arc<Dataset>, sampler, boxed transport) must stay `Send`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Worker>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -33,6 +33,16 @@ pub fn gaussian_vector(rng: &mut SmallRng, len: usize, mean: f32, std: f32) -> V
     Vector::from_iter((0..len).map(|_| normal.sample(rng)))
 }
 
+/// Fills `dst` with i.i.d. Gaussian coordinates in place (the allocation-free
+/// sibling of [`gaussian_vector`], for reused arenas). Draws the same stream
+/// as [`gaussian_vector`] for the same RNG state.
+pub fn gaussian_fill(rng: &mut SmallRng, dst: &mut [f32], mean: f32, std: f32) {
+    let normal = Normal::new(mean, std.max(0.0)).expect("std is non-negative and finite");
+    for v in dst {
+        *v = normal.sample(rng);
+    }
+}
+
 /// Samples a vector of i.i.d. uniform coordinates in `[lo, hi)`.
 pub fn uniform_vector(rng: &mut SmallRng, len: usize, lo: f32, hi: f32) -> Vector {
     let uniform = Uniform::new(lo, hi);

@@ -271,20 +271,33 @@ pub fn variance(values: &[f32]) -> f32 {
 /// Returns [`TensorError::EmptyInput`] for an empty set and
 /// [`TensorError::DimensionMismatch`] when lengths disagree.
 pub fn coordinate_std(vectors: &[Vector]) -> Result<Vector> {
-    if vectors.is_empty() {
+    let rows: Vec<&[f32]> = vectors.iter().map(Vector::as_slice).collect();
+    coordinate_std_of_rows(&rows)
+}
+
+/// [`coordinate_std`] over borrowed rows — the zero-copy variant used when
+/// the gradients already live in a contiguous arena (or any slice storage)
+/// and cloning them into `Vector`s would cost an `n·d` copy.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] for an empty set and
+/// [`TensorError::DimensionMismatch`] when lengths disagree.
+pub fn coordinate_std_of_rows(rows: &[&[f32]]) -> Result<Vector> {
+    if rows.is_empty() {
         return Err(TensorError::EmptyInput("coordinate_std"));
     }
-    let d = vectors[0].len();
-    for v in vectors {
-        if v.len() != d {
-            return Err(TensorError::dim(d, v.len()));
+    let d = rows[0].len();
+    for r in rows {
+        if r.len() != d {
+            return Err(TensorError::dim(d, r.len()));
         }
     }
     let mut out = Vec::with_capacity(d);
-    let mut column = Vec::with_capacity(vectors.len());
+    let mut column = Vec::with_capacity(rows.len());
     for c in 0..d {
         column.clear();
-        column.extend(vectors.iter().map(|v| v[c]));
+        column.extend(rows.iter().map(|r| r[c]));
         out.push(variance(&column).sqrt());
     }
     Ok(Vector::from(out))

@@ -1,0 +1,123 @@
+//! Property tests pinning the bulk wire codec to the legacy per-coordinate
+//! codec: `GradientCodec::split_bytes` + `RoundAssembler` must be
+//! wire-compatible and value-identical (bit-for-bit, including NaN payloads)
+//! with `split` + `Packet::encode/decode` + `reassemble`, under arbitrary
+//! packet reordering, duplication and loss, and must reject the same
+//! malformed inputs.
+
+use agg_net::{GradientCodec, Packet, RoundAssembler};
+use agg_tensor::Vector;
+use proptest::prelude::*;
+
+/// Wire payloads include everything a malicious worker or a lossy link can
+/// produce: normal values, zeros, NaN and both infinities.
+fn wire_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        prop::num::f32::ANY,
+        prop::num::f32::ZERO,
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+    ]
+}
+
+fn gradient() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(wire_f32(), 0..700)
+}
+
+proptest! {
+    #[test]
+    fn bulk_split_is_byte_identical_to_legacy_encode(
+        g in gradient(),
+        cpp in 1usize..97,
+        worker in 0u32..64,
+        step in 0u64..1000,
+    ) {
+        let codec = GradientCodec::new(cpp).unwrap();
+        let legacy: Vec<_> = codec
+            .split(worker, step, &Vector::from(g.clone()))
+            .iter()
+            .map(Packet::encode)
+            .collect();
+        let bulk = codec.split_bytes(worker, step, &g);
+        prop_assert_eq!(legacy.len(), bulk.len());
+        for (l, b) in legacy.iter().zip(&bulk) {
+            prop_assert_eq!(l.as_ref(), b.as_ref());
+        }
+    }
+
+    #[test]
+    fn legacy_decode_reads_bulk_packets(g in gradient(), cpp in 1usize..97) {
+        let codec = GradientCodec::new(cpp).unwrap();
+        let structured = codec.split(3, 7, &Vector::from(g.clone()));
+        let bulk = codec.split_bytes(3, 7, &g);
+        for (expected, wire) in structured.iter().zip(bulk) {
+            let decoded = Packet::decode(wire).unwrap();
+            prop_assert_eq!(decoded.worker, expected.worker);
+            prop_assert_eq!(decoded.step, expected.step);
+            prop_assert_eq!(decoded.sequence, expected.sequence);
+            prop_assert_eq!(decoded.total, expected.total);
+            prop_assert_eq!(decoded.offset, expected.offset);
+            prop_assert_eq!(decoded.payload.len(), expected.payload.len());
+            for (d, e) in decoded.payload.iter().zip(&expected.payload) {
+                prop_assert_eq!(d.to_bits(), e.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_matches_legacy_reassembly_under_reordering_duplication_and_loss(
+        g in gradient(),
+        cpp in 1usize..97,
+        selection in prop::collection::vec(0usize..1024, 0..40),
+    ) {
+        let codec = GradientCodec::new(cpp).unwrap();
+        let structured = codec.split(5, 11, &Vector::from(g.clone()));
+        let bulk = codec.split_bytes(5, 11, &g);
+        // An arbitrary multiset of packet indices: drops, duplicates and
+        // reorderings all at once, applied identically to both codecs.
+        let picked: Vec<usize> = selection.iter().map(|i| i % structured.len()).collect();
+        let legacy_arrivals: Vec<Packet> =
+            picked.iter().map(|&i| structured[i].clone()).collect();
+        let bulk_arrivals: Vec<_> = picked.iter().map(|&i| bulk[i].clone()).collect();
+
+        let (reference, legacy_missing) = codec.reassemble(&legacy_arrivals, g.len()).unwrap();
+        let mut assembler = RoundAssembler::new(g.len());
+        let mut row = vec![0.0f32; g.len()];
+        let missing = assembler.assemble_into(&bulk_arrivals, &mut row).unwrap();
+
+        prop_assert_eq!(missing, legacy_missing);
+        for (a, b) in row.iter().zip(reference.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn both_codecs_reject_the_same_truncations(g in gradient(), cut in 0usize..32) {
+        let codec = GradientCodec::new(50).unwrap();
+        let bulk = codec.split_bytes(0, 0, &g);
+        let first = bulk[0].clone();
+        // Truncate somewhere inside the header or the declared payload.
+        let cut = cut.min(first.len().saturating_sub(1));
+        let truncated = first.slice(0..cut);
+        prop_assert!(Packet::decode(truncated.clone()).is_err());
+        let mut assembler = RoundAssembler::new(g.len());
+        let mut row = vec![0.0f32; g.len()];
+        prop_assert!(assembler.assemble_into(&[truncated], &mut row).is_err());
+    }
+
+    #[test]
+    fn both_codecs_reject_mixed_streams(g in prop::collection::vec(wire_f32(), 1..80)) {
+        let codec = GradientCodec::new(16).unwrap();
+        let a = codec.split_bytes(0, 0, &g);
+        let b = codec.split_bytes(1, 0, &g);
+        let mixed: Vec<_> = a.iter().chain(b.iter()).cloned().collect();
+        let mut assembler = RoundAssembler::new(g.len());
+        let mut row = vec![0.0f32; g.len()];
+        prop_assert!(assembler.assemble_into(&mixed, &mut row).is_err());
+
+        let legacy_mixed: Vec<Packet> =
+            mixed.into_iter().map(|p| Packet::decode(p).unwrap()).collect();
+        prop_assert!(codec.reassemble(&legacy_mixed, g.len()).is_err());
+    }
+}

@@ -7,10 +7,20 @@
 use std::sync::Arc;
 
 /// An immutable, cheaply cloneable byte buffer with a read cursor.
-#[derive(Debug, Clone, Default)]
+///
+/// `slice` and `clone` are zero-copy: every view shares one `Arc<[u8]>`
+/// allocation and carries its own `[start, end)` window.
+#[derive(Debug, Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
     start: usize,
+    end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
+    }
 }
 
 impl Bytes {
@@ -21,12 +31,13 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.into(), start: 0 }
+        let end = data.len();
+        Bytes { data: data.into(), start: 0, end }
     }
 
     /// Number of unread bytes.
     pub fn len(&self) -> usize {
-        self.data.len() - self.start
+        self.end - self.start
     }
 
     /// `true` when no unread bytes remain.
@@ -34,36 +45,35 @@ impl Bytes {
         self.len() == 0
     }
 
-    /// A new buffer viewing `range` of the unread bytes.
+    /// A new buffer viewing `range` of the unread bytes, sharing the same
+    /// backing allocation (no copy).
     ///
     /// # Panics
     ///
     /// Panics when the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes { data: self.data.clone(), start: self.start + range.start }
-            .truncated(range.end - range.start)
-    }
-
-    fn truncated(mut self, len: usize) -> Bytes {
-        assert!(len <= self.len(), "slice out of bounds of Bytes");
-        if len < self.len() {
-            // Arc<[u8]> cannot shrink in place; copy the window.
-            let window: Vec<u8> = self[..len].to_vec();
-            self = Bytes::from(window);
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds of Bytes"
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
         }
-        self
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data[self.start..]
+        &self.data[self.start..self.end]
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data: data.into(), start: 0 }
+        let end = data.len();
+        Bytes { data: data.into(), start: 0, end }
     }
 }
 
@@ -77,7 +87,7 @@ impl std::ops::Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..]
+        &self.data[self.start..self.end]
     }
 }
 
@@ -119,6 +129,24 @@ impl BytesMut {
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Grows (or shrinks) the buffer to `new_len`, filling new bytes with
+    /// `value`. Used to reserve a region that is then written in place.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -271,5 +299,38 @@ mod tests {
     fn advance_past_end_panics() {
         let mut b = Bytes::from(vec![1]);
         b.advance(2);
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_window() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let mid = b.slice(8..24);
+        assert_eq!(mid.len(), 16);
+        assert_eq!(mid[0], 8);
+        assert_eq!(mid[15], 23);
+        // Shares the parent allocation instead of copying the window.
+        assert!(Arc::ptr_eq(&b.data, &mid.data));
+        let nested = mid.slice(4..8);
+        assert_eq!(nested.as_ref(), &[12, 13, 14, 15]);
+        assert!(Arc::ptr_eq(&b.data, &nested.data));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn bytes_mut_resize_and_in_place_writes() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(7);
+        let at = buf.len();
+        buf.resize(at + 4, 0);
+        buf[at..at + 4].copy_from_slice(&42u32.to_le_bytes());
+        let mut frozen = buf.freeze();
+        assert_eq!(frozen.get_u32_le(), 7);
+        assert_eq!(frozen.get_u32_le(), 42);
     }
 }
