@@ -1,0 +1,164 @@
+//! `shard_perf` — shard-parallel aggregation perf trajectory.
+//!
+//! Times one aggregation round (median ns/round) at the paper's deployment
+//! size (n = 19 workers, f = 4 Byzantine, d = 100k) on two code paths:
+//!
+//! * **unsharded** — the live single-shard arena path
+//!   (`GarConfig::build()` + `aggregate_batch`), the baseline every
+//!   previous PR's numbers refer to;
+//! * **sharded S ∈ {1, 2, 4, 8}** — the `ShardedAggregator` pipeline:
+//!   per-shard partial distance matrices (column-blocked, sixteen-lane
+//!   inner kernel), shard-order reduce, one global selection, per-shard
+//!   column kernels on the selected rows.
+//!
+//! On a multi-core box the shards run concurrently under rayon; on a single
+//! core the win comes from the per-shard kernel itself (L2-resident column
+//! tiles and an accumulate chain deep enough to keep the vector pipes
+//! busy). Results are written as machine-readable JSON (default
+//! `BENCH_shard.json`, override with `--out <path>`) so CI can archive the
+//! trajectory, and printed as a table for humans.
+
+use agg_core::{Gar, GarConfig, GarKind, ShardedAggregator};
+use agg_tensor::rng::{gaussian_fill, seeded_rng};
+use agg_tensor::GradientBatch;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The paper's deployment: 19 workers, 4 declared Byzantine, 100k proxy
+/// dimension.
+const N: usize = 19;
+const F: usize = 4;
+const D: usize = 100_000;
+const SEED: u64 = 11;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// The shard count the headline speedup column reports (the acceptance
+/// configuration: S = 4 shard-parallel vs the single-shard arena path).
+const KEY_SHARDS: usize = 4;
+const RULES: [GarKind; 4] = [GarKind::MultiKrum, GarKind::Krum, GarKind::Bulyan, GarKind::Median];
+
+/// Per-cell time budget; each cell still takes at least `MIN_SAMPLES` runs.
+const BUDGET_NS: u128 = 400_000_000;
+const MIN_SAMPLES: usize = 5;
+const MAX_SAMPLES: usize = 60;
+
+/// Median ns/round of repeated timed runs (first run is warm-up).
+fn median_round_ns(mut run: impl FnMut()) -> u128 {
+    run();
+    let mut samples: Vec<u128> = Vec::new();
+    let mut total = 0u128;
+    while samples.len() < MIN_SAMPLES || (total < BUDGET_NS && samples.len() < MAX_SAMPLES) {
+        let start = Instant::now();
+        run();
+        let ns = start.elapsed().as_nanos().max(1);
+        total += ns;
+        samples.push(ns);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct RuleRow {
+    rule: &'static str,
+    unsharded_ns: u128,
+    /// `(shards, median ns)` in `SHARD_COUNTS` order.
+    sharded_ns: Vec<(usize, u128)>,
+}
+
+impl RuleRow {
+    fn speedup(&self, shards: usize) -> f64 {
+        let ns = self
+            .sharded_ns
+            .iter()
+            .find(|(s, _)| *s == shards)
+            .map(|&(_, ns)| ns)
+            .unwrap_or(u128::MAX);
+        self.unsharded_ns as f64 / ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_shard.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().expect("--out requires a path");
+            }
+            other => {
+                eprintln!("shard_perf: unknown argument '{other}' (supported: --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // One round of gradients, packed once — both arms aggregate the same
+    // arena, so the comparison isolates the aggregation path.
+    let mut rng = seeded_rng(0x5AAD ^ SEED);
+    let mut batch = GradientBatch::with_capacity(D, N);
+    for _ in 0..N {
+        batch.push_row_with(|dst| gaussian_fill(&mut rng, dst, 0.0, 1.0));
+    }
+
+    println!("shard_perf: n = {N}, f = {F}, d = {D} (median ns/round)");
+    let mut header = format!("{:<11} {:>13}", "rule", "unsharded_ns");
+    for shards in SHARD_COUNTS {
+        let _ = write!(header, " {:>13}", format!("S={shards}_ns"));
+    }
+    let _ = write!(header, " {:>8}", format!("S{KEY_SHARDS}_spd"));
+    println!("{header}");
+
+    let mut rows: Vec<RuleRow> = Vec::new();
+    for kind in RULES {
+        let config = GarConfig::new(kind, F);
+        let unsharded = config.build().expect("valid GAR config");
+        let unsharded_ns = median_round_ns(|| {
+            unsharded.aggregate_batch(&batch).expect("aggregation succeeds");
+        });
+        let mut sharded_ns = Vec::new();
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedAggregator::new(config, shards).expect("valid shard count");
+            let ns = median_round_ns(|| {
+                sharded.aggregate_batch(&batch).expect("aggregation succeeds");
+            });
+            sharded_ns.push((shards, ns));
+        }
+        let row = RuleRow { rule: kind.name(), unsharded_ns, sharded_ns };
+        let mut line = format!("{:<11} {:>13}", row.rule, row.unsharded_ns);
+        for &(_, ns) in &row.sharded_ns {
+            let _ = write!(line, " {ns:>13}");
+        }
+        let _ = write!(line, " {:>7.2}x", row.speedup(KEY_SHARDS));
+        println!("{line}");
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"shard_perf\",\n");
+    let _ = writeln!(json, "  \"n\": {N},");
+    let _ = writeln!(json, "  \"f\": {F},");
+    let _ = writeln!(json, "  \"d\": {D},");
+    json.push_str("  \"unit\": \"median_ns_per_round\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let sharded: Vec<String> = row
+            .sharded_ns
+            .iter()
+            .map(|&(s, ns)| {
+                format!("{{\"shards\": {s}, \"ns\": {ns}, \"speedup\": {:.2}}}", row.speedup(s))
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"rule\": \"{}\", \"unsharded_ns\": {}, \"sharded\": [{}]}}{comma}",
+            row.rule,
+            row.unsharded_ns,
+            sharded.join(", ")
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_shard.json");
+    println!("\nwrote {out_path}");
+}

@@ -82,10 +82,26 @@ impl Bulyan {
     pub fn select_batch(&self, batch: &GradientBatch) -> Result<Vec<usize>> {
         let n = ensure_batch_nonempty("bulyan", batch)?;
         resilience::check_bulyan(n, self.f)?;
-        let theta = resilience::bulyan_selection_count(n, self.f)?;
-
         // The paper's optimisation: distances are computed once, here.
         let distances = batch.pairwise_squared_distances();
+        self.select_with_distances(&distances)
+    }
+
+    /// Runs the iterated-Krum selection on an already-computed distance
+    /// matrix (the sharded layer reduces per-shard partial matrices into the
+    /// global one and selects here once, so the sharded selection — and the
+    /// strong-resilience guarantee — is identical to the unsharded rule).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Bulyan::select`], with `n` taken from the matrix.
+    pub fn select_with_distances(
+        &self,
+        distances: &agg_tensor::DistanceMatrix,
+    ) -> Result<Vec<usize>> {
+        let n = distances.n();
+        resilience::check_bulyan(n, self.f)?;
+        let theta = resilience::bulyan_selection_count(n, self.f)?;
 
         let mut active: Vec<usize> = (0..n).collect();
         let mut selected = Vec::with_capacity(theta);
@@ -94,7 +110,7 @@ impl Bulyan {
             // set, clamped to at least one neighbour so the last iterations
             // remain well defined.
             let neighbours = active.len().saturating_sub(self.f + 2).max(1);
-            let scores = krum_scores(&distances, &active, neighbours);
+            let scores = krum_scores(distances, &active, neighbours);
             let best_pos = stats::k_smallest_indices(&scores, 1)?[0];
             selected.push(active.remove(best_pos));
         }

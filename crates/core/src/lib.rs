@@ -54,6 +54,7 @@ pub mod registry;
 pub mod resilience;
 pub mod sanitize;
 pub mod selective;
+pub mod sharded;
 pub mod trimmed_mean;
 
 pub use agg_tensor::{DistanceMatrix, GradientBatch};
@@ -68,6 +69,7 @@ pub use median::CoordinateMedian;
 pub use multi_krum::MultiKrum;
 pub use registry::{GarConfig, GarKind};
 pub use selective::SelectiveAverage;
+pub use sharded::ShardedAggregator;
 pub use trimmed_mean::TrimmedMean;
 
 /// Crate-wide result alias.

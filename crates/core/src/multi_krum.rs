@@ -207,11 +207,30 @@ impl MultiKrum {
     /// Same conditions as [`MultiKrum::aggregate`].
     pub fn select_batch(&self, batch: &GradientBatch) -> Result<Vec<usize>> {
         let n = ensure_batch_nonempty("multi-krum", batch)?;
+        // Preconditions are checked before paying for the O(n²·d) kernel.
+        self.resolve_m(n)?;
+        let distances = batch.pairwise_squared_distances();
+        self.select_with_distances(&distances)
+    }
+
+    /// Runs the selection on an already-computed distance matrix.
+    ///
+    /// This is the entry point of the sharded aggregation layer: squared L2
+    /// distances decompose into per-shard partial sums, so a sharded
+    /// deployment reduces one partial matrix per shard into the global
+    /// matrix and selects here exactly once — the selection (and therefore
+    /// the resilience guarantee) is identical to the unsharded rule.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiKrum::aggregate`], with `n` taken from the
+    /// matrix.
+    pub fn select_with_distances(&self, distances: &DistanceMatrix) -> Result<Vec<usize>> {
+        let n = distances.n();
         let m = self.resolve_m(n)?;
         let neighbours = resilience::krum_neighbour_count(n, self.f)?;
-        let distances = batch.pairwise_squared_distances();
         let active: Vec<usize> = (0..n).collect();
-        let scores = krum_scores(&distances, &active, neighbours);
+        let scores = krum_scores(distances, &active, neighbours);
         let ranked = stats::k_smallest_indices(&scores, m)?;
         Ok(ranked)
     }

@@ -28,7 +28,64 @@
 
 use crate::packet::{get_f32_slice_le, HEADER_BYTES};
 use crate::{NetError, Result};
+use agg_tensor::ShardPlan;
 use bytes::Bytes;
+
+/// One bit per coordinate, tracking which coordinates any delivered packet
+/// covered. Shared by the single-row [`RoundAssembler`] and the
+/// [`ShardedRoundAssembler`]: the words are reused across rounds, marking a
+/// coordinate range is a handful of word ORs, and finding what went missing
+/// is a popcount-driven walk of the zero bits.
+#[derive(Debug, Clone)]
+struct CoordinateBitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl CoordinateBitset {
+    fn new(len: usize) -> Self {
+        CoordinateBitset { words: vec![0u64; len.div_ceil(64)], len }
+    }
+
+    /// Clears every bit, ready for the next round.
+    fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets the bits for coordinates `start..start + len`, word at a time.
+    fn mark(&mut self, start: usize, len: usize) {
+        let end = start + len;
+        let mut i = start;
+        while i < end {
+            let bit = i % 64;
+            let take = (64 - bit).min(end - i);
+            let mask = if take == 64 { !0u64 } else { ((1u64 << take) - 1) << bit };
+            self.words[i / 64] |= mask;
+            i += take;
+        }
+    }
+
+    /// Invokes `gap` for every unset coordinate, in increasing order, and
+    /// returns how many there were. At realistic loss rates most words are
+    /// fully covered and skipped outright.
+    fn for_each_gap(&self, mut gap: impl FnMut(usize)) -> usize {
+        let mut missing = 0usize;
+        for (w, &word) in self.words.iter().enumerate() {
+            let base = w * 64;
+            let limit = (self.len - base).min(64);
+            let mut gaps = !word;
+            if limit < 64 {
+                gaps &= (1u64 << limit) - 1;
+            }
+            missing += gaps.count_ones() as usize;
+            while gaps != 0 {
+                gap(base + gaps.trailing_zeros() as usize);
+                gaps &= gaps - 1;
+            }
+        }
+        missing
+    }
+}
 
 /// The reliable metadata accompanying one wire packet (parsed header).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,13 +130,13 @@ fn parse_header(data: &[u8]) -> Result<WireHeader> {
 pub struct RoundAssembler {
     dimension: usize,
     /// One bit per coordinate, set when any delivered packet covered it.
-    filled: Vec<u64>,
+    filled: CoordinateBitset,
 }
 
 impl RoundAssembler {
     /// Creates an assembler for gradients of dimension `dimension`.
     pub fn new(dimension: usize) -> Self {
-        RoundAssembler { dimension, filled: vec![0u64; dimension.div_ceil(64)] }
+        RoundAssembler { dimension, filled: CoordinateBitset::new(dimension) }
     }
 
     /// The gradient dimension this assembler reassembles.
@@ -110,7 +167,7 @@ impl RoundAssembler {
                 self.dimension
             )));
         }
-        self.filled.fill(0);
+        self.filled.reset();
         let Some(first) = packets.first() else {
             dst.fill(f32::NAN);
             return Ok(self.dimension);
@@ -118,56 +175,153 @@ impl RoundAssembler {
         let reference = parse_header(first)?;
         for packet in packets {
             let header = parse_header(packet)?;
-            if header.worker != reference.worker || header.step != reference.step {
-                return Err(NetError::InconsistentStream(format!(
-                    "packet from worker {} step {} mixed with worker {} step {}",
-                    header.worker, header.step, reference.worker, reference.step
-                )));
-            }
-            if header.offset + header.count > self.dimension {
-                return Err(NetError::MalformedPacket(format!(
-                    "packet covers coordinates {}..{} of a {}-dimensional gradient",
-                    header.offset,
-                    header.offset + header.count,
-                    self.dimension
-                )));
-            }
+            check_same_stream(&header, &reference)?;
+            check_in_bounds(&header, self.dimension)?;
             let payload = &packet[HEADER_BYTES..HEADER_BYTES + 4 * header.count];
             get_f32_slice_le(payload, &mut dst[header.offset..header.offset + header.count]);
-            self.mark(header.offset, header.count);
+            self.filled.mark(header.offset, header.count);
         }
         // NaN-fill only the gaps, found by walking the bitset's zero bits:
         // at realistic loss rates most words are fully covered and skipped
         // outright, so the row is written once (by payloads), not twice
         // (NaN pre-fill + payloads).
-        let mut missing = 0usize;
-        for (w, &word) in self.filled.iter().enumerate() {
-            let base = w * 64;
-            let limit = (self.dimension - base).min(64);
-            let mut gaps = !word;
-            if limit < 64 {
-                gaps &= (1u64 << limit) - 1;
-            }
-            missing += gaps.count_ones() as usize;
-            while gaps != 0 {
-                dst[base + gaps.trailing_zeros() as usize] = f32::NAN;
-                gaps &= gaps - 1;
-            }
-        }
-        Ok(missing)
+        Ok(self.filled.for_each_gap(|c| dst[c] = f32::NAN))
+    }
+}
+
+/// Rejects a packet whose (worker, step) identity disagrees with the round's
+/// reference packet.
+fn check_same_stream(header: &WireHeader, reference: &WireHeader) -> Result<()> {
+    if header.worker != reference.worker || header.step != reference.step {
+        return Err(NetError::InconsistentStream(format!(
+            "packet from worker {} step {} mixed with worker {} step {}",
+            header.worker, header.step, reference.worker, reference.step
+        )));
+    }
+    Ok(())
+}
+
+/// Rejects a packet whose coordinate range extends beyond the gradient.
+fn check_in_bounds(header: &WireHeader, dimension: usize) -> Result<()> {
+    if header.offset + header.count > dimension {
+        return Err(NetError::MalformedPacket(format!(
+            "packet covers coordinates {}..{} of a {dimension}-dimensional gradient",
+            header.offset,
+            header.offset + header.count,
+        )));
+    }
+    Ok(())
+}
+
+/// Reassembles one gradient per call into **per-shard rows**, routing every
+/// packet payload to the shard(s) owning its coordinate range.
+///
+/// This is the wire side of the sharded parameter server: the sender splits
+/// a gradient into MTU-sized packets oblivious to sharding, and each
+/// delivered packet's metadata header (coordinate offset + count) decides
+/// which shard arena row its payload lands in. A packet whose coordinate
+/// range straddles a shard boundary is split — each shard receives exactly
+/// the sub-slice of the payload it owns, still decoded in one bulk pass, so
+/// routing adds no per-coordinate work. Validation and loss semantics are
+/// identical to [`RoundAssembler`]: same header checks, lost coordinates
+/// surface as `NaN` in the owning shard's row, and a delivered `NaN`
+/// coordinate counts as received.
+///
+/// The [`ShardPlan`] is the same type the aggregation layer partitions the
+/// arena with, so a coordinate routed to shard `s` here is by construction
+/// the coordinate shard `s`'s kernels aggregate.
+#[derive(Debug, Clone)]
+pub struct ShardedRoundAssembler {
+    plan: ShardPlan,
+    /// One bit per (global) coordinate, set when any packet covered it.
+    filled: CoordinateBitset,
+}
+
+impl ShardedRoundAssembler {
+    /// Creates an assembler routing into the shards of `plan`.
+    pub fn new(plan: ShardPlan) -> Self {
+        let filled = CoordinateBitset::new(plan.dimension());
+        ShardedRoundAssembler { plan, filled }
     }
 
-    /// Sets the bits for coordinates `start..start + len`, word at a time.
-    fn mark(&mut self, start: usize, len: usize) {
-        let end = start + len;
-        let mut i = start;
-        while i < end {
-            let bit = i % 64;
-            let take = (64 - bit).min(end - i);
-            let mask = if take == 64 { !0u64 } else { ((1u64 << take) - 1) << bit };
-            self.filled[i / 64] |= mask;
-            i += take;
+    /// The shard partition this assembler routes into.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Scatters the delivered packets of one gradient into the per-shard
+    /// rows and returns the number of coordinates no packet covered (left as
+    /// `NaN` in the owning shard's row).
+    ///
+    /// `rows` must hold one row per shard, each exactly as wide as its
+    /// shard's coordinate range — e.g. row `s` of shard `s`'s
+    /// `agg_tensor::GradientBatch` arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when the row layout does not
+    /// match the shard plan, and the same [`NetError::InconsistentStream`] /
+    /// [`NetError::MalformedPacket`] conditions as
+    /// [`RoundAssembler::assemble_into`].
+    pub fn assemble_into(&mut self, packets: &[Bytes], rows: &mut [&mut [f32]]) -> Result<usize> {
+        if rows.len() != self.plan.shard_count() {
+            return Err(NetError::InvalidConfig(format!(
+                "{} destination rows for a {}-shard plan",
+                rows.len(),
+                self.plan.shard_count()
+            )));
         }
+        for (s, row) in rows.iter().enumerate() {
+            let width = self.plan.range(s).len();
+            if row.len() != width {
+                return Err(NetError::InvalidConfig(format!(
+                    "shard {s} row has {} coordinates, its shard range holds {width}",
+                    row.len()
+                )));
+            }
+        }
+        self.filled.reset();
+        let dimension = self.plan.dimension();
+        let Some(first) = packets.first() else {
+            rows.iter_mut().for_each(|row| row.fill(f32::NAN));
+            return Ok(dimension);
+        };
+        let reference = parse_header(first)?;
+        for packet in packets {
+            let header = parse_header(packet)?;
+            check_same_stream(&header, &reference)?;
+            check_in_bounds(&header, dimension)?;
+            // Route the payload shard by shard: `consumed` counts payload
+            // coordinates already scattered, `global` the coordinate the
+            // next one lands on. A straddling packet takes several laps.
+            let end = header.offset + header.count;
+            let mut global = header.offset;
+            let mut consumed = 0usize;
+            while global < end {
+                let shard = self.plan.shard_of(global);
+                let range = self.plan.range(shard);
+                let take = (end - global).min(range.end - global);
+                let payload =
+                    &packet[HEADER_BYTES + 4 * consumed..HEADER_BYTES + 4 * (consumed + take)];
+                let local = global - range.start;
+                get_f32_slice_le(payload, &mut rows[shard][local..local + take]);
+                consumed += take;
+                global += take;
+            }
+            self.filled.mark(header.offset, header.count);
+        }
+        // Walk the global gap bits in increasing coordinate order; the shard
+        // cursor only ever advances, so routing the NaN fills is O(1)
+        // amortised per gap.
+        let plan = &self.plan;
+        let mut shard = 0usize;
+        let missing = self.filled.for_each_gap(|c| {
+            while c >= plan.range(shard).end {
+                shard += 1;
+            }
+            rows[shard][c - plan.range(shard).start] = f32::NAN;
+        });
+        Ok(missing)
     }
 }
 
@@ -286,5 +440,143 @@ mod tests {
         let mut assembler = RoundAssembler::new(8);
         let mut row = vec![0.0f32; 4];
         assert!(matches!(assembler.assemble_into(&[], &mut row), Err(NetError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn duplicate_packet_over_already_filled_coordinates_is_idempotent() {
+        // The UDP link can deliver the same datagram twice; the second copy
+        // rewrites identical bytes over coordinates the bitset already marks,
+        // so values and the missing count are unchanged — in both the
+        // single-row and the sharded assembler.
+        let codec = GradientCodec::new(6).unwrap();
+        let g = gradient(14);
+        let mut packets = codec.split_bytes(3, 2, &g);
+        packets.push(packets[1].clone());
+        packets.push(packets[1].clone());
+        let mut assembler = RoundAssembler::new(14);
+        let mut row = vec![0.0f32; 14];
+        assert_eq!(assembler.assemble_into(&packets, &mut row).unwrap(), 0);
+        assert_eq!(row, g);
+
+        let plan = agg_tensor::ShardPlan::new(14, 3).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+        assert_eq!(sharded.assemble_into(&packets, &mut views).unwrap(), 0);
+        let flat: Vec<f32> = shard_rows.concat();
+        assert_eq!(flat, g);
+    }
+
+    #[test]
+    fn straddling_packets_split_across_shard_boundaries() {
+        // 8 coordinates per packet against shards of width 5: every packet
+        // except the aligned first one straddles a boundary and must be
+        // split between two shard rows.
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let packets = codec.split_bytes(0, 0, &g);
+        let plan = agg_tensor::ShardPlan::new(20, 4).unwrap();
+        assert_eq!(plan.range(0), 0..5);
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+        assert_eq!(sharded.assemble_into(&packets, &mut views).unwrap(), 0);
+        for (s, range) in plan.ranges().enumerate() {
+            assert_eq!(shard_rows[s], g[range], "shard {s}");
+        }
+    }
+
+    #[test]
+    fn straddling_packet_loss_leaves_nan_in_both_touched_shards() {
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let mut packets = codec.split_bytes(0, 0, &g);
+        // Coordinates 8..16 go missing: they span shard 1 (5..10), all of
+        // shard 2 (10..15) and the first coordinate of shard 3 (15..20).
+        packets.remove(1);
+        let plan = agg_tensor::ShardPlan::new(20, 4).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+        assert_eq!(sharded.assemble_into(&packets, &mut views).unwrap(), 8);
+        assert_eq!(shard_rows[1][..3], g[5..8]);
+        assert!(shard_rows[1][3..].iter().all(|v| v.is_nan()));
+        assert!(shard_rows[2].iter().all(|v| v.is_nan()));
+        assert!(shard_rows[3][0].is_nan());
+        assert_eq!(shard_rows[3][1..], g[16..20]);
+    }
+
+    #[test]
+    fn zero_length_payload_packets_are_tolerated() {
+        // A zero-dimensional gradient encodes as one header-only packet with
+        // count = 0: valid metadata, nothing to scatter, nothing missing.
+        let codec = GradientCodec::default();
+        let packets = codec.split_bytes(5, 1, &[]);
+        assert_eq!(packets.len(), 1);
+
+        let mut assembler = RoundAssembler::new(0);
+        assert_eq!(assembler.assemble_into(&packets, &mut []).unwrap(), 0);
+
+        let plan = agg_tensor::ShardPlan::new(0, 3).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan);
+        let mut shard_rows: Vec<Vec<f32>> = vec![vec![]; 3];
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+        assert_eq!(sharded.assemble_into(&packets, &mut views).unwrap(), 0);
+    }
+
+    #[test]
+    fn sharded_assembler_matches_single_row_assembler_under_loss() {
+        // Same packets, same loss pattern: concatenating the shard rows must
+        // reproduce the single-row reassembly bit for bit (NaN positions
+        // included), for several shard counts including empty shards.
+        let codec = GradientCodec::new(7).unwrap();
+        let g: Vec<f32> = (0..53).map(|i| (i as f32).sin()).collect();
+        let mut packets = codec.split_bytes(2, 4, &g);
+        packets.remove(5);
+        packets.remove(2);
+        packets.push(packets[0].clone()); // and a duplicate
+        let mut reference = RoundAssembler::new(53);
+        let mut flat = vec![0.0f32; 53];
+        let expected_missing = reference.assemble_into(&packets, &mut flat).unwrap();
+        for shards in [1usize, 2, 5, 60] {
+            let plan = agg_tensor::ShardPlan::new(53, shards).unwrap();
+            let mut sharded = ShardedRoundAssembler::new(plan.clone());
+            let mut shard_rows: Vec<Vec<f32>> =
+                plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+            let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+            assert_eq!(sharded.assemble_into(&packets, &mut views).unwrap(), expected_missing);
+            let rebuilt: Vec<f32> = shard_rows.concat();
+            for (c, (a, b)) in rebuilt.iter().zip(&flat).enumerate() {
+                assert!(a.to_bits() == b.to_bits(), "shards={shards} coordinate {c}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_assembler_rejects_wrong_row_layouts() {
+        let plan = agg_tensor::ShardPlan::new(10, 2).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan);
+        let mut one = vec![0.0f32; 5];
+        assert!(matches!(
+            sharded.assemble_into(&[], &mut [one.as_mut_slice()]),
+            Err(NetError::InvalidConfig(_))
+        ));
+        let mut a = vec![0.0f32; 5];
+        let mut b = vec![0.0f32; 4];
+        assert!(matches!(
+            sharded.assemble_into(&[], &mut [a.as_mut_slice(), b.as_mut_slice()]),
+            Err(NetError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_assembler_empty_round_nan_fills_every_shard() {
+        let plan = agg_tensor::ShardPlan::new(9, 2).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        assert_eq!(sharded.plan().shard_count(), 2);
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+        assert_eq!(sharded.assemble_into(&[], &mut views).unwrap(), 9);
+        assert!(shard_rows.iter().flatten().all(|v| v.is_nan()));
     }
 }

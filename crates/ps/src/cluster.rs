@@ -75,9 +75,11 @@ pub enum PlacementPolicy {
 pub struct ClusterSpec {
     nodes: Vec<Node>,
     /// `assignments[i] = (job, node index)` for every process, in creation
-    /// order: PS, workers 0..n, evaluator.
+    /// order: PS shards 0..S, workers 0..n, evaluator.
     assignments: Vec<(Job, usize)>,
     workers: usize,
+    /// Number of parameter-server shard processes (1 = monolithic server).
+    ps_shards: usize,
 }
 
 impl ClusterSpec {
@@ -92,6 +94,24 @@ impl ClusterSpec {
     pub fn homogeneous(node_count: usize, workers: usize, policy: PlacementPolicy) -> Result<Self> {
         let nodes: Vec<Node> = (0..node_count).map(Node::grid5000_cpu).collect();
         ClusterSpec::with_nodes(nodes, workers, policy)
+    }
+
+    /// Like [`ClusterSpec::homogeneous`], but with the parameter-server tier
+    /// split into `ps_shards` shard processes (the paper's multi-server
+    /// deployment). Under `OneJobPerNode` every shard gets its own node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterSpec::with_nodes`], plus
+    /// [`PsError::InvalidConfig`] when `ps_shards` is zero.
+    pub fn homogeneous_sharded(
+        node_count: usize,
+        workers: usize,
+        ps_shards: usize,
+        policy: PlacementPolicy,
+    ) -> Result<Self> {
+        let nodes: Vec<Node> = (0..node_count).map(Node::grid5000_cpu).collect();
+        ClusterSpec::with_nodes_sharded(nodes, workers, ps_shards, policy)
     }
 
     /// The paper's evaluation platform: 20 nodes, 19 workers, 1 PS (the
@@ -109,34 +129,63 @@ impl ClusterSpec {
     /// Returns [`PsError::InvalidConfig`] for empty node lists, zero workers,
     /// or a `OneJobPerNode` placement without enough nodes.
     pub fn with_nodes(nodes: Vec<Node>, workers: usize, policy: PlacementPolicy) -> Result<Self> {
+        ClusterSpec::with_nodes_sharded(nodes, workers, 1, policy)
+    }
+
+    /// Builds a cluster from explicit nodes with `ps_shards` parameter-server
+    /// shard processes. Shard `s` serves the `s`-th contiguous coordinate
+    /// range of the model; under `OneJobPerNode` each shard occupies its own
+    /// node (nodes `0..ps_shards`), under the packing policies the shards
+    /// collocate with the first parameter-server placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] for empty node lists, zero workers,
+    /// zero shards, or a `OneJobPerNode` placement without enough nodes.
+    pub fn with_nodes_sharded(
+        nodes: Vec<Node>,
+        workers: usize,
+        ps_shards: usize,
+        policy: PlacementPolicy,
+    ) -> Result<Self> {
         if nodes.is_empty() {
             return Err(PsError::InvalidConfig("cluster needs at least one node".into()));
         }
         if workers == 0 {
             return Err(PsError::InvalidConfig("cluster needs at least one worker".into()));
         }
-        let mut assignments = Vec::with_capacity(workers + 2);
+        if ps_shards == 0 {
+            return Err(PsError::InvalidConfig(
+                "cluster needs at least one parameter-server shard".into(),
+            ));
+        }
+        let mut assignments = Vec::with_capacity(workers + ps_shards + 1);
         match policy {
             PlacementPolicy::Collocated => {
-                assignments.push((Job::ParameterServer, 0));
+                for _ in 0..ps_shards {
+                    assignments.push((Job::ParameterServer, 0));
+                }
                 for _ in 0..workers {
                     assignments.push((Job::Worker, 0));
                 }
                 assignments.push((Job::Evaluator, 0));
             }
             PlacementPolicy::OneJobPerNode => {
-                if nodes.len() < workers + 1 {
+                if nodes.len() < workers + ps_shards {
                     return Err(PsError::InvalidConfig(format!(
                         "one-job-per-node placement needs {} nodes, cluster has {}",
-                        workers + 1,
+                        workers + ps_shards,
                         nodes.len()
                     )));
                 }
-                assignments.push((Job::ParameterServer, 0));
-                for w in 0..workers {
-                    assignments.push((Job::Worker, 1 + w));
+                for s in 0..ps_shards {
+                    assignments.push((Job::ParameterServer, s));
                 }
-                // The evaluator shares the PS node (out-of-band evaluation).
+                for w in 0..workers {
+                    assignments.push((Job::Worker, ps_shards + w));
+                }
+                // The evaluator shares the first PS node (out-of-band
+                // evaluation).
                 assignments.push((Job::Evaluator, 0));
             }
             PlacementPolicy::GpuWorkers => {
@@ -153,7 +202,12 @@ impl ClusterSpec {
                     .map(|(i, _)| i)
                     .collect();
                 let ps_node = *cpu_nodes.first().unwrap_or(&0);
-                assignments.push((Job::ParameterServer, ps_node));
+                for s in 0..ps_shards {
+                    // Shards spread round-robin over the CPU nodes so a big
+                    // shard tier is not pinned to one box.
+                    let node = cpu_nodes.get(s % cpu_nodes.len().max(1)).copied().unwrap_or(0);
+                    assignments.push((Job::ParameterServer, node));
+                }
                 let preferred: Vec<usize> =
                     if gpu_nodes.is_empty() { (0..nodes.len()).collect() } else { gpu_nodes };
                 for w in 0..workers {
@@ -162,12 +216,33 @@ impl ClusterSpec {
                 assignments.push((Job::Evaluator, ps_node));
             }
         }
-        Ok(ClusterSpec { nodes, assignments, workers })
+        Ok(ClusterSpec { nodes, assignments, workers, ps_shards })
     }
 
     /// Number of workers.
     pub fn worker_count(&self) -> usize {
         self.workers
+    }
+
+    /// Number of parameter-server shard processes (1 = monolithic server).
+    pub fn parameter_server_count(&self) -> usize {
+        self.ps_shards
+    }
+
+    /// The node running parameter-server shard `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when `s` is out of range.
+    pub fn parameter_server_shard_node(&self, s: usize) -> Result<&Node> {
+        self.assignments
+            .iter()
+            .filter(|(job, _)| *job == Job::ParameterServer)
+            .nth(s)
+            .map(|&(_, i)| &self.nodes[i])
+            .ok_or_else(|| {
+                PsError::InvalidConfig(format!("parameter-server shard {s} is not placed"))
+            })
     }
 
     /// All nodes.
@@ -261,6 +336,27 @@ mod tests {
         assert!(ClusterSpec::homogeneous(2, 0, PlacementPolicy::Collocated).is_err());
         let cluster = ClusterSpec::homogeneous(2, 1, PlacementPolicy::Collocated).unwrap();
         assert!(cluster.worker_node(5).is_err());
+    }
+
+    #[test]
+    fn sharded_ps_placement_gives_every_shard_its_own_node() {
+        let cluster =
+            ClusterSpec::homogeneous_sharded(10, 6, 4, PlacementPolicy::OneJobPerNode).unwrap();
+        assert_eq!(cluster.parameter_server_count(), 4);
+        assert_eq!(cluster.worker_count(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..4 {
+            seen.insert(cluster.parameter_server_shard_node(s).unwrap().name.clone());
+        }
+        assert_eq!(seen.len(), 4, "each shard on a distinct node");
+        for w in 0..6 {
+            let name = cluster.worker_node(w).unwrap().name.clone();
+            assert!(!seen.contains(&name), "workers never share a shard node");
+        }
+        assert!(cluster.parameter_server_shard_node(4).is_err());
+        // Not enough nodes for shards + workers.
+        assert!(ClusterSpec::homogeneous_sharded(9, 6, 4, PlacementPolicy::OneJobPerNode).is_err());
+        assert!(ClusterSpec::homogeneous_sharded(9, 6, 0, PlacementPolicy::Collocated).is_err());
     }
 
     #[test]

@@ -168,6 +168,12 @@ pub struct RunnerConfig {
     /// Link characteristics (bandwidth, latency, loss) of the degraded links;
     /// clean links share the bandwidth/latency but drop nothing.
     pub link: LinkConfig,
+    /// Number of contiguous coordinate shards the parameter-server tier is
+    /// split into (1 = the single monolithic server). Sharded aggregation is
+    /// exactly equivalent to the unsharded rule — distance-based GARs reduce
+    /// per-shard partial distance matrices and select globally — so this is
+    /// purely a scale knob, never a robustness trade-off.
+    pub shards: usize,
     /// Simulation cost model.
     pub cost: CostModel,
     /// Experiment seed; everything (data, init, sampling, attacks, links)
@@ -197,6 +203,7 @@ impl RunnerConfig {
             transport: TransportKind::Reliable,
             lossy_links: 0,
             link: LinkConfig::datacenter(),
+            shards: 1,
             cost: CostModel::paper_like(),
             seed: 1,
         }
@@ -232,6 +239,11 @@ impl RunnerConfig {
                 "lossy_links {} exceeds worker count {}",
                 self.lossy_links, self.workers
             )));
+        }
+        if self.shards == 0 {
+            return Err(PsError::InvalidConfig(
+                "the parameter-server tier needs at least one shard".into(),
+            ));
         }
         self.link.validate().map_err(PsError::from)?;
         // Build the GAR once to surface configuration errors early.
@@ -277,6 +289,10 @@ mod tests {
 
         let mut c = RunnerConfig::quick_default();
         c.link = LinkConfig::datacenter().with_drop_rate(2.0);
+        assert!(c.validate().is_err());
+
+        let mut c = RunnerConfig::quick_default();
+        c.shards = 0;
         assert!(c.validate().is_err());
     }
 

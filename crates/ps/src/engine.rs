@@ -95,19 +95,23 @@ impl SyncTrainingEngine {
         let actual_dimension = model.param_count();
         let model_flops = model.flops_per_sample();
 
-        let cluster = ClusterSpec::homogeneous(
-            config.workers + 1,
+        // One node per worker plus one per parameter-server shard, matching
+        // the paper's one-job-per-node deployment.
+        let cluster = ClusterSpec::homogeneous_sharded(
+            config.workers + config.shards,
             config.workers,
+            config.shards,
             PlacementPolicy::OneJobPerNode,
         )?;
 
-        let server = ParameterServer::new(
+        let mut server = ParameterServer::new(
             model.parameters(),
             config.gar,
             config.optimizer,
             config.learning_rate,
             config.regularization,
         )?;
+        server.set_shards(config.shards)?;
 
         let clean = Arc::new(train);
         let poisoned: Option<Arc<Dataset>> = match &config.data_poisoning {
@@ -174,6 +178,15 @@ impl SyncTrainingEngine {
         self.phase1_parallel = parallel;
     }
 
+    /// Forces the sharded aggregation tier through the sequential shard
+    /// ordering instead of the rayon fan-out (no-op for a monolithic
+    /// server). Like [`SyncTrainingEngine::set_phase1_parallel`], the two
+    /// modes must produce bit-identical reports — the shard determinism test
+    /// asserts exactly that.
+    pub fn set_shard_parallel(&mut self, parallel: bool) {
+        self.server.set_shard_parallel(parallel);
+    }
+
     /// Measures the configured GAR for real at (close to) the virtual model's
     /// dimension and rescales linearly, so the simulated aggregation time is
     /// faithful to the large model the experiment pretends to train (see
@@ -183,7 +196,16 @@ impl SyncTrainingEngine {
             return Ok(None);
         };
         let calibration_dim = virtual_model.dimension.min(200_000);
-        let gar = config.gar.build().map_err(PsError::from)?;
+        // Calibrate the same aggregation path the rounds will run: the
+        // shard-parallel evaluation when the tier is sharded.
+        let gar: Box<dyn agg_core::Gar> = if config.shards > 1 {
+            Box::new(
+                agg_core::ShardedAggregator::new(config.gar, config.shards)
+                    .map_err(PsError::from)?,
+            )
+        } else {
+            config.gar.build().map_err(PsError::from)?
+        };
         let mut rng = seeded_rng(derive_seed(config.seed, 0xCA11));
         // The calibration batch is packed into the arena once, outside the
         // timed region, mirroring how the training loop hands rounds to the
@@ -646,6 +668,28 @@ mod tests {
         let report = engine.run().unwrap();
         assert_eq!(report.steps_completed, 0);
         assert_eq!(report.skipped_updates, 5);
+    }
+
+    #[test]
+    fn sharded_engine_trains_like_the_monolithic_engine() {
+        let mut config = quick_config(GarKind::MultiKrum, 2, 9);
+        config.byzantine_count = 2;
+        config.attack = AttackKind::Reversed { scale: 50.0 };
+        let monolithic = SyncTrainingEngine::new(config.clone()).unwrap().run().unwrap();
+        config.shards = 4;
+        let mut sharded_engine = SyncTrainingEngine::new(config).unwrap();
+        assert_eq!(sharded_engine.cluster().parameter_server_count(), 4);
+        let sharded = sharded_engine.run().unwrap();
+        assert_eq!(sharded.steps_completed, monolithic.steps_completed);
+        assert_eq!(sharded.skipped_updates, monolithic.skipped_updates);
+        // The decomposition is exact up to floating-point reassociation in
+        // the distance sums, so the learning outcome must agree closely.
+        assert!(
+            (sharded.final_accuracy() - monolithic.final_accuracy()).abs() < 0.05,
+            "sharded {} vs monolithic {}",
+            sharded.final_accuracy(),
+            monolithic.final_accuracy()
+        );
     }
 
     #[test]

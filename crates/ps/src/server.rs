@@ -9,7 +9,7 @@
 //! executions". [`ParameterServer::handle_remote_write`] models that patch.
 
 use crate::{PsError, Result};
-use agg_core::{Gar, GarConfig};
+use agg_core::{Gar, GarConfig, ShardedAggregator};
 use agg_nn::optim::{Optimizer, OptimizerKind, Regularization};
 use agg_nn::schedule::LearningRate;
 use agg_tensor::{GradientBatch, Vector};
@@ -32,6 +32,12 @@ pub struct ParameterServer {
     params: Vector,
     gar: Box<dyn Gar>,
     gar_config: GarConfig,
+    /// When the parameter-server tier is sharded (`shards > 1`), rounds run
+    /// through this shard-parallel evaluation of the same rule instead of
+    /// `gar`. The two are exactly equivalent (global selection over the
+    /// shard-reduced distance matrix), so swapping one for the other is a
+    /// deployment decision, never a robustness change.
+    sharded: Option<ShardedAggregator>,
     optimizer: Box<dyn Optimizer>,
     learning_rate: LearningRate,
     regularization: Regularization,
@@ -60,6 +66,7 @@ impl ParameterServer {
             params: initial_params,
             gar,
             gar_config,
+            sharded: None,
             optimizer: optimizer.build(),
             learning_rate,
             regularization,
@@ -81,6 +88,41 @@ impl ParameterServer {
     /// The configured GAR.
     pub fn gar_config(&self) -> GarConfig {
         self.gar_config
+    }
+
+    /// Splits (or un-splits) the parameter-server tier into `shards`
+    /// contiguous coordinate shards. Aggregation stays exactly equivalent to
+    /// the unsharded rule; `shards = 1` restores the monolithic path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError`] when `shards` is zero or the rule cannot be
+    /// rebuilt.
+    pub fn set_shards(&mut self, shards: usize) -> Result<()> {
+        self.sharded = if shards > 1 {
+            Some(ShardedAggregator::new(self.gar_config, shards).map_err(PsError::from)?)
+        } else if shards == 1 {
+            None
+        } else {
+            return Err(PsError::InvalidConfig(
+                "the parameter-server tier needs at least one shard".into(),
+            ));
+        };
+        Ok(())
+    }
+
+    /// Number of parameter-server shards (1 for the monolithic server).
+    pub fn shards(&self) -> usize {
+        self.sharded.as_ref().map_or(1, ShardedAggregator::shards)
+    }
+
+    /// Forces sharded aggregation through the sequential shard ordering (the
+    /// determinism tests compare this against the rayon fan-out bit for
+    /// bit). A no-op on the monolithic server.
+    pub fn set_shard_parallel(&mut self, parallel: bool) {
+        if let Some(sharded) = self.sharded.as_mut() {
+            sharded.set_parallel(parallel);
+        }
     }
 
     /// Name of the active aggregation rule.
@@ -136,7 +178,13 @@ impl ParameterServer {
     /// Same conditions as [`ParameterServer::apply_round`].
     pub fn apply_round_batch(&mut self, gradients: &GradientBatch) -> Result<RoundOutcome> {
         let start = Instant::now();
-        let aggregated = self.gar.aggregate_batch(gradients).map_err(PsError::from)?;
+        // A sharded tier routes the round through the shard-parallel
+        // evaluation of the same rule; the monolithic path is unchanged.
+        let aggregated = match &self.sharded {
+            Some(sharded) => sharded.aggregate_batch(gradients),
+            None => self.gar.aggregate_batch(gradients),
+        }
+        .map_err(PsError::from)?;
         self.finish_round(aggregated, start)
     }
 
@@ -232,6 +280,27 @@ mod tests {
         s.apply_round(&[Vector::zeros(2)]).unwrap();
         assert!(s.parameters()[0] < 1.0);
         assert!(s.parameters()[1] > -1.0);
+    }
+
+    #[test]
+    fn sharded_and_monolithic_rounds_agree() {
+        let gradients: Vec<Vector> =
+            (0..9).map(|i| Vector::from(vec![1.0 + 0.01 * i as f32, -0.5, 2.0])).collect();
+        let batch = GradientBatch::from_vectors(&gradients).unwrap();
+        let mut monolithic = server(GarKind::MultiKrum, 2, 3);
+        let mut sharded = server(GarKind::MultiKrum, 2, 3);
+        sharded.set_shards(3).unwrap();
+        assert_eq!(sharded.shards(), 3);
+        monolithic.apply_round_batch(&batch).unwrap();
+        sharded.apply_round_batch(&batch).unwrap();
+        for c in 0..3 {
+            let a = sharded.parameters()[c];
+            let b = monolithic.parameters()[c];
+            assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0), "coordinate {c}: {a} vs {b}");
+        }
+        sharded.set_shards(1).unwrap();
+        assert_eq!(sharded.shards(), 1);
+        assert!(sharded.set_shards(0).is_err());
     }
 
     #[test]

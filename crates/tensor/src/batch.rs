@@ -43,6 +43,13 @@ pub const PARALLEL_MIN_WORK: usize = 200_000;
 /// L1/L2-resident, so the per-coordinate gather never leaves cache.
 const COLUMN_BLOCK: usize = 512;
 
+/// Columns per tile of the sharded partial-distance kernel. Each pair reads
+/// two `4096 × 4 B = 16 KiB` row slices — together a third of L1 — and the
+/// whole tile across all rows (`19 × 16 KiB ≈ 304 KiB` at the paper's n)
+/// stays L2-resident while every pair revisits it, which is where the
+/// blocked kernel's speedup over the full-row walk comes from.
+const DISTANCE_BLOCK: usize = 4096;
+
 /// A round of gradients stored contiguously, row-major `n × d`.
 ///
 /// ```
@@ -251,6 +258,73 @@ impl GradientBatch {
         DistanceMatrix { n, data }
     }
 
+    /// Raw per-pair partial squared distances over the column range `cols`:
+    /// entry `(i, j)` is `Σ_{c ∈ cols} (row_i[c] − row_j[c])²`.
+    ///
+    /// This is the sharded half of the distance decomposition: squared L2
+    /// distances are sums over disjoint coordinate ranges, so accumulating
+    /// one partial matrix per shard (in fixed shard order — see
+    /// [`DistanceMatrix::accumulate`]) reproduces the full-dimension matrix
+    /// exactly, up to floating-point reassociation. Unlike
+    /// [`GradientBatch::pairwise_squared_distances`] the partials are *raw*:
+    /// non-finite sums are left in place (they stay non-finite through any
+    /// accumulation) and the caller maps them to `+∞` once, after the
+    /// cross-shard reduce, via [`DistanceMatrix::map_non_finite_to_infinity`].
+    ///
+    /// The kernel is column-blocked (all pairs revisit one L2-resident tile
+    /// before moving on) with a sixteen-lane inner loop, and deliberately
+    /// sequential: the sharded aggregator parallelises across shards, and a
+    /// deterministic per-shard kernel is what makes the round bit-identical
+    /// under any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cols` is not contained in `0..self.dim()`.
+    pub fn pairwise_squared_distance_partials(&self, cols: Range<usize>) -> DistanceMatrix {
+        self.check_cols(&cols);
+        let n = self.n;
+        let pair_count = n.saturating_sub(1) * n / 2;
+        let mut data = vec![0.0f32; pair_count];
+        let mut start = cols.start;
+        while start < cols.end {
+            let end = (start + DISTANCE_BLOCK).min(cols.end);
+            let mut p = 0usize;
+            for i in 0..n {
+                let a = &self.row(i)[start..end];
+                for j in (i + 1)..n {
+                    data[p] += ops::squared_distance_wide(a, &self.row(j)[start..end]);
+                    p += 1;
+                }
+            }
+            start = end;
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// A view of the column range `cols`, exposing the same fused coordinate
+    /// kernels restricted to those columns. This is how the sharded
+    /// aggregation layer runs one kernel invocation per shard without
+    /// copying the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cols` is not contained in `0..self.dim()`.
+    pub fn columns(&self, cols: Range<usize>) -> BatchColumns<'_> {
+        self.check_cols(&cols);
+        BatchColumns { batch: self, cols }
+    }
+
+    /// Validates a column range against the batch dimension.
+    fn check_cols(&self, cols: &Range<usize>) {
+        assert!(
+            cols.start <= cols.end && cols.end <= self.d,
+            "column range {}..{} out of range for dimension {}",
+            cols.start,
+            cols.end,
+            self.d
+        );
+    }
+
     /// Coordinate-wise mean of all rows. NaN coordinates poison the mean,
     /// matching plain averaging's declared non-resilience.
     ///
@@ -258,7 +332,7 @@ impl GradientBatch {
     ///
     /// Returns [`TensorError::EmptyInput`] for an empty batch.
     pub fn coordinate_mean(&self) -> Result<Vector> {
-        self.mean_blocks(None, false, "coordinate_mean")
+        self.mean_blocks(None, false, "coordinate_mean", 0..self.d)
     }
 
     /// Coordinate-wise mean of the given rows (clone-free selection
@@ -270,7 +344,7 @@ impl GradientBatch {
     /// Returns [`TensorError::EmptyInput`] for an empty selection and
     /// [`TensorError::IndexOutOfBounds`] for an invalid row index.
     pub fn mean_of_rows(&self, rows: &[usize]) -> Result<Vector> {
-        self.mean_blocks(Some(rows), false, "mean_of_rows")
+        self.mean_blocks(Some(rows), false, "mean_of_rows", 0..self.d)
     }
 
     /// Coordinate-wise mean that skips NaN (lost) coordinates; a coordinate
@@ -281,7 +355,7 @@ impl GradientBatch {
     ///
     /// Returns [`TensorError::EmptyInput`] for an empty batch.
     pub fn coordinate_nan_mean(&self) -> Result<Vector> {
-        self.mean_blocks(None, true, "coordinate_nan_mean")
+        self.mean_blocks(None, true, "coordinate_nan_mean", 0..self.d)
     }
 
     /// Coordinate-wise median (NaN-tolerant) of all rows.
@@ -291,7 +365,7 @@ impl GradientBatch {
     /// Returns [`TensorError::EmptyInput`] for an empty batch or a
     /// coordinate that is NaN in every row.
     pub fn coordinate_median(&self) -> Result<Vector> {
-        self.median_impl(None)
+        self.median_impl(None, 0..self.d)
     }
 
     /// Coordinate-wise median (NaN-tolerant) restricted to `rows`.
@@ -301,7 +375,7 @@ impl GradientBatch {
     /// Same conditions as [`GradientBatch::coordinate_median`], plus
     /// [`TensorError::IndexOutOfBounds`] for an invalid row index.
     pub fn coordinate_median_of_rows(&self, rows: &[usize]) -> Result<Vector> {
-        self.median_impl(Some(rows))
+        self.median_impl(Some(rows), 0..self.d)
     }
 
     /// Coordinate-wise sample standard deviation over the finite values of
@@ -311,7 +385,7 @@ impl GradientBatch {
     ///
     /// Returns [`TensorError::EmptyInput`] for an empty batch.
     pub fn coordinate_std(&self) -> Result<Vector> {
-        self.column_reduce(None, "coordinate_std", || {
+        self.column_reduce(None, "coordinate_std", 0..self.d, || {
             let mut finite: Vec<f32> = Vec::new();
             move |column: &mut Vec<f32>| {
                 finite.clear();
@@ -337,7 +411,11 @@ impl GradientBatch {
     /// Returns [`TensorError::EmptyInput`] for an empty batch or a
     /// coordinate that is NaN in every row.
     pub fn coordinate_trimmed_mean(&self, trim: usize) -> Result<Vector> {
-        self.column_reduce(None, "coordinate_trimmed_mean", || {
+        self.trimmed_mean_impl(trim, 0..self.d)
+    }
+
+    fn trimmed_mean_impl(&self, trim: usize, cols: Range<usize>) -> Result<Vector> {
+        self.column_reduce(None, "coordinate_trimmed_mean", cols, || {
             move |column: &mut Vec<f32>| {
                 column.retain(|x| !x.is_nan());
                 let len = column.len();
@@ -388,7 +466,7 @@ impl GradientBatch {
     /// Returns [`TensorError::EmptyInput`] for an empty batch or a
     /// coordinate that is NaN in every row.
     pub fn mean_around_median(&self, keep: usize) -> Result<Vector> {
-        self.mean_around_median_impl(None, keep)
+        self.mean_around_median_impl(None, keep, 0..self.d)
     }
 
     /// [`GradientBatch::mean_around_median`] restricted to `rows`.
@@ -398,11 +476,16 @@ impl GradientBatch {
     /// Same conditions, plus [`TensorError::IndexOutOfBounds`] for an
     /// invalid row index.
     pub fn mean_around_median_of_rows(&self, rows: &[usize], keep: usize) -> Result<Vector> {
-        self.mean_around_median_impl(Some(rows), keep)
+        self.mean_around_median_impl(Some(rows), keep, 0..self.d)
     }
 
-    fn mean_around_median_impl(&self, rows: Option<&[usize]>, keep: usize) -> Result<Vector> {
-        self.column_reduce(rows, "mean_around_median", || {
+    fn mean_around_median_impl(
+        &self,
+        rows: Option<&[usize]>,
+        keep: usize,
+        cols: Range<usize>,
+    ) -> Result<Vector> {
+        self.column_reduce(rows, "mean_around_median", cols, || {
             let mut finite: Vec<f32> = Vec::new();
             move |column: &mut Vec<f32>| {
                 finite.clear();
@@ -454,8 +537,8 @@ impl GradientBatch {
         })
     }
 
-    fn median_impl(&self, rows: Option<&[usize]>) -> Result<Vector> {
-        self.column_reduce(rows, "coordinate_median", || {
+    fn median_impl(&self, rows: Option<&[usize]>, cols: Range<usize>) -> Result<Vector> {
+        self.column_reduce(rows, "coordinate_median", cols, || {
             move |column: &mut Vec<f32>| {
                 column.retain(|x| !x.is_nan());
                 if column.is_empty() {
@@ -482,9 +565,9 @@ impl GradientBatch {
         Ok(m)
     }
 
-    /// Column ranges of at most [`COLUMN_BLOCK`] columns covering `0..d`.
-    fn column_blocks(&self) -> Vec<Range<usize>> {
-        (0..self.d).step_by(COLUMN_BLOCK).map(|s| s..(s + COLUMN_BLOCK).min(self.d)).collect()
+    /// Column ranges of at most [`COLUMN_BLOCK`] columns covering `cols`.
+    fn column_blocks(&self, cols: &Range<usize>) -> Vec<Range<usize>> {
+        cols.clone().step_by(COLUMN_BLOCK).map(|s| s..(s + COLUMN_BLOCK).min(cols.end)).collect()
     }
 
     /// Fused mean kernels: streams every row over each column block once,
@@ -500,21 +583,24 @@ impl GradientBatch {
         rows: Option<&[usize]>,
         skip_nan: bool,
         label: &'static str,
+        cols: Range<usize>,
     ) -> Result<Vector> {
         let m = self.check_rows(rows, label)?;
-        if m.saturating_mul(self.d) < PARALLEL_MIN_WORK {
-            let mut acc = vec![0.0f32; self.d];
-            let mut count = vec![0u32; if skip_nan { self.d } else { 0 }];
+        let width = cols.len();
+        if m.saturating_mul(width) < PARALLEL_MIN_WORK {
+            let mut acc = vec![0.0f32; width];
+            let mut count = vec![0u32; if skip_nan { width } else { 0 }];
             let mut add_row = |row: &[f32]| {
+                let slice = &row[cols.clone()];
                 if skip_nan {
-                    for ((a, c), &v) in acc.iter_mut().zip(count.iter_mut()).zip(row) {
+                    for ((a, c), &v) in acc.iter_mut().zip(count.iter_mut()).zip(slice) {
                         if !v.is_nan() {
                             *a += v;
                             *c += 1;
                         }
                     }
                 } else {
-                    for (a, &v) in acc.iter_mut().zip(row) {
+                    for (a, &v) in acc.iter_mut().zip(slice) {
                         *a += v;
                     }
                 }
@@ -568,8 +654,8 @@ impl GradientBatch {
         };
         // The small-batch fast path above returned already, so anything
         // reaching here clears the parallel gate by construction.
-        let parts: Vec<Vec<f32>> = self.column_blocks().into_par_iter().map(run).collect();
-        let mut out = Vec::with_capacity(self.d);
+        let parts: Vec<Vec<f32>> = self.column_blocks(&cols).into_par_iter().map(run).collect();
+        let mut out = Vec::with_capacity(width);
         parts.into_iter().for_each(|p| out.extend(p));
         Ok(Vector::from(out))
     }
@@ -589,6 +675,7 @@ impl GradientBatch {
         &self,
         rows: Option<&[usize]>,
         label: &'static str,
+        cols: Range<usize>,
         make_kernel: M,
     ) -> Result<Vector>
     where
@@ -610,17 +697,102 @@ impl GradientBatch {
             }
             Ok(out)
         };
-        let blocks = self.column_blocks();
-        let parts: Vec<Result<Vec<f32>>> = if m.saturating_mul(self.d) >= PARALLEL_MIN_WORK {
+        let width = cols.len();
+        let blocks = self.column_blocks(&cols);
+        let parts: Vec<Result<Vec<f32>>> = if m.saturating_mul(width) >= PARALLEL_MIN_WORK {
             blocks.into_par_iter().map(run).collect()
         } else {
             blocks.into_iter().map(run).collect()
         };
-        let mut out = Vec::with_capacity(self.d);
+        let mut out = Vec::with_capacity(width);
         for part in parts {
             out.extend(part?);
         }
         Ok(Vector::from(out))
+    }
+}
+
+/// A borrowed view of one contiguous column range of a [`GradientBatch`],
+/// exposing the fused coordinate kernels restricted to those columns.
+///
+/// Produced by [`GradientBatch::columns`]. This is the per-shard kernel
+/// surface of the sharded aggregation layer: every coordinate-wise rule runs
+/// one invocation per shard on such a view, and the distance-based rules use
+/// [`BatchColumns::distance_partials`] for their per-shard contribution to
+/// the global distance matrix. Each method returns a vector with one entry
+/// per column of the view, in column order, computed exactly as the
+/// full-width kernel would compute those columns (the per-column reductions
+/// are independent, so restricting the range is bit-identical).
+#[derive(Debug, Clone)]
+pub struct BatchColumns<'a> {
+    batch: &'a GradientBatch,
+    cols: Range<usize>,
+}
+
+impl BatchColumns<'_> {
+    /// The column range this view covers.
+    pub fn range(&self) -> Range<usize> {
+        self.cols.clone()
+    }
+
+    /// Number of columns in the view.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Coordinate-wise mean over these columns; `rows` optionally restricts
+    /// the reduction to a row subset (selection averaging).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBatch::coordinate_mean`] /
+    /// [`GradientBatch::mean_of_rows`].
+    pub fn mean(&self, rows: Option<&[usize]>) -> Result<Vector> {
+        let label = if rows.is_some() { "mean_of_rows" } else { "coordinate_mean" };
+        self.batch.mean_blocks(rows, false, label, self.cols.clone())
+    }
+
+    /// NaN-skipping coordinate-wise mean over these columns.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBatch::coordinate_nan_mean`].
+    pub fn nan_mean(&self) -> Result<Vector> {
+        self.batch.mean_blocks(None, true, "coordinate_nan_mean", self.cols.clone())
+    }
+
+    /// NaN-tolerant coordinate-wise median over these columns.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBatch::coordinate_median`].
+    pub fn median(&self, rows: Option<&[usize]>) -> Result<Vector> {
+        self.batch.median_impl(rows, self.cols.clone())
+    }
+
+    /// Coordinate-wise trimmed mean over these columns.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBatch::coordinate_trimmed_mean`].
+    pub fn trimmed_mean(&self, trim: usize) -> Result<Vector> {
+        self.batch.trimmed_mean_impl(trim, self.cols.clone())
+    }
+
+    /// Mean of the `keep` values closest to the coordinate-wise median, over
+    /// these columns (MeaMed / Bulyan phase 2).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBatch::mean_around_median`].
+    pub fn mean_around_median(&self, rows: Option<&[usize]>, keep: usize) -> Result<Vector> {
+        self.batch.mean_around_median_impl(rows, keep, self.cols.clone())
+    }
+
+    /// Raw per-pair partial squared distances over these columns (see
+    /// [`GradientBatch::pairwise_squared_distance_partials`]).
+    pub fn distance_partials(&self) -> DistanceMatrix {
+        self.batch.pairwise_squared_distance_partials(self.cols.clone())
     }
 }
 
@@ -639,6 +811,43 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
+    /// An all-zero matrix for `n` gradients — the identity of the per-shard
+    /// partial reduce.
+    pub fn zeros(n: usize) -> Self {
+        DistanceMatrix { n, data: vec![0.0; n.saturating_sub(1) * n / 2] }
+    }
+
+    /// Adds another matrix's pair entries into this one, element-wise.
+    ///
+    /// This is the cross-shard reduce of the distance decomposition: summing
+    /// each shard's raw partial matrix (in fixed shard order, so the result
+    /// is bit-reproducible under any thread count) yields the full-dimension
+    /// squared distances. Call
+    /// [`DistanceMatrix::map_non_finite_to_infinity`] once after the last
+    /// shard to apply the non-finite policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two matrices disagree on `n`.
+    pub fn accumulate(&mut self, other: &DistanceMatrix) {
+        assert_eq!(self.n, other.n, "cannot accumulate distance matrices of different sizes");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Maps every non-finite pair distance to `+∞`, the paper's corrupt-
+    /// gradient policy ([`GradientBatch::pairwise_squared_distances`] applies
+    /// the same mapping per pair; raw partial sums defer it to here so NaN
+    /// propagates faithfully through the cross-shard reduce).
+    pub fn map_non_finite_to_infinity(&mut self) {
+        for v in &mut self.data {
+            if !v.is_finite() {
+                *v = f32::INFINITY;
+            }
+        }
+    }
+
     /// Number of gradients the matrix was built from.
     pub fn n(&self) -> usize {
         self.n
@@ -846,6 +1055,91 @@ mod tests {
         let mut b = GradientBatch::new(1);
         b.resize_rows(2);
         b.retain_rows(&[true]);
+    }
+
+    #[test]
+    fn column_views_match_full_width_kernels() {
+        let b = batch(&[
+            &[1.0, 10.0, 100.0, -1.0, f32::NAN],
+            &[2.0, 20.0, 200.0, -2.0, 5.0],
+            &[3.0, 90.0, 300.0, -3.0, 7.0],
+            &[4.0, 40.0, 400.0, -4.0, 9.0],
+        ]);
+        let cols = 1..4;
+        let view = b.columns(cols.clone());
+        assert_eq!(view.width(), 3);
+        assert_eq!(view.range(), cols.clone());
+        let full = b.coordinate_mean().unwrap();
+        assert_eq!(view.mean(None).unwrap().as_slice(), &full.as_slice()[cols.clone()]);
+        let full = b.coordinate_nan_mean().unwrap();
+        assert_eq!(view.nan_mean().unwrap().as_slice(), &full.as_slice()[cols.clone()]);
+        let full = b.coordinate_median().unwrap();
+        assert_eq!(view.median(None).unwrap().as_slice(), &full.as_slice()[cols.clone()]);
+        let full = b.coordinate_trimmed_mean(1).unwrap();
+        assert_eq!(view.trimmed_mean(1).unwrap().as_slice(), &full.as_slice()[cols.clone()]);
+        let full = b.mean_around_median(2).unwrap();
+        assert_eq!(
+            view.mean_around_median(None, 2).unwrap().as_slice(),
+            &full.as_slice()[cols.clone()]
+        );
+        let full = b.mean_of_rows(&[0, 2]).unwrap();
+        assert_eq!(view.mean(Some(&[0, 2])).unwrap().as_slice(), &full.as_slice()[cols]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn column_view_rejects_out_of_range_columns() {
+        batch(&[&[1.0, 2.0]]).columns(1..3);
+    }
+
+    #[test]
+    fn shard_partials_reduce_to_the_full_distance_matrix() {
+        let n = 7;
+        let d = 9001; // not a multiple of the distance block or the lane count
+        let mut b = GradientBatch::with_capacity(d, n);
+        for i in 0..n {
+            let row: Vec<f32> = (0..d).map(|c| ((i * 37 + c * 11) % 17) as f32 - 8.0).collect();
+            b.push_row(&row).unwrap();
+        }
+        let full = b.pairwise_squared_distances();
+        for shards in [1usize, 2, 3, 5] {
+            let plan = crate::ShardPlan::new(d, shards).unwrap();
+            let mut acc = DistanceMatrix::zeros(n);
+            for range in plan.ranges() {
+                acc.accumulate(&b.columns(range).distance_partials());
+            }
+            acc.map_non_finite_to_infinity();
+            for i in 0..n {
+                for j in 0..n {
+                    let a = acc.get(i, j);
+                    let e = full.get(i, j);
+                    assert!(
+                        (a - e).abs() <= 1e-4 * e.abs().max(1.0),
+                        "shards={shards} ({i},{j}): {a} vs {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partials_propagate_non_finite_through_the_reduce() {
+        let b = batch(&[&[f32::NAN, 1.0, 2.0], &[0.0, 1.0, 2.0], &[0.0, f32::INFINITY, 2.0]]);
+        let plan = crate::ShardPlan::new(3, 3).unwrap();
+        let mut acc = DistanceMatrix::zeros(3);
+        for range in plan.ranges() {
+            acc.accumulate(&b.columns(range).distance_partials());
+        }
+        acc.map_non_finite_to_infinity();
+        assert_eq!(acc.get(0, 1), f32::INFINITY);
+        assert_eq!(acc.get(0, 2), f32::INFINITY);
+        assert_eq!(acc.get(1, 2), f32::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn accumulate_rejects_mismatched_matrices() {
+        DistanceMatrix::zeros(3).accumulate(&DistanceMatrix::zeros(4));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   round of gradients, plus the fused, cache-friendly aggregation kernels
 //!   (triangular pairwise distances, column-block medians/means). This is
 //!   the hot-path representation the GARs aggregate over.
+//! * [`ShardPlan`] — the contiguous coordinate partition of a sharded
+//!   deployment, shared by the aggregation kernels, the packet-routing layer
+//!   and the parameter-server runtime so they agree on shard boundaries.
 //! * [`stats`] — robust statistics on slices and across collections of
 //!   vectors: median, trimmed mean, k-closest-to-median averaging, squared
 //!   distances. These are the numeric kernels the paper's Multi-Krum and
@@ -36,13 +39,15 @@ pub mod error;
 pub mod matrix;
 pub mod ops;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod tensor;
 pub mod vector;
 
-pub use batch::{DistanceMatrix, GradientBatch};
+pub use batch::{BatchColumns, DistanceMatrix, GradientBatch};
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use shard::ShardPlan;
 pub use tensor::Tensor;
 pub use vector::Vector;
 

@@ -1,0 +1,165 @@
+//! Contiguous coordinate sharding of a `d`-dimensional model.
+//!
+//! The paper's deployment splits the model across multiple parameter servers;
+//! [`ShardPlan`] is the one canonical description of that split every layer
+//! of the stack shares: the aggregation kernels slice a
+//! [`crate::GradientBatch`] into per-shard column ranges, the network layer
+//! routes packet payloads to shard assemblers by coordinate offset, and the
+//! parameter-server runtime places one server job per shard. Keeping the
+//! partition arithmetic in a single type guarantees that a coordinate the
+//! wire layer routed to shard `s` is the same coordinate the kernels
+//! aggregate in shard `s`.
+//!
+//! The partition is contiguous and near-equal: with `d = q·S + r`, the first
+//! `r` shards hold `q + 1` coordinates and the rest hold `q`. Contiguity is
+//! what makes the decomposition exact for the distance-based rules — a
+//! squared L2 distance is the sum of per-shard partial sums over disjoint
+//! coordinate ranges.
+
+use crate::{Result, TensorError};
+use std::ops::Range;
+
+/// A contiguous, near-equal partition of the coordinate range `0..d` into
+/// `S` shards.
+///
+/// ```
+/// use agg_tensor::shard::ShardPlan;
+/// let plan = ShardPlan::new(10, 3).unwrap();
+/// assert_eq!(plan.range(0), 0..4);
+/// assert_eq!(plan.range(1), 4..7);
+/// assert_eq!(plan.range(2), 7..10);
+/// assert_eq!(plan.shard_of(6), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard boundaries: `starts[s]..starts[s + 1]` is shard `s`'s coordinate
+    /// range; `starts.len() == shard_count + 1`, `starts[0] == 0`, and the
+    /// last entry is `d`.
+    starts: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partitions `0..d` into `shards` contiguous near-equal ranges.
+    ///
+    /// Shards may be empty when `shards > d`; every coordinate still belongs
+    /// to exactly one shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] when `shards` is zero.
+    pub fn new(d: usize, shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(TensorError::EmptyInput("ShardPlan::new"));
+        }
+        let base = d / shards;
+        let extra = d % shards;
+        let mut starts = Vec::with_capacity(shards + 1);
+        let mut at = 0usize;
+        starts.push(at);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            starts.push(at);
+        }
+        Ok(ShardPlan { starts })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total coordinate count `d` the plan covers.
+    pub fn dimension(&self) -> usize {
+        *self.starts.last().expect("starts is never empty")
+    }
+
+    /// The coordinate range of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shard_count()`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        assert!(s < self.shard_count(), "shard {s} out of range");
+        self.starts[s]..self.starts[s + 1]
+    }
+
+    /// Iterator over every shard's coordinate range, in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.shard_count()).map(move |s| self.range(s))
+    }
+
+    /// The shard holding coordinate `coordinate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coordinate >= self.dimension()`.
+    pub fn shard_of(&self, coordinate: usize) -> usize {
+        assert!(
+            coordinate < self.dimension(),
+            "coordinate {coordinate} out of range for dimension {}",
+            self.dimension()
+        );
+        // partition_point returns the count of starts <= coordinate; the
+        // owning shard is one before that boundary.
+        self.starts.partition_point(|&s| s <= coordinate) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_equal_contiguous_partition() {
+        let plan = ShardPlan::new(10, 4).unwrap();
+        assert_eq!(plan.shard_count(), 4);
+        assert_eq!(plan.dimension(), 10);
+        let ranges: Vec<_> = plan.ranges().collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..8, 8..10]);
+        // Widths differ by at most one and cover everything exactly once.
+        let total: usize = ranges.iter().map(std::ops::Range::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn single_shard_covers_everything() {
+        let plan = ShardPlan::new(7, 1).unwrap();
+        assert_eq!(plan.range(0), 0..7);
+        assert_eq!(plan.shard_of(6), 0);
+    }
+
+    #[test]
+    fn more_shards_than_coordinates_leaves_empty_shards() {
+        let plan = ShardPlan::new(2, 5).unwrap();
+        assert_eq!(plan.shard_count(), 5);
+        assert_eq!(plan.range(0), 0..1);
+        assert_eq!(plan.range(1), 1..2);
+        assert!(plan.range(4).is_empty());
+        assert_eq!(plan.shard_of(1), 1);
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges_everywhere() {
+        for (d, s) in [(1usize, 1usize), (10, 3), (100, 7), (31, 31), (64, 2)] {
+            let plan = ShardPlan::new(d, s).unwrap();
+            for c in 0..d {
+                let owner = plan.shard_of(c);
+                assert!(plan.range(owner).contains(&c), "d={d} s={s} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dimension_and_zero_shards() {
+        let plan = ShardPlan::new(0, 3).unwrap();
+        assert_eq!(plan.dimension(), 0);
+        assert!(plan.ranges().all(|r| r.is_empty()));
+        assert!(ShardPlan::new(5, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_of_rejects_out_of_range_coordinates() {
+        ShardPlan::new(4, 2).unwrap().shard_of(4);
+    }
+}

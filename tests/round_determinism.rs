@@ -5,6 +5,15 @@
 //! engine must produce a `TrainingReport` identical to the sequential seed
 //! ordering — same trace, same step counts, same skipped rounds.
 //!
+//! The sharded aggregation tier gets the same pin: shards run under rayon,
+//! but the per-shard kernels are deterministic and the cross-shard reduce
+//! happens in fixed shard order, so `set_shard_parallel(false)` (the shard
+//! ordering) must be bit-identical to the fan-out. CI runs this whole suite
+//! under both `RAYON_NUM_THREADS=1` and `=4`, which closes the argument:
+//! in either environment parallel == sequential, and the sequential
+//! ordering is trivially thread-count independent, so a 1-thread and a
+//! 4-thread process produce the same bits.
+//!
 //! Only the deterministic fields are compared bit-for-bit: the wall-clock
 //! derived fields (`time_sec`, `simulated_time_sec`, latency/throughput
 //! seconds) embed real `Instant` measurements of the aggregation kernel and
@@ -96,6 +105,44 @@ fn parallel_engine_matches_sequential_over_lossy_links_with_drops() {
     config.lossy_links = 3;
     config.link = LinkConfig::datacenter().with_drop_rate(0.15);
     let (parallel, sequential) = run_parallel_and_sequential(config);
+    assert_reports_identical(&parallel, &sequential);
+}
+
+#[test]
+fn shard_parallel_aggregation_matches_sequential_shard_order() {
+    // Multi-Krum over a 4-shard tier: the distance pipeline (per-shard
+    // partials, shard-order reduce, global selection) runs under rayon in
+    // one engine and in plain shard order in the other.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.shards = 4;
+    config.byzantine_count = 2;
+    config.attack = AttackKind::LittleIsEnough { z: 1.0 };
+    let mut parallel = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    let mut sequential = SyncTrainingEngine::new(config).expect("valid config");
+    sequential.set_shard_parallel(false);
+    let parallel = parallel.run().expect("shard-parallel run");
+    let sequential = sequential.run().expect("shard-sequential run");
+    assert_reports_identical(&parallel, &sequential);
+    assert_eq!(parallel.steps_completed, 24);
+}
+
+#[test]
+fn shard_parallel_aggregation_matches_sequential_shard_order_over_lossy_links() {
+    // Both parallel tiers at once (phase-1 workers and shards) against the
+    // fully sequential engine, over lossy links with whole-row compaction.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.shards = 3;
+    config.byzantine_count = 1;
+    config.attack = AttackKind::Reversed { scale: 50.0 };
+    config.transport = TransportKind::Lossy { policy: LossPolicy::RandomFill };
+    config.lossy_links = 4;
+    config.link = LinkConfig::datacenter().with_drop_rate(0.10);
+    let mut parallel = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    let mut sequential = SyncTrainingEngine::new(config).expect("valid config");
+    sequential.set_phase1_parallel(false);
+    sequential.set_shard_parallel(false);
+    let parallel = parallel.run().expect("parallel run");
+    let sequential = sequential.run().expect("sequential run");
     assert_reports_identical(&parallel, &sequential);
 }
 

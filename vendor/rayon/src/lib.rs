@@ -102,11 +102,28 @@ impl<T: Send, F> ParMap<T, F> {
     }
 }
 
+/// Worker-thread budget, mirroring real rayon's global-pool sizing: the
+/// `RAYON_NUM_THREADS` environment variable wins when set to a positive
+/// integer, otherwise the machine's available parallelism. Read once and
+/// cached, exactly like rayon's lazily built global pool, so a process sees
+/// one consistent thread budget for its whole lifetime (the determinism
+/// tests rely on being able to pin it from the environment).
+fn thread_budget() -> usize {
+    static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    })
+}
+
 fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let threads = thread_budget().min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
