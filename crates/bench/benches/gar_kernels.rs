@@ -111,11 +111,69 @@ fn bench_arena_vs_reference(c: &mut Criterion) {
     group.finish();
 }
 
+/// Vertical selection networks versus the scalar quickselect kernels, per
+/// order-statistic reduction, across worker counts spanning the network
+/// range (n = 5, 19, 31 — the cap is 32) and both cache regimes (d = 1k
+/// resident, d = 100k streaming). This is the before/after evidence for the
+/// branch-free lane-major sort path: the quickselect entry points are the
+/// exact scalar kernels the dispatch falls back to above the cap.
+fn bench_selection_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_networks");
+    group.sample_size(10);
+    for &n in &[5usize, 19, 31] {
+        for &d in &[1_000usize, 100_000] {
+            let gs = gradients(n, d, 5);
+            let batch = GradientBatch::from_vectors(&gs).unwrap();
+            let label = format!("n{n}-d{d}");
+            group.bench_with_input(
+                BenchmarkId::new("median-network", &label),
+                &batch,
+                |b, batch| b.iter(|| black_box(batch).coordinate_median().unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("median-quickselect", &label),
+                &batch,
+                |b, batch| b.iter(|| black_box(batch).coordinate_median_quickselect().unwrap()),
+            );
+            let trim = (n / 5).max(1);
+            group.bench_with_input(
+                BenchmarkId::new("trimmed-mean-network", &label),
+                &batch,
+                |b, batch| b.iter(|| black_box(batch).coordinate_trimmed_mean(trim).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("trimmed-mean-quickselect", &label),
+                &batch,
+                |b, batch| {
+                    b.iter(|| black_box(batch).coordinate_trimmed_mean_quickselect(trim).unwrap())
+                },
+            );
+            let keep = n - trim;
+            group.bench_with_input(
+                BenchmarkId::new("mean-around-median-network", &label),
+                &batch,
+                |b, batch| b.iter(|| black_box(batch).mean_around_median(keep).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("mean-around-median-quickselect", &label),
+                &batch,
+                |b, batch| {
+                    b.iter(|| {
+                        black_box(batch).coordinate_mean_around_median_quickselect(keep).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dimension_sweep,
     bench_worker_sweep,
     bench_f_ablation,
-    bench_arena_vs_reference
+    bench_arena_vs_reference,
+    bench_selection_networks
 );
 criterion_main!(benches);

@@ -1,0 +1,255 @@
+//! `bench_floor` — the perf-trajectory regression gate.
+//!
+//! Parses the **committed** repo-root `BENCH_*.json` files (the perf
+//! trajectory each kernel PR records) and fails when any recorded speedup
+//! field has dropped below its declared floor. The committed files only
+//! change when a PR regenerates and commits new numbers, so this check
+//! makes it impossible to land a kernel regression silently: whoever
+//! commits a BENCH file with a speedup under the floor sees CI go red and
+//! must either fix the kernel or consciously lower the floor in this file —
+//! a reviewable, greppable act.
+//!
+//! Floors are intentionally set below the committed values (~15–20% slack
+//! for machine-class variation between regenerations) except for the
+//! acceptance-anchored entries, which encode hard promises the repo has
+//! made: the selection-network order-statistic kernels stay ≥3× over the
+//! frozen scalar reference at d = 100k, and the coordinate-wise rules never
+//! again regress under sharding (the S ∈ {2, 4, 8} median floor sits at
+//! parity minus noise).
+//!
+//! Usage: `bench_floor [--root <dir>]` (default `.`, the repo root).
+
+use serde::Value;
+use std::process::ExitCode;
+
+/// Every floor: (file, label, minimum recorded speedup). Labels are the
+/// stable coordinates of a speedup field inside its file — see the
+/// extractors below.
+const FLOORS: &[(&str, &str, f64)] = &[
+    // BENCH_gar.json — arena kernels vs the frozen pre-arena reference
+    // (`reference_ns / arena_ns`).
+    ("BENCH_gar.json", "average@d1000", 0.90),
+    ("BENCH_gar.json", "average@d10000", 0.90),
+    ("BENCH_gar.json", "average@d100000", 0.90),
+    ("BENCH_gar.json", "median@d1000", 4.0),
+    ("BENCH_gar.json", "median@d10000", 4.0),
+    // Acceptance anchor (PR 5): ≥3× over the PR-4 quickselect kernels,
+    // which tracked the reference within a few percent at d = 100k.
+    ("BENCH_gar.json", "median@d100000", 3.0),
+    ("BENCH_gar.json", "trimmed-mean@d1000", 6.0),
+    ("BENCH_gar.json", "trimmed-mean@d10000", 5.5),
+    ("BENCH_gar.json", "trimmed-mean@d100000", 4.5),
+    ("BENCH_gar.json", "krum@d1000", 1.6),
+    ("BENCH_gar.json", "krum@d10000", 1.6),
+    ("BENCH_gar.json", "krum@d100000", 1.6),
+    ("BENCH_gar.json", "multi-krum@d1000", 1.6),
+    ("BENCH_gar.json", "multi-krum@d10000", 1.9),
+    ("BENCH_gar.json", "multi-krum@d100000", 2.1),
+    ("BENCH_gar.json", "bulyan@d1000", 3.3),
+    ("BENCH_gar.json", "bulyan@d10000", 3.3),
+    ("BENCH_gar.json", "bulyan@d100000", 3.3),
+    // BENCH_shard.json — sharded vs unsharded per shard count
+    // (`unsharded_ns / sharded_ns`).
+    ("BENCH_shard.json", "multi-krum@S1", 1.3),
+    ("BENCH_shard.json", "multi-krum@S2", 1.3),
+    ("BENCH_shard.json", "multi-krum@S4", 1.3),
+    ("BENCH_shard.json", "multi-krum@S8", 1.3),
+    ("BENCH_shard.json", "krum@S1", 1.3),
+    ("BENCH_shard.json", "krum@S2", 1.3),
+    ("BENCH_shard.json", "krum@S4", 1.3),
+    ("BENCH_shard.json", "krum@S8", 1.3),
+    ("BENCH_shard.json", "bulyan@S1", 1.0),
+    ("BENCH_shard.json", "bulyan@S2", 1.0),
+    ("BENCH_shard.json", "bulyan@S4", 1.0),
+    ("BENCH_shard.json", "bulyan@S8", 1.0),
+    // Acceptance anchor (PR 5): coordinate-wise rules never regress under
+    // sharding again (the recorded fix was 0.95 → 1.00).
+    ("BENCH_shard.json", "median@S1", 0.98),
+    ("BENCH_shard.json", "median@S2", 0.98),
+    ("BENCH_shard.json", "median@S4", 0.98),
+    ("BENCH_shard.json", "median@S8", 0.98),
+    ("BENCH_shard.json", "trimmed-mean@S1", 0.98),
+    ("BENCH_shard.json", "trimmed-mean@S2", 0.98),
+    ("BENCH_shard.json", "trimmed-mean@S4", 0.98),
+    ("BENCH_shard.json", "trimmed-mean@S8", 0.98),
+    // BENCH_round.json — round pipeline vs the pre-pipeline reference.
+    ("BENCH_round.json", "tcp:average", 1.3),
+    ("BENCH_round.json", "tcp:average:wire", 2.2),
+    ("BENCH_round.json", "tcp:multi-krum", 1.0),
+    ("BENCH_round.json", "tcp:multi-krum:wire", 2.1),
+    ("BENCH_round.json", "lossy-udp:average", 1.6),
+    ("BENCH_round.json", "lossy-udp:average:wire", 1.7),
+    ("BENCH_round.json", "lossy-udp:multi-krum", 1.2),
+    ("BENCH_round.json", "lossy-udp:multi-krum:wire", 1.7),
+    ("BENCH_round.json", "codec", 12.0),
+];
+
+/// A speedup extracted from a committed bench file.
+struct Recorded {
+    file: &'static str,
+    label: String,
+    speedup: f64,
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(v) => Some(*v),
+        Value::I64(v) => Some(*v as f64),
+        Value::U64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+fn field_str(value: &Value, key: &str) -> String {
+    match value.get_field(key) {
+        Ok(Value::Str(s)) => s.clone(),
+        Ok(other) => as_f64(other).map(|v| format!("{v}")).unwrap_or_default(),
+        Err(_) => String::new(),
+    }
+}
+
+fn field_f64(value: &Value, key: &str) -> Option<f64> {
+    value.get_field(key).ok().and_then(as_f64)
+}
+
+fn seq<'v>(value: &'v Value, key: &str) -> Vec<&'v Value> {
+    match value.get_field(key) {
+        Ok(Value::Seq(items)) => items.iter().collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// `BENCH_gar.json`: one `{rule, d, speedup}` per cell.
+fn extract_gar(doc: &Value, out: &mut Vec<Recorded>) {
+    for cell in seq(doc, "results") {
+        let rule = field_str(cell, "rule");
+        let d = field_str(cell, "d");
+        if let Some(speedup) = field_f64(cell, "speedup") {
+            out.push(Recorded { file: "BENCH_gar.json", label: format!("{rule}@d{d}"), speedup });
+        }
+    }
+}
+
+/// `BENCH_shard.json`: `{rule, sharded: [{shards, speedup}]}` per rule.
+fn extract_shard(doc: &Value, out: &mut Vec<Recorded>) {
+    for row in seq(doc, "results") {
+        let rule = field_str(row, "rule");
+        for arm in seq(row, "sharded") {
+            let shards = field_str(arm, "shards");
+            if let Some(speedup) = field_f64(arm, "speedup") {
+                out.push(Recorded {
+                    file: "BENCH_shard.json",
+                    label: format!("{rule}@S{shards}"),
+                    speedup,
+                });
+            }
+        }
+    }
+}
+
+/// `BENCH_round.json`: `{transport, rule, speedup, wire_speedup}` per cell
+/// plus the one codec comparison.
+fn extract_round(doc: &Value, out: &mut Vec<Recorded>) {
+    for cell in seq(doc, "results") {
+        let transport = field_str(cell, "transport");
+        let rule = field_str(cell, "rule");
+        if let Some(speedup) = field_f64(cell, "speedup") {
+            out.push(Recorded {
+                file: "BENCH_round.json",
+                label: format!("{transport}:{rule}"),
+                speedup,
+            });
+        }
+        if let Some(speedup) = field_f64(cell, "wire_speedup") {
+            out.push(Recorded {
+                file: "BENCH_round.json",
+                label: format!("{transport}:{rule}:wire"),
+                speedup,
+            });
+        }
+    }
+    if let Ok(codec) = doc.get_field("codec") {
+        if let Some(speedup) = field_f64(codec, "speedup") {
+            out.push(Recorded { file: "BENCH_round.json", label: "codec".into(), speedup });
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().expect("--root requires a path"),
+            other => {
+                eprintln!("bench_floor: unknown argument '{other}' (supported: --root <dir>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    type Extractor = fn(&Value, &mut Vec<Recorded>);
+    let files: [(&str, Extractor); 3] = [
+        ("BENCH_gar.json", extract_gar),
+        ("BENCH_shard.json", extract_shard),
+        ("BENCH_round.json", extract_round),
+    ];
+    let mut recorded: Vec<Recorded> = Vec::new();
+    for (file, extract) in files {
+        let path = format!("{root}/{file}");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                // The trajectory files are committed; a missing one means
+                // the gate is not checking what it claims to check.
+                eprintln!("bench_floor: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc: Value = match serde_json::from_str(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("bench_floor: cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        extract(&doc, &mut recorded);
+    }
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for (file, label, floor) in FLOORS {
+        match recorded.iter().find(|r| r.file == *file && r.label == *label) {
+            Some(r) if r.speedup >= *floor => {
+                checked += 1;
+                println!("ok   {file} {label}: {:.2} >= {floor:.2}", r.speedup);
+            }
+            Some(r) => {
+                failures += 1;
+                println!(
+                    "FAIL {file} {label}: recorded speedup {:.2} is below the floor {floor:.2}",
+                    r.speedup
+                );
+            }
+            None => {
+                // A floor whose field vanished is a silent hole in the gate.
+                failures += 1;
+                println!("FAIL {file} {label}: no such speedup field in the committed file");
+            }
+        }
+    }
+    // Speedups with no declared floor are listed so new bench cells are
+    // visibly unguarded until someone declares a floor for them.
+    for r in &recorded {
+        if !FLOORS.iter().any(|(file, label, _)| r.file == *file && r.label == *label) {
+            println!("note {} {}: {:.2} (no declared floor)", r.file, r.label, r.speedup);
+        }
+    }
+
+    println!("bench_floor: {checked} floors hold, {failures} violations");
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

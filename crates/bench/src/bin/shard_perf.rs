@@ -34,27 +34,48 @@ const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// The shard count the headline speedup column reports (the acceptance
 /// configuration: S = 4 shard-parallel vs the single-shard arena path).
 const KEY_SHARDS: usize = 4;
-const RULES: [GarKind; 4] = [GarKind::MultiKrum, GarKind::Krum, GarKind::Bulyan, GarKind::Median];
+/// The three distance-decomposed rules plus both coordinate-wise
+/// order-statistic rules, so the per-shard column kernels (which inherit the
+/// selection-network speedup directly) are tracked alongside the distance
+/// pipeline.
+const RULES: [GarKind; 5] =
+    [GarKind::MultiKrum, GarKind::Krum, GarKind::Bulyan, GarKind::Median, GarKind::TrimmedMean];
 
-/// Per-cell time budget; each cell still takes at least `MIN_SAMPLES` runs.
-const BUDGET_NS: u128 = 400_000_000;
+/// Per-rule time budget across all arms; each arm still takes at least
+/// `MIN_SAMPLES` runs.
+const BUDGET_NS: u128 = 2_000_000_000;
 const MIN_SAMPLES: usize = 5;
 const MAX_SAMPLES: usize = 60;
 
-/// Median ns/round of repeated timed runs (first run is warm-up).
-fn median_round_ns(mut run: impl FnMut()) -> u128 {
-    run();
-    let mut samples: Vec<u128> = Vec::new();
-    let mut total = 0u128;
-    while samples.len() < MIN_SAMPLES || (total < BUDGET_NS && samples.len() < MAX_SAMPLES) {
-        let start = Instant::now();
+/// Median ns/round per arm, sampled **round-robin across the arms** (first
+/// pass is warm-up): every arm of a rule sees the same slice of the
+/// machine's thermal/frequency drift, so the sharded-over-unsharded ratios
+/// compare like with like. Sampling each arm to completion in sequence
+/// — the previous scheme — systematically penalised whichever arm ran last
+/// by a few percent, which is the same order as the overhead being
+/// measured.
+fn interleaved_median_ns(arms: &mut [&mut dyn FnMut()]) -> Vec<u128> {
+    for run in arms.iter_mut() {
         run();
-        let ns = start.elapsed().as_nanos().max(1);
-        total += ns;
-        samples.push(ns);
     }
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+    let mut samples: Vec<Vec<u128>> = vec![Vec::new(); arms.len()];
+    let mut total = 0u128;
+    while samples[0].len() < MIN_SAMPLES || (total < BUDGET_NS && samples[0].len() < MAX_SAMPLES) {
+        for (run, bucket) in arms.iter_mut().zip(samples.iter_mut()) {
+            let start = Instant::now();
+            run();
+            let ns = start.elapsed().as_nanos().max(1);
+            total += ns;
+            bucket.push(ns);
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut bucket| {
+            bucket.sort_unstable();
+            bucket[bucket.len() / 2]
+        })
+        .collect()
 }
 
 struct RuleRow {
@@ -111,17 +132,27 @@ fn main() {
     for kind in RULES {
         let config = GarConfig::new(kind, F);
         let unsharded = config.build().expect("valid GAR config");
-        let unsharded_ns = median_round_ns(|| {
-            unsharded.aggregate_batch(&batch).expect("aggregation succeeds");
-        });
-        let mut sharded_ns = Vec::new();
-        for shards in SHARD_COUNTS {
-            let sharded = ShardedAggregator::new(config, shards).expect("valid shard count");
-            let ns = median_round_ns(|| {
-                sharded.aggregate_batch(&batch).expect("aggregation succeeds");
-            });
-            sharded_ns.push((shards, ns));
-        }
+        let sharded: Vec<ShardedAggregator> = SHARD_COUNTS
+            .iter()
+            .map(|&shards| ShardedAggregator::new(config, shards).expect("valid shard count"))
+            .collect();
+        let batch_ref = &batch;
+        let mut run_unsharded =
+            || drop(unsharded.aggregate_batch(batch_ref).expect("aggregation succeeds"));
+        let mut run_sharded: Vec<Box<dyn FnMut()>> = sharded
+            .iter()
+            .map(|rule| -> Box<dyn FnMut()> {
+                Box::new(move || {
+                    drop(rule.aggregate_batch(batch_ref).expect("aggregation succeeds"));
+                })
+            })
+            .collect();
+        let mut arms: Vec<&mut dyn FnMut()> = vec![&mut run_unsharded];
+        arms.extend(run_sharded.iter_mut().map(|b| &mut **b as &mut dyn FnMut()));
+        let medians = interleaved_median_ns(&mut arms);
+        let unsharded_ns = medians[0];
+        let sharded_ns: Vec<(usize, u128)> =
+            SHARD_COUNTS.iter().copied().zip(medians[1..].iter().copied()).collect();
         let row = RuleRow { rule: kind.name(), unsharded_ns, sharded_ns };
         let mut line = format!("{:<11} {:>13}", row.rule, row.unsharded_ns);
         for &(_, ns) in &row.sharded_ns {

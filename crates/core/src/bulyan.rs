@@ -16,7 +16,9 @@
 //! once); subsequent selection iterations only re-rank scores over the
 //! shrinking active set, so the additional cost per iteration is O(n²)
 //! rather than O(n²·d). The second phase runs fused over column blocks of
-//! the [`GradientBatch`] arena with per-block scratch and quickselect.
+//! the [`GradientBatch`] arena through the branch-free vertical selection
+//! networks of `agg_tensor::sortnet` (the θ selected rows are far below the
+//! network cap), sharing the closest-to-median window kernel with MeaMed.
 
 use crate::gar::{ensure_batch_nonempty, validate_batch, Gar, GarProperties, Resilience};
 use crate::multi_krum::krum_scores;

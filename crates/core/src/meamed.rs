@@ -6,6 +6,10 @@
 //! median (which keeps one value's worth of information per coordinate) and
 //! the trimmed mean (which always removes exactly the two tails), and is
 //! weakly Byzantine-resilient for `f < n/2`.
+//!
+//! The kernel (shared with Bulyan's second phase) sorts each column via the
+//! vertical selection networks of `agg_tensor::sortnet` and grows the
+//! closest-to-median window with the one two-pointer walk both rules use.
 
 use crate::gar::{ensure_batch_nonempty, Gar, GarProperties, Resilience};
 use crate::{resilience, Result};

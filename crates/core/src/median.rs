@@ -1,5 +1,10 @@
 //! Coordinate-wise median GAR (the "Median" baseline of the evaluation,
 //! following Xie et al., 2018).
+//!
+//! The per-coordinate reduction runs on the vertical selection-network
+//! kernel of `agg_tensor::sortnet` for worker counts up to the network cap
+//! (a pruned Batcher network placing only the median positions), falling
+//! back to scalar quickselect beyond it.
 
 use crate::gar::{ensure_batch_nonempty, Gar, GarProperties, Resilience};
 use crate::{resilience, Result};

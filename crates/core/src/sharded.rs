@@ -30,9 +30,13 @@
 //! one rule whose fixed-point iteration is inherently global; it runs
 //! unsharded (which is, again, exact).
 //!
-//! Shards run in parallel under rayon with a deterministic shard-order
-//! reduce, so for a fixed shard count the aggregate is bit-for-bit
-//! reproducible regardless of `RAYON_NUM_THREADS`.
+//! The distance partials fan out over shards under rayon with a
+//! deterministic shard-order reduce; the coordinate kernels instead run in
+//! shard order and parallelise *inside* each shard over column blocks (a
+//! shard-level fan-out on top of the block-level one is pure nested-dispatch
+//! overhead — see [`ShardedAggregator::coordinate_sharded`]). Either way,
+//! for a fixed shard count the aggregate is bit-for-bit reproducible
+//! regardless of `RAYON_NUM_THREADS`.
 
 use crate::gar::{ensure_batch_nonempty, Gar, GarProperties};
 use crate::{resilience, AggregationError, Bulyan, GarConfig, GarKind, MultiKrum, Result};
@@ -135,27 +139,32 @@ impl ShardedAggregator {
         }
     }
 
-    /// Concatenates per-shard outputs (shard order) into the full update.
-    fn concat(plan: &ShardPlan, parts: Vec<Result<Vector>>) -> Result<Vector> {
-        let mut out = Vec::with_capacity(plan.dimension());
-        for part in parts {
-            out.extend_from_slice(part?.as_slice());
-        }
-        Ok(Vector::from(out))
-    }
-
-    /// Runs a per-shard coordinate kernel over `rows_in_play` effective rows
-    /// and concatenates the shard outputs.
+    /// Runs a per-shard coordinate kernel, each shard writing its slice of
+    /// one shared output buffer in place (the `*_into` kernel surface of
+    /// [`agg_tensor::BatchColumns`]), so assembling the full update costs no
+    /// concatenation copy.
+    ///
+    /// Deliberately sequential over shards: the column kernels already
+    /// parallelise over `PARALLEL_MIN_WORK`-gated column blocks inside each
+    /// shard, so a shard-level rayon fan-out on top adds nothing but nested
+    /// dispatch — and together with the per-shard output vectors it is what
+    /// made the coordinate-wise rules *regress* under sharding
+    /// (BENCH_shard recorded 0.95× for the median at S ∈ {2, 4, 8} before
+    /// this loop went shard-sequential and zero-copy). Per-column
+    /// reductions are independent, so running the shards in shard order is
+    /// bit-identical to any other schedule.
     fn coordinate_sharded(
         &self,
         batch: &GradientBatch,
-        rows_in_play: usize,
-        kernel: impl Fn(agg_tensor::BatchColumns<'_>) -> Result<Vector> + Sync,
+        kernel: impl Fn(agg_tensor::BatchColumns<'_>, &mut [f32]) -> Result<()> + Sync,
     ) -> Result<Vector> {
         let plan = self.plan(batch.dim());
-        let work = rows_in_play.saturating_mul(batch.dim());
-        let parts = self.map_shards(&plan, work, |range| kernel(batch.columns(range)));
-        Self::concat(&plan, parts)
+        let mut out = vec![0.0f32; batch.dim()];
+        for range in plan.ranges() {
+            let dst = &mut out[range.clone()];
+            kernel(batch.columns(range), dst)?;
+        }
+        Ok(Vector::from(out))
     }
 
     /// The global pair-distance matrix assembled from per-shard partials:
@@ -238,9 +247,12 @@ impl Gar for ShardedAggregator {
         let n = ensure_batch_nonempty(rule, batch)?;
         let f = self.config.f;
         match self.config.kind {
-            GarKind::Average => self.coordinate_sharded(batch, n, |cols| Ok(cols.mean(None)?)),
+            GarKind::Average => {
+                self.coordinate_sharded(batch, |cols, dst| Ok(cols.mean_into(None, dst)?))
+            }
             GarKind::SelectiveAverage => {
-                let out = self.coordinate_sharded(batch, n, |cols| Ok(cols.nan_mean()?))?;
+                let out =
+                    self.coordinate_sharded(batch, |cols, dst| Ok(cols.nan_mean_into(dst)?))?;
                 if batch.rows().all(|row| row.iter().all(|x| !x.is_finite())) {
                     return Err(AggregationError::AllGradientsCorrupt("selective-average"));
                 }
@@ -248,7 +260,7 @@ impl Gar for ShardedAggregator {
             }
             GarKind::Median => {
                 resilience::check_median("median", n, f)?;
-                self.coordinate_sharded(batch, n, |cols| Ok(cols.median(None)?))
+                self.coordinate_sharded(batch, |cols, dst| Ok(cols.median_into(None, dst)?))
             }
             GarKind::TrimmedMean => {
                 resilience::check_median("trimmed-mean", n, f)?;
@@ -260,12 +272,14 @@ impl Gar for ShardedAggregator {
                         actual: n,
                     });
                 }
-                self.coordinate_sharded(batch, n, |cols| Ok(cols.trimmed_mean(f)?))
+                self.coordinate_sharded(batch, |cols, dst| Ok(cols.trimmed_mean_into(f, dst)?))
             }
             GarKind::MeaMed => {
                 resilience::check_median("meamed", n, f)?;
                 let keep = (n - f).max(1);
-                self.coordinate_sharded(batch, n, |cols| Ok(cols.mean_around_median(None, keep)?))
+                self.coordinate_sharded(batch, |cols, dst| {
+                    Ok(cols.mean_around_median_into(None, keep, dst)?)
+                })
             }
             // Weiszfeld's fixed-point iteration needs the full-dimension
             // distances at every step; running it unsharded is the exact
@@ -278,9 +292,10 @@ impl Gar for ShardedAggregator {
                 if selected.iter().all(|&i| batch.row(i).iter().any(|x| !x.is_finite())) {
                     return Err(AggregationError::AllGradientsCorrupt("multi-krum"));
                 }
-                self.coordinate_sharded(batch, selected.len(), |cols| {
-                    Ok(cols.mean(Some(&selected))?)
-                })
+                self.coordinate_sharded(
+                    batch,
+                    |cols, dst| Ok(cols.mean_into(Some(&selected), dst)?),
+                )
             }
             GarKind::Bulyan => {
                 let selected =
@@ -289,8 +304,8 @@ impl Gar for ShardedAggregator {
                 if selected.iter().all(|&i| batch.row(i).iter().any(|x| !x.is_finite())) {
                     return Err(AggregationError::AllGradientsCorrupt("bulyan"));
                 }
-                self.coordinate_sharded(batch, selected.len(), |cols| {
-                    cols.mean_around_median(Some(&selected), beta).map_err(|e| match e {
+                self.coordinate_sharded(batch, |cols, dst| {
+                    cols.mean_around_median_into(Some(&selected), beta, dst).map_err(|e| match e {
                         TensorError::EmptyInput(_) => {
                             AggregationError::AllGradientsCorrupt("bulyan")
                         }

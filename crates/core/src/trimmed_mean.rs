@@ -57,9 +57,10 @@ impl Gar for TrimmedMean {
                 actual: n,
             });
         }
-        // NaN values are dropped by the fused kernel before trimming; a
-        // column left with too few values falls back to the median of
-        // whatever finite values remain.
+        // NaN values are dropped by the fused kernel before trimming (the
+        // network path canonicalises them past the kept window); a column
+        // left with too few values falls back to the median of whatever
+        // finite values remain.
         Ok(batch.coordinate_trimmed_mean(self.f)?)
     }
 }

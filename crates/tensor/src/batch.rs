@@ -11,16 +11,21 @@
 //! * rows (gradients) are cheap contiguous slices ([`GradientBatch::row`]),
 //! * the pairwise-distance kernel computes only the upper triangle — each
 //!   unordered pair exactly once — into a flat [`DistanceMatrix`],
-//! * coordinate-wise rules (median, trimmed mean, MeaMed, Bulyan's second
-//!   phase) run fused over column blocks: each block is transposed into a
-//!   small cache-resident tile once, then reduced with reusable scratch and
-//!   quickselect (`select_nth_unstable`) instead of per-coordinate
-//!   allocate-and-sort.
+//! * coordinate-wise order statistics (median, trimmed mean, MeaMed,
+//!   Bulyan's second phase) run fused over column blocks. At worker-count
+//!   row counts (`n ≤ 32`) each block is processed as lane-major tiles of
+//!   W = 8–16 columns through a branch-free [`crate::sortnet`] selection
+//!   network — every compare–exchange is an elementwise min/max over a
+//!   whole lane, after a NaN → `+∞` canonicalisation pre-pass that keeps
+//!   the scalar kernels' NaN policy intact. Larger batches fall back to the
+//!   scalar quickselect kernels (`select_nth_unstable` over a reused
+//!   per-column gather).
 //!
 //! All kernels keep the paper's non-finite policy: corrupt gradients map to
 //! `+∞` distance and are never selected while enough finite candidates exist.
 
-use crate::stats::{median_of_scratch, SMALL_SORT};
+use crate::sortnet::{SelectionNetwork, MAX_NETWORK_N};
+use crate::stats::{mean_of_closest_to_median_sorted, median_of_scratch, SMALL_SORT};
 use crate::{ops, Result, TensorError, Vector};
 use rayon::prelude::*;
 use std::ops::Range;
@@ -42,6 +47,17 @@ pub const PARALLEL_MIN_WORK: usize = 200_000;
 /// paper's n = 19 a block tile is `19 × 512 × 4 B ≈ 38 KiB` — comfortably
 /// L1/L2-resident, so the per-coordinate gather never leaves cache.
 const COLUMN_BLOCK: usize = 512;
+
+/// Lane width of the vertical selection-network kernels: columns processed
+/// side by side as `[f32; W]` rows of a lane-major tile. Sixteen f32 lanes
+/// are one AVX-512 register or two AVX2/NEON registers — wide enough to
+/// saturate the vector units, while the tile (`n × 16 × 4 B ≈ 1.2 KiB` at
+/// the paper's n = 19) stays L1-resident.
+const WIDE_LANES: usize = 16;
+
+/// Narrow lane width for ragged tails: a residual group of ≤ 8 columns runs
+/// through the 8-lane monomorphisation instead of padding half a wide tile.
+const NARROW_LANES: usize = 8;
 
 /// Columns per tile of the sharded partial-distance kernel. Each pair reads
 /// two `4096 × 4 B = 16 KiB` row slices — together a third of L1 — and the
@@ -332,7 +348,9 @@ impl GradientBatch {
     ///
     /// Returns [`TensorError::EmptyInput`] for an empty batch.
     pub fn coordinate_mean(&self) -> Result<Vector> {
-        self.mean_blocks(None, false, "coordinate_mean", 0..self.d)
+        let mut out = vec![0.0f32; self.d];
+        self.mean_blocks(None, false, "coordinate_mean", 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
     }
 
     /// Coordinate-wise mean of the given rows (clone-free selection
@@ -344,7 +362,9 @@ impl GradientBatch {
     /// Returns [`TensorError::EmptyInput`] for an empty selection and
     /// [`TensorError::IndexOutOfBounds`] for an invalid row index.
     pub fn mean_of_rows(&self, rows: &[usize]) -> Result<Vector> {
-        self.mean_blocks(Some(rows), false, "mean_of_rows", 0..self.d)
+        let mut out = vec![0.0f32; self.d];
+        self.mean_blocks(Some(rows), false, "mean_of_rows", 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
     }
 
     /// Coordinate-wise mean that skips NaN (lost) coordinates; a coordinate
@@ -355,7 +375,9 @@ impl GradientBatch {
     ///
     /// Returns [`TensorError::EmptyInput`] for an empty batch.
     pub fn coordinate_nan_mean(&self) -> Result<Vector> {
-        self.mean_blocks(None, true, "coordinate_nan_mean", 0..self.d)
+        let mut out = vec![0.0f32; self.d];
+        self.mean_blocks(None, true, "coordinate_nan_mean", 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
     }
 
     /// Coordinate-wise median (NaN-tolerant) of all rows.
@@ -365,7 +387,9 @@ impl GradientBatch {
     /// Returns [`TensorError::EmptyInput`] for an empty batch or a
     /// coordinate that is NaN in every row.
     pub fn coordinate_median(&self) -> Result<Vector> {
-        self.median_impl(None, 0..self.d)
+        let mut out = vec![0.0f32; self.d];
+        self.median_impl(None, 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
     }
 
     /// Coordinate-wise median (NaN-tolerant) restricted to `rows`.
@@ -375,7 +399,9 @@ impl GradientBatch {
     /// Same conditions as [`GradientBatch::coordinate_median`], plus
     /// [`TensorError::IndexOutOfBounds`] for an invalid row index.
     pub fn coordinate_median_of_rows(&self, rows: &[usize]) -> Result<Vector> {
-        self.median_impl(Some(rows), 0..self.d)
+        let mut out = vec![0.0f32; self.d];
+        self.median_impl(Some(rows), 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
     }
 
     /// Coordinate-wise sample standard deviation over the finite values of
@@ -385,7 +411,8 @@ impl GradientBatch {
     ///
     /// Returns [`TensorError::EmptyInput`] for an empty batch.
     pub fn coordinate_std(&self) -> Result<Vector> {
-        self.column_reduce(None, "coordinate_std", 0..self.d, || {
+        let mut out = vec![0.0f32; self.d];
+        self.column_reduce(None, "coordinate_std", 0..self.d, &mut out, || {
             let mut finite: Vec<f32> = Vec::new();
             move |column: &mut Vec<f32>| {
                 finite.clear();
@@ -398,7 +425,8 @@ impl GradientBatch {
                     / (finite.len() - 1) as f32;
                 Ok(var.sqrt())
             }
-        })
+        })?;
+        Ok(Vector::from(out))
     }
 
     /// Coordinate-wise trimmed mean: drops the `trim` smallest and `trim`
@@ -411,11 +439,68 @@ impl GradientBatch {
     /// Returns [`TensorError::EmptyInput`] for an empty batch or a
     /// coordinate that is NaN in every row.
     pub fn coordinate_trimmed_mean(&self, trim: usize) -> Result<Vector> {
-        self.trimmed_mean_impl(trim, 0..self.d)
+        let mut out = vec![0.0f32; self.d];
+        self.trimmed_mean_impl(trim, 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
     }
 
-    fn trimmed_mean_impl(&self, trim: usize, cols: Range<usize>) -> Result<Vector> {
-        self.column_reduce(None, "coordinate_trimmed_mean", cols, || {
+    fn trimmed_mean_impl(&self, trim: usize, cols: Range<usize>, out: &mut [f32]) -> Result<()> {
+        let m = self.n;
+        if m == 0 {
+            return Err(TensorError::EmptyInput("coordinate_trimmed_mean"));
+        }
+        if m > MAX_NETWORK_N {
+            return self.trimmed_mean_quickselect(trim, cols, out);
+        }
+        let full = SelectionNetwork::sorting_cached(m);
+        // NaN-free tiles have all m values in play: either the kept middle
+        // window, or — when the trim swallows everything — the median
+        // positions of the fallback.
+        let fast = if m > 2 * trim {
+            SelectionNetwork::selecting_cached(m, trim..m - trim)
+        } else {
+            SelectionNetwork::selecting_cached(m, (m - 1) / 2..m / 2 + 1)
+        };
+        self.network_reduce(None, "coordinate_trimmed_mean", cols, out, full, fast, || {
+            move |lane: &SortedLane<'_>| {
+                let k = lane.finite;
+                if k == 0 {
+                    return Err(TensorError::EmptyInput("coordinate_trimmed_mean"));
+                }
+                if k <= 2 * trim {
+                    // Fallback: median of whatever finite values remain.
+                    return Ok(lane.prefix_median(k));
+                }
+                let mut sum = 0.0f32;
+                for p in trim..k - trim {
+                    sum += lane.get(p);
+                }
+                Ok(sum / (k - 2 * trim) as f32)
+            }
+        })
+    }
+
+    /// The scalar quickselect trimmed mean: the fallback for batches of more
+    /// than [`MAX_NETWORK_N`] rows, kept publicly callable (on the full
+    /// column range) as the perf baseline of the `selection_networks`
+    /// criterion group.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBatch::coordinate_trimmed_mean`].
+    pub fn coordinate_trimmed_mean_quickselect(&self, trim: usize) -> Result<Vector> {
+        let mut out = vec![0.0f32; self.d];
+        self.trimmed_mean_quickselect(trim, 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
+    }
+
+    fn trimmed_mean_quickselect(
+        &self,
+        trim: usize,
+        cols: Range<usize>,
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.column_reduce(None, "coordinate_trimmed_mean", cols, out, || {
             move |column: &mut Vec<f32>| {
                 column.retain(|x| !x.is_nan());
                 let len = column.len();
@@ -466,7 +551,9 @@ impl GradientBatch {
     /// Returns [`TensorError::EmptyInput`] for an empty batch or a
     /// coordinate that is NaN in every row.
     pub fn mean_around_median(&self, keep: usize) -> Result<Vector> {
-        self.mean_around_median_impl(None, keep, 0..self.d)
+        let mut out = vec![0.0f32; self.d];
+        self.mean_around_median_impl(None, keep, 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
     }
 
     /// [`GradientBatch::mean_around_median`] restricted to `rows`.
@@ -476,7 +563,9 @@ impl GradientBatch {
     /// Same conditions, plus [`TensorError::IndexOutOfBounds`] for an
     /// invalid row index.
     pub fn mean_around_median_of_rows(&self, rows: &[usize], keep: usize) -> Result<Vector> {
-        self.mean_around_median_impl(Some(rows), keep, 0..self.d)
+        let mut out = vec![0.0f32; self.d];
+        self.mean_around_median_impl(Some(rows), keep, 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
     }
 
     fn mean_around_median_impl(
@@ -484,8 +573,61 @@ impl GradientBatch {
         rows: Option<&[usize]>,
         keep: usize,
         cols: Range<usize>,
-    ) -> Result<Vector> {
-        self.column_reduce(rows, "mean_around_median", cols, || {
+        out: &mut [f32],
+    ) -> Result<()> {
+        let m = rows.map_or(self.n, <[usize]>::len);
+        if m == 0 {
+            return Err(TensorError::EmptyInput("mean_around_median"));
+        }
+        if m > MAX_NETWORK_N {
+            return self.mean_around_median_quickselect(rows, keep, cols, out);
+        }
+        // The window can reach anywhere in the column (MeaMed keeps n − f
+        // values), so the network path needs the full sorted order on both
+        // the NaN-carrying and NaN-free tiles.
+        let full = SelectionNetwork::sorting_cached(m);
+        self.network_reduce(rows, "mean_around_median", cols, out, full, full, || {
+            let mut sorted: Vec<f32> = Vec::with_capacity(m);
+            move |lane: &SortedLane<'_>| {
+                let k = lane.finite;
+                if k == 0 {
+                    return Err(TensorError::EmptyInput("mean_around_median"));
+                }
+                sorted.clear();
+                sorted.extend((0..k).map(|p| lane.get(p)));
+                Ok(mean_of_closest_to_median_sorted(&sorted, m, keep))
+            }
+        })
+    }
+
+    /// The scalar sort-and-walk mean-around-median over the full column
+    /// range: the fallback for batches of more than [`MAX_NETWORK_N`] rows,
+    /// kept publicly callable as the perf baseline of the
+    /// `selection_networks` criterion group.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBatch::mean_around_median`].
+    pub fn coordinate_mean_around_median_quickselect(&self, keep: usize) -> Result<Vector> {
+        let mut out = vec![0.0f32; self.d];
+        self.mean_around_median_quickselect(None, keep, 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
+    }
+
+    /// The scalar sort-and-walk mean-around-median: the fallback for batches
+    /// of more than [`MAX_NETWORK_N`] rows.
+    ///
+    /// One small sort serves both the median and the closest-to-median
+    /// selection (the window kernel itself is
+    /// [`mean_of_closest_to_median_sorted`], shared with the network path).
+    fn mean_around_median_quickselect(
+        &self,
+        rows: Option<&[usize]>,
+        keep: usize,
+        cols: Range<usize>,
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.column_reduce(rows, "mean_around_median", cols, out, || {
             let mut finite: Vec<f32> = Vec::new();
             move |column: &mut Vec<f32>| {
                 finite.clear();
@@ -493,52 +635,59 @@ impl GradientBatch {
                 if finite.is_empty() {
                     return Err(TensorError::EmptyInput("mean_around_median"));
                 }
-                // One small sort serves both the median and the closest-to-
-                // median selection: |v − median| is V-shaped over the sorted
-                // buffer, so the `take` closest values form a contiguous
-                // window grown greedily by a two-pointer walk. This replaces
-                // the old median-select + keyed-select pair, which dominated
-                // Bulyan's phase-2 cost at worker-count column sizes.
-                let k = finite.len();
                 finite.sort_unstable_by(f32::total_cmp);
-                let center = if k % 2 == 1 {
-                    finite[k / 2]
-                } else {
-                    0.5 * (finite[k / 2 - 1] + finite[k / 2])
-                };
-                let keep_eff = keep.min(column.len()).max(1);
-                let take = keep_eff.min(k);
-                let (mut l, mut r) = (k / 2, k / 2);
-                let mut sum = 0.0f32;
-                for _ in 0..take {
-                    let take_left = if l == 0 {
-                        false
-                    } else if r >= k {
-                        true
-                    } else {
-                        (finite[l - 1] - center).abs() <= (finite[r] - center).abs()
-                    };
-                    if take_left {
-                        l -= 1;
-                        sum += finite[l];
-                    } else {
-                        sum += finite[r];
-                        r += 1;
-                    }
-                }
-                if keep_eff > k {
-                    // Fewer than `keep` usable values: NaN submissions are
-                    // forced into the average (they rank infinitely far and
-                    // only join when nothing better remains).
-                    sum += f32::NAN;
-                }
-                Ok(sum / keep_eff as f32)
+                Ok(mean_of_closest_to_median_sorted(&finite, column.len(), keep))
             }
         })
     }
 
-    fn median_impl(&self, rows: Option<&[usize]>, cols: Range<usize>) -> Result<Vector> {
-        self.column_reduce(rows, "coordinate_median", cols, || {
+    fn median_impl(
+        &self,
+        rows: Option<&[usize]>,
+        cols: Range<usize>,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let m = rows.map_or(self.n, <[usize]>::len);
+        if m == 0 {
+            return Err(TensorError::EmptyInput("coordinate_median"));
+        }
+        if m > MAX_NETWORK_N {
+            return self.median_quickselect(rows, cols, out);
+        }
+        let full = SelectionNetwork::sorting_cached(m);
+        let fast = SelectionNetwork::selecting_cached(m, (m - 1) / 2..m / 2 + 1);
+        self.network_reduce(rows, "coordinate_median", cols, out, full, fast, || {
+            move |lane: &SortedLane<'_>| {
+                let k = lane.finite;
+                if k == 0 {
+                    return Err(TensorError::EmptyInput("coordinate_median"));
+                }
+                Ok(lane.prefix_median(k))
+            }
+        })
+    }
+
+    /// The scalar quickselect median: the fallback for batches of more than
+    /// [`MAX_NETWORK_N`] rows, kept publicly callable (on the full column
+    /// range) as the perf baseline of the `selection_networks` criterion
+    /// group.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GradientBatch::coordinate_median`].
+    pub fn coordinate_median_quickselect(&self) -> Result<Vector> {
+        let mut out = vec![0.0f32; self.d];
+        self.median_quickselect(None, 0..self.d, &mut out)?;
+        Ok(Vector::from(out))
+    }
+
+    fn median_quickselect(
+        &self,
+        rows: Option<&[usize]>,
+        cols: Range<usize>,
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.column_reduce(rows, "coordinate_median", cols, out, || {
             move |column: &mut Vec<f32>| {
                 column.retain(|x| !x.is_nan());
                 if column.is_empty() {
@@ -566,32 +715,65 @@ impl GradientBatch {
     }
 
     /// Column ranges of at most [`COLUMN_BLOCK`] columns covering `cols`.
+    ///
+    /// Blocks snap to the global [`COLUMN_BLOCK`] grid rather than to
+    /// `cols.start`: a range starting off-grid (shard boundaries land
+    /// anywhere) takes one short leading block and every block after it is
+    /// grid-aligned — so the network kernels' lane tiles, which snap to the
+    /// same grid, pay their short-leading-tile realignment once per range
+    /// instead of once per block.
     fn column_blocks(&self, cols: &Range<usize>) -> Vec<Range<usize>> {
-        cols.clone().step_by(COLUMN_BLOCK).map(|s| s..(s + COLUMN_BLOCK).min(cols.end)).collect()
+        let mut blocks = Vec::new();
+        let mut start = cols.start;
+        while start < cols.end {
+            let end = ((start / COLUMN_BLOCK + 1) * COLUMN_BLOCK).min(cols.end);
+            blocks.push(start..end);
+            start = end;
+        }
+        blocks
+    }
+
+    /// Pairs each column block with its slice of `out`, in block order, so
+    /// block-parallel drivers write results straight into the caller's
+    /// buffer instead of materialising per-block vectors and concatenating
+    /// (the concatenation copy was pure overhead, and it compounded per
+    /// shard in the sharded tier).
+    fn block_chunks(blocks: Vec<Range<usize>>, out: &mut [f32]) -> Vec<(Range<usize>, &mut [f32])> {
+        let mut chunks = Vec::with_capacity(blocks.len());
+        let mut rest = out;
+        for block in blocks {
+            let (head, tail) = rest.split_at_mut(block.len());
+            chunks.push((block, head));
+            rest = tail;
+        }
+        chunks
     }
 
     /// Fused mean kernels: streams every row over each column block once,
-    /// accumulating in a per-block buffer (no per-coordinate gather at all).
+    /// accumulating straight into the caller's output slice (no
+    /// per-coordinate gather at all).
     ///
     /// Below the parallel gate the block machinery (range bookkeeping,
-    /// per-part buffers, final concatenation) is pure overhead for a kernel
-    /// this trivially fused, so small batches take a single-pass fast path
-    /// that accumulates straight into the output buffer. Both paths add each
-    /// column in the same row order, so they are bit-identical.
+    /// chunked output, rayon dispatch) is pure overhead for a kernel this
+    /// trivially fused, so small batches take a single-pass fast path over
+    /// the whole range. Both paths add each column in the same row order,
+    /// so they are bit-identical.
     fn mean_blocks(
         &self,
         rows: Option<&[usize]>,
         skip_nan: bool,
         label: &'static str,
         cols: Range<usize>,
-    ) -> Result<Vector> {
+        out: &mut [f32],
+    ) -> Result<()> {
         let m = self.check_rows(rows, label)?;
         let width = cols.len();
-        if m.saturating_mul(width) < PARALLEL_MIN_WORK {
-            let mut acc = vec![0.0f32; width];
-            let mut count = vec![0u32; if skip_nan { width } else { 0 }];
+        debug_assert_eq!(out.len(), width, "output slice must cover the column range");
+        let run = |(range, acc): (Range<usize>, &mut [f32])| {
+            acc.fill(0.0);
+            let mut count = vec![0u32; if skip_nan { range.len() } else { 0 }];
             let mut add_row = |row: &[f32]| {
-                let slice = &row[cols.clone()];
+                let slice = &row[range.clone()];
                 if skip_nan {
                     for ((a, c), &v) in acc.iter_mut().zip(count.iter_mut()).zip(slice) {
                         if !v.is_nan() {
@@ -617,47 +799,15 @@ impl GradientBatch {
                 let scale = 1.0 / m as f32;
                 acc.iter_mut().for_each(|a| *a *= scale);
             }
-            return Ok(Vector::from(acc));
-        }
-        let run = |range: Range<usize>| -> Vec<f32> {
-            let width = range.len();
-            let mut acc = vec![0.0f32; width];
-            let mut count = vec![0u32; if skip_nan { width } else { 0 }];
-            let mut add_row = |row: &[f32]| {
-                let slice = &row[range.clone()];
-                if skip_nan {
-                    for ((a, c), &v) in acc.iter_mut().zip(count.iter_mut()).zip(slice) {
-                        if !v.is_nan() {
-                            *a += v;
-                            *c += 1;
-                        }
-                    }
-                } else {
-                    for (a, &v) in acc.iter_mut().zip(slice) {
-                        *a += v;
-                    }
-                }
-            };
-            match rows {
-                None => (0..self.n).for_each(|r| add_row(self.row(r))),
-                Some(rows) => rows.iter().for_each(|&r| add_row(self.row(r))),
-            }
-            if skip_nan {
-                acc.iter()
-                    .zip(count.iter())
-                    .map(|(&a, &c)| if c == 0 { 0.0 } else { a / c as f32 })
-                    .collect()
-            } else {
-                let scale = 1.0 / m as f32;
-                acc.iter().map(|&a| a * scale).collect()
-            }
         };
-        // The small-batch fast path above returned already, so anything
-        // reaching here clears the parallel gate by construction.
-        let parts: Vec<Vec<f32>> = self.column_blocks(&cols).into_par_iter().map(run).collect();
-        let mut out = Vec::with_capacity(width);
-        parts.into_iter().for_each(|p| out.extend(p));
-        Ok(Vector::from(out))
+        if m.saturating_mul(width) < PARALLEL_MIN_WORK {
+            // Single pass over the whole range, skipping the block split.
+            run((cols, out));
+            return Ok(());
+        }
+        let chunks = Self::block_chunks(self.column_blocks(&cols), out);
+        let _: Vec<()> = chunks.into_par_iter().map(run).collect();
+        Ok(())
     }
 
     /// Fused per-coordinate reduction driver.
@@ -676,39 +826,212 @@ impl GradientBatch {
         rows: Option<&[usize]>,
         label: &'static str,
         cols: Range<usize>,
+        out: &mut [f32],
         make_kernel: M,
-    ) -> Result<Vector>
+    ) -> Result<()>
     where
         K: FnMut(&mut Vec<f32>) -> Result<f32>,
         M: Fn() -> K + Sync,
     {
         let m = self.check_rows(rows, label)?;
-        let run = |range: Range<usize>| -> Result<Vec<f32>> {
+        let width = cols.len();
+        debug_assert_eq!(out.len(), width, "output slice must cover the column range");
+        let run = |(range, dst): (Range<usize>, &mut [f32])| -> Result<()> {
             let mut kernel = make_kernel();
             let mut column: Vec<f32> = Vec::with_capacity(m);
-            let mut out = Vec::with_capacity(range.len());
-            for j in range {
+            for (j, slot) in range.zip(dst.iter_mut()) {
                 column.clear();
                 match rows {
                     None => column.extend((0..self.n).map(|r| self.data[r * self.d + j])),
                     Some(rows) => column.extend(rows.iter().map(|&r| self.data[r * self.d + j])),
                 }
-                out.push(kernel(&mut column)?);
+                *slot = kernel(&mut column)?;
             }
-            Ok(out)
+            Ok(())
         };
-        let width = cols.len();
-        let blocks = self.column_blocks(&cols);
-        let parts: Vec<Result<Vec<f32>>> = if m.saturating_mul(width) >= PARALLEL_MIN_WORK {
-            blocks.into_par_iter().map(run).collect()
+        let chunks = Self::block_chunks(self.column_blocks(&cols), out);
+        let parts: Vec<Result<()>> = if m.saturating_mul(width) >= PARALLEL_MIN_WORK {
+            chunks.into_par_iter().map(run).collect()
         } else {
-            blocks.into_iter().map(run).collect()
+            chunks.into_iter().map(run).collect()
         };
-        let mut out = Vec::with_capacity(width);
-        for part in parts {
-            out.extend(part?);
+        parts.into_iter().collect()
+    }
+
+    /// Vertical selection-network reduction driver (the `n ≤ 32` fast path
+    /// of the order-statistic kernels).
+    ///
+    /// Each column block is processed as lane-major tiles of
+    /// [`WIDE_LANES`] columns (ragged tails of ≤ [`NARROW_LANES`] columns
+    /// take the narrow monomorphisation): the gather pre-pass copies each
+    /// row's slice into the tile, canonicalising NaN to `+∞` and counting
+    /// the replacements per lane, then one network execution sorts every
+    /// lane at once with branch-free min/max. NaN-free tiles — the
+    /// overwhelmingly common case — run the pruned `fast` network; a tile
+    /// carrying any NaN runs the `full` sorting network so per-lane order
+    /// statistics relative to the finite count stay exact. Per-column
+    /// results depend only on that column's values (each lane is sorted
+    /// independently and `kernel` sees one lane at a time), so the output
+    /// is bit-identical under any column blocking, lane grouping or thread
+    /// count — which is what keeps sharded and unsharded aggregation
+    /// bitwise equal.
+    ///
+    /// `kernel` receives each lane as a [`SortedLane`] (sorted positions
+    /// plus the lane's non-NaN count); `make_kernel` is called once per
+    /// block so kernels can own per-thread scratch, exactly like
+    /// [`GradientBatch::column_reduce`].
+    #[allow(clippy::too_many_arguments)]
+    fn network_reduce<K, M>(
+        &self,
+        rows: Option<&[usize]>,
+        label: &'static str,
+        cols: Range<usize>,
+        out: &mut [f32],
+        full: &SelectionNetwork,
+        fast: &SelectionNetwork,
+        make_kernel: M,
+    ) -> Result<()>
+    where
+        K: FnMut(&SortedLane<'_>) -> Result<f32>,
+        M: Fn() -> K + Sync,
+    {
+        let m = self.check_rows(rows, label)?;
+        let width = cols.len();
+        debug_assert!(m <= MAX_NETWORK_N);
+        debug_assert_eq!(out.len(), width, "output slice must cover the column range");
+        let run = |(range, dst): (Range<usize>, &mut [f32])| -> Result<()> {
+            let mut kernel = make_kernel();
+            let mut tile = vec![0.0f32; m * WIDE_LANES];
+            let mut start = range.start;
+            let mut done = 0usize;
+            while start < range.end {
+                // Tiles snap to the global W-column grid rather than to the
+                // range start: a shard or block boundary can land anywhere,
+                // and an off-grid tile makes every row gather straddle two
+                // cache lines (measured ~4% on the whole kernel). One short
+                // leading tile per off-grid range restores alignment for
+                // everything that follows.
+                let grid_next = (start / WIDE_LANES + 1) * WIDE_LANES;
+                let width = range.end.min(grid_next) - start;
+                let slot = &mut dst[done..done + width];
+                if width > NARROW_LANES {
+                    self.network_tile::<WIDE_LANES, K>(
+                        rows,
+                        m,
+                        start,
+                        &mut tile,
+                        full,
+                        fast,
+                        &mut kernel,
+                        slot,
+                    )?;
+                } else {
+                    self.network_tile::<NARROW_LANES, K>(
+                        rows,
+                        m,
+                        start,
+                        &mut tile[..m * NARROW_LANES],
+                        full,
+                        fast,
+                        &mut kernel,
+                        slot,
+                    )?;
+                }
+                start += width;
+                done += width;
+            }
+            Ok(())
+        };
+        let chunks = Self::block_chunks(self.column_blocks(&cols), out);
+        let parts: Vec<Result<()>> = if m.saturating_mul(width) >= PARALLEL_MIN_WORK {
+            chunks.into_par_iter().map(run).collect()
+        } else {
+            chunks.into_iter().map(run).collect()
+        };
+        parts.into_iter().collect()
+    }
+
+    /// Gathers, canonicalises, sorts and reduces one lane-major tile of
+    /// `out.len() ≤ W` columns starting at `col0`, writing one result per
+    /// column into `out`. See [`GradientBatch::network_reduce`].
+    #[allow(clippy::too_many_arguments)]
+    fn network_tile<const W: usize, K>(
+        &self,
+        rows: Option<&[usize]>,
+        m: usize,
+        col0: usize,
+        tile: &mut [f32],
+        full: &SelectionNetwork,
+        fast: &SelectionNetwork,
+        kernel: &mut K,
+        out: &mut [f32],
+    ) -> Result<()>
+    where
+        K: FnMut(&SortedLane<'_>) -> Result<f32>,
+    {
+        let width = out.len();
+        debug_assert!(width <= W && tile.len() == m * W);
+        let mut nan_counts = [0u32; W];
+        {
+            let mut gather = |slot: usize, row: &[f32]| {
+                let src = &row[col0..col0 + width];
+                let dst = &mut tile[slot * W..(slot + 1) * W];
+                for w in 0..width {
+                    let v = src[w];
+                    let nan = v.is_nan();
+                    nan_counts[w] += u32::from(nan);
+                    dst[w] = if nan { f32::INFINITY } else { v };
+                }
+                // Padding lanes of a ragged tail ride through the network
+                // as zeros and are never read back.
+                dst[width..].fill(0.0);
+            };
+            match rows {
+                None => (0..m).for_each(|r| gather(r, self.row(r))),
+                Some(rows) => {
+                    rows.iter().enumerate().for_each(|(slot, &r)| gather(slot, self.row(r)));
+                }
+            }
         }
-        Ok(Vector::from(out))
+        let net = if nan_counts[..width].iter().any(|&c| c > 0) { full } else { fast };
+        net.apply_lanes::<W>(tile);
+        for (w, slot) in out.iter_mut().enumerate() {
+            let lane = SortedLane { tile, lanes: W, lane: w, finite: m - nan_counts[w] as usize };
+            *slot = kernel(&lane)?;
+        }
+        Ok(())
+    }
+}
+
+/// One sorted column inside a lane-major network tile: position `p` of the
+/// sorted order lives at `tile[p * lanes + lane]`. Canonicalised NaNs
+/// (`+∞`) occupy the tail, so the prefix `0..finite` is exactly the sorted
+/// non-NaN multiset of the original column.
+struct SortedLane<'a> {
+    tile: &'a [f32],
+    lanes: usize,
+    lane: usize,
+    /// Number of non-NaN values in this column (`k`); order statistics are
+    /// taken relative to this, never the padded row count.
+    finite: usize,
+}
+
+impl SortedLane<'_> {
+    /// The `p`-th smallest value of the column.
+    #[inline]
+    fn get(&self, p: usize) -> f32 {
+        self.tile[p * self.lanes + self.lane]
+    }
+
+    /// Median of the sorted prefix `0..k` (midpoint convention for even
+    /// `k`, matching [`median_of_scratch`]).
+    #[inline]
+    fn prefix_median(&self, k: usize) -> f32 {
+        if k % 2 == 1 {
+            self.get(k / 2)
+        } else {
+            0.5 * (self.get(k / 2 - 1) + self.get(k / 2))
+        }
     }
 }
 
@@ -740,6 +1063,23 @@ impl BatchColumns<'_> {
         self.cols.len()
     }
 
+    /// Allocates an output buffer of the view's width, runs `fill` into it
+    /// and wraps the result (the convenience path behind every
+    /// `Vector`-returning kernel on this view).
+    fn collect(&self, fill: impl FnOnce(&mut [f32]) -> Result<()>) -> Result<Vector> {
+        let mut out = vec![0.0f32; self.cols.len()];
+        fill(&mut out)?;
+        Ok(Vector::from(out))
+    }
+
+    /// Validates a caller-provided output slice against the view's width.
+    fn check_out(&self, out: &[f32]) -> Result<()> {
+        if out.len() != self.cols.len() {
+            return Err(TensorError::dim(self.cols.len(), out.len()));
+        }
+        Ok(())
+    }
+
     /// Coordinate-wise mean over these columns; `rows` optionally restricts
     /// the reduction to a row subset (selection averaging).
     ///
@@ -748,8 +1088,22 @@ impl BatchColumns<'_> {
     /// Same conditions as [`GradientBatch::coordinate_mean`] /
     /// [`GradientBatch::mean_of_rows`].
     pub fn mean(&self, rows: Option<&[usize]>) -> Result<Vector> {
+        self.collect(|out| self.mean_into(rows, out))
+    }
+
+    /// [`BatchColumns::mean`] written into `out` (one slot per column of the
+    /// view) — the zero-copy path a sharded aggregator uses to place every
+    /// shard's output directly into the final update buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchColumns::mean`], plus
+    /// [`TensorError::DimensionMismatch`] when `out` does not match the
+    /// view's width.
+    pub fn mean_into(&self, rows: Option<&[usize]>, out: &mut [f32]) -> Result<()> {
+        self.check_out(out)?;
         let label = if rows.is_some() { "mean_of_rows" } else { "coordinate_mean" };
-        self.batch.mean_blocks(rows, false, label, self.cols.clone())
+        self.batch.mean_blocks(rows, false, label, self.cols.clone(), out)
     }
 
     /// NaN-skipping coordinate-wise mean over these columns.
@@ -758,7 +1112,18 @@ impl BatchColumns<'_> {
     ///
     /// Same conditions as [`GradientBatch::coordinate_nan_mean`].
     pub fn nan_mean(&self) -> Result<Vector> {
-        self.batch.mean_blocks(None, true, "coordinate_nan_mean", self.cols.clone())
+        self.collect(|out| self.nan_mean_into(out))
+    }
+
+    /// [`BatchColumns::nan_mean`] written into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchColumns::nan_mean`], plus
+    /// [`TensorError::DimensionMismatch`] on a mis-sized `out`.
+    pub fn nan_mean_into(&self, out: &mut [f32]) -> Result<()> {
+        self.check_out(out)?;
+        self.batch.mean_blocks(None, true, "coordinate_nan_mean", self.cols.clone(), out)
     }
 
     /// NaN-tolerant coordinate-wise median over these columns.
@@ -767,7 +1132,18 @@ impl BatchColumns<'_> {
     ///
     /// Same conditions as [`GradientBatch::coordinate_median`].
     pub fn median(&self, rows: Option<&[usize]>) -> Result<Vector> {
-        self.batch.median_impl(rows, self.cols.clone())
+        self.collect(|out| self.median_into(rows, out))
+    }
+
+    /// [`BatchColumns::median`] written into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchColumns::median`], plus
+    /// [`TensorError::DimensionMismatch`] on a mis-sized `out`.
+    pub fn median_into(&self, rows: Option<&[usize]>, out: &mut [f32]) -> Result<()> {
+        self.check_out(out)?;
+        self.batch.median_impl(rows, self.cols.clone(), out)
     }
 
     /// Coordinate-wise trimmed mean over these columns.
@@ -776,7 +1152,18 @@ impl BatchColumns<'_> {
     ///
     /// Same conditions as [`GradientBatch::coordinate_trimmed_mean`].
     pub fn trimmed_mean(&self, trim: usize) -> Result<Vector> {
-        self.batch.trimmed_mean_impl(trim, self.cols.clone())
+        self.collect(|out| self.trimmed_mean_into(trim, out))
+    }
+
+    /// [`BatchColumns::trimmed_mean`] written into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchColumns::trimmed_mean`], plus
+    /// [`TensorError::DimensionMismatch`] on a mis-sized `out`.
+    pub fn trimmed_mean_into(&self, trim: usize, out: &mut [f32]) -> Result<()> {
+        self.check_out(out)?;
+        self.batch.trimmed_mean_impl(trim, self.cols.clone(), out)
     }
 
     /// Mean of the `keep` values closest to the coordinate-wise median, over
@@ -786,7 +1173,23 @@ impl BatchColumns<'_> {
     ///
     /// Same conditions as [`GradientBatch::mean_around_median`].
     pub fn mean_around_median(&self, rows: Option<&[usize]>, keep: usize) -> Result<Vector> {
-        self.batch.mean_around_median_impl(rows, keep, self.cols.clone())
+        self.collect(|out| self.mean_around_median_into(rows, keep, out))
+    }
+
+    /// [`BatchColumns::mean_around_median`] written into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchColumns::mean_around_median`], plus
+    /// [`TensorError::DimensionMismatch`] on a mis-sized `out`.
+    pub fn mean_around_median_into(
+        &self,
+        rows: Option<&[usize]>,
+        keep: usize,
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.check_out(out)?;
+        self.batch.mean_around_median_impl(rows, keep, self.cols.clone(), out)
     }
 
     /// Raw per-pair partial squared distances over these columns (see

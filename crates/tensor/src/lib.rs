@@ -12,6 +12,10 @@
 //!   round of gradients, plus the fused, cache-friendly aggregation kernels
 //!   (triangular pairwise distances, column-block medians/means). This is
 //!   the hot-path representation the GARs aggregate over.
+//! * [`sortnet`] — branch-free selection networks (Batcher odd–even
+//!   mergesort, pruned to the order statistics a rule actually reads),
+//!   executed vertically over lanes of columns by the batch kernels for
+//!   worker-count row counts.
 //! * [`ShardPlan`] — the contiguous coordinate partition of a sharded
 //!   deployment, shared by the aggregation kernels, the packet-routing layer
 //!   and the parameter-server runtime so they agree on shard boundaries.
@@ -40,6 +44,7 @@ pub mod matrix;
 pub mod ops;
 pub mod rng;
 pub mod shard;
+pub mod sortnet;
 pub mod stats;
 pub mod tensor;
 pub mod vector;

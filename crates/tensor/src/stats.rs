@@ -250,6 +250,64 @@ pub(crate) fn median_of_scratch(column: &mut [f32]) -> Result<f32> {
     }
 }
 
+/// Mean of the values closest to the median of an already-sorted, NaN-free
+/// column — the one closest-to-median window kernel shared by MeaMed and
+/// Bulyan's second phase, on both the scalar and the selection-network
+/// paths.
+///
+/// `sorted` holds the column's non-NaN values in ascending order (`±∞`
+/// included — they rank infinitely far from the median and are only taken
+/// when nothing better remains); `column_len` is the original column length
+/// including NaN entries, which bounds the effective keep count exactly as
+/// the historical kernels did. `|v − median|` is V-shaped over the sorted
+/// buffer, so the window of closest values is contiguous and grows greedily
+/// by a two-pointer walk; on ties at the window boundary the smaller value
+/// wins (deliberately deterministic — the pre-arena kernels disagreed with
+/// each other here).
+///
+/// When fewer than `keep` non-NaN values exist, the NaN submissions are
+/// forced into the average (they rank infinitely far and only join when
+/// nothing better remains), poisoning it — the caller decides whether that
+/// is an error.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty (callers map the empty column to their own
+/// error first).
+pub(crate) fn mean_of_closest_to_median_sorted(
+    sorted: &[f32],
+    column_len: usize,
+    keep: usize,
+) -> f32 {
+    let k = sorted.len();
+    assert!(k > 0, "mean_of_closest_to_median_sorted needs at least one value");
+    let center = if k % 2 == 1 { sorted[k / 2] } else { 0.5 * (sorted[k / 2 - 1] + sorted[k / 2]) };
+    let keep_eff = keep.min(column_len).max(1);
+    let take = keep_eff.min(k);
+    let (mut l, mut r) = (k / 2, k / 2);
+    let mut sum = 0.0f32;
+    for _ in 0..take {
+        let take_left = if l == 0 {
+            false
+        } else if r >= k {
+            true
+        } else {
+            (sorted[l - 1] - center).abs() <= (sorted[r] - center).abs()
+        };
+        if take_left {
+            l -= 1;
+            sum += sorted[l];
+        } else {
+            sum += sorted[r];
+            r += 1;
+        }
+    }
+    if keep_eff > k {
+        sum += f32::NAN;
+    }
+    sum / keep_eff as f32
+}
+
 /// Sample variance (unbiased, divide by `n - 1`) of a slice; 0 for fewer than
 /// two finite values.
 pub fn variance(values: &[f32]) -> f32 {

@@ -127,6 +127,45 @@ fn shard_parallel_aggregation_matches_sequential_shard_order() {
 }
 
 #[test]
+fn shard_parallel_median_matches_sequential_shard_order() {
+    // Coordinate-wise rule through the selection-network kernels: per-shard
+    // column ranges start mid-lane-tile, so this pins that the network
+    // path's tile/block snapping and NaN canonicalisation stay bit-identical
+    // between the rayon fan-out and plain shard order.
+    let mut config = base_config(GarKind::Median, 2, 9);
+    config.shards = 3;
+    config.byzantine_count = 2;
+    config.attack = AttackKind::LittleIsEnough { z: 1.5 };
+    let mut parallel = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    let mut sequential = SyncTrainingEngine::new(config).expect("valid config");
+    sequential.set_phase1_parallel(false);
+    sequential.set_shard_parallel(false);
+    let parallel = parallel.run().expect("parallel run");
+    let sequential = sequential.run().expect("sequential run");
+    assert_reports_identical(&parallel, &sequential);
+    assert_eq!(parallel.steps_completed, 24);
+}
+
+#[test]
+fn shard_parallel_bulyan_matches_sequential_shard_order() {
+    // Bulyan drives both halves at once: the sharded distance pipeline for
+    // phase 1 and the network mean-around-median kernels for phase 2 over
+    // the selected rows.
+    let mut config = base_config(GarKind::Bulyan, 1, 9);
+    config.shards = 4;
+    config.byzantine_count = 1;
+    config.attack = AttackKind::Reversed { scale: 50.0 };
+    let mut parallel = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    let mut sequential = SyncTrainingEngine::new(config).expect("valid config");
+    sequential.set_phase1_parallel(false);
+    sequential.set_shard_parallel(false);
+    let parallel = parallel.run().expect("parallel run");
+    let sequential = sequential.run().expect("sequential run");
+    assert_reports_identical(&parallel, &sequential);
+    assert_eq!(parallel.steps_completed, 24);
+}
+
+#[test]
 fn shard_parallel_aggregation_matches_sequential_shard_order_over_lossy_links() {
     // Both parallel tiers at once (phase-1 workers and shards) against the
     // fully sequential engine, over lossy links with whole-row compaction.

@@ -192,6 +192,21 @@ macro_rules! impl_serde_float {
 }
 impl_serde_float!(f32, f64);
 
+// `Value` round-trips through itself, so generic JSON documents (whose
+// schema the caller inspects at runtime, e.g. the bench-floor checker over
+// the committed BENCH_*.json files) can be parsed without a mirror struct.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
