@@ -15,6 +15,15 @@
 //!   reassembly into a fresh `Vector` (+ `Vec<bool>` mask), submissions
 //!   collected as `Vec<Vector>` and re-packed with
 //!   `GradientBatch::from_vectors` every round.
+//! * **streaming** — the event-driven path: a `RoundPipeline` with per-row
+//!   completion events, so each delivered row's distance contributions fold
+//!   into the incremental accumulator while the row is still hot in cache,
+//!   and the GAR runs distance-primed (`aggregate_batch_with_distances`)
+//!   instead of recomputing the O(n²·d) matrix at the barrier.
+//! * **quorum** — the streaming path under the `n − f` quorum policy: the
+//!   round aggregates at the first `n − f` arrivals and never pays for the
+//!   `f` slowest deliveries or their distance rows, exactly as the engine
+//!   does with `QuorumPolicy::NMinusF`.
 //!
 //! A separate codec section isolates the wire leg (encode + decode of one
 //! d = 100k gradient): bulk 4-byte-chunk passes vs the legacy per-element
@@ -29,6 +38,7 @@ use agg_net::{
     GradientCodec, LinkConfig, LossPolicy, LossyLink, LossyTransport, Packet, ReliableTransport,
     RoundAssembler, Transport,
 };
+use agg_ps::{QuorumPolicy, RoundPipeline};
 use agg_tensor::rng::{gaussian_vector, seeded_rng};
 use agg_tensor::{GradientBatch, Vector};
 use std::fmt::Write as _;
@@ -131,6 +141,43 @@ fn pipeline_round(
     }
 }
 
+/// The streaming round: the arena buffers flip, each delivered row fires a
+/// completion event that folds its distance contributions in while the row
+/// is hot in cache, and the GAR runs distance-primed on the first `accept`
+/// arrivals (the stragglers are compacted away like transport losses).
+fn streaming_round(
+    gar: &dyn Gar,
+    transports: &mut [Box<dyn Transport>],
+    pipeline: &mut RoundPipeline,
+    gradients: &[Vector],
+    accept: usize,
+) {
+    pipeline.begin_round(N);
+    for worker in 0..accept {
+        transports[worker]
+            .transfer_into(
+                worker as u32,
+                0,
+                gradients[worker].as_slice(),
+                pipeline.arena_mut().row_mut(worker),
+            )
+            .expect("transfer succeeds");
+        pipeline.row_done(worker);
+    }
+    let keep: Vec<usize> = (0..accept).collect();
+    let distances = pipeline.matrix(&keep);
+    if accept < N {
+        let mut flags = vec![false; N];
+        flags[..accept].fill(true);
+        pipeline.arena_mut().retain_rows(&flags);
+    }
+    match &distances {
+        Some(distances) => gar.aggregate_batch_with_distances(pipeline.arena(), distances),
+        None => gar.aggregate_batch(pipeline.arena()),
+    }
+    .expect("aggregation succeeds");
+}
+
 struct Cell {
     transport: &'static str,
     rule: &'static str,
@@ -140,6 +187,10 @@ struct Cell {
     /// rebuilt, without the (path-independent) aggregation floor.
     pipeline_wire_ns: u128,
     reference_wire_ns: u128,
+    /// Event-driven round over all `n` workers (distance-primed GAR).
+    streaming_ns: u128,
+    /// Event-driven round under the `n − f` quorum policy.
+    quorum_ns: u128,
 }
 
 impl Cell {
@@ -149,6 +200,14 @@ impl Cell {
 
     fn wire_speedup(&self) -> f64 {
         self.reference_wire_ns as f64 / self.pipeline_wire_ns.max(1) as f64
+    }
+
+    fn streaming_speedup(&self) -> f64 {
+        self.reference_ns as f64 / self.streaming_ns.max(1) as f64
+    }
+
+    fn quorum_speedup(&self) -> f64 {
+        self.reference_ns as f64 / self.quorum_ns.max(1) as f64
     }
 }
 
@@ -176,7 +235,7 @@ fn main() {
         "round_perf: n = {N}, f = {F}, d = {D}, drop = {DROP_RATE} (median ns/round, end-to-end)"
     );
     println!(
-        "{:<11} {:<12} {:>13} {:>13} {:>8} {:>13} {:>13} {:>9}",
+        "{:<11} {:<12} {:>13} {:>13} {:>8} {:>13} {:>13} {:>9} {:>13} {:>8} {:>13} {:>8}",
         "transport",
         "rule",
         "pipeline_ns",
@@ -184,7 +243,11 @@ fn main() {
         "speedup",
         "pipe_wire_ns",
         "ref_wire_ns",
-        "wire_spd"
+        "wire_spd",
+        "streaming_ns",
+        "strm_spd",
+        "quorum_ns",
+        "quor_spd"
     );
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -239,6 +302,22 @@ fn main() {
                 reference_round(None, codec, &mut links, &gradients);
             });
 
+            // The streaming arms run the engine's event-driven round: the
+            // same transports, delivered into a double-buffered pipeline
+            // with per-row distance events (flat replay, matching the
+            // unsharded server this bench drives).
+            let mut pipeline = RoundPipeline::new(D, N);
+            if kind.uses_distances() {
+                pipeline.enable_distance_streaming(N, D, 1).expect("valid plan");
+            }
+            let streaming_ns = median_round_ns(|| {
+                streaming_round(gar.as_ref(), &mut transports, &mut pipeline, &gradients, N);
+            });
+            let accept = QuorumPolicy::NMinusF.accept_count(N, F);
+            let quorum_ns = median_round_ns(|| {
+                streaming_round(gar.as_ref(), &mut transports, &mut pipeline, &gradients, accept);
+            });
+
             let cell = Cell {
                 transport: transport_name,
                 rule: kind.name(),
@@ -246,9 +325,11 @@ fn main() {
                 reference_ns,
                 pipeline_wire_ns,
                 reference_wire_ns,
+                streaming_ns,
+                quorum_ns,
             };
             println!(
-                "{:<11} {:<12} {:>13} {:>13} {:>7.2}x {:>13} {:>13} {:>8.2}x",
+                "{:<11} {:<12} {:>13} {:>13} {:>7.2}x {:>13} {:>13} {:>8.2}x {:>13} {:>7.2}x {:>13} {:>7.2}x",
                 cell.transport,
                 cell.rule,
                 cell.pipeline_ns,
@@ -256,7 +337,11 @@ fn main() {
                 cell.speedup(),
                 cell.pipeline_wire_ns,
                 cell.reference_wire_ns,
-                cell.wire_speedup()
+                cell.wire_speedup(),
+                cell.streaming_ns,
+                cell.streaming_speedup(),
+                cell.quorum_ns,
+                cell.quorum_speedup()
             );
             cells.push(cell);
         }
@@ -301,7 +386,9 @@ fn main() {
             json,
             "    {{\"transport\": \"{}\", \"rule\": \"{}\", \"pipeline_ns\": {}, \
              \"reference_ns\": {}, \"speedup\": {:.2}, \"pipeline_wire_ns\": {}, \
-             \"reference_wire_ns\": {}, \"wire_speedup\": {:.2}}}{comma}",
+             \"reference_wire_ns\": {}, \"wire_speedup\": {:.2}, \"streaming_ns\": {}, \
+             \"streaming_speedup\": {:.2}, \"quorum_ns\": {}, \
+             \"quorum_speedup\": {:.2}}}{comma}",
             cell.transport,
             cell.rule,
             cell.pipeline_ns,
@@ -309,7 +396,11 @@ fn main() {
             cell.speedup(),
             cell.pipeline_wire_ns,
             cell.reference_wire_ns,
-            cell.wire_speedup()
+            cell.wire_speedup(),
+            cell.streaming_ns,
+            cell.streaming_speedup(),
+            cell.quorum_ns,
+            cell.quorum_speedup()
         );
     }
     json.push_str("  ],\n");

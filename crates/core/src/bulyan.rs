@@ -132,7 +132,23 @@ impl Gar for Bulyan {
     }
 
     fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
-        let selected = self.select_batch(batch)?;
+        let n = ensure_batch_nonempty("bulyan", batch)?;
+        resilience::check_bulyan(n, self.f)?;
+        // The paper's optimisation: distances are computed once, here.
+        let distances = batch.pairwise_squared_distances();
+        self.aggregate_batch_with_distances(batch, &distances)
+    }
+
+    fn aggregate_batch_with_distances(
+        &self,
+        batch: &GradientBatch,
+        distances: &agg_tensor::DistanceMatrix,
+    ) -> Result<Vector> {
+        ensure_batch_nonempty("bulyan", batch)?;
+        if distances.n() != batch.n() {
+            return Err(TensorError::dim(batch.n(), distances.n()).into());
+        }
+        let selected = self.select_with_distances(distances)?;
         let beta = resilience::bulyan_beta(batch.n(), self.f)?;
         if selected.iter().all(|&i| batch.row(i).iter().any(|x| !x.is_finite())) {
             return Err(AggregationError::AllGradientsCorrupt("bulyan"));

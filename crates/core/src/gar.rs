@@ -2,7 +2,7 @@
 //! the parameter server.
 
 use crate::Result;
-use agg_tensor::{GradientBatch, Vector};
+use agg_tensor::{DistanceMatrix, GradientBatch, Vector};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -78,6 +78,32 @@ pub trait Gar: Send + Sync + fmt::Debug {
     /// Implementations return [`crate::AggregationError`] when the batch is
     /// empty, too small for the declared `f`, or entirely corrupt.
     fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector>;
+
+    /// Aggregates one round when the pairwise squared-distance matrix over
+    /// the batch rows has already been computed — the entry point of the
+    /// streaming round engine, which accumulates distances incrementally as
+    /// rows complete instead of recomputing them behind the round barrier.
+    ///
+    /// The default ignores the matrix and delegates to
+    /// [`Gar::aggregate_batch`]: coordinate-wise rules never consult
+    /// distances, so for them the two entry points are the same function.
+    /// Distance-based rules (Krum, Multi-Krum, Bulyan and their sharded
+    /// wrappers) override this to select directly from the supplied matrix;
+    /// because the streaming accumulator reproduces the batch kernels
+    /// bit-for-bit, both entry points return identical bits there too.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gar::aggregate_batch`]; overriding
+    /// implementations additionally reject a matrix whose `n` disagrees with
+    /// the batch.
+    fn aggregate_batch_with_distances(
+        &self,
+        batch: &GradientBatch,
+        _distances: &DistanceMatrix,
+    ) -> Result<Vector> {
+        self.aggregate_batch(batch)
+    }
 
     /// Aggregates one round of gradients (thin adapter over
     /// [`Gar::aggregate_batch`]: validates, packs the arena, aggregates).

@@ -64,6 +64,14 @@ impl Gar for Krum {
     fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
         self.inner.aggregate_batch(batch)
     }
+
+    fn aggregate_batch_with_distances(
+        &self,
+        batch: &GradientBatch,
+        distances: &agg_tensor::DistanceMatrix,
+    ) -> Result<Vector> {
+        self.inner.aggregate_batch_with_distances(batch, distances)
+    }
 }
 
 #[cfg(test)]

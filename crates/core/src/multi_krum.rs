@@ -248,7 +248,23 @@ impl Gar for MultiKrum {
     }
 
     fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
-        let selected = self.select_batch(batch)?;
+        let n = ensure_batch_nonempty("multi-krum", batch)?;
+        // Preconditions are checked before paying for the O(n²·d) kernel.
+        self.resolve_m(n)?;
+        let distances = batch.pairwise_squared_distances();
+        self.aggregate_batch_with_distances(batch, &distances)
+    }
+
+    fn aggregate_batch_with_distances(
+        &self,
+        batch: &GradientBatch,
+        distances: &DistanceMatrix,
+    ) -> Result<Vector> {
+        ensure_batch_nonempty("multi-krum", batch)?;
+        if distances.n() != batch.n() {
+            return Err(agg_tensor::TensorError::dim(batch.n(), distances.n()).into());
+        }
+        let selected = self.select_with_distances(distances)?;
         // Clone-free selection averaging: the selected rows are averaged
         // straight out of the arena.
         if selected.iter().all(|&i| batch.row(i).iter().any(|x| !x.is_finite())) {

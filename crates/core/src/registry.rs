@@ -48,6 +48,14 @@ impl GarKind {
         GarKind::Bulyan,
     ];
 
+    /// Whether this rule selects on the pairwise distance matrix. The
+    /// streaming round engine accumulates distances incrementally per
+    /// arriving row only for these rules; the others aggregate
+    /// coordinate-wise and gain nothing from a pre-computed matrix.
+    pub fn uses_distances(self) -> bool {
+        matches!(self, GarKind::Krum | GarKind::MultiKrum | GarKind::Bulyan)
+    }
+
     /// The canonical rule name (matches `--aggregator`).
     pub fn name(&self) -> &'static str {
         match self {

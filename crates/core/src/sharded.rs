@@ -202,15 +202,51 @@ impl ShardedAggregator {
                 let n = ensure_batch_nonempty("multi-krum", batch)?;
                 // Cheap precondition before the O(n²·d) distance pipeline.
                 resilience::check_multi_krum(n, self.config.f)?;
-                let rule = self.multi_krum_rule()?;
                 let distances = self.global_distances(batch);
-                Ok(Some(rule.select_with_distances(&distances)?))
+                self.selected_rows_with_distances(batch, &distances)
             }
             GarKind::Bulyan => {
                 let n = ensure_batch_nonempty("bulyan", batch)?;
                 resilience::check_bulyan(n, self.config.f)?;
                 let distances = self.global_distances(batch);
-                Ok(Some(Bulyan::new(self.config.f)?.select_with_distances(&distances)?))
+                self.selected_rows_with_distances(batch, &distances)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// [`ShardedAggregator::selected_rows`] on an already-reduced global
+    /// distance matrix — the streaming round engine's entry point, where the
+    /// matrix was accumulated incrementally as rows completed and folded in
+    /// the same shard order, so the selection is bit-identical to the batch
+    /// pipeline's.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedAggregator::selected_rows`], plus a
+    /// dimension error when the matrix `n` disagrees with the batch.
+    pub fn selected_rows_with_distances(
+        &self,
+        batch: &GradientBatch,
+        distances: &DistanceMatrix,
+    ) -> Result<Option<Vec<usize>>> {
+        match self.config.kind {
+            GarKind::Krum | GarKind::MultiKrum => {
+                let n = ensure_batch_nonempty("multi-krum", batch)?;
+                resilience::check_multi_krum(n, self.config.f)?;
+                if distances.n() != n {
+                    return Err(TensorError::dim(n, distances.n()).into());
+                }
+                let rule = self.multi_krum_rule()?;
+                Ok(Some(rule.select_with_distances(distances)?))
+            }
+            GarKind::Bulyan => {
+                let n = ensure_batch_nonempty("bulyan", batch)?;
+                resilience::check_bulyan(n, self.config.f)?;
+                if distances.n() != n {
+                    return Err(TensorError::dim(n, distances.n()).into());
+                }
+                Ok(Some(Bulyan::new(self.config.f)?.select_with_distances(distances)?))
             }
             _ => Ok(None),
         }
@@ -230,12 +266,17 @@ impl ShardedAggregator {
     }
 }
 
-impl Gar for ShardedAggregator {
-    fn properties(&self) -> GarProperties {
-        self.inner.properties()
-    }
-
-    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+impl ShardedAggregator {
+    /// Shared body of both [`Gar`] aggregation entry points: when `distances`
+    /// is supplied (the streaming engine's pre-accumulated global matrix) the
+    /// selection phase reads it instead of re-running the distance pipeline;
+    /// everything downstream — and every coordinate-wise arm — is the same
+    /// code either way, which is what keeps streaming == batch bit-identical.
+    fn aggregate_batch_inner(
+        &self,
+        batch: &GradientBatch,
+        distances: Option<&DistanceMatrix>,
+    ) -> Result<Vector> {
         // Each arm restates its rule's preconditions and error policy (the
         // twin sites live in the rule modules: trimmed_mean.rs, meamed.rs,
         // selective.rs, multi_krum.rs, bulyan.rs) because the sharded
@@ -286,9 +327,11 @@ impl Gar for ShardedAggregator {
             // decomposition (there is nothing to fuse per shard).
             GarKind::GeometricMedian => self.inner.aggregate_batch(batch),
             GarKind::Krum | GarKind::MultiKrum => {
-                let selected = self
-                    .selected_rows(batch)?
-                    .expect("krum/multi-krum always have a selection phase");
+                let selected = match distances {
+                    Some(d) => self.selected_rows_with_distances(batch, d)?,
+                    None => self.selected_rows(batch)?,
+                }
+                .expect("krum/multi-krum always have a selection phase");
                 if selected.iter().all(|&i| batch.row(i).iter().any(|x| !x.is_finite())) {
                     return Err(AggregationError::AllGradientsCorrupt("multi-krum"));
                 }
@@ -298,8 +341,11 @@ impl Gar for ShardedAggregator {
                 )
             }
             GarKind::Bulyan => {
-                let selected =
-                    self.selected_rows(batch)?.expect("bulyan always has a selection phase");
+                let selected = match distances {
+                    Some(d) => self.selected_rows_with_distances(batch, d)?,
+                    None => self.selected_rows(batch)?,
+                }
+                .expect("bulyan always has a selection phase");
                 let beta = resilience::bulyan_beta(n, f)?;
                 if selected.iter().all(|&i| batch.row(i).iter().any(|x| !x.is_finite())) {
                     return Err(AggregationError::AllGradientsCorrupt("bulyan"));
@@ -314,6 +360,24 @@ impl Gar for ShardedAggregator {
                 })
             }
         }
+    }
+}
+
+impl Gar for ShardedAggregator {
+    fn properties(&self) -> GarProperties {
+        self.inner.properties()
+    }
+
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        self.aggregate_batch_inner(batch, None)
+    }
+
+    fn aggregate_batch_with_distances(
+        &self,
+        batch: &GradientBatch,
+        distances: &DistanceMatrix,
+    ) -> Result<Vector> {
+        self.aggregate_batch_inner(batch, Some(distances))
     }
 }
 
@@ -390,6 +454,44 @@ mod tests {
                 "{kind}: shard-parallel aggregation must be bit-identical to shard order"
             );
         }
+    }
+
+    #[test]
+    fn streamed_distances_aggregate_is_bit_identical_to_the_batch_path() {
+        // The streaming accumulator replays the sharded partial pipeline, so
+        // handing its matrix to `aggregate_batch_with_distances` must return
+        // the same bits as the batch entry point for every distance rule.
+        let batch = random_batch(9, 1500, 17);
+        for (kind, f) in [(GarKind::Krum, 2), (GarKind::MultiKrum, 2), (GarKind::Bulyan, 1)] {
+            let sharded = ShardedAggregator::new(GarConfig::new(kind, f), 4).unwrap();
+            let mut acc = agg_tensor::StreamingDistances::sharded(9, 1500, 4).unwrap();
+            for slot in [6, 0, 8, 2, 4, 1, 7, 5, 3] {
+                acc.row_arrived(&batch, slot);
+            }
+            let keep: Vec<usize> = (0..9).collect();
+            let streamed =
+                sharded.aggregate_batch_with_distances(&batch, &acc.matrix(&keep)).unwrap();
+            let reference = sharded.aggregate_batch(&batch).unwrap();
+            assert_eq!(streamed.as_slice(), reference.as_slice(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn with_distances_rejects_a_mismatched_matrix() {
+        let batch = random_batch(9, 64, 2);
+        let sharded = ShardedAggregator::new(GarConfig::new(GarKind::MultiKrum, 2), 2).unwrap();
+        let wrong = DistanceMatrix::zeros(8);
+        assert!(sharded.aggregate_batch_with_distances(&batch, &wrong).is_err());
+    }
+
+    #[test]
+    fn coordinate_rules_ignore_a_supplied_matrix() {
+        let batch = random_batch(7, 48, 4);
+        let sharded = ShardedAggregator::new(GarConfig::new(GarKind::Median, 1), 3).unwrap();
+        let matrix = sharded.global_distances(&batch);
+        let with = sharded.aggregate_batch_with_distances(&batch, &matrix).unwrap();
+        let without = sharded.aggregate_batch(&batch).unwrap();
+        assert_eq!(with.as_slice(), without.as_slice());
     }
 
     #[test]

@@ -52,17 +52,24 @@ impl CoordinateBitset {
         self.words.fill(0);
     }
 
-    /// Sets the bits for coordinates `start..start + len`, word at a time.
-    fn mark(&mut self, start: usize, len: usize) {
+    /// Sets the bits for coordinates `start..start + len`, word at a time,
+    /// and returns how many of them were newly set. The return value is what
+    /// makes completion accounting exact under duplication and overlap: a
+    /// re-delivered range contributes zero, no matter how the packets were
+    /// split or how many shard boundaries they straddle.
+    fn mark(&mut self, start: usize, len: usize) -> usize {
         let end = start + len;
         let mut i = start;
+        let mut newly = 0usize;
         while i < end {
             let bit = i % 64;
             let take = (64 - bit).min(end - i);
             let mask = if take == 64 { !0u64 } else { ((1u64 << take) - 1) << bit };
+            newly += take - (self.words[i / 64] & mask).count_ones() as usize;
             self.words[i / 64] |= mask;
             i += take;
         }
+        newly
     }
 
     /// Invokes `gap` for every unset coordinate, in increasing order, and
@@ -92,6 +99,11 @@ impl CoordinateBitset {
 struct WireHeader {
     worker: u32,
     step: u64,
+    /// Pre-split packet id: the sequence number the *sender* stamped before
+    /// any shard routing. This is the dedup key of the streaming feed path —
+    /// a shard-straddling duplicate is one wire packet, not two.
+    sequence: usize,
+    total: usize,
     offset: usize,
     count: usize,
 }
@@ -110,6 +122,8 @@ fn parse_header(data: &[u8]) -> Result<WireHeader> {
     };
     let worker = u32_at(0);
     let step = u64::from_le_bytes(data[4..12].try_into().expect("8-byte window"));
+    let sequence = u32_at(12) as usize;
+    let total = u32_at(16) as usize;
     let offset = u32_at(20) as usize;
     let count = u32_at(24) as usize;
     if data.len() - HEADER_BYTES < count * 4 {
@@ -118,7 +132,34 @@ fn parse_header(data: &[u8]) -> Result<WireHeader> {
             data.len() - HEADER_BYTES
         )));
     }
-    Ok(WireHeader { worker, step, offset, count })
+    Ok(WireHeader { worker, step, sequence, total, offset, count })
+}
+
+/// Marks `sequence` in the seen-set, returning `false` when it was already
+/// there. The word vector grows lazily to the stream's packet count and is
+/// reused (zeroed) across rounds.
+fn note_sequence(seen: &mut Vec<u64>, sequence: usize) -> bool {
+    let word = sequence / 64;
+    if word >= seen.len() {
+        seen.resize(word + 1, 0);
+    }
+    let bit = 1u64 << (sequence % 64);
+    if seen[word] & bit != 0 {
+        return false;
+    }
+    seen[word] |= bit;
+    true
+}
+
+/// Rejects a packet whose sequence number is not below its declared total.
+fn check_sequence(header: &WireHeader) -> Result<()> {
+    if header.sequence >= header.total {
+        return Err(NetError::MalformedPacket(format!(
+            "packet sequence {} of a {}-packet stream",
+            header.sequence, header.total
+        )));
+    }
+    Ok(())
 }
 
 /// Reassembles one gradient per call from whichever encoded packets arrived,
@@ -131,17 +172,112 @@ pub struct RoundAssembler {
     dimension: usize,
     /// One bit per coordinate, set when any delivered packet covered it.
     filled: CoordinateBitset,
+    /// Streaming-path state (see [`RoundAssembler::begin_round`]): newly
+    /// covered coordinate count, the round's (worker, step) reference, and
+    /// the pre-split packet ids already fed.
+    received: usize,
+    reference: Option<WireHeader>,
+    seen: Vec<u64>,
 }
 
 impl RoundAssembler {
     /// Creates an assembler for gradients of dimension `dimension`.
     pub fn new(dimension: usize) -> Self {
-        RoundAssembler { dimension, filled: CoordinateBitset::new(dimension) }
+        RoundAssembler {
+            dimension,
+            filled: CoordinateBitset::new(dimension),
+            received: 0,
+            reference: None,
+            seen: Vec::new(),
+        }
     }
 
     /// The gradient dimension this assembler reassembles.
     pub fn dimension(&self) -> usize {
         self.dimension
+    }
+
+    /// Starts a streaming round: clears the coverage bitset, the received
+    /// count, the stream reference and the packet-id dedup set.
+    ///
+    /// Where [`RoundAssembler::assemble_into`] consumes a round's packets in
+    /// one batch call, the streaming path feeds them as they drain off the
+    /// wire — `begin_round`, then [`RoundAssembler::feed`] per packet (the
+    /// caller watches [`RoundAssembler::is_complete`] to fire per-row work
+    /// the moment the row is in), then [`RoundAssembler::finish_round`] to
+    /// NaN-fill whatever never arrived.
+    pub fn begin_round(&mut self) {
+        self.filled.reset();
+        self.received = 0;
+        self.reference = None;
+        self.seen.fill(0);
+    }
+
+    /// Feeds one delivered packet, scattering its payload into `dst`, and
+    /// returns how many coordinates it newly covered.
+    ///
+    /// A packet whose pre-split id was already fed this round returns
+    /// `Ok(0)` without touching `dst` (first delivery wins), so completion
+    /// accounting stays exact under wire duplication.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoundAssembler::assemble_into`], plus
+    /// [`NetError::MalformedPacket`] for a sequence number at or above the
+    /// declared stream total.
+    pub fn feed(&mut self, packet: &Bytes, dst: &mut [f32]) -> Result<usize> {
+        if dst.len() != self.dimension {
+            return Err(NetError::InvalidConfig(format!(
+                "destination row has {} coordinates, assembler expects {}",
+                dst.len(),
+                self.dimension
+            )));
+        }
+        let header = parse_header(packet)?;
+        match &self.reference {
+            Some(reference) => check_same_stream(&header, reference)?,
+            None => self.reference = Some(header),
+        }
+        check_in_bounds(&header, self.dimension)?;
+        check_sequence(&header)?;
+        if !note_sequence(&mut self.seen, header.sequence) {
+            return Ok(0);
+        }
+        let payload = &packet[HEADER_BYTES..HEADER_BYTES + 4 * header.count];
+        get_f32_slice_le(payload, &mut dst[header.offset..header.offset + header.count]);
+        let newly = self.filled.mark(header.offset, header.count);
+        self.received += newly;
+        Ok(newly)
+    }
+
+    /// Coordinates covered so far in the current streaming round.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Whether every coordinate of the row has been covered — the per-row
+    /// completion event of the streaming round.
+    pub fn is_complete(&self) -> bool {
+        self.received == self.dimension
+    }
+
+    /// Ends a streaming round: NaN-fills every coordinate no packet covered
+    /// and returns how many there were (the same missing count
+    /// [`RoundAssembler::assemble_into`] reports).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when `dst` does not match the
+    /// assembler's dimension.
+    pub fn finish_round(&mut self, dst: &mut [f32]) -> Result<usize> {
+        if dst.len() != self.dimension {
+            return Err(NetError::InvalidConfig(format!(
+                "destination row has {} coordinates, assembler expects {}",
+                dst.len(),
+                self.dimension
+            )));
+        }
+        Ok(self.filled.for_each_gap(|c| dst[c] = f32::NAN))
     }
 
     /// Scatters the delivered packets of one gradient into `dst` and returns
@@ -230,18 +366,38 @@ fn check_in_bounds(header: &WireHeader, dimension: usize) -> Result<()> {
 /// The [`ShardPlan`] is the same type the aggregation layer partitions the
 /// arena with, so a coordinate routed to shard `s` here is by construction
 /// the coordinate shard `s`'s kernels aggregate.
+/// What one [`ShardedRoundAssembler::feed`] call changed: how many
+/// coordinates the packet newly covered, and which shards' completion state
+/// may have flipped (poll [`ShardedRoundAssembler::shard_complete`] over the
+/// range). A duplicate contributes nothing and touches no shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedOutcome {
+    /// Coordinates this packet newly covered (exact under duplication and
+    /// shard-boundary splits).
+    pub newly_covered: usize,
+    /// The contiguous shard range the packet's coordinate range touches —
+    /// empty for duplicates and header-only packets.
+    pub shards: std::ops::Range<usize>,
+}
+
 #[derive(Debug, Clone)]
 pub struct ShardedRoundAssembler {
     plan: ShardPlan,
     /// One bit per (global) coordinate, set when any packet covered it.
     filled: CoordinateBitset,
+    /// Streaming-path state: newly covered coordinates per shard, the
+    /// round's stream reference, and the pre-split packet ids already fed.
+    shard_received: Vec<usize>,
+    reference: Option<WireHeader>,
+    seen: Vec<u64>,
 }
 
 impl ShardedRoundAssembler {
     /// Creates an assembler routing into the shards of `plan`.
     pub fn new(plan: ShardPlan) -> Self {
         let filled = CoordinateBitset::new(plan.dimension());
-        ShardedRoundAssembler { plan, filled }
+        let shard_received = vec![0usize; plan.shard_count()];
+        ShardedRoundAssembler { plan, filled, shard_received, reference: None, seen: Vec::new() }
     }
 
     /// The shard partition this assembler routes into.
@@ -313,6 +469,144 @@ impl ShardedRoundAssembler {
         // Walk the global gap bits in increasing coordinate order; the shard
         // cursor only ever advances, so routing the NaN fills is O(1)
         // amortised per gap.
+        let plan = &self.plan;
+        let mut shard = 0usize;
+        let missing = self.filled.for_each_gap(|c| {
+            while c >= plan.range(shard).end {
+                shard += 1;
+            }
+            rows[shard][c - plan.range(shard).start] = f32::NAN;
+        });
+        Ok(missing)
+    }
+
+    /// Starts a streaming round: clears coverage, per-shard received counts,
+    /// the stream reference and the packet-id dedup set. The streaming
+    /// counterpart of [`ShardedRoundAssembler::assemble_into`]: feed packets
+    /// as they arrive and fire a shard's kernels the moment
+    /// [`ShardedRoundAssembler::shard_complete`] flips.
+    pub fn begin_round(&mut self) {
+        self.filled.reset();
+        self.shard_received.fill(0);
+        self.reference = None;
+        self.seen.fill(0);
+    }
+
+    /// Feeds one delivered packet, routing its payload into the per-shard
+    /// rows, and reports what it changed.
+    ///
+    /// Deduplication happens on the **pre-split packet id** (the sender's
+    /// sequence number), not on the post-split shard pieces: a re-delivered
+    /// packet that straddles a shard boundary is dropped before routing, so
+    /// it cannot count toward *either* shard's completion total. Coverage is
+    /// additionally counted from newly set coverage bits, so even partially
+    /// overlapping ranges (distinct ids, shared coordinates) never inflate
+    /// the quorum accounting.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedRoundAssembler::assemble_into`], plus
+    /// [`NetError::MalformedPacket`] for a sequence number at or above the
+    /// declared stream total. Row-width validation covers the shards the
+    /// packet touches.
+    pub fn feed(&mut self, packet: &Bytes, rows: &mut [&mut [f32]]) -> Result<FeedOutcome> {
+        if rows.len() != self.plan.shard_count() {
+            return Err(NetError::InvalidConfig(format!(
+                "{} destination rows for a {}-shard plan",
+                rows.len(),
+                self.plan.shard_count()
+            )));
+        }
+        let dimension = self.plan.dimension();
+        let header = parse_header(packet)?;
+        match &self.reference {
+            Some(reference) => check_same_stream(&header, reference)?,
+            None => self.reference = Some(header),
+        }
+        check_in_bounds(&header, dimension)?;
+        check_sequence(&header)?;
+        if header.count == 0 || !note_sequence(&mut self.seen, header.sequence) {
+            return Ok(FeedOutcome { newly_covered: 0, shards: 0..0 });
+        }
+        let end = header.offset + header.count;
+        let first_shard = self.plan.shard_of(header.offset);
+        let mut global = header.offset;
+        let mut consumed = 0usize;
+        let mut newly = 0usize;
+        let mut shard = first_shard;
+        while global < end {
+            shard = self.plan.shard_of(global);
+            let range = self.plan.range(shard);
+            if rows[shard].len() != range.len() {
+                return Err(NetError::InvalidConfig(format!(
+                    "shard {shard} row has {} coordinates, its shard range holds {}",
+                    rows[shard].len(),
+                    range.len()
+                )));
+            }
+            let take = (end - global).min(range.end - global);
+            let payload =
+                &packet[HEADER_BYTES + 4 * consumed..HEADER_BYTES + 4 * (consumed + take)];
+            let local = global - range.start;
+            get_f32_slice_le(payload, &mut rows[shard][local..local + take]);
+            let covered = self.filled.mark(global, take);
+            self.shard_received[shard] += covered;
+            newly += covered;
+            consumed += take;
+            global += take;
+        }
+        Ok(FeedOutcome { newly_covered: newly, shards: first_shard..shard + 1 })
+    }
+
+    /// Coordinates of shard `s` covered so far in the current round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn shard_received(&self, s: usize) -> usize {
+        self.shard_received[s]
+    }
+
+    /// Whether every coordinate of shard `s` has been covered — the
+    /// per-shard completion event that lets a coordinate rule start shard
+    /// `s`'s kernels before the rest of the gradient is in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn shard_complete(&self, s: usize) -> bool {
+        self.shard_received[s] == self.plan.range(s).len()
+    }
+
+    /// Whether every coordinate of every shard has been covered.
+    pub fn is_complete(&self) -> bool {
+        self.shard_received.iter().sum::<usize>() == self.plan.dimension()
+    }
+
+    /// Ends a streaming round: NaN-fills every coordinate no packet covered
+    /// (in its owning shard's row) and returns how many there were.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when the row layout does not
+    /// match the shard plan.
+    pub fn finish_round(&mut self, rows: &mut [&mut [f32]]) -> Result<usize> {
+        if rows.len() != self.plan.shard_count() {
+            return Err(NetError::InvalidConfig(format!(
+                "{} destination rows for a {}-shard plan",
+                rows.len(),
+                self.plan.shard_count()
+            )));
+        }
+        for (s, row) in rows.iter().enumerate() {
+            let width = self.plan.range(s).len();
+            if row.len() != width {
+                return Err(NetError::InvalidConfig(format!(
+                    "shard {s} row has {} coordinates, its shard range holds {width}",
+                    row.len()
+                )));
+            }
+        }
         let plan = &self.plan;
         let mut shard = 0usize;
         let missing = self.filled.for_each_gap(|c| {
@@ -567,6 +861,154 @@ mod tests {
             sharded.assemble_into(&[], &mut [a.as_mut_slice(), b.as_mut_slice()]),
             Err(NetError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn streaming_feed_matches_batch_assembly_bit_for_bit() {
+        // begin_round/feed/finish_round over the same packet multiset must
+        // reproduce assemble_into exactly: same row bits, same missing count,
+        // for both assemblers.
+        let codec = GradientCodec::new(7).unwrap();
+        let g: Vec<f32> = (0..53).map(|i| (i as f32).cos()).collect();
+        let mut packets = codec.split_bytes(4, 8, &g);
+        packets.remove(4);
+        packets.reverse();
+        packets.push(packets[2].clone());
+
+        let mut batch = RoundAssembler::new(53);
+        let mut expected = vec![0.0f32; 53];
+        let expected_missing = batch.assemble_into(&packets, &mut expected).unwrap();
+
+        let mut streaming = RoundAssembler::new(53);
+        streaming.begin_round();
+        let mut row = vec![0.0f32; 53];
+        for p in &packets {
+            streaming.feed(p, &mut row).unwrap();
+        }
+        assert!(!streaming.is_complete());
+        assert_eq!(streaming.finish_round(&mut row).unwrap(), expected_missing);
+        for (c, (a, b)) in row.iter().zip(&expected).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "coordinate {c}");
+        }
+
+        let plan = agg_tensor::ShardPlan::new(53, 4).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        sharded.begin_round();
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+        for p in &packets {
+            sharded.feed(p, &mut views).unwrap();
+        }
+        assert_eq!(sharded.finish_round(&mut views).unwrap(), expected_missing);
+        let rebuilt: Vec<f32> = shard_rows.concat();
+        for (c, (a, b)) in rebuilt.iter().zip(&expected).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "sharded coordinate {c}");
+        }
+    }
+
+    #[test]
+    fn row_completion_fires_exactly_when_the_last_coordinate_lands() {
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let packets = codec.split_bytes(1, 3, &g);
+        let mut assembler = RoundAssembler::new(20);
+        assembler.begin_round();
+        let mut row = vec![0.0f32; 20];
+        for (i, p) in packets.iter().enumerate() {
+            assert!(!assembler.is_complete(), "complete before packet {i}");
+            assembler.feed(p, &mut row).unwrap();
+        }
+        assert!(assembler.is_complete());
+        assert_eq!(assembler.received(), 20);
+        assert_eq!(assembler.finish_round(&mut row).unwrap(), 0);
+        assert_eq!(row, g);
+    }
+
+    #[test]
+    fn duplicate_straddling_packet_counts_toward_neither_shards_total() {
+        // The quorum-accounting regression: shards of width 5, packets of 8
+        // coordinates, so packet 0 covers 0..8 — it straddles the shard 0/1
+        // boundary. Feeding it twice must leave shard 0 at 5 and shard 1 at
+        // 3 covered coordinates: the duplicate is dropped on its pre-split
+        // id *before* shard routing, so neither shard's completion total
+        // moves, and shard 1 only completes when packet 1 (8..16) arrives.
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let packets = codec.split_bytes(0, 0, &g);
+        let plan = agg_tensor::ShardPlan::new(20, 4).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        sharded.begin_round();
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+
+        let first = sharded.feed(&packets[0], &mut views).unwrap();
+        assert_eq!(first, FeedOutcome { newly_covered: 8, shards: 0..2 });
+        assert!(sharded.shard_complete(0));
+        assert_eq!(sharded.shard_received(1), 3);
+
+        let duplicate = sharded.feed(&packets[0], &mut views).unwrap();
+        assert_eq!(duplicate, FeedOutcome { newly_covered: 0, shards: 0..0 });
+        assert_eq!(sharded.shard_received(0), 5, "duplicate must not inflate shard 0");
+        assert_eq!(sharded.shard_received(1), 3, "duplicate must not inflate shard 1");
+        assert!(!sharded.shard_complete(1));
+
+        let second = sharded.feed(&packets[1], &mut views).unwrap();
+        assert_eq!(second.newly_covered, 8);
+        assert!(sharded.shard_complete(1));
+        assert!(sharded.shard_complete(2));
+        assert!(!sharded.is_complete());
+        sharded.feed(&packets[2], &mut views).unwrap();
+        assert!(sharded.is_complete());
+        assert_eq!(sharded.finish_round(&mut views).unwrap(), 0);
+        assert_eq!(shard_rows.concat(), g);
+    }
+
+    #[test]
+    fn feed_rejects_mixed_streams_and_bad_sequences() {
+        let codec = GradientCodec::new(8).unwrap();
+        let a = codec.split_bytes(0, 0, &gradient(16));
+        let b = codec.split_bytes(1, 0, &gradient(16));
+        let mut assembler = RoundAssembler::new(16);
+        assembler.begin_round();
+        let mut row = vec![0.0f32; 16];
+        assembler.feed(&a[0], &mut row).unwrap();
+        assert!(matches!(assembler.feed(&b[0], &mut row), Err(NetError::InconsistentStream(_))));
+        // A corrupted sequence number at/above the declared total.
+        let mut bytes = a[0].to_vec();
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            assembler.feed(&Bytes::from(bytes), &mut row),
+            Err(NetError::MalformedPacket(_))
+        ));
+    }
+
+    #[test]
+    fn begin_round_resets_streaming_state_between_rounds() {
+        let codec = GradientCodec::new(8).unwrap();
+        let plan = agg_tensor::ShardPlan::new(20, 4).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+
+        let g = gradient(20);
+        sharded.begin_round();
+        for p in codec.split_bytes(0, 0, &g) {
+            sharded.feed(&p, &mut views).unwrap();
+        }
+        assert!(sharded.is_complete());
+
+        // Next round, next step: the dedup set and counters must start
+        // fresh, so the same sequence numbers land again.
+        sharded.begin_round();
+        assert!(!sharded.is_complete());
+        assert_eq!(sharded.shard_received(0), 0);
+        let next: Vec<f32> = g.iter().map(|x| x + 1.0).collect();
+        for p in codec.split_bytes(0, 1, &next) {
+            sharded.feed(&p, &mut views).unwrap();
+        }
+        assert!(sharded.is_complete());
+        assert_eq!(sharded.finish_round(&mut views).unwrap(), 0);
+        assert_eq!(shard_rows.concat(), next);
     }
 
     #[test]

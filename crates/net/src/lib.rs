@@ -32,7 +32,7 @@ pub mod link;
 pub mod packet;
 pub mod transport;
 
-pub use assembler::{RoundAssembler, ShardedRoundAssembler};
+pub use assembler::{FeedOutcome, RoundAssembler, ShardedRoundAssembler};
 pub use error::NetError;
 pub use link::{LinkConfig, LinkStats, LossyLink};
 pub use packet::{get_f32_slice_le, put_f32_slice_le, GradientCodec, Packet};

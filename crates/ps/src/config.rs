@@ -15,6 +15,7 @@
 //! | (communication backend) | [`RunnerConfig::transport`], [`RunnerConfig::lossy_links`], [`RunnerConfig::link`] |
 
 use crate::cost::CostModel;
+use crate::streaming::StreamingConfig;
 use crate::{PsError, Result};
 use agg_attacks::AttackKind;
 use agg_core::GarConfig;
@@ -176,6 +177,16 @@ pub struct RunnerConfig {
     pub shards: usize,
     /// Simulation cost model.
     pub cost: CostModel,
+    /// Streaming round knobs: per-row distance accumulation (off by
+    /// default, bit-identical to the barrier path either way) and the
+    /// quorum policy deciding when the server stops waiting for stragglers.
+    pub streaming: StreamingConfig,
+    /// Optional per-worker extra arrival delay in simulated seconds, added
+    /// to each worker's compute + transfer time (Byzantine workers
+    /// included, whose submissions are otherwise instantaneous). Empty for
+    /// no extra delay; otherwise one entry per worker. This is the straggler
+    /// knob of the quorum experiments.
+    pub worker_extra_delay_sec: Vec<f64>,
     /// Experiment seed; everything (data, init, sampling, attacks, links)
     /// derives from it.
     pub seed: u64,
@@ -205,6 +216,8 @@ impl RunnerConfig {
             link: LinkConfig::datacenter(),
             shards: 1,
             cost: CostModel::paper_like(),
+            streaming: StreamingConfig::default(),
+            worker_extra_delay_sec: Vec::new(),
             seed: 1,
         }
     }
@@ -243,6 +256,20 @@ impl RunnerConfig {
         if self.shards == 0 {
             return Err(PsError::InvalidConfig(
                 "the parameter-server tier needs at least one shard".into(),
+            ));
+        }
+        if !self.worker_extra_delay_sec.is_empty()
+            && self.worker_extra_delay_sec.len() != self.workers
+        {
+            return Err(PsError::InvalidConfig(format!(
+                "worker_extra_delay_sec has {} entries for {} workers (empty or one per worker)",
+                self.worker_extra_delay_sec.len(),
+                self.workers
+            )));
+        }
+        if self.worker_extra_delay_sec.iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err(PsError::InvalidConfig(
+                "worker_extra_delay_sec entries must be finite and non-negative".into(),
             ));
         }
         self.link.validate().map_err(PsError::from)?;
@@ -294,6 +321,37 @@ mod tests {
         let mut c = RunnerConfig::quick_default();
         c.shards = 0;
         assert!(c.validate().is_err());
+
+        let mut c = RunnerConfig::quick_default();
+        c.worker_extra_delay_sec = vec![0.1; 3];
+        assert!(c.validate().is_err(), "delay list must match the worker count");
+
+        let mut c = RunnerConfig::quick_default();
+        c.worker_extra_delay_sec = vec![0.0; c.workers];
+        c.worker_extra_delay_sec[2] = -1.0;
+        assert!(c.validate().is_err(), "negative delays are rejected");
+
+        let mut c = RunnerConfig::quick_default();
+        c.worker_extra_delay_sec = vec![0.01; c.workers];
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn streaming_fields_round_trip_through_json() {
+        let mut c = RunnerConfig::quick_default();
+        c.streaming.enabled = true;
+        c.streaming.quorum = crate::streaming::QuorumPolicy::NMinusF;
+        c.worker_extra_delay_sec = vec![0.25; c.workers];
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunnerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.streaming, c.streaming);
+        assert_eq!(back.worker_extra_delay_sec, c.worker_extra_delay_sec);
+
+        let mut c = RunnerConfig::quick_default();
+        c.streaming.quorum = crate::streaming::QuorumPolicy::Count(7);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunnerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.streaming.quorum, crate::streaming::QuorumPolicy::Count(7));
     }
 
     #[test]

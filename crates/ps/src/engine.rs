@@ -6,6 +6,7 @@ use crate::config::{RunnerConfig, TransportKind};
 use crate::cost::CostModel;
 use crate::report::TrainingReport;
 use crate::server::ParameterServer;
+use crate::streaming::RoundPipeline;
 use crate::worker::{Worker, WorkerRole};
 use crate::{PsError, Result};
 use agg_attacks::{Attack, AttackContext};
@@ -58,10 +59,12 @@ pub struct SyncTrainingEngine {
     /// directly.
     calibrated_aggregation_sec: Option<f64>,
     clock_sec: f64,
-    /// One submissions arena reused for every round: worker `i` owns row `i`,
-    /// undelivered rows are compacted away before aggregation, and the next
-    /// round resizes it back — no per-round `n × d` allocation.
-    round_arena: GradientBatch,
+    /// The round pipeline: two submission arenas flipped every round (worker
+    /// `i` owns row `i`; undelivered rows are compacted away before
+    /// aggregation) plus, when streaming is enabled for a distance-based
+    /// rule, the incremental pairwise-distance accumulator fed per arriving
+    /// row. No per-round `n × d` allocation either way.
+    pipeline: RoundPipeline,
     /// `false` forces Phase 1 through the plain sequential iterator (the
     /// seed ordering). The determinism test runs both modes and asserts
     /// identical reports.
@@ -153,7 +156,10 @@ impl SyncTrainingEngine {
 
         let attack = config.attack.build();
         let calibrated_aggregation_sec = Self::calibrate_aggregation(&config, config.workers)?;
-        let round_arena = GradientBatch::with_capacity(actual_dimension, config.workers);
+        let mut pipeline = RoundPipeline::new(actual_dimension, config.workers);
+        if config.streaming.enabled && config.gar.kind.uses_distances() {
+            pipeline.enable_distance_streaming(config.workers, actual_dimension, config.shards)?;
+        }
         Ok(SyncTrainingEngine {
             config,
             cluster,
@@ -166,7 +172,7 @@ impl SyncTrainingEngine {
             model_flops,
             calibrated_aggregation_sec,
             clock_sec: 0.0,
-            round_arena,
+            pipeline,
             phase1_parallel: true,
         })
     }
@@ -308,7 +314,10 @@ impl SyncTrainingEngine {
             // row `i` (disjoint mutable slices), results are collected in
             // worker-id order, and every worker draws only from its own RNG
             // streams — so the round is deterministic under any schedule.
-            self.round_arena.resize_rows(self.workers.len());
+            // `begin_round` flips the double buffer: this round's ingest
+            // lands in the arena the previous round's aggregation was not
+            // reading.
+            self.pipeline.begin_round(self.workers.len());
             let run_worker = |(worker, dst): (&mut Worker, &mut [f32])| -> Result<WorkerRound> {
                 if worker.role() == WorkerRole::Attacker {
                     // Crafted centrally in Phase 2; Byzantine channels are
@@ -333,7 +342,7 @@ impl SyncTrainingEngine {
                 })
             };
             let jobs: Vec<(&mut Worker, &mut [f32])> =
-                self.workers.iter_mut().zip(self.round_arena.rows_mut()).collect();
+                self.workers.iter_mut().zip(self.pipeline.arena_mut().rows_mut()).collect();
             let results: Vec<Result<WorkerRound>> = if self.phase1_parallel {
                 jobs.into_par_iter().map(run_worker).collect()
             } else {
@@ -342,6 +351,14 @@ impl SyncTrainingEngine {
             let mut rounds = Vec::with_capacity(results.len());
             for result in results {
                 rounds.push(result?);
+            }
+            // The straggler knob: configured per-worker delays stretch the
+            // simulated arrival times (Byzantine submissions included —
+            // their channels are only "arbitrarily fast" by default).
+            if !self.config.worker_extra_delay_sec.is_empty() {
+                for (round, &delay) in rounds.iter_mut().zip(&self.config.worker_extra_delay_sec) {
+                    round.worker_time += delay;
+                }
             }
             let mut dropped_gradients = rounds
                 .iter()
@@ -378,7 +395,7 @@ impl SyncTrainingEngine {
                     let transfer = worker.send_gradient_into(
                         step,
                         gradient.as_slice(),
-                        self.round_arena.row_mut(slot),
+                        self.pipeline.arena_mut().row_mut(slot),
                     )?;
                     rounds[slot].delivered = transfer.delivered;
                     if !transfer.delivered {
@@ -387,20 +404,63 @@ impl SyncTrainingEngine {
                 }
             }
 
-            // Phase 3: aggregation and model update at the server. Each
-            // worker's submission already sits in its arena row; undelivered
-            // rows are compacted away in place (worker order preserved) and
-            // the GAR aggregates copy-free. A round with no surviving
-            // submissions is skipped like any other GAR rejection.
-            let keep: Vec<bool> = rounds.iter().map(|r| r.delivered).collect();
-            self.round_arena.retain_rows(&keep);
-            let submitted = self.round_arena.n() as u64;
-            let round_wait = broadcast_time + max_worker_time;
+            // Phase 3: aggregation and model update at the server. The
+            // quorum policy decides how many arrivals the round waits for:
+            // delivered submissions are ordered by simulated arrival time
+            // (worker id breaking ties) and everything past the quorum is
+            // dropped exactly like a transport loss. Under the default
+            // `All` policy every delivered row is accepted and the round
+            // waits for the slowest worker — the seed accounting,
+            // unchanged bit for bit.
+            let quorum =
+                self.config.streaming.quorum.accept_count(self.workers.len(), self.config.gar.f);
+            let mut arrivals: Vec<usize> =
+                (0..rounds.len()).filter(|&i| rounds[i].delivered).collect();
+            arrivals.sort_by(|&a, &b| {
+                rounds[a].worker_time.total_cmp(&rounds[b].worker_time).then(a.cmp(&b))
+            });
+            let accepted = &arrivals[..quorum.min(arrivals.len())];
+            dropped_gradients += (arrivals.len() - accepted.len()) as u64;
+            let round_wait = if accepted.len() == arrivals.len() {
+                // Full synchronous round: the server waits for the slowest
+                // worker, delivered or not.
+                broadcast_time + max_worker_time
+            } else {
+                // Quorum round: the clock stops at the last accepted
+                // arrival; the stragglers' remaining time is the round's
+                // saving.
+                broadcast_time
+                    + accepted.iter().map(|&i| rounds[i].worker_time).fold(0.0f64, f64::max)
+            };
+
+            // Streaming: each accepted row's distance contributions fold in
+            // at its (simulated) arrival — the per-row completion event —
+            // so the matrix is ready the moment the quorum is. The batch
+            // path recomputes it from the compacted arena instead; both are
+            // pinned bit-identical at the tensor layer.
+            if self.pipeline.distance_streaming() {
+                for &slot in accepted {
+                    self.pipeline.row_done(slot);
+                }
+            }
+            let mut keep = vec![false; rounds.len()];
+            for &slot in accepted {
+                keep[slot] = true;
+            }
+            let kept_slots: Vec<usize> = (0..rounds.len()).filter(|&i| keep[i]).collect();
+            let distances = self.pipeline.matrix(&kept_slots);
+            self.pipeline.arena_mut().retain_rows(&keep);
+            let submitted = self.pipeline.arena().n() as u64;
             let mut aggregation_time = 0.0;
-            let round_result = if self.round_arena.is_empty() {
+            let round_result = if self.pipeline.arena().is_empty() {
                 Err(PsError::Aggregation("no submissions survived the transport".into()))
             } else {
-                self.server.apply_round_batch(&self.round_arena)
+                match &distances {
+                    Some(distances) => self
+                        .server
+                        .apply_round_batch_with_distances(self.pipeline.arena(), distances),
+                    None => self.server.apply_round_batch(self.pipeline.arena()),
+                }
             };
             match round_result {
                 Ok(outcome) => {
@@ -690,6 +750,64 @@ mod tests {
             sharded.final_accuracy(),
             monolithic.final_accuracy()
         );
+    }
+
+    #[test]
+    fn streaming_engine_matches_the_barrier_engine_bit_for_bit() {
+        // Flipping streaming on changes only when the distance work runs
+        // (per arriving row instead of batch-at-barrier), never the result:
+        // the incremental accumulator is pinned bit-identical to the batch
+        // kernels for both the flat and the sharded tier.
+        for shards in [1usize, 4] {
+            let mut config = quick_config(GarKind::MultiKrum, 2, 9);
+            config.byzantine_count = 2;
+            config.attack = AttackKind::Reversed { scale: 50.0 };
+            config.shards = shards;
+            config.max_steps = 20;
+            config.eval_every = 5;
+            let barrier = SyncTrainingEngine::new(config.clone()).unwrap().run().unwrap();
+            config.streaming.enabled = true;
+            let streaming = SyncTrainingEngine::new(config).unwrap().run().unwrap();
+            assert_eq!(barrier.trace.len(), streaming.trace.len());
+            for (b, s) in barrier.trace.points().iter().zip(streaming.trace.points()) {
+                assert_eq!(
+                    b.accuracy.to_bits(),
+                    s.accuracy.to_bits(),
+                    "accuracy diverged with {shards} shard(s) at step {}",
+                    b.step
+                );
+                assert_eq!(
+                    b.loss.to_bits(),
+                    s.loss.to_bits(),
+                    "loss diverged with {shards} shard(s) at step {}",
+                    b.step
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_rounds_stop_waiting_for_stragglers() {
+        let mut config = quick_config(GarKind::MultiKrum, 2, 9);
+        config.max_steps = 10;
+        // Workers 7 and 8 are honest stragglers: a full synchronous round
+        // waits out their 5-second delay; an n − f quorum round does not.
+        let mut delays = vec![0.0; 9];
+        delays[7] = 5.0;
+        delays[8] = 5.0;
+        config.worker_extra_delay_sec = delays;
+        let full = SyncTrainingEngine::new(config.clone()).unwrap().run().unwrap();
+        config.streaming.quorum = crate::streaming::QuorumPolicy::NMinusF;
+        let quorum = SyncTrainingEngine::new(config).unwrap().run().unwrap();
+        assert_eq!(quorum.steps_completed, 10);
+        assert!(
+            quorum.simulated_time_sec < full.simulated_time_sec - 40.0,
+            "ten rounds of 5-second straggler wait should vanish: quorum {} vs full {}",
+            quorum.simulated_time_sec,
+            full.simulated_time_sec
+        );
+        // Aggregating over the 7 fastest of 9 still trains.
+        assert!(quorum.final_accuracy() > 0.6, "accuracy {}", quorum.final_accuracy());
     }
 
     #[test]

@@ -43,6 +43,12 @@ impl From<agg_core::AggregationError> for PsError {
     }
 }
 
+impl From<agg_tensor::TensorError> for PsError {
+    fn from(e: agg_tensor::TensorError) -> Self {
+        PsError::Aggregation(e.to_string())
+    }
+}
+
 impl From<agg_nn::NnError> for PsError {
     fn from(e: agg_nn::NnError) -> Self {
         PsError::Model(e.to_string())

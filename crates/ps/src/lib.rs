@@ -21,6 +21,9 @@
 //! * [`server`] — the trusted parameter server: GAR + optimizer + the
 //!   access-control patch that keeps Byzantine workers from overwriting the
 //!   shared model directly.
+//! * [`streaming`] — the event-driven round pipeline: double-buffered
+//!   submission arenas, per-row distance accumulation and the quorum policy
+//!   that lets the server aggregate at `n − f` arrivals.
 //! * [`engine`] — the synchronous training loop (Equation 4) and the
 //!   throughput simulator used by the scalability experiments.
 //! * [`report`] — the structured result of a run (traces, throughput,
@@ -33,6 +36,7 @@ pub mod engine;
 pub mod error;
 pub mod report;
 pub mod server;
+pub mod streaming;
 pub mod worker;
 
 pub use cluster::{ClusterSpec, DeviceKind, Job, Node, PlacementPolicy};
@@ -42,6 +46,7 @@ pub use engine::{SyncTrainingEngine, ThroughputSimulation};
 pub use error::PsError;
 pub use report::TrainingReport;
 pub use server::ParameterServer;
+pub use streaming::{QuorumPolicy, RoundPipeline, StreamingConfig};
 pub use worker::{Worker, WorkerRole};
 
 /// Crate-wide result alias.

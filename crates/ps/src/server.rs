@@ -12,7 +12,7 @@ use crate::{PsError, Result};
 use agg_core::{Gar, GarConfig, ShardedAggregator};
 use agg_nn::optim::{Optimizer, OptimizerKind, Regularization};
 use agg_nn::schedule::LearningRate;
-use agg_tensor::{GradientBatch, Vector};
+use agg_tensor::{DistanceMatrix, GradientBatch, Vector};
 use std::time::Instant;
 
 /// Result of one aggregation + update round at the server.
@@ -188,6 +188,31 @@ impl ParameterServer {
         self.finish_round(aggregated, start)
     }
 
+    /// Distance-primed variant of [`ParameterServer::apply_round_batch`]: the
+    /// pairwise distance matrix was accumulated incrementally while the
+    /// round's rows arrived (the streaming pipeline), so distance-based
+    /// rules select straight on it instead of recomputing the O(n²·d) batch
+    /// kernel. Rules that do not use distances ignore the matrix; either
+    /// way the round's result is bit-identical to the batch path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParameterServer::apply_round_batch`], plus an
+    /// aggregation error when the matrix does not match the batch.
+    pub fn apply_round_batch_with_distances(
+        &mut self,
+        gradients: &GradientBatch,
+        distances: &DistanceMatrix,
+    ) -> Result<RoundOutcome> {
+        let start = Instant::now();
+        let aggregated = match &self.sharded {
+            Some(sharded) => sharded.aggregate_batch_with_distances(gradients, distances),
+            None => self.gar.aggregate_batch_with_distances(gradients, distances),
+        }
+        .map_err(PsError::from)?;
+        self.finish_round(aggregated, start)
+    }
+
     fn finish_round(&mut self, mut aggregated: Vector, start: Instant) -> Result<RoundOutcome> {
         let aggregation_wall_sec = start.elapsed().as_secs_f64();
         self.regularization.apply(&mut aggregated, &self.params).map_err(PsError::from)?;
@@ -301,6 +326,27 @@ mod tests {
         sharded.set_shards(1).unwrap();
         assert_eq!(sharded.shards(), 1);
         assert!(sharded.set_shards(0).is_err());
+    }
+
+    #[test]
+    fn distance_primed_round_matches_the_batch_round() {
+        let gradients: Vec<Vector> =
+            (0..9).map(|i| Vector::from(vec![1.0 + 0.01 * i as f32, -0.5, 2.0])).collect();
+        let batch = GradientBatch::from_vectors(&gradients).unwrap();
+        let distances = batch.pairwise_squared_distances();
+        let mut by_batch = server(GarKind::MultiKrum, 2, 3);
+        let mut by_distances = server(GarKind::MultiKrum, 2, 3);
+        by_batch.apply_round_batch(&batch).unwrap();
+        by_distances.apply_round_batch_with_distances(&batch, &distances).unwrap();
+        assert_eq!(by_batch.parameters().as_slice(), by_distances.parameters().as_slice());
+
+        // A mismatched matrix is an aggregation error, not a silent misuse.
+        let wrong = agg_tensor::DistanceMatrix::zeros(4);
+        let mut s = server(GarKind::MultiKrum, 2, 3);
+        assert!(matches!(
+            s.apply_round_batch_with_distances(&batch, &wrong),
+            Err(PsError::Aggregation(_))
+        ));
     }
 
     #[test]

@@ -64,7 +64,7 @@ const NARROW_LANES: usize = 8;
 /// whole tile across all rows (`19 × 16 KiB ≈ 304 KiB` at the paper's n)
 /// stays L2-resident while every pair revisits it, which is where the
 /// blocked kernel's speedup over the full-row walk comes from.
-const DISTANCE_BLOCK: usize = 4096;
+pub(crate) const DISTANCE_BLOCK: usize = 4096;
 
 /// A round of gradients stored contiguously, row-major `n × d`.
 ///
@@ -1218,6 +1218,18 @@ impl DistanceMatrix {
     /// partial reduce.
     pub fn zeros(n: usize) -> Self {
         DistanceMatrix { n, data: vec![0.0; n.saturating_sub(1) * n / 2] }
+    }
+
+    /// Wraps an already-computed flat upper triangle (row-major pair order).
+    /// Used by the incremental accumulator in [`crate::streaming`], which
+    /// assembles the triangle pair by pair as rows arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when `data` is not exactly `n·(n−1)/2` entries.
+    pub(crate) fn from_triangle(n: usize, data: Vec<f32>) -> Self {
+        debug_assert_eq!(data.len(), n.saturating_sub(1) * n / 2, "triangle length mismatch");
+        DistanceMatrix { n, data }
     }
 
     /// Adds another matrix's pair entries into this one, element-wise.

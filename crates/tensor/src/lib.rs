@@ -46,6 +46,7 @@ pub mod rng;
 pub mod shard;
 pub mod sortnet;
 pub mod stats;
+pub mod streaming;
 pub mod tensor;
 pub mod vector;
 
@@ -53,6 +54,7 @@ pub use batch::{BatchColumns, DistanceMatrix, GradientBatch};
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use shard::ShardPlan;
+pub use streaming::StreamingDistances;
 pub use tensor::Tensor;
 pub use vector::Vector;
 

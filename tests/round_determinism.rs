@@ -14,6 +14,16 @@
 //! ordering is trivially thread-count independent, so a 1-thread and a
 //! 4-thread process produce the same bits.
 //!
+//! The streaming round pipeline is pinned the same way: with
+//! `streaming.enabled` the distance work for the selection rules runs
+//! incrementally per arriving row instead of batch-at-barrier, and the
+//! result must be bit-identical — the accumulator replays the exact batch
+//! kernels and reduce orders. CI's matrix crosses `RAYON_NUM_THREADS`
+//! with `AGG_STREAMING={on,off}`: setting `AGG_STREAMING=on` flips every
+//! test in this suite onto the streaming path via `base_config`, so the
+//! parallel == sequential pins hold in both modes, and the explicit
+//! streaming-vs-barrier tests below tie the two modes to each other.
+//!
 //! Only the deterministic fields are compared bit-for-bit: the wall-clock
 //! derived fields (`time_sec`, `simulated_time_sec`, latency/throughput
 //! seconds) embed real `Instant` measurements of the aggregation kernel and
@@ -26,7 +36,7 @@ use agg_nn::schedule::LearningRate;
 use agg_ps::{RunnerConfig, SyncTrainingEngine, TrainingReport, TransportKind};
 
 fn base_config(gar: GarKind, f: usize, workers: usize) -> RunnerConfig {
-    RunnerConfig {
+    let mut config = RunnerConfig {
         experiment: agg_ps::ExperimentKind::MlpBlobs {
             input_dim: 16,
             hidden: 24,
@@ -42,7 +52,14 @@ fn base_config(gar: GarKind, f: usize, workers: usize) -> RunnerConfig {
         learning_rate: LearningRate::Fixed { rate: 0.01 },
         seed: 23,
         ..RunnerConfig::quick_default()
+    };
+    // The CI matrix hook: `AGG_STREAMING=on` reruns this entire suite with
+    // per-row streaming distance accumulation enabled, so every parallel ==
+    // sequential pin is checked on both round pipelines.
+    if matches!(std::env::var("AGG_STREAMING").as_deref(), Ok("on") | Ok("1") | Ok("true")) {
+        config.streaming.enabled = true;
     }
+    config
 }
 
 fn run_parallel_and_sequential(config: RunnerConfig) -> (TrainingReport, TrainingReport) {
@@ -183,6 +200,70 @@ fn shard_parallel_aggregation_matches_sequential_shard_order_over_lossy_links() 
     let parallel = parallel.run().expect("parallel run");
     let sequential = sequential.run().expect("sequential run");
     assert_reports_identical(&parallel, &sequential);
+}
+
+#[test]
+fn streaming_matches_barrier_bit_for_bit_across_thread_modes() {
+    // The 2 × 2 grid of {streaming, barrier} × {parallel, sequential}: all
+    // four engines must produce identical bits. Multi-Krum over a 4-shard
+    // tier exercises the blocked partial-distance accumulator against the
+    // sharded batch pipeline.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.byzantine_count = 2;
+    config.attack = AttackKind::LittleIsEnough { z: 1.0 };
+    config.shards = 4;
+    let mut reports = Vec::new();
+    for streaming in [false, true] {
+        for parallel in [false, true] {
+            let mut c = config.clone();
+            c.streaming.enabled = streaming;
+            let mut engine = SyncTrainingEngine::new(c).expect("valid config");
+            engine.set_phase1_parallel(parallel);
+            engine.set_shard_parallel(parallel);
+            reports.push(engine.run().expect("run"));
+        }
+    }
+    for report in &reports[1..] {
+        assert_reports_identical(&reports[0], report);
+    }
+    assert_eq!(reports[0].steps_completed, 24);
+}
+
+#[test]
+fn streaming_matches_barrier_over_lossy_links_with_whole_row_drops() {
+    // DropGradient removes whole rows from some rounds, so the streaming
+    // accumulator extracts its matrix over a sparse, compacted slot set —
+    // the layout a lossy round actually hands the server.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.byzantine_count = 1;
+    config.attack = AttackKind::Reversed { scale: 50.0 };
+    config.transport = TransportKind::Lossy { policy: LossPolicy::DropGradient };
+    config.lossy_links = 4;
+    config.link = LinkConfig::datacenter().with_drop_rate(0.15);
+    config.streaming.enabled = false;
+    let mut barrier_engine = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    config.streaming.enabled = true;
+    let mut streaming_engine = SyncTrainingEngine::new(config).expect("valid config");
+    let barrier = barrier_engine.run().expect("barrier run");
+    let streaming = streaming_engine.run().expect("streaming run");
+    assert_reports_identical(&barrier, &streaming);
+}
+
+#[test]
+fn streaming_bulyan_matches_barrier_on_the_sharded_tier() {
+    // Bulyan reuses the streamed matrix for its iterated selection and then
+    // runs its second phase on the arena rows; both halves must be
+    // untouched by the pipeline swap.
+    let mut config = base_config(GarKind::Bulyan, 1, 9);
+    config.byzantine_count = 1;
+    config.attack = AttackKind::Reversed { scale: 50.0 };
+    config.shards = 3;
+    config.streaming.enabled = false;
+    let barrier = SyncTrainingEngine::new(config.clone()).expect("valid config").run().unwrap();
+    config.streaming.enabled = true;
+    let streaming = SyncTrainingEngine::new(config).expect("valid config").run().unwrap();
+    assert_reports_identical(&barrier, &streaming);
+    assert_eq!(barrier.steps_completed, 24);
 }
 
 #[test]
