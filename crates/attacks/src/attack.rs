@@ -22,6 +22,15 @@ pub struct AttackContext<'a> {
     pub step: u64,
     /// Experiment seed (attacks derive their own deterministic streams).
     pub seed: u64,
+    /// Total number of workers submitting this round (honest + Byzantine).
+    /// Lets n-aware attacks (ALIE) derive the exact within-variance budget
+    /// and lets the adaptive attacker recognise its own slots in the
+    /// selection set.
+    pub total_workers: usize,
+    /// The worker indices the GAR selected in the *previous* round, when
+    /// the server computed a selection (`None` on the first round and for
+    /// non-selecting rules). The adaptive attacker conditions on it.
+    pub previous_selection: Option<&'a [usize]>,
 }
 
 impl<'a> AttackContext<'a> {
@@ -77,6 +86,8 @@ mod tests {
             declared_f: 1,
             step: 0,
             seed: 0,
+            total_workers: 3,
+            previous_selection: None,
         };
         assert_eq!(ctx.honest_mean().as_slice(), &[2.0, 4.0]);
         assert_eq!(ctx.dimension(), 2);
@@ -92,6 +103,8 @@ mod tests {
             declared_f: 2,
             step: 5,
             seed: 1,
+            total_workers: 2,
+            previous_selection: None,
         };
         assert_eq!(ctx.honest_mean(), Vector::zeros(3));
     }

@@ -182,6 +182,257 @@ impl Attack for LittleIsEnough {
     }
 }
 
+/// Per-coordinate standard deviation of the honest rows, zero when it
+/// cannot be computed (fewer than two rows).
+fn honest_std(ctx: &AttackContext<'_>) -> Vector {
+    stats::coordinate_std_of_rows(ctx.honest_gradients)
+        .unwrap_or_else(|_| Vector::zeros(ctx.dimension()))
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (max absolute error ≈ 1.5e-7 — far below what the z search needs).
+fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    let erf = if x < 0.0 { -erf } else { erf };
+    0.5 * (1.0 + erf)
+}
+
+/// The ALIE `z_max`: the largest z with `Φ(z) ≤ (n − m − s) / (n − m)`
+/// where `s = ⌊n/2⌋ + 1 − m` supporters are needed for a majority
+/// (Baruch et al., "A Little Is Enough"). Found by deterministic bisection.
+fn alie_z_max(n: usize, m: usize) -> f32 {
+    if n <= m {
+        return 0.0;
+    }
+    let s = (n / 2 + 1).saturating_sub(m);
+    let cutoff = (n - m).saturating_sub(s) as f64 / (n - m) as f64;
+    if cutoff <= 0.5 {
+        // Fewer than half the non-Byzantine workers can be out-supported:
+        // no positive z keeps a majority, stay at the mean.
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) <= cutoff {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as f32
+}
+
+/// Squared Euclidean distance between two rows, accumulated in f64.
+fn row_distance_sq(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (f64::from(x) - f64::from(y)).powi(2)).sum()
+}
+
+/// Largest `γ ≥ 0` such that `constraint(mean + γ·direction)` holds, by
+/// deterministic doubling + bisection. `constraint` must hold at γ = 0.
+fn max_admissible_gamma(
+    mean: &Vector,
+    direction: &Vector,
+    constraint: impl Fn(&[f32]) -> bool,
+) -> f32 {
+    let crafted_at = |gamma: f32| {
+        let mut crafted = mean.clone();
+        let _ = crafted.axpy(gamma, direction);
+        crafted
+    };
+    if !constraint(crafted_at(0.0).as_slice()) {
+        return 0.0;
+    }
+    let mut hi = 1.0f32;
+    let mut doublings = 0;
+    while constraint(crafted_at(hi).as_slice()) && doublings < 40 {
+        hi *= 2.0;
+        doublings += 1;
+    }
+    if doublings == 40 {
+        return hi;
+    }
+    let mut lo = if doublings == 0 { 0.0 } else { hi / 2.0 };
+    for _ in 0..30 {
+        let mid = 0.5 * (lo + hi);
+        if constraint(crafted_at(mid).as_slice()) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The perturbation direction the min-max / min-sum family scales: the unit
+/// vector opposing the honest mean (the "inverse unit vector" choice of
+/// Shejwalkar & Houmansadr), falling back to the std direction when the
+/// mean is (numerically) zero.
+fn perturbation_direction(ctx: &AttackContext<'_>) -> Vector {
+    let mean = ctx.honest_mean();
+    let norm = (mean.as_slice().iter().map(|&v| f64::from(v).powi(2)).sum::<f64>()).sqrt();
+    if norm > 1e-12 {
+        let mut dir = mean;
+        dir.scale(-(1.0 / norm as f32));
+        return dir;
+    }
+    honest_std(ctx)
+}
+
+/// The "A Little Is Enough" attack (Baruch et al.): all Byzantine workers
+/// collude on `mean − z · σ`, with `z` defaulting to the exact `z_max` the
+/// worker count supports — the strongest shift that still keeps a majority
+/// of honest workers closer to the crafted gradient than to each other.
+#[derive(Debug, Clone, Copy)]
+pub struct Alie {
+    /// Standard-deviation multiple; any non-positive value derives the
+    /// classic `z_max` from `(total_workers, byzantine_count)`.
+    pub z: f32,
+}
+
+impl Default for Alie {
+    fn default() -> Self {
+        Alie { z: 0.0 }
+    }
+}
+
+impl Attack for Alie {
+    fn name(&self) -> &'static str {
+        "alie"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let z = if self.z > 0.0 {
+            self.z
+        } else {
+            alie_z_max(ctx.total_workers.max(1), ctx.byzantine_count)
+        };
+        let mut crafted = ctx.honest_mean();
+        let _ = crafted.axpy(-z, &honest_std(ctx));
+        vec![crafted; ctx.byzantine_count]
+    }
+}
+
+/// The min-max distance attack (Shejwalkar & Houmansadr): submit
+/// `mean + γ·p` with the largest `γ` keeping the crafted gradient's maximum
+/// distance to any honest gradient within the maximum pairwise honest
+/// distance — so no distance-based score can call it an outlier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMax;
+
+impl Attack for MinMax {
+    fn name(&self) -> &'static str {
+        "min-max"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let honest = ctx.honest_gradients;
+        if honest.len() < 2 {
+            return vec![ctx.honest_mean(); ctx.byzantine_count];
+        }
+        let mut max_pairwise = 0.0f64;
+        for (i, a) in honest.iter().enumerate() {
+            for b in &honest[i + 1..] {
+                max_pairwise = max_pairwise.max(row_distance_sq(a, b));
+            }
+        }
+        let mean = ctx.honest_mean();
+        let direction = perturbation_direction(ctx);
+        let gamma = max_admissible_gamma(&mean, &direction, |crafted| {
+            honest.iter().all(|g| row_distance_sq(crafted, g) <= max_pairwise)
+        });
+        let mut crafted = mean;
+        let _ = crafted.axpy(gamma, &direction);
+        vec![crafted; ctx.byzantine_count]
+    }
+}
+
+/// The min-sum distance attack (Shejwalkar & Houmansadr): like
+/// [`MinMax`], but the constraint bounds the crafted gradient's *sum* of
+/// squared distances to the honest gradients by the worst honest worker's
+/// sum — the tighter budget that also fools sum-of-distances scores (Krum).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinSum;
+
+impl Attack for MinSum {
+    fn name(&self) -> &'static str {
+        "min-sum"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let honest = ctx.honest_gradients;
+        if honest.len() < 2 {
+            return vec![ctx.honest_mean(); ctx.byzantine_count];
+        }
+        let mut max_honest_sum = 0.0f64;
+        for a in honest {
+            let sum: f64 = honest.iter().map(|b| row_distance_sq(a, b)).sum();
+            max_honest_sum = max_honest_sum.max(sum);
+        }
+        let mean = ctx.honest_mean();
+        let direction = perturbation_direction(ctx);
+        let gamma = max_admissible_gamma(&mean, &direction, |crafted| {
+            honest.iter().map(|g| row_distance_sq(crafted, g)).sum::<f64>() <= max_honest_sum
+        });
+        let mut crafted = mean;
+        let _ = crafted.axpy(gamma, &direction);
+        vec![crafted; ctx.byzantine_count]
+    }
+}
+
+/// An adaptive attacker that conditions on the previous round's selection
+/// set ([`AttackContext::previous_selection`]):
+///
+/// * no selection information yet → a moderate within-variance shift;
+/// * its gradients were selected last round → press the advantage with a
+///   stronger shift;
+/// * it was excluded last round → retreat to a stealthier shift to get
+///   back inside the selection.
+///
+/// The policy itself is stateless — everything it adapts to travels in the
+/// context, so replays stay deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct Adaptive {
+    /// Shift (in σ multiples) used before any selection feedback exists.
+    pub base_z: f32,
+    /// Shift used after a round in which an attacker slot was selected.
+    pub aggressive_z: f32,
+    /// Shift used after a round of exclusion.
+    pub stealth_z: f32,
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Adaptive { base_z: 0.5, aggressive_z: 1.0, stealth_z: 0.2 }
+    }
+}
+
+impl Attack for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        // Attacker slots are the trailing worker ids, mirroring the
+        // engine's role layout.
+        let first_attacker = ctx.total_workers.saturating_sub(ctx.byzantine_count);
+        let z = match ctx.previous_selection {
+            None => self.base_z,
+            Some(selected) if selected.iter().any(|&w| w >= first_attacker) => self.aggressive_z,
+            Some(_) => self.stealth_z,
+        };
+        let mut crafted = ctx.honest_mean();
+        let _ = crafted.axpy(-z, &honest_std(ctx));
+        vec![crafted; ctx.byzantine_count]
+    }
+}
+
 /// The attack choices exposed to experiment configurations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AttackKind {
@@ -211,6 +462,18 @@ pub enum AttackKind {
         /// Standard-deviation multiple.
         z: f32,
     },
+    /// The ALIE within-variance attack (`z ≤ 0` derives the exact `z_max`
+    /// from the worker count).
+    Alie {
+        /// Standard-deviation multiple, or non-positive for auto.
+        z: f32,
+    },
+    /// The min-max distance attack.
+    MinMax,
+    /// The min-sum distance attack.
+    MinSum,
+    /// The selection-feedback adaptive attacker (default shift schedule).
+    Adaptive,
 }
 
 impl AttackKind {
@@ -224,6 +487,10 @@ impl AttackKind {
             AttackKind::NonFinite => Box::new(NonFinite),
             AttackKind::ConstantDrift { value } => Box::new(ConstantDrift { value }),
             AttackKind::LittleIsEnough { z } => Box::new(LittleIsEnough { z }),
+            AttackKind::Alie { z } => Box::new(Alie { z }),
+            AttackKind::MinMax => Box::new(MinMax),
+            AttackKind::MinSum => Box::new(MinSum),
+            AttackKind::Adaptive => Box::new(Adaptive::default()),
         }
     }
 
@@ -261,6 +528,8 @@ mod tests {
             declared_f: byz,
             step: 3,
             seed: 17,
+            total_workers: honest.len() + byz,
+            previous_selection: None,
         }
     }
 
@@ -277,6 +546,10 @@ mod tests {
             AttackKind::NonFinite,
             AttackKind::ConstantDrift { value: 5.0 },
             AttackKind::LittleIsEnough { z: 1.0 },
+            AttackKind::Alie { z: 0.0 },
+            AttackKind::MinMax,
+            AttackKind::MinSum,
+            AttackKind::Adaptive,
         ];
         for kind in kinds {
             let attack = kind.build();
@@ -291,8 +564,14 @@ mod tests {
         let honest = honest_cloud(8, 6);
         let honest_views = views(&honest);
         let model = Vector::zeros(6);
-        for kind in [AttackKind::Random { magnitude: 10.0 }, AttackKind::LittleIsEnough { z: 1.5 }]
-        {
+        for kind in [
+            AttackKind::Random { magnitude: 10.0 },
+            AttackKind::LittleIsEnough { z: 1.5 },
+            AttackKind::Alie { z: 0.0 },
+            AttackKind::MinMax,
+            AttackKind::MinSum,
+            AttackKind::Adaptive,
+        ] {
             let a = kind.build().craft(&ctx(&honest_views, &model, 2));
             let b = kind.build().craft(&ctx(&honest_views, &model, 2));
             assert_eq!(a, b);
@@ -362,5 +641,134 @@ mod tests {
         assert_eq!(AttackKind::None.name(), "none");
         assert_eq!(AttackKind::SignFlip.name(), "sign-flip");
         assert_eq!(AttackKind::LittleIsEnough { z: 1.0 }.name(), "little-is-enough");
+        assert_eq!(AttackKind::Alie { z: 0.0 }.name(), "alie");
+        assert_eq!(AttackKind::MinMax.name(), "min-max");
+        assert_eq!(AttackKind::MinSum.name(), "min-sum");
+        assert_eq!(AttackKind::Adaptive.name(), "adaptive");
+    }
+
+    #[test]
+    fn alie_z_max_matches_the_papers_example() {
+        // n = 19 workers, m = 4 Byzantine: s = ⌊19/2⌋ + 1 − 4 = 6
+        // supporters, cutoff = (19 − 4 − 6)/(19 − 4) = 0.6, so
+        // z_max = Φ⁻¹(0.6) ≈ 0.2533.
+        let z = alie_z_max(19, 4);
+        assert!((z - 0.2533).abs() < 1e-3, "z_max = {z}");
+        // A Byzantine majority leaves no admissible shift.
+        assert_eq!(alie_z_max(5, 5), 0.0);
+        assert_eq!(alie_z_max(4, 2), 0.0);
+    }
+
+    #[test]
+    fn alie_stays_within_the_honest_variance() {
+        let honest = honest_cloud(15, 30);
+        let honest_views = views(&honest);
+        let model = Vector::zeros(30);
+        let context = ctx(&honest_views, &model, 4);
+        let crafted = Alie::default().craft(&context);
+        assert_eq!(crafted.len(), 4);
+        let mean = context.honest_mean();
+        let std = honest_std(&context);
+        for (c, (m, s)) in
+            crafted[0].as_slice().iter().zip(mean.as_slice().iter().zip(std.as_slice()))
+        {
+            assert!((c - m).abs() <= 1.001 * s.abs() + 1e-6, "shift must stay within one σ");
+        }
+    }
+
+    #[test]
+    fn min_max_respects_the_pairwise_distance_budget() {
+        let honest = honest_cloud(12, 25);
+        let honest_views = views(&honest);
+        let model = Vector::zeros(25);
+        let context = ctx(&honest_views, &model, 3);
+        let crafted = MinMax.craft(&context);
+        let mut max_pairwise = 0.0f64;
+        for (i, a) in honest_views.iter().enumerate() {
+            for b in &honest_views[i + 1..] {
+                max_pairwise = max_pairwise.max(row_distance_sq(a, b));
+            }
+        }
+        for g in &honest_views {
+            let d = row_distance_sq(crafted[0].as_slice(), g);
+            assert!(d <= max_pairwise * 1.001, "min-max exceeded the budget: {d} > {max_pairwise}");
+        }
+        // And it is not the trivial zero perturbation: it moved off the mean.
+        let mean = context.honest_mean();
+        assert!(row_distance_sq(crafted[0].as_slice(), mean.as_slice()) > 0.0);
+    }
+
+    #[test]
+    fn min_sum_respects_the_sum_distance_budget() {
+        let honest = honest_cloud(12, 25);
+        let honest_views = views(&honest);
+        let model = Vector::zeros(25);
+        let context = ctx(&honest_views, &model, 3);
+        let crafted = MinSum.craft(&context);
+        let mut max_honest_sum = 0.0f64;
+        for a in &honest_views {
+            let sum: f64 = honest_views.iter().map(|b| row_distance_sq(a, b)).sum();
+            max_honest_sum = max_honest_sum.max(sum);
+        }
+        let crafted_sum: f64 =
+            honest_views.iter().map(|g| row_distance_sq(crafted[0].as_slice(), g)).sum();
+        assert!(crafted_sum <= max_honest_sum * 1.001);
+        // The min-sum budget is at most the min-max one in sum terms, so
+        // the crafted point still sits inside the cloud for Krum scores.
+        let mean = context.honest_mean();
+        assert!(row_distance_sq(crafted[0].as_slice(), mean.as_slice()) > 0.0);
+    }
+
+    #[test]
+    fn adaptive_attack_conditions_on_the_previous_selection() {
+        let honest = honest_cloud(10, 12);
+        let honest_views = views(&honest);
+        let model = Vector::zeros(12);
+        let base_ctx = ctx(&honest_views, &model, 2); // workers 10, 11 are attackers
+        let base = Adaptive::default().craft(&base_ctx)[0].clone();
+
+        // Selected last round (slot 11 is an attacker) → aggressive.
+        let selected: Vec<usize> = vec![0, 1, 2, 11];
+        let aggressive_ctx = AttackContext { previous_selection: Some(&selected), ..base_ctx };
+        let aggressive = Adaptive::default().craft(&aggressive_ctx)[0].clone();
+
+        // Excluded last round → stealthy.
+        let excluded: Vec<usize> = vec![0, 1, 2, 3];
+        let stealth_ctx = AttackContext { previous_selection: Some(&excluded), ..base_ctx };
+        let stealth = Adaptive::default().craft(&stealth_ctx)[0].clone();
+
+        let mean = base_ctx.honest_mean();
+        let d_base = row_distance_sq(base.as_slice(), mean.as_slice());
+        let d_aggressive = row_distance_sq(aggressive.as_slice(), mean.as_slice());
+        let d_stealth = row_distance_sq(stealth.as_slice(), mean.as_slice());
+        assert!(
+            d_stealth < d_base && d_base < d_aggressive,
+            "shift must be ordered stealth < base < aggressive: {d_stealth} {d_base} {d_aggressive}"
+        );
+    }
+
+    #[test]
+    fn within_variance_attacks_never_break_bulyan() {
+        // The acceptance-side sanity check at unit scope: under each new
+        // attack, Bulyan's aggregate stays near the honest mean.
+        use agg_core::Bulyan;
+        let honest = honest_cloud(15, 10);
+        let honest_views = views(&honest);
+        let model = Vector::zeros(10);
+        let context = ctx(&honest_views, &model, 4);
+        for kind in [
+            AttackKind::Alie { z: 0.0 },
+            AttackKind::MinMax,
+            AttackKind::MinSum,
+            AttackKind::Adaptive,
+        ] {
+            let byz = kind.build().craft(&context);
+            let mut all = honest.clone();
+            all.extend(byz);
+            let aggregate = Bulyan::new(4).unwrap().aggregate(&all).unwrap();
+            for &v in aggregate.as_slice() {
+                assert!((v - 1.0).abs() < 0.5, "{}: coordinate {v} drifted", kind.name());
+            }
+        }
     }
 }

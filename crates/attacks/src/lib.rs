@@ -14,16 +14,22 @@
 //! | [`NonFinite`] | §2.3 "support non-finite coordinates" | averaging, naive implementations |
 //! | [`ConstantDrift`] | §3.1 goal of the adversary | averaging |
 //! | [`LittleIsEnough`] | §2.2 / Fig. 9 dimensional-leeway attack | weak GARs (degrades), not Bulyan |
+//! | [`Alie`] | "A Little Is Enough" (Baruch et al.), exact `z_max` | weak GARs (degrades), not Bulyan |
+//! | [`MinMax`] | min-max distance attack (Shejwalkar & Houmansadr) | distance outlier tests |
+//! | [`MinSum`] | min-sum distance attack (Shejwalkar & Houmansadr) | sum-of-distances scores |
+//! | [`Adaptive`] | selection-feedback attacker (elastic-membership threat model) | static analyses |
 //! | [`NoAttack`] | baseline | — |
 //!
 //! Attacks are *omniscient*: [`Attack::craft`] receives all honest gradients
-//! of the round, matching the strongest adversary the paper allows.
+//! of the round, matching the strongest adversary the paper allows — and,
+//! for the adaptive family, the previous round's selection set via
+//! [`AttackContext::previous_selection`].
 
 pub mod attack;
 pub mod catalogue;
 
 pub use attack::{Attack, AttackContext};
 pub use catalogue::{
-    AttackKind, ConstantDrift, LittleIsEnough, NoAttack, NonFinite, RandomGradient,
-    ReversedGradient, SignFlip,
+    Adaptive, Alie, AttackKind, ConstantDrift, LittleIsEnough, MinMax, MinSum, NoAttack, NonFinite,
+    RandomGradient, ReversedGradient, SignFlip,
 };

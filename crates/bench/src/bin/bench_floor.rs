@@ -98,6 +98,13 @@ const FLOORS: &[(&str, &str, f64)] = &[
     ("BENCH_round.json", "tcp:multi-krum:quorum", 1.8),
     ("BENCH_round.json", "lossy-udp:average:quorum", 1.9),
     ("BENCH_round.json", "lossy-udp:multi-krum:quorum", 1.5),
+    // Acceptance anchor (PR 7): the elastic-membership machinery — per-round
+    // epoch restamp, receiver fence checks and fenced-row compaction — costs
+    // at most ~5% of a static pipeline round (`pipeline_ns / churn_ns`).
+    ("BENCH_round.json", "tcp:average:churn", 0.95),
+    ("BENCH_round.json", "tcp:multi-krum:churn", 0.95),
+    ("BENCH_round.json", "lossy-udp:average:churn", 0.95),
+    ("BENCH_round.json", "lossy-udp:multi-krum:churn", 0.95),
 ];
 
 /// A speedup extracted from a committed bench file.
@@ -194,6 +201,13 @@ fn extract_round(doc: &Value, out: &mut Vec<Recorded>) {
             out.push(Recorded {
                 file: "BENCH_round.json",
                 label: format!("{transport}:{rule}:quorum"),
+                speedup,
+            });
+        }
+        if let Some(speedup) = field_f64(cell, "churn_speedup") {
+            out.push(Recorded {
+                file: "BENCH_round.json",
+                label: format!("{transport}:{rule}:churn"),
                 speedup,
             });
         }

@@ -141,6 +141,39 @@ fn pipeline_round(
     }
 }
 
+/// The elastic-membership round: one membership transition per round. The
+/// epoch advances, every transport is restamped (the per-round cost the
+/// engine pays whenever a fault plan is active), and one sender still
+/// carries the previous epoch — the receiver fence rejects its packets and
+/// the round compacts to the delivered rows, exactly what a rejoiner's
+/// first round costs the server.
+fn churn_round(
+    gar: Option<&dyn Gar>,
+    transports: &mut [Box<dyn Transport>],
+    arena: &mut GradientBatch,
+    gradients: &[Vector],
+    epoch: &mut u32,
+) {
+    *epoch = epoch.wrapping_add(1);
+    let stale = N - 1;
+    let mut delivered = [false; N];
+    arena.resize_rows(N);
+    for (worker, (transport, row)) in transports.iter_mut().zip(arena.rows_mut()).enumerate() {
+        transport.set_expected_epoch(Some(*epoch));
+        transport.set_epoch(if worker == stale { epoch.wrapping_sub(1) } else { *epoch });
+        let transfer = transport
+            .transfer_into(worker as u32, 0, gradients[worker].as_slice(), row)
+            .expect("transfer succeeds");
+        delivered[worker] = transfer.delivered;
+    }
+    arena.retain_rows(&delivered);
+    if let Some(gar) = gar {
+        gar.aggregate_batch(arena).expect("aggregation succeeds");
+    } else {
+        std::hint::black_box(arena.n());
+    }
+}
+
 /// The streaming round: the arena buffers flip, each delivered row fires a
 /// completion event that folds its distance contributions in while the row
 /// is hot in cache, and the GAR runs distance-primed on the first `accept`
@@ -191,6 +224,9 @@ struct Cell {
     streaming_ns: u128,
     /// Event-driven round under the `n − f` quorum policy.
     quorum_ns: u128,
+    /// Elastic round: epoch bump + transport restamp + one fenced stale
+    /// sender per round.
+    churn_ns: u128,
 }
 
 impl Cell {
@@ -208,6 +244,13 @@ impl Cell {
 
     fn quorum_speedup(&self) -> f64 {
         self.reference_ns as f64 / self.quorum_ns.max(1) as f64
+    }
+
+    /// Static pipeline round over the churn round: ≥ 0.95 means the whole
+    /// elastic machinery (epoch restamp, fence checks, row compaction)
+    /// costs at most ~5% of a round.
+    fn churn_speedup(&self) -> f64 {
+        self.pipeline_ns as f64 / self.churn_ns.max(1) as f64
     }
 }
 
@@ -235,7 +278,7 @@ fn main() {
         "round_perf: n = {N}, f = {F}, d = {D}, drop = {DROP_RATE} (median ns/round, end-to-end)"
     );
     println!(
-        "{:<11} {:<12} {:>13} {:>13} {:>8} {:>13} {:>13} {:>9} {:>13} {:>8} {:>13} {:>8}",
+        "{:<11} {:<12} {:>13} {:>13} {:>8} {:>13} {:>13} {:>9} {:>13} {:>8} {:>13} {:>8} {:>13} {:>9}",
         "transport",
         "rule",
         "pipeline_ns",
@@ -247,7 +290,9 @@ fn main() {
         "streaming_ns",
         "strm_spd",
         "quorum_ns",
-        "quor_spd"
+        "quor_spd",
+        "churn_ns",
+        "churn_spd"
     );
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -318,6 +363,23 @@ fn main() {
                 streaming_round(gar.as_ref(), &mut transports, &mut pipeline, &gradients, accept);
             });
 
+            // The churn arm reuses the pipeline transports; clear the fences
+            // afterwards so no other arm sees a stale epoch.
+            let mut epoch = 0u32;
+            let churn_ns = median_round_ns(|| {
+                churn_round(
+                    Some(gar.as_ref()),
+                    &mut transports,
+                    &mut arena,
+                    &gradients,
+                    &mut epoch,
+                );
+            });
+            for transport in &mut transports {
+                transport.set_expected_epoch(None);
+                transport.set_epoch(0);
+            }
+
             let cell = Cell {
                 transport: transport_name,
                 rule: kind.name(),
@@ -327,9 +389,10 @@ fn main() {
                 reference_wire_ns,
                 streaming_ns,
                 quorum_ns,
+                churn_ns,
             };
             println!(
-                "{:<11} {:<12} {:>13} {:>13} {:>7.2}x {:>13} {:>13} {:>8.2}x {:>13} {:>7.2}x {:>13} {:>7.2}x",
+                "{:<11} {:<12} {:>13} {:>13} {:>7.2}x {:>13} {:>13} {:>8.2}x {:>13} {:>7.2}x {:>13} {:>7.2}x {:>13} {:>8.2}x",
                 cell.transport,
                 cell.rule,
                 cell.pipeline_ns,
@@ -341,7 +404,9 @@ fn main() {
                 cell.streaming_ns,
                 cell.streaming_speedup(),
                 cell.quorum_ns,
-                cell.quorum_speedup()
+                cell.quorum_speedup(),
+                cell.churn_ns,
+                cell.churn_speedup()
             );
             cells.push(cell);
         }
@@ -388,7 +453,8 @@ fn main() {
              \"reference_ns\": {}, \"speedup\": {:.2}, \"pipeline_wire_ns\": {}, \
              \"reference_wire_ns\": {}, \"wire_speedup\": {:.2}, \"streaming_ns\": {}, \
              \"streaming_speedup\": {:.2}, \"quorum_ns\": {}, \
-             \"quorum_speedup\": {:.2}}}{comma}",
+             \"quorum_speedup\": {:.2}, \"churn_ns\": {}, \
+             \"churn_speedup\": {:.2}}}{comma}",
             cell.transport,
             cell.rule,
             cell.pipeline_ns,
@@ -400,7 +466,9 @@ fn main() {
             cell.streaming_ns,
             cell.streaming_speedup(),
             cell.quorum_ns,
-            cell.quorum_speedup()
+            cell.quorum_speedup(),
+            cell.churn_ns,
+            cell.churn_speedup()
         );
     }
     json.push_str("  ],\n");

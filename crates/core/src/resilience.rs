@@ -9,7 +9,7 @@
 //!   `m̃ = n − 2f − 2` (strong), giving a slowdown of `Ω(√(m̃/n))` versus
 //!   plain averaging.
 
-use crate::{AggregationError, Result};
+use crate::{AggregationError, GarKind, Result};
 
 /// Minimum number of workers for weak resilience with Multi-Krum.
 pub fn multi_krum_min_workers(f: usize) -> usize {
@@ -142,6 +142,25 @@ pub fn max_f_bulyan(n: usize) -> Option<usize> {
     }
 }
 
+/// Minimum live worker count below which `rule` loses its resilience
+/// guarantee for a declared `f`: `2f + 3` for the Krum family, `4f + 3` for
+/// Bulyan, `2f + 1` for the coordinate-wise family, and `1` for the
+/// non-resilient averaging rules (they aggregate anything, so only an empty
+/// round is inadmissible).
+///
+/// The elastic-membership engine consults this floor on every churn
+/// transition and refuses to aggregate once the live set shrinks past it.
+pub fn resilience_floor(rule: GarKind, f: usize) -> usize {
+    match rule {
+        GarKind::Krum | GarKind::MultiKrum => multi_krum_min_workers(f),
+        GarKind::Bulyan => bulyan_min_workers(f),
+        GarKind::Median | GarKind::TrimmedMean | GarKind::MeaMed | GarKind::GeometricMedian => {
+            median_min_workers(f)
+        }
+        GarKind::Average | GarKind::SelectiveAverage => 1,
+    }
+}
+
 /// The theoretical slowdown ratio `√(m̃ / n)` of Multi-Krum / AggregaThor
 /// versus plain averaging, in the absence of Byzantine workers
 /// (Theorems 1 & 2 part (ii)).
@@ -199,6 +218,55 @@ mod tests {
         // With 19 workers (the paper): Multi-Krum tolerates f=8, Bulyan f=4.
         assert_eq!(max_f_multi_krum(19), Some(8));
         assert_eq!(max_f_bulyan(19), Some(4));
+    }
+
+    #[test]
+    fn max_f_is_the_exact_boundary_of_check_for_all_n_up_to_128() {
+        // Property: `max_f_*` is *exactly* the largest f for which `check_*`
+        // passes — f itself is admissible, f + 1 is not — for every n the
+        // engine could plausibly run with.
+        for n in 0..=128usize {
+            match max_f_multi_krum(n) {
+                Some(f) => {
+                    assert!(check_multi_krum(n, f).is_ok(), "multi-krum n={n} f={f}");
+                    assert!(check_multi_krum(n, f + 1).is_err(), "multi-krum n={n} f={}", f + 1);
+                }
+                None => assert!(check_multi_krum(n, 0).is_err(), "multi-krum n={n} f=0"),
+            }
+            match max_f_bulyan(n) {
+                Some(f) => {
+                    assert!(check_bulyan(n, f).is_ok(), "bulyan n={n} f={f}");
+                    assert!(check_bulyan(n, f + 1).is_err(), "bulyan n={n} f={}", f + 1);
+                }
+                None => assert!(check_bulyan(n, 0).is_err(), "bulyan n={n} f=0"),
+            }
+        }
+    }
+
+    #[test]
+    fn resilience_floor_matches_the_per_rule_preconditions() {
+        for f in 0..16usize {
+            assert_eq!(resilience_floor(GarKind::Krum, f), multi_krum_min_workers(f));
+            assert_eq!(resilience_floor(GarKind::MultiKrum, f), multi_krum_min_workers(f));
+            assert_eq!(resilience_floor(GarKind::Bulyan, f), bulyan_min_workers(f));
+            assert_eq!(resilience_floor(GarKind::Median, f), median_min_workers(f));
+            assert_eq!(resilience_floor(GarKind::TrimmedMean, f), median_min_workers(f));
+            assert_eq!(resilience_floor(GarKind::MeaMed, f), median_min_workers(f));
+            assert_eq!(resilience_floor(GarKind::GeometricMedian, f), median_min_workers(f));
+            assert_eq!(resilience_floor(GarKind::Average, f), 1);
+            assert_eq!(resilience_floor(GarKind::SelectiveAverage, f), 1);
+
+            // The floor is exactly the n where `check_*` flips from Err to Ok.
+            let n = resilience_floor(GarKind::MultiKrum, f);
+            assert!(check_multi_krum(n, f).is_ok());
+            assert!(n == 0 || check_multi_krum(n - 1, f).is_err());
+            let n = resilience_floor(GarKind::Bulyan, f);
+            assert!(check_bulyan(n, f).is_ok());
+            assert!(n == 0 || check_bulyan(n - 1, f).is_err());
+        }
+        // Paper deployment: n = 19, f = 4 sits exactly on Bulyan's floor.
+        assert_eq!(resilience_floor(GarKind::Bulyan, 4), 19);
+        assert_eq!(resilience_floor(GarKind::MultiKrum, 4), 11);
     }
 
     #[test]

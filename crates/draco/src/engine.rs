@@ -223,6 +223,8 @@ impl DracoTrainer {
                         declared_f: self.config.f,
                         step,
                         seed: self.config.seed,
+                        total_workers: self.config.workers,
+                        previous_selection: None,
                     };
                     let mut crafted = self.attack.craft(&ctx).into_iter();
                     members
@@ -285,6 +287,8 @@ impl DracoTrainer {
             steps_completed: self.step,
             skipped_updates: skipped,
             simulated_time_sec: self.clock_sec,
+            // Draco's fixed roster has no elastic membership.
+            ..Default::default()
         })
     }
 

@@ -106,6 +106,10 @@ struct WireHeader {
     total: usize,
     offset: usize,
     count: usize,
+    /// Membership epoch the sender stamped. Assemblers fencing on an
+    /// expected epoch reject packets stamped with any other value before
+    /// they can touch a row.
+    epoch: u32,
 }
 
 /// Parses the fixed-size header of an encoded packet without consuming the
@@ -126,13 +130,14 @@ fn parse_header(data: &[u8]) -> Result<WireHeader> {
     let total = u32_at(16) as usize;
     let offset = u32_at(20) as usize;
     let count = u32_at(24) as usize;
+    let epoch = u32_at(28);
     if data.len() - HEADER_BYTES < count * 4 {
         return Err(NetError::MalformedPacket(format!(
             "payload declares {count} coordinates but only {} bytes remain",
             data.len() - HEADER_BYTES
         )));
     }
-    Ok(WireHeader { worker, step, sequence, total, offset, count })
+    Ok(WireHeader { worker, step, sequence, total, offset, count, epoch })
 }
 
 /// Marks `sequence` in the seen-set, returning `false` when it was already
@@ -178,6 +183,11 @@ pub struct RoundAssembler {
     received: usize,
     reference: Option<WireHeader>,
     seen: Vec<u64>,
+    /// Epoch fence: `Some(e)` rejects every packet not stamped with `e`
+    /// (counted in `stale_rejects`), `None` accepts any epoch (the static
+    /// membership default).
+    expected_epoch: Option<u32>,
+    stale_rejects: usize,
 }
 
 impl RoundAssembler {
@@ -189,12 +199,36 @@ impl RoundAssembler {
             received: 0,
             reference: None,
             seen: Vec::new(),
+            expected_epoch: None,
+            stale_rejects: 0,
         }
     }
 
     /// The gradient dimension this assembler reassembles.
     pub fn dimension(&self) -> usize {
         self.dimension
+    }
+
+    /// Sets the membership-epoch fence: packets stamped with a different
+    /// epoch are rejected (never written to a row, counted in
+    /// [`RoundAssembler::stale_rejects`]). `None` — the default — accepts
+    /// any epoch, preserving the static-membership behaviour.
+    pub fn set_expected_epoch(&mut self, epoch: Option<u32>) {
+        self.expected_epoch = epoch;
+    }
+
+    /// Packets rejected by the epoch fence since the last
+    /// `begin_round`/`assemble_into`.
+    pub fn stale_rejects(&self) -> usize {
+        self.stale_rejects
+    }
+
+    /// `Some(packet_epoch)` when the fence rejects this header.
+    fn fence(&self, header: &WireHeader) -> Option<u32> {
+        match self.expected_epoch {
+            Some(expected) if header.epoch != expected => Some(header.epoch),
+            _ => None,
+        }
     }
 
     /// Starts a streaming round: clears the coverage bitset, the received
@@ -211,21 +245,26 @@ impl RoundAssembler {
         self.received = 0;
         self.reference = None;
         self.seen.fill(0);
+        self.stale_rejects = 0;
     }
 
     /// Feeds one delivered packet, scattering its payload into `dst`, and
-    /// returns how many coordinates it newly covered.
+    /// reports what it changed.
     ///
-    /// A packet whose pre-split id was already fed this round returns
-    /// `Ok(0)` without touching `dst` (first delivery wins), so completion
-    /// accounting stays exact under wire duplication.
+    /// A packet whose pre-split id was already fed this round is accepted
+    /// with zero new coverage and without touching `dst` (first delivery
+    /// wins), so completion accounting stays exact under wire duplication.
+    /// A packet stamped with the wrong membership epoch is fenced off —
+    /// [`FeedOutcome::StaleEpoch`], nothing written — *before* the stream
+    /// identity check, so an evicted worker's stragglers can never poison
+    /// the round's reference.
     ///
     /// # Errors
     ///
     /// Same conditions as [`RoundAssembler::assemble_into`], plus
     /// [`NetError::MalformedPacket`] for a sequence number at or above the
     /// declared stream total.
-    pub fn feed(&mut self, packet: &Bytes, dst: &mut [f32]) -> Result<usize> {
+    pub fn feed(&mut self, packet: &Bytes, dst: &mut [f32]) -> Result<FeedOutcome> {
         if dst.len() != self.dimension {
             return Err(NetError::InvalidConfig(format!(
                 "destination row has {} coordinates, assembler expects {}",
@@ -234,6 +273,13 @@ impl RoundAssembler {
             )));
         }
         let header = parse_header(packet)?;
+        if let Some(packet_epoch) = self.fence(&header) {
+            self.stale_rejects += 1;
+            return Ok(FeedOutcome::StaleEpoch {
+                packet_epoch,
+                expected_epoch: self.expected_epoch.expect("fence implies an expected epoch"),
+            });
+        }
         match &self.reference {
             Some(reference) => check_same_stream(&header, reference)?,
             None => self.reference = Some(header),
@@ -241,13 +287,13 @@ impl RoundAssembler {
         check_in_bounds(&header, self.dimension)?;
         check_sequence(&header)?;
         if !note_sequence(&mut self.seen, header.sequence) {
-            return Ok(0);
+            return Ok(FeedOutcome::Accepted { newly_covered: 0, shards: 0..0 });
         }
         let payload = &packet[HEADER_BYTES..HEADER_BYTES + 4 * header.count];
         get_f32_slice_le(payload, &mut dst[header.offset..header.offset + header.count]);
         let newly = self.filled.mark(header.offset, header.count);
         self.received += newly;
-        Ok(newly)
+        Ok(FeedOutcome::Accepted { newly_covered: newly, shards: 0..1 })
     }
 
     /// Coordinates covered so far in the current streaming round.
@@ -304,14 +350,26 @@ impl RoundAssembler {
             )));
         }
         self.filled.reset();
-        let Some(first) = packets.first() else {
+        self.stale_rejects = 0;
+        if packets.is_empty() {
             dst.fill(f32::NAN);
             return Ok(self.dimension);
-        };
-        let reference = parse_header(first)?;
+        }
+        // The reference is the first packet that clears the epoch fence:
+        // stale packets are counted and skipped before any identity check,
+        // so an evicted worker's stragglers never poison the stream
+        // reference (and never fill a coordinate).
+        let mut reference: Option<WireHeader> = None;
         for packet in packets {
             let header = parse_header(packet)?;
-            check_same_stream(&header, &reference)?;
+            if self.fence(&header).is_some() {
+                self.stale_rejects += 1;
+                continue;
+            }
+            match &reference {
+                Some(reference) => check_same_stream(&header, reference)?,
+                None => reference = Some(header),
+            }
             check_in_bounds(&header, self.dimension)?;
             let payload = &packet[HEADER_BYTES..HEADER_BYTES + 4 * header.count];
             get_f32_slice_le(payload, &mut dst[header.offset..header.offset + header.count]);
@@ -366,18 +424,52 @@ fn check_in_bounds(header: &WireHeader, dimension: usize) -> Result<()> {
 /// The [`ShardPlan`] is the same type the aggregation layer partitions the
 /// arena with, so a coordinate routed to shard `s` here is by construction
 /// the coordinate shard `s`'s kernels aggregate.
-/// What one [`ShardedRoundAssembler::feed`] call changed: how many
-/// coordinates the packet newly covered, and which shards' completion state
-/// may have flipped (poll [`ShardedRoundAssembler::shard_complete`] over the
-/// range). A duplicate contributes nothing and touches no shards.
+/// What one streaming `feed` call changed.
+///
+/// For an accepted packet: how many coordinates it newly covered, and which
+/// shards' completion state may have flipped (poll
+/// [`ShardedRoundAssembler::shard_complete`] over the range — always `0..1`
+/// for the single-row [`RoundAssembler`]). A duplicate contributes nothing
+/// and touches no shards. A packet stamped with the wrong membership epoch
+/// is fenced off entirely: [`FeedOutcome::StaleEpoch`] reports the mismatch
+/// and guarantees no row byte was written.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FeedOutcome {
-    /// Coordinates this packet newly covered (exact under duplication and
-    /// shard-boundary splits).
-    pub newly_covered: usize,
-    /// The contiguous shard range the packet's coordinate range touches —
-    /// empty for duplicates and header-only packets.
-    pub shards: std::ops::Range<usize>,
+pub enum FeedOutcome {
+    /// The packet passed every check and was scattered into the row(s).
+    Accepted {
+        /// Coordinates this packet newly covered (exact under duplication
+        /// and shard-boundary splits).
+        newly_covered: usize,
+        /// The contiguous shard range the packet's coordinate range touches
+        /// — empty for duplicates and header-only packets.
+        shards: std::ops::Range<usize>,
+    },
+    /// The packet's epoch stamp did not match the assembler's expected
+    /// epoch — a late packet from an evicted worker or a stale-epoch
+    /// rejoin. Nothing was written; the reject is counted in
+    /// `stale_rejects()`.
+    StaleEpoch {
+        /// The epoch the sender stamped into the packet.
+        packet_epoch: u32,
+        /// The epoch the assembler currently fences on.
+        expected_epoch: u32,
+    },
+}
+
+impl FeedOutcome {
+    /// Coordinates newly covered by this feed (zero for duplicates and
+    /// stale-epoch rejects).
+    pub fn newly_covered(&self) -> usize {
+        match self {
+            FeedOutcome::Accepted { newly_covered, .. } => *newly_covered,
+            FeedOutcome::StaleEpoch { .. } => 0,
+        }
+    }
+
+    /// Whether the packet was fenced off for carrying a stale epoch.
+    pub fn is_stale(&self) -> bool {
+        matches!(self, FeedOutcome::StaleEpoch { .. })
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -390,6 +482,9 @@ pub struct ShardedRoundAssembler {
     shard_received: Vec<usize>,
     reference: Option<WireHeader>,
     seen: Vec<u64>,
+    /// Epoch fence, identical semantics to [`RoundAssembler`]'s.
+    expected_epoch: Option<u32>,
+    stale_rejects: usize,
 }
 
 impl ShardedRoundAssembler {
@@ -397,12 +492,42 @@ impl ShardedRoundAssembler {
     pub fn new(plan: ShardPlan) -> Self {
         let filled = CoordinateBitset::new(plan.dimension());
         let shard_received = vec![0usize; plan.shard_count()];
-        ShardedRoundAssembler { plan, filled, shard_received, reference: None, seen: Vec::new() }
+        ShardedRoundAssembler {
+            plan,
+            filled,
+            shard_received,
+            reference: None,
+            seen: Vec::new(),
+            expected_epoch: None,
+            stale_rejects: 0,
+        }
     }
 
     /// The shard partition this assembler routes into.
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// Sets the membership-epoch fence: packets stamped with a different
+    /// epoch are rejected before routing — no shard row is touched, not
+    /// even the partial slices of a boundary-straddling packet. `None`
+    /// (default) accepts any epoch.
+    pub fn set_expected_epoch(&mut self, epoch: Option<u32>) {
+        self.expected_epoch = epoch;
+    }
+
+    /// Packets rejected by the epoch fence since the last
+    /// `begin_round`/`assemble_into`.
+    pub fn stale_rejects(&self) -> usize {
+        self.stale_rejects
+    }
+
+    /// `Some(packet_epoch)` when the fence rejects this header.
+    fn fence(&self, header: &WireHeader) -> Option<u32> {
+        match self.expected_epoch {
+            Some(expected) if header.epoch != expected => Some(header.epoch),
+            _ => None,
+        }
     }
 
     /// Scatters the delivered packets of one gradient into the per-shard
@@ -437,15 +562,23 @@ impl ShardedRoundAssembler {
             }
         }
         self.filled.reset();
+        self.stale_rejects = 0;
         let dimension = self.plan.dimension();
-        let Some(first) = packets.first() else {
+        if packets.is_empty() {
             rows.iter_mut().for_each(|row| row.fill(f32::NAN));
             return Ok(dimension);
-        };
-        let reference = parse_header(first)?;
+        }
+        let mut reference: Option<WireHeader> = None;
         for packet in packets {
             let header = parse_header(packet)?;
-            check_same_stream(&header, &reference)?;
+            if self.fence(&header).is_some() {
+                self.stale_rejects += 1;
+                continue;
+            }
+            match &reference {
+                Some(reference) => check_same_stream(&header, reference)?,
+                None => reference = Some(header),
+            }
             check_in_bounds(&header, dimension)?;
             // Route the payload shard by shard: `consumed` counts payload
             // coordinates already scattered, `global` the coordinate the
@@ -490,6 +623,7 @@ impl ShardedRoundAssembler {
         self.shard_received.fill(0);
         self.reference = None;
         self.seen.fill(0);
+        self.stale_rejects = 0;
     }
 
     /// Feeds one delivered packet, routing its payload into the per-shard
@@ -519,6 +653,13 @@ impl ShardedRoundAssembler {
         }
         let dimension = self.plan.dimension();
         let header = parse_header(packet)?;
+        if let Some(packet_epoch) = self.fence(&header) {
+            self.stale_rejects += 1;
+            return Ok(FeedOutcome::StaleEpoch {
+                packet_epoch,
+                expected_epoch: self.expected_epoch.expect("fence implies an expected epoch"),
+            });
+        }
         match &self.reference {
             Some(reference) => check_same_stream(&header, reference)?,
             None => self.reference = Some(header),
@@ -526,7 +667,7 @@ impl ShardedRoundAssembler {
         check_in_bounds(&header, dimension)?;
         check_sequence(&header)?;
         if header.count == 0 || !note_sequence(&mut self.seen, header.sequence) {
-            return Ok(FeedOutcome { newly_covered: 0, shards: 0..0 });
+            return Ok(FeedOutcome::Accepted { newly_covered: 0, shards: 0..0 });
         }
         let end = header.offset + header.count;
         let first_shard = self.plan.shard_of(header.offset);
@@ -555,7 +696,7 @@ impl ShardedRoundAssembler {
             consumed += take;
             global += take;
         }
-        Ok(FeedOutcome { newly_covered: newly, shards: first_shard..shard + 1 })
+        Ok(FeedOutcome::Accepted { newly_covered: newly, shards: first_shard..shard + 1 })
     }
 
     /// Coordinates of shard `s` covered so far in the current round.
@@ -942,18 +1083,18 @@ mod tests {
         let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
 
         let first = sharded.feed(&packets[0], &mut views).unwrap();
-        assert_eq!(first, FeedOutcome { newly_covered: 8, shards: 0..2 });
+        assert_eq!(first, FeedOutcome::Accepted { newly_covered: 8, shards: 0..2 });
         assert!(sharded.shard_complete(0));
         assert_eq!(sharded.shard_received(1), 3);
 
         let duplicate = sharded.feed(&packets[0], &mut views).unwrap();
-        assert_eq!(duplicate, FeedOutcome { newly_covered: 0, shards: 0..0 });
+        assert_eq!(duplicate, FeedOutcome::Accepted { newly_covered: 0, shards: 0..0 });
         assert_eq!(sharded.shard_received(0), 5, "duplicate must not inflate shard 0");
         assert_eq!(sharded.shard_received(1), 3, "duplicate must not inflate shard 1");
         assert!(!sharded.shard_complete(1));
 
         let second = sharded.feed(&packets[1], &mut views).unwrap();
-        assert_eq!(second.newly_covered, 8);
+        assert_eq!(second.newly_covered(), 8);
         assert!(sharded.shard_complete(1));
         assert!(sharded.shard_complete(2));
         assert!(!sharded.is_complete());
@@ -1009,6 +1150,117 @@ mod tests {
         assert!(sharded.is_complete());
         assert_eq!(sharded.finish_round(&mut views).unwrap(), 0);
         assert_eq!(shard_rows.concat(), next);
+    }
+
+    #[test]
+    fn stale_epoch_packet_never_fills_a_row() {
+        // An epoch-2 fence against an epoch-1 sender: every packet is
+        // fenced, no coordinate lands, and the row the caller primed stays
+        // byte-identical — the streaming feed path.
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let stale = codec.split_bytes_epoch(0, 0, 1, &g);
+        let mut assembler = RoundAssembler::new(20);
+        assembler.set_expected_epoch(Some(2));
+        assembler.begin_round();
+        let mut row = vec![-7.5f32; 20];
+        for p in &stale {
+            let outcome = assembler.feed(p, &mut row).unwrap();
+            assert_eq!(outcome, FeedOutcome::StaleEpoch { packet_epoch: 1, expected_epoch: 2 });
+            assert_eq!(outcome.newly_covered(), 0);
+            assert!(outcome.is_stale());
+        }
+        assert!(row.iter().all(|&v| v == -7.5), "a stale packet must never touch the row");
+        assert_eq!(assembler.received(), 0);
+        assert_eq!(assembler.stale_rejects(), stale.len());
+        assert_eq!(assembler.finish_round(&mut row).unwrap(), 20);
+
+        // Current-epoch packets still land after the stale burst — the
+        // fence never poisons the stream reference.
+        assembler.begin_round();
+        let mut row = vec![0.0f32; 20];
+        for p in &stale {
+            assert!(assembler.feed(p, &mut row).unwrap().is_stale());
+        }
+        for p in codec.split_bytes_epoch(0, 0, 2, &g) {
+            assert!(!assembler.feed(&p, &mut row).unwrap().is_stale());
+        }
+        assert!(assembler.is_complete());
+        assert_eq!(row, g);
+    }
+
+    #[test]
+    fn stale_epoch_packet_is_fenced_in_batch_assembly() {
+        // assemble_into with a mix of current and stale packets: stale ones
+        // are skipped (counted), current ones land, missing = what only the
+        // stale packets would have covered.
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let current = codec.split_bytes_epoch(0, 0, 3, &g);
+        let stale = codec.split_bytes_epoch(0, 0, 2, &g);
+        // Stale copy of packet 1 (coords 8..16) plus current packets 0 and 2.
+        let mixed = vec![stale[1].clone(), current[0].clone(), current[2].clone()];
+        let mut assembler = RoundAssembler::new(20);
+        assembler.set_expected_epoch(Some(3));
+        let mut row = vec![0.0f32; 20];
+        assert_eq!(assembler.assemble_into(&mixed, &mut row).unwrap(), 8);
+        assert_eq!(assembler.stale_rejects(), 1);
+        assert!(row[8..16].iter().all(|v| v.is_nan()));
+        assert_eq!(row[..8], g[..8]);
+
+        // All-stale round: everything missing, nothing written.
+        let mut all_stale_row = vec![5.0f32; 20];
+        assert_eq!(assembler.assemble_into(&stale, &mut all_stale_row).unwrap(), 20);
+        assert_eq!(assembler.stale_rejects(), stale.len());
+        assert!(all_stale_row.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn stale_epoch_straddling_packet_touches_neither_shard() {
+        // The sharded straddle path: packet 0 covers 0..8 and would split
+        // across shards 0 (0..5) and 1 (5..10). Stamped with a stale epoch
+        // it must be fenced *before* routing — neither shard's row nor its
+        // completion total may move, even for the partial slice.
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let stale = codec.split_bytes_epoch(0, 0, 4, &g);
+        let plan = agg_tensor::ShardPlan::new(20, 4).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        sharded.set_expected_epoch(Some(5));
+        sharded.begin_round();
+        let mut shard_rows: Vec<Vec<f32>> =
+            plan.ranges().map(|r| vec![-3.25f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+
+        let outcome = sharded.feed(&stale[0], &mut views).unwrap();
+        assert_eq!(outcome, FeedOutcome::StaleEpoch { packet_epoch: 4, expected_epoch: 5 });
+        assert_eq!(sharded.shard_received(0), 0, "stale straddler must not fill shard 0");
+        assert_eq!(sharded.shard_received(1), 0, "stale straddler must not fill shard 1");
+        assert_eq!(sharded.stale_rejects(), 1);
+        assert!(
+            shard_rows.iter().flatten().all(|&v| v == -3.25),
+            "no shard row byte may change on a stale packet"
+        );
+
+        // The batch path fences the same straddler identically.
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        sharded.set_expected_epoch(Some(5));
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        {
+            let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+            assert_eq!(sharded.assemble_into(&stale, &mut views).unwrap(), 20);
+        }
+        assert_eq!(sharded.stale_rejects(), stale.len());
+        assert!(shard_rows.iter().flatten().all(|v| v.is_nan()));
+
+        // And a current-epoch round through the same fence is untouched.
+        let current = codec.split_bytes_epoch(0, 0, 5, &g);
+        {
+            let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+            assert_eq!(sharded.assemble_into(&current, &mut views).unwrap(), 0);
+        }
+        assert_eq!(sharded.stale_rejects(), 0);
+        assert_eq!(shard_rows.concat(), g);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! A gradient of dimension `d` is split into packets carrying at most
 //! `coords_per_packet` consecutive `f32` coordinates. Every packet carries a
 //! small header — worker id, step, sequence number, total packet count,
-//! coordinate offset and count — which is exactly the "reliability scheme for
-//! metadata (accompanying gradients) and packets ordering" the paper adds on
-//! top of UDP: the payload may be lost, but a delivered packet always knows
-//! where its coordinates belong.
+//! coordinate offset, count and membership epoch — which is exactly the
+//! "reliability scheme for metadata (accompanying gradients) and packets
+//! ordering" the paper adds on top of UDP: the payload may be lost, but a
+//! delivered packet always knows where its coordinates belong. The epoch
+//! stamp lets the receiver fence off late packets from evicted workers and
+//! stale-epoch rejoins under elastic membership.
 
 use crate::{NetError, Result};
 use agg_tensor::Vector;
@@ -26,12 +28,17 @@ pub struct Packet {
     pub total: u32,
     /// Index of the first coordinate carried by this packet.
     pub offset: u32,
+    /// Membership epoch the sender believed was current. Receivers that
+    /// fence on an expected epoch reject packets stamped with any other
+    /// value; epoch 0 is the static-membership default.
+    pub epoch: u32,
     /// The coordinates carried by this packet.
     pub payload: Vec<f32>,
 }
 
-/// Number of header bytes in the wire format.
-pub const HEADER_BYTES: usize = 4 + 8 + 4 + 4 + 4 + 4;
+/// Number of header bytes in the wire format: worker (4), step (8),
+/// sequence (4), total (4), offset (4), count (4), epoch (4).
+pub const HEADER_BYTES: usize = 4 + 8 + 4 + 4 + 4 + 4 + 4;
 
 /// Bulk little-endian encode: appends `values` to `buf` in one pass over
 /// 4-byte chunks. This is the hot-path replacement for per-element
@@ -70,6 +77,7 @@ impl Packet {
         buf.put_u32_le(self.total);
         buf.put_u32_le(self.offset);
         buf.put_u32_le(self.payload.len() as u32);
+        buf.put_u32_le(self.epoch);
         for &v in &self.payload {
             buf.put_f32_le(v);
         }
@@ -95,6 +103,7 @@ impl Packet {
         let total = data.get_u32_le();
         let offset = data.get_u32_le();
         let count = data.get_u32_le() as usize;
+        let epoch = data.get_u32_le();
         if data.remaining() < count * 4 {
             return Err(NetError::MalformedPacket(format!(
                 "payload declares {count} coordinates but only {} bytes remain",
@@ -102,7 +111,7 @@ impl Packet {
             )));
         }
         let payload = (0..count).map(|_| data.get_f32_le()).collect();
-        Ok(Packet { worker, step, sequence, total, offset, payload })
+        Ok(Packet { worker, step, sequence, total, offset, epoch, payload })
     }
 
     /// Number of bytes this packet occupies on the wire.
@@ -156,8 +165,20 @@ impl GradientCodec {
         self.packet_count(d) * HEADER_BYTES + 4 * d
     }
 
-    /// Splits a gradient into packets.
+    /// Splits a gradient into packets (stamped with epoch 0, the static
+    /// membership default; see [`GradientCodec::split_epoch`]).
     pub fn split(&self, worker: u32, step: u64, gradient: &Vector) -> Vec<Packet> {
+        self.split_epoch(worker, step, 0, gradient)
+    }
+
+    /// Splits a gradient into packets stamped with a membership epoch.
+    pub fn split_epoch(
+        &self,
+        worker: u32,
+        step: u64,
+        epoch: u32,
+        gradient: &Vector,
+    ) -> Vec<Packet> {
         let d = gradient.len();
         let total = d.div_ceil(self.coords_per_packet).max(1) as u32;
         let mut packets = Vec::with_capacity(total as usize);
@@ -169,6 +190,7 @@ impl GradientCodec {
                 sequence: seq as u32,
                 total,
                 offset: (seq * self.coords_per_packet) as u32,
+                epoch,
                 payload: chunk.to_vec(),
             });
         }
@@ -181,6 +203,7 @@ impl GradientCodec {
                 sequence: 0,
                 total: 1,
                 offset: 0,
+                epoch,
                 payload: vec![],
             });
         }
@@ -196,7 +219,22 @@ impl GradientCodec {
     /// [`Packet::encode`], so the two codecs interoperate packet-for-packet;
     /// this path just skips the per-packet `Vec<f32>` payloads and
     /// per-element `put_f32_le` loops of the legacy split-then-encode pair.
+    ///
+    /// Packets are stamped with epoch 0 (static membership); see
+    /// [`GradientCodec::split_bytes_epoch`].
     pub fn split_bytes(&self, worker: u32, step: u64, gradient: &[f32]) -> Vec<Bytes> {
+        self.split_bytes_epoch(worker, step, 0, gradient)
+    }
+
+    /// [`GradientCodec::split_bytes`] with an explicit membership epoch
+    /// stamped into every packet header.
+    pub fn split_bytes_epoch(
+        &self,
+        worker: u32,
+        step: u64,
+        epoch: u32,
+        gradient: &[f32],
+    ) -> Vec<Bytes> {
         let d = gradient.len();
         let total = self.packet_count(d);
         let mut buf = BytesMut::with_capacity(self.wire_bytes_total(d));
@@ -209,6 +247,7 @@ impl GradientCodec {
             buf.put_u32_le(total as u32);
             buf.put_u32_le((seq * self.coords_per_packet) as u32);
             buf.put_u32_le(chunk.len() as u32);
+            buf.put_u32_le(epoch);
             put_f32_slice_le(&mut buf, chunk);
             bounds.push(start..buf.len());
         };
@@ -288,6 +327,7 @@ mod tests {
             sequence: 7,
             total: 9,
             offset: 700,
+            epoch: 6,
             payload: vec![1.5, -2.5, f32::NAN],
         };
         let decoded = Packet::decode(p.encode()).unwrap();
@@ -295,6 +335,7 @@ mod tests {
         assert_eq!(decoded.step, 42);
         assert_eq!(decoded.sequence, 7);
         assert_eq!(decoded.offset, 700);
+        assert_eq!(decoded.epoch, 6);
         assert_eq!(decoded.payload.len(), 3);
         assert!(decoded.payload[2].is_nan());
         assert_eq!(p.wire_bytes(), HEADER_BYTES + 12);
@@ -302,8 +343,15 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation() {
-        let p =
-            Packet { worker: 0, step: 0, sequence: 0, total: 1, offset: 0, payload: vec![1.0; 10] };
+        let p = Packet {
+            worker: 0,
+            step: 0,
+            sequence: 0,
+            total: 1,
+            offset: 0,
+            epoch: 0,
+            payload: vec![1.0; 10],
+        };
         let encoded = p.encode();
         assert!(Packet::decode(encoded.slice(0..10)).is_err());
         assert!(Packet::decode(encoded.slice(0..HEADER_BYTES + 4)).is_err());
@@ -362,6 +410,7 @@ mod tests {
             sequence: 0,
             total: 1,
             offset: 14,
+            epoch: 0,
             payload: vec![0.0; 8],
         }];
         assert!(codec.reassemble(&too_far, 16).is_err());
@@ -375,6 +424,21 @@ mod tests {
         let (restored, missing) = codec.reassemble(&packets, 0).unwrap();
         assert_eq!(restored.len(), 0);
         assert_eq!(missing, 0);
+    }
+
+    #[test]
+    fn epoch_stamp_round_trips_through_both_split_paths() {
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        assert!(codec.split_epoch(1, 2, 7, &g).iter().all(|p| p.epoch == 7));
+        for bytes in codec.split_bytes_epoch(1, 2, 7, g.as_slice()) {
+            assert_eq!(Packet::decode(bytes).unwrap().epoch, 7);
+        }
+        // The legacy entry points stamp the static-membership epoch 0.
+        assert!(codec.split(1, 2, &g).iter().all(|p| p.epoch == 0));
+        for bytes in codec.split_bytes(1, 2, g.as_slice()) {
+            assert_eq!(Packet::decode(bytes).unwrap().epoch, 0);
+        }
     }
 
     #[test]

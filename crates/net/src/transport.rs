@@ -59,6 +59,10 @@ pub struct RowTransfer {
     pub bytes_sent: usize,
     /// Number of coordinates that never arrived (before policy handling).
     pub missing_coordinates: usize,
+    /// Packets the receiver's epoch fence rejected (late packets from an
+    /// evicted membership epoch). When non-zero the gradient was fenced and
+    /// `delivered` is `false`.
+    pub stale_epoch_rejects: usize,
     /// Raw link statistics.
     pub link_stats: LinkStats,
 }
@@ -69,6 +73,16 @@ pub struct RowTransfer {
 pub trait Transport: Send + fmt::Debug {
     /// Short transport name (`"tcp"`, `"lossy-udp"`).
     fn name(&self) -> &'static str;
+
+    /// Stamps every subsequent send with this membership epoch — the epoch
+    /// the *sender* believes is current. Default: no-op (epoch 0, the
+    /// static-membership wire default).
+    fn set_epoch(&mut self, _epoch: u32) {}
+
+    /// Fences the *receiving* side on an expected membership epoch: packets
+    /// stamped with any other epoch are rejected before they can fill a
+    /// row (`None` accepts any epoch). Default: no-op.
+    fn set_expected_epoch(&mut self, _epoch: Option<u32>) {}
 
     /// Transfers one gradient straight into `dst` — the hot path. The
     /// receiver's view of the gradient (after loss and policy handling) is
@@ -123,6 +137,10 @@ pub struct ReliableTransport {
     codec: GradientCodec,
     /// Round-trip time used by the congestion model.
     rtt_sec: f64,
+    /// Membership epoch stamped on sends (sender side).
+    epoch: u32,
+    /// Epoch fence applied on receipt (server side); `None` accepts any.
+    expected_epoch: Option<u32>,
 }
 
 impl ReliableTransport {
@@ -136,7 +154,13 @@ impl ReliableTransport {
         // Effective RTT floor of 1 ms: under the loss rates this model is
         // exercised with, queues build up and retransmission timers fire, so
         // the propagation latency alone undersells the recovery cost.
-        Ok(ReliableTransport { link, codec, rtt_sec: (2.0 * link.latency_sec).max(1e-3) })
+        Ok(ReliableTransport {
+            link,
+            codec,
+            rtt_sec: (2.0 * link.latency_sec).max(1e-3),
+            epoch: 0,
+            expected_epoch: None,
+        })
     }
 
     /// Effective throughput (bytes/sec) under the configured loss rate.
@@ -155,6 +179,14 @@ impl ReliableTransport {
 impl Transport for ReliableTransport {
     fn name(&self) -> &'static str {
         "tcp"
+    }
+
+    fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    fn set_expected_epoch(&mut self, epoch: Option<u32>) {
+        self.expected_epoch = epoch;
     }
 
     fn transfer_into(
@@ -180,12 +212,32 @@ impl Transport for ReliableTransport {
         // Retransmissions inflate the bytes actually sent.
         let bytes_sent = (payload_bytes as f64 / (1.0 - p).max(1e-3)).ceil() as usize;
         let time_sec = bytes_sent as f64 / self.effective_bandwidth() + self.link.latency_sec;
+        // Reliability gets the bytes through, but the membership fence still
+        // rejects a sender stamping the wrong epoch: the wire cost was paid
+        // (the sender did not know), the row is not filled.
+        if let Some(expected) = self.expected_epoch {
+            if self.epoch != expected {
+                return Ok(RowTransfer {
+                    delivered: false,
+                    time_sec,
+                    bytes_sent,
+                    missing_coordinates: gradient.len(),
+                    stale_epoch_rejects: packet_count,
+                    link_stats: LinkStats {
+                        sent: packet_count,
+                        delivered: packet_count,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
         dst.copy_from_slice(gradient);
         Ok(RowTransfer {
             delivered: true,
             time_sec,
             bytes_sent,
             missing_coordinates: 0,
+            stale_epoch_rejects: 0,
             link_stats: LinkStats {
                 sent: packet_count,
                 delivered: packet_count,
@@ -212,6 +264,10 @@ pub struct LossyTransport {
     /// Reused across rounds; re-created only if the gradient dimension
     /// changes mid-stream (which real deployments never do).
     assembler: Option<RoundAssembler>,
+    /// Membership epoch stamped into every packet header (sender side).
+    epoch: u32,
+    /// Epoch fence applied by the receiving assembler; `None` accepts any.
+    expected_epoch: Option<u32>,
 }
 
 impl LossyTransport {
@@ -233,6 +289,8 @@ impl LossyTransport {
             codec,
             policy,
             assembler: None,
+            epoch: 0,
+            expected_epoch: None,
         })
     }
 
@@ -257,6 +315,14 @@ impl Transport for LossyTransport {
         "lossy-udp"
     }
 
+    fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    fn set_expected_epoch(&mut self, epoch: Option<u32>) {
+        self.expected_epoch = epoch;
+    }
+
     fn transfer_into(
         &mut self,
         worker: u32,
@@ -264,19 +330,35 @@ impl Transport for LossyTransport {
         gradient: &[f32],
         dst: &mut [f32],
     ) -> Result<RowTransfer> {
-        let packets = self.codec.split_bytes(worker, step, gradient);
+        let packets = self.codec.split_bytes_epoch(worker, step, self.epoch, gradient);
         let bytes_sent: usize = packets.iter().map(Bytes::len).sum();
         let (delivered, link_stats) = self.link.transmit_bytes(&packets);
         let assembler = match &mut self.assembler {
             Some(a) if a.dimension() == gradient.len() => a,
             slot => slot.insert(RoundAssembler::new(gradient.len())),
         };
+        assembler.set_expected_epoch(self.expected_epoch);
         let missing = assembler.assemble_into(&delivered, dst)?;
+        let stale_epoch_rejects = assembler.stale_rejects();
         // UDP pays no congestion penalty: time is bytes / bandwidth + latency,
         // independent of the drop rate (only a tiny metadata retransmission
         // overhead is charged per lost packet).
         let metadata_overhead = link_stats.dropped * crate::packet::HEADER_BYTES;
         let time_sec = self.link_config.transfer_time(bytes_sent + metadata_overhead);
+        if stale_epoch_rejects > 0 {
+            // Every packet of a gradient shares one epoch stamp, so any
+            // fenced packet means the whole gradient was fenced: nothing of
+            // it may reach aggregation, and the loss policy must not
+            // manufacture a row out of the NaN fill.
+            return Ok(RowTransfer {
+                delivered: false,
+                time_sec,
+                bytes_sent,
+                missing_coordinates: missing,
+                stale_epoch_rejects,
+                link_stats,
+            });
+        }
         let delivered = match self.policy {
             LossPolicy::DropGradient => missing == 0,
             LossPolicy::SelectiveNan => true,
@@ -294,6 +376,7 @@ impl Transport for LossyTransport {
             time_sec,
             bytes_sent,
             missing_coordinates: missing,
+            stale_epoch_rejects: 0,
             link_stats,
         })
     }
@@ -436,6 +519,29 @@ mod tests {
             "lossy-udp"
         );
         assert!(build_transport("pigeon", link, LossPolicy::RandomFill, 0, 0).is_err());
+    }
+
+    #[test]
+    fn epoch_fence_rejects_stale_senders_on_both_transports() {
+        let link = LinkConfig::datacenter();
+        let g = gradient(100);
+        for name in ["tcp", "lossy-udp"] {
+            let mut t = build_transport(name, link, LossPolicy::RandomFill, 2, 0).unwrap();
+            t.set_epoch(1);
+            t.set_expected_epoch(Some(2));
+            let mut row = vec![9.0f32; 100];
+            let out = t.transfer_into(0, 0, g.as_slice(), &mut row).unwrap();
+            assert!(!out.delivered, "{name}: a stale-epoch gradient must be fenced");
+            assert!(out.stale_epoch_rejects > 0, "{name}: rejects must be counted");
+            assert!(out.bytes_sent > 0, "{name}: the wire cost was still paid");
+
+            // Syncing the sender to the expected epoch restores delivery.
+            t.set_epoch(2);
+            let out = t.transfer_into(0, 0, g.as_slice(), &mut row).unwrap();
+            assert!(out.delivered, "{name}: current-epoch send must deliver");
+            assert_eq!(out.stale_epoch_rejects, 0);
+            assert_eq!(row, g.as_slice());
+        }
     }
 
     #[test]

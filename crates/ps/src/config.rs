@@ -15,6 +15,7 @@
 //! | (communication backend) | [`RunnerConfig::transport`], [`RunnerConfig::lossy_links`], [`RunnerConfig::link`] |
 
 use crate::cost::CostModel;
+use crate::membership::{self, FaultPlan, RefusalPolicy};
 use crate::streaming::StreamingConfig;
 use crate::{PsError, Result};
 use agg_attacks::AttackKind;
@@ -187,6 +188,14 @@ pub struct RunnerConfig {
     /// no extra delay; otherwise one entry per worker. This is the straggler
     /// knob of the quorum experiments.
     pub worker_extra_delay_sec: Vec<f64>,
+    /// The elastic-membership churn schedule: crashes, rejoins and slow-by
+    /// demotions applied at the start of the scheduled rounds. Empty for
+    /// static membership — the seed behaviour, bit for bit. A non-empty plan
+    /// switches the engine into epoch-fenced elastic mode.
+    pub fault_plan: FaultPlan,
+    /// How the engine degrades when churn drops the live worker set below
+    /// the active rule's resilience floor.
+    pub refusal: RefusalPolicy,
     /// Experiment seed; everything (data, init, sampling, attacks, links)
     /// derives from it.
     pub seed: u64,
@@ -218,6 +227,8 @@ impl RunnerConfig {
             cost: CostModel::paper_like(),
             streaming: StreamingConfig::default(),
             worker_extra_delay_sec: Vec::new(),
+            fault_plan: FaultPlan::empty(),
+            refusal: RefusalPolicy::default(),
             seed: 1,
         }
     }
@@ -272,6 +283,7 @@ impl RunnerConfig {
                 "worker_extra_delay_sec entries must be finite and non-negative".into(),
             ));
         }
+        membership::validate_plan(&self.fault_plan, self.workers, self.max_steps)?;
         self.link.validate().map_err(PsError::from)?;
         // Build the GAR once to surface configuration errors early.
         self.gar.build().map_err(PsError::from)?;
@@ -334,6 +346,47 @@ mod tests {
         let mut c = RunnerConfig::quick_default();
         c.worker_extra_delay_sec = vec![0.01; c.workers];
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_validation_mirrors_the_delay_checks() {
+        use crate::membership::{FaultAction, FaultPlan};
+
+        // An event naming a worker the run does not have.
+        let mut c = RunnerConfig::quick_default();
+        c.fault_plan = FaultPlan::empty().with(2, c.workers, FaultAction::Crash);
+        assert!(c.validate().is_err(), "unknown worker ids are rejected");
+
+        // An event scheduled past the end of the run.
+        let mut c = RunnerConfig::quick_default();
+        c.fault_plan = FaultPlan::empty().with(c.max_steps, 0, FaultAction::Crash);
+        assert!(c.validate().is_err(), "rounds past max_steps are rejected");
+
+        // A slow-by demotion with a nonsense delay.
+        let mut c = RunnerConfig::quick_default();
+        c.fault_plan = FaultPlan::empty().with(1, 0, FaultAction::SlowBy { delay_sec: -2.0 });
+        assert!(c.validate().is_err(), "negative slow-by delays are rejected");
+
+        // A well-formed crash→rejoin schedule passes.
+        let mut c = RunnerConfig::quick_default();
+        c.fault_plan = FaultPlan::empty()
+            .with(2, 1, FaultAction::Crash)
+            .with(5, 1, FaultAction::Rejoin)
+            .with(3, 0, FaultAction::SlowBy { delay_sec: 1.5 });
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_and_refusal_round_trip_through_json() {
+        use crate::membership::{FaultAction, FaultPlan, RefusalPolicy};
+        let mut c = RunnerConfig::quick_default();
+        c.fault_plan =
+            FaultPlan::empty().with(2, 1, FaultAction::Crash).with(5, 1, FaultAction::Rejoin);
+        c.refusal = RefusalPolicy::Pause;
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunnerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fault_plan, c.fault_plan);
+        assert_eq!(back.refusal, RefusalPolicy::Pause);
     }
 
     #[test]

@@ -4,12 +4,13 @@
 use crate::cluster::{ClusterSpec, PlacementPolicy};
 use crate::config::{RunnerConfig, TransportKind};
 use crate::cost::CostModel;
+use crate::membership::{MembershipView, RefusalPolicy, WorkerHealth};
 use crate::report::TrainingReport;
 use crate::server::ParameterServer;
 use crate::streaming::RoundPipeline;
 use crate::worker::{Worker, WorkerRole};
 use crate::{PsError, Result};
-use agg_attacks::{Attack, AttackContext};
+use agg_attacks::{Attack, AttackContext, AttackKind};
 use agg_core::GarConfig;
 use agg_data::corruption::corrupt;
 use agg_data::{Dataset, MiniBatchSampler};
@@ -65,6 +66,11 @@ pub struct SyncTrainingEngine {
     /// rule, the incremental pairwise-distance accumulator fed per arriving
     /// row. No per-round `n × d` allocation either way.
     pipeline: RoundPipeline,
+    /// The server's membership view: epoch number plus per-worker health,
+    /// advanced at the start of every round from the configured fault plan.
+    /// With an empty plan it stays at epoch 0 / all-live — static
+    /// membership, the seed behaviour bit for bit.
+    membership: MembershipView,
     /// `false` forces Phase 1 through the plain sequential iterator (the
     /// seed ordering). The determinism test runs both modes and asserts
     /// identical reports.
@@ -83,6 +89,9 @@ struct WorkerRound {
     delivered: bool,
     /// Simulated compute + transfer seconds.
     worker_time: f64,
+    /// Packets of this submission rejected by the epoch fence (a stale-epoch
+    /// rejoiner or an evicted worker's stragglers).
+    stale_rejects: usize,
 }
 
 impl SyncTrainingEngine {
@@ -160,6 +169,7 @@ impl SyncTrainingEngine {
         if config.streaming.enabled && config.gar.kind.uses_distances() {
             pipeline.enable_distance_streaming(config.workers, actual_dimension, config.shards)?;
         }
+        let membership = MembershipView::new(config.workers);
         Ok(SyncTrainingEngine {
             config,
             cluster,
@@ -173,8 +183,14 @@ impl SyncTrainingEngine {
             calibrated_aggregation_sec,
             clock_sec: 0.0,
             pipeline,
+            membership,
             phase1_parallel: true,
         })
+    }
+
+    /// The current membership view (epoch and per-worker health).
+    pub fn membership(&self) -> &MembershipView {
+        &self.membership
     }
 
     /// Forces Phase 1 through the sequential iterator (the seed ordering)
@@ -297,6 +313,12 @@ impl SyncTrainingEngine {
         let mut throughput = ThroughputMeter::new();
         let mut latency = LatencyBreakdown::new();
         let mut skipped = 0u64;
+        let mut refused = 0u64;
+        let mut stale_epoch_rejects = 0u64;
+        let mut byzantine_selected_rounds = 0u64;
+        // The previous round's selection, as *worker slots* — the adaptive
+        // adversary's feedback channel and the Byzantine-selection counter.
+        let mut previous_selection: Option<Vec<usize>> = None;
 
         self.evaluate(&mut trace, 0)?;
 
@@ -304,10 +326,65 @@ impl SyncTrainingEngine {
         let dim_scale = cost.effective_dimension(self.actual_dimension) as f64
             / self.actual_dimension.max(1) as f64;
 
+        // Elastic membership engages only when a fault plan is configured;
+        // with an empty plan the loop below is the static-membership seed
+        // path, bit for bit (epoch stays 0, nothing is fenced or refused).
+        let fault_plan = self.config.fault_plan.clone();
+        let elastic = !fault_plan.is_empty();
+        // Selection feedback costs one selection pass per round (free when
+        // the streaming matrix is available); run it only when someone reads
+        // it: the Byzantine-selection counter or the adaptive adversary.
+        let wants_selection = self.config.gar.kind.uses_distances()
+            && (elastic
+                || self.config.byzantine_count > 0
+                || matches!(self.config.attack, AttackKind::Adaptive));
+
         for step in 0..self.config.max_steps {
-            let params = self.server.parameters().clone();
             let model_bytes = cost.payload_bytes(self.actual_dimension);
             let broadcast_time = self.config.link.transfer_time(model_bytes);
+
+            if elastic {
+                let transitions = self.membership.apply_round(&fault_plan, step);
+                let epoch = self.membership.epoch();
+                for worker in &mut self.workers {
+                    // The server side of every link fences at the current
+                    // view's epoch.
+                    worker.set_transport_expected_epoch(Some(epoch));
+                    // Live workers that did not just rejoin have taken part
+                    // in the view change and stamp the new epoch; a
+                    // rejoiner still carries the epoch it crashed with, so
+                    // its first round back is fenced, and it syncs at the
+                    // next round's broadcast.
+                    let id = worker.id();
+                    if self.membership.health(id).is_live() && !transitions.rejoined.contains(&id) {
+                        worker.set_transport_epoch(epoch);
+                    }
+                }
+                // Every transition re-derives the active rule's floor: a
+                // live set below `g(f)` voids the GAR's resilience proof,
+                // so the server refuses the round and degrades per policy
+                // instead of aggregating on borrowed assumptions.
+                if !self.membership.satisfies_floor(self.config.gar.kind, self.config.gar.f) {
+                    refused += 1;
+                    if self.config.refusal == RefusalPolicy::HoldLastRound {
+                        // The held model is still broadcast, so the clock
+                        // pays for the round; a paused server stays silent.
+                        self.clock_sec += broadcast_time;
+                        latency.record_round(broadcast_time, 0.0);
+                        throughput.record_round(0, broadcast_time);
+                    }
+                    if (step + 1) % self.config.eval_every == 0 || step + 1 == self.config.max_steps
+                    {
+                        self.evaluate(&mut trace, self.server.step())?;
+                    }
+                    continue;
+                }
+            }
+            let health: Vec<WorkerHealth> =
+                (0..self.workers.len()).map(|i| self.membership.health(i)).collect();
+            let live_n = health.iter().filter(|h| h.is_live()).count();
+
+            let params = self.server.parameters().clone();
 
             // Phase 1: honest (and data-poisoned) workers compute and send,
             // fanned out over rayon. Worker `i` delivers straight into arena
@@ -319,13 +396,15 @@ impl SyncTrainingEngine {
             // reading.
             self.pipeline.begin_round(self.workers.len());
             let run_worker = |(worker, dst): (&mut Worker, &mut [f32])| -> Result<WorkerRound> {
-                if worker.role() == WorkerRole::Attacker {
-                    // Crafted centrally in Phase 2; Byzantine channels are
-                    // "arbitrarily fast" and never extend the round.
+                if !health[worker.id()].is_live() || worker.role() == WorkerRole::Attacker {
+                    // Crashed workers compute and submit nothing; attackers
+                    // are crafted centrally in Phase 2 (their channels are
+                    // "arbitrarily fast" and never extend the round).
                     return Ok(WorkerRound {
                         honest_gradient: None,
                         delivered: false,
                         worker_time: 0.0,
+                        stale_rejects: 0,
                     });
                 }
                 let node_flops = worker.node_flops_per_sec();
@@ -339,6 +418,7 @@ impl SyncTrainingEngine {
                         .then_some(computation.gradient),
                     delivered: transfer.delivered,
                     worker_time: computation.compute_time_sec + transfer.time_sec * dim_scale,
+                    stale_rejects: transfer.stale_epoch_rejects,
                 })
             };
             let jobs: Vec<(&mut Worker, &mut [f32])> =
@@ -360,10 +440,21 @@ impl SyncTrainingEngine {
                     round.worker_time += delay;
                 }
             }
+            // Slow-by demotions from the fault plan stretch the affected
+            // workers' arrivals exactly like the static straggler knob.
+            if elastic {
+                for (round, h) in rounds.iter_mut().zip(&health) {
+                    if let WorkerHealth::Slowed { delay_sec } = *h {
+                        round.worker_time += delay_sec;
+                    }
+                }
+            }
             let mut dropped_gradients = rounds
                 .iter()
                 .zip(&self.workers)
-                .filter(|(r, w)| w.role() != WorkerRole::Attacker && !r.delivered)
+                .filter(|(r, w)| {
+                    w.role() != WorkerRole::Attacker && health[w.id()].is_live() && !r.delivered
+                })
                 .count() as u64;
             let max_worker_time = rounds.iter().map(|r| r.worker_time).fold(0.0f64, f64::max);
 
@@ -373,7 +464,7 @@ impl SyncTrainingEngine {
             let attacker_ids: Vec<usize> = self
                 .workers
                 .iter()
-                .filter(|w| w.role() == WorkerRole::Attacker)
+                .filter(|w| w.role() == WorkerRole::Attacker && health[w.id()].is_live())
                 .map(Worker::id)
                 .collect();
             if !attacker_ids.is_empty() {
@@ -388,6 +479,8 @@ impl SyncTrainingEngine {
                     declared_f: self.config.gar.f,
                     step,
                     seed: self.config.seed,
+                    total_workers: self.workers.len(),
+                    previous_selection: previous_selection.as_deref(),
                 };
                 let crafted = self.attack.craft(&ctx);
                 for (&slot, gradient) in attacker_ids.iter().zip(&crafted) {
@@ -398,11 +491,13 @@ impl SyncTrainingEngine {
                         self.pipeline.arena_mut().row_mut(slot),
                     )?;
                     rounds[slot].delivered = transfer.delivered;
+                    rounds[slot].stale_rejects = transfer.stale_epoch_rejects;
                     if !transfer.delivered {
                         dropped_gradients += 1;
                     }
                 }
             }
+            stale_epoch_rejects += rounds.iter().map(|r| r.stale_rejects as u64).sum::<u64>();
 
             // Phase 3: aggregation and model update at the server. The
             // quorum policy decides how many arrivals the round waits for:
@@ -412,8 +507,11 @@ impl SyncTrainingEngine {
             // `All` policy every delivered row is accepted and the round
             // waits for the slowest worker — the seed accounting,
             // unchanged bit for bit.
-            let quorum =
-                self.config.streaming.quorum.accept_count(self.workers.len(), self.config.gar.f);
+            // The quorum is computed on the *live* worker count: under
+            // churn, `n − f` means "all but f of the workers actually in
+            // the view", not of the configured roster. With static
+            // membership the two coincide.
+            let quorum = self.config.streaming.quorum.accept_count(live_n, self.config.gar.f);
             let mut arrivals: Vec<usize> =
                 (0..rounds.len()).filter(|&i| rounds[i].delivered).collect();
             arrivals.sort_by(|&a, &b| {
@@ -472,6 +570,23 @@ impl SyncTrainingEngine {
                         ),
                     };
                     aggregation_time = kernel_sec + cost.update_time(self.actual_dimension);
+                    if wants_selection {
+                        if let Some(rows) =
+                            self.server.selected_rows(self.pipeline.arena(), distances.as_ref())?
+                        {
+                            if rows
+                                .iter()
+                                .any(|&r| self.workers[kept_slots[r]].role().is_byzantine())
+                            {
+                                byzantine_selected_rounds += 1;
+                            }
+                            // The adversary's feedback channel sees worker
+                            // identities, so map compacted rows back to
+                            // their slots.
+                            previous_selection =
+                                Some(rows.iter().map(|&r| kept_slots[r]).collect());
+                        }
+                    }
                 }
                 Err(PsError::Aggregation(_)) => {
                     skipped += 1;
@@ -495,6 +610,9 @@ impl SyncTrainingEngine {
             latency,
             steps_completed: self.server.step(),
             skipped_updates: skipped,
+            refused_rounds: refused,
+            stale_epoch_rejects,
+            byzantine_selected_rounds,
             simulated_time_sec: self.clock_sec,
         })
     }
@@ -808,6 +926,84 @@ mod tests {
         );
         // Aggregating over the 7 fastest of 9 still trains.
         assert!(quorum.final_accuracy() > 0.6, "accuracy {}", quorum.final_accuracy());
+    }
+
+    #[test]
+    fn crash_rejoin_schedule_fences_the_rejoiner_and_recovers() {
+        use crate::membership::{FaultAction, FaultPlan};
+        let mut config = quick_config(GarKind::MultiKrum, 2, 9);
+        config.max_steps = 10;
+        config.fault_plan =
+            FaultPlan::empty().with(3, 2, FaultAction::Crash).with(6, 2, FaultAction::Rejoin);
+        let mut engine = SyncTrainingEngine::new(config).unwrap();
+        let report = engine.run().unwrap();
+        // Multi-Krum f=2 needs 11-2=9... floor is 2f+3=7 ≤ 8 live, so no
+        // round is refused; rounds 3..6 simply run with 8 submissions.
+        assert_eq!(report.refused_rounds, 0);
+        assert_eq!(report.steps_completed, 10);
+        assert_eq!(report.skipped_updates, 0);
+        // Two live-set changes: crash and rejoin.
+        assert_eq!(engine.membership().epoch(), 2);
+        // The rejoiner's first round back is fenced as stale (one gradient's
+        // worth of packets), then it syncs and delivers again.
+        assert!(report.stale_epoch_rejects > 0, "the rejoin round must be fenced");
+        // The GAR never selected a Byzantine row (there are none).
+        assert_eq!(report.byzantine_selected_rounds, 0);
+    }
+
+    #[test]
+    fn rounds_below_the_resilience_floor_are_refused_not_aggregated() {
+        use crate::membership::{FaultAction, FaultPlan, RefusalPolicy};
+        // Bulyan f=4 has floor 4f+3 = 19: one crash among 19 workers drops
+        // the live set below it until the rejoin.
+        let mut config = quick_config(GarKind::Bulyan, 4, 19);
+        config.max_steps = 8;
+        config.fault_plan =
+            FaultPlan::empty().with(2, 5, FaultAction::Crash).with(5, 5, FaultAction::Rejoin);
+        let held = SyncTrainingEngine::new(config.clone()).unwrap().run().unwrap();
+        // Rounds 2, 3, 4 are refused (18 < 19). Round 5 passes the floor
+        // again but the rejoiner is fenced, so Bulyan sees 18 rows and the
+        // round is skipped by the GAR precondition — the two degradations
+        // stay distinguishable in the report.
+        assert_eq!(held.refused_rounds, 3);
+        assert_eq!(held.skipped_updates, 1);
+        assert_eq!(held.steps_completed, 8 - 3 - 1);
+        assert!(held.stale_epoch_rejects > 0);
+
+        // Hold-last-round still broadcasts the held model, so the refused
+        // rounds appear in the latency accounting.
+        assert_eq!(held.latency.rounds(), 8 - 3 + 3);
+
+        // Pause refuses the same rounds but records nothing for them: no
+        // broadcast, no clock charge.
+        config.refusal = RefusalPolicy::Pause;
+        let paused = SyncTrainingEngine::new(config).unwrap().run().unwrap();
+        assert_eq!(paused.refused_rounds, 3);
+        assert_eq!(paused.steps_completed, held.steps_completed);
+        assert_eq!(paused.latency.rounds(), 8 - 3);
+    }
+
+    #[test]
+    fn slow_by_demotions_feed_the_quorum_policy() {
+        use crate::membership::{FaultAction, FaultPlan};
+        let mut config = quick_config(GarKind::MultiKrum, 2, 9);
+        config.max_steps = 10;
+        config.fault_plan = FaultPlan::empty()
+            .with(0, 7, FaultAction::SlowBy { delay_sec: 5.0 })
+            .with(0, 8, FaultAction::SlowBy { delay_sec: 5.0 });
+        let full = SyncTrainingEngine::new(config.clone()).unwrap().run().unwrap();
+        config.streaming.quorum = crate::streaming::QuorumPolicy::NMinusF;
+        let quorum = SyncTrainingEngine::new(config).unwrap().run().unwrap();
+        assert_eq!(quorum.steps_completed, 10);
+        // Slow-by never changes the live set: no epoch bump, nothing fenced.
+        assert_eq!(quorum.refused_rounds, 0);
+        assert_eq!(quorum.stale_epoch_rejects, 0);
+        assert!(
+            quorum.simulated_time_sec < full.simulated_time_sec - 40.0,
+            "the n − f quorum should stop waiting for the demoted stragglers: {} vs {}",
+            quorum.simulated_time_sec,
+            full.simulated_time_sec
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   `--nb-workers`, …).
 //! * [`cost`] — the time model: analytic gradient-computation and
 //!   communication costs, measured (and dimension-scaled) aggregation cost.
+//! * [`membership`] — elastic membership: epoch-fenced views over a churning
+//!   worker set, deterministic fault plans, and the resilience-floor refusal
+//!   policy.
 //! * [`worker`] — honest, data-poisoned and actively adversarial workers.
 //! * [`server`] — the trusted parameter server: GAR + optimizer + the
 //!   access-control patch that keeps Byzantine workers from overwriting the
@@ -34,6 +37,7 @@ pub mod config;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod membership;
 pub mod report;
 pub mod server;
 pub mod streaming;
@@ -44,6 +48,9 @@ pub use config::{ExperimentKind, RunnerConfig, TransportKind};
 pub use cost::{CostModel, VirtualModelCost};
 pub use engine::{SyncTrainingEngine, ThroughputSimulation};
 pub use error::PsError;
+pub use membership::{
+    FaultAction, FaultEvent, FaultPlan, MembershipView, RefusalPolicy, WorkerHealth,
+};
 pub use report::TrainingReport;
 pub use server::ParameterServer;
 pub use streaming::{QuorumPolicy, RoundPipeline, StreamingConfig};

@@ -20,6 +20,21 @@ pub struct TrainingReport {
     /// Rounds skipped because the GAR rejected the submission (e.g. every
     /// gradient was dropped by the transport).
     pub skipped_updates: u64,
+    /// Rounds the server *refused* to aggregate because churn dropped the
+    /// live worker set below the active rule's resilience floor (elastic
+    /// membership). A refusal is a graceful degradation, not an error: the
+    /// configured [`crate::membership::RefusalPolicy`] decides whether the
+    /// last model is held or the round pauses.
+    pub refused_rounds: u64,
+    /// Packets rejected by the epoch fence across the run: late packets from
+    /// evicted workers and first-round submissions of stale-epoch rejoiners.
+    pub stale_epoch_rejects: u64,
+    /// Rounds in which the GAR's selection set contained at least one row
+    /// submitted by a Byzantine worker (0 means the selected set stayed
+    /// honest every round). Only counted when the engine computes selection
+    /// feedback — distance-based rules with Byzantine workers, an adaptive
+    /// attack, or a fault plan.
+    pub byzantine_selected_rounds: u64,
     /// Total simulated wall-clock time of the run, in seconds.
     pub simulated_time_sec: f64,
 }
@@ -42,8 +57,13 @@ impl TrainingReport {
 
     /// One-line summary for experiment logs.
     pub fn summary(&self) -> String {
+        let refusals = if self.refused_rounds > 0 {
+            format!(" + {} refused below the resilience floor", self.refused_rounds)
+        } else {
+            String::new()
+        };
         format!(
-            "{}: {} steps ({} skipped), {:.1}s simulated, final accuracy {:.3}, throughput {:.2} grad/s, aggregation share {:.1}%",
+            "{}: {} steps ({} skipped{refusals}), {:.1}s simulated, final accuracy {:.3}, throughput {:.2} grad/s, aggregation share {:.1}%",
             self.label,
             self.steps_completed,
             self.skipped_updates,
@@ -79,5 +99,16 @@ mod tests {
         let report = TrainingReport::default();
         assert_eq!(report.final_accuracy(), 0.0);
         assert_eq!(report.steps_completed, 0);
+        assert_eq!(report.refused_rounds, 0);
+        assert_eq!(report.stale_epoch_rejects, 0);
+        assert_eq!(report.byzantine_selected_rounds, 0);
+    }
+
+    #[test]
+    fn summary_surfaces_refused_rounds() {
+        let mut report = TrainingReport { label: "bulyan f=4".into(), ..Default::default() };
+        assert!(!report.summary().contains("refused"));
+        report.refused_rounds = 3;
+        assert!(report.summary().contains("3 refused below the resilience floor"));
     }
 }

@@ -9,7 +9,7 @@
 //! executions". [`ParameterServer::handle_remote_write`] models that patch.
 
 use crate::{PsError, Result};
-use agg_core::{Gar, GarConfig, ShardedAggregator};
+use agg_core::{Bulyan, Gar, GarConfig, GarKind, MultiKrum, ShardedAggregator};
 use agg_nn::optim::{Optimizer, OptimizerKind, Regularization};
 use agg_nn::schedule::LearningRate;
 use agg_tensor::{DistanceMatrix, GradientBatch, Vector};
@@ -213,6 +213,57 @@ impl ParameterServer {
         self.finish_round(aggregated, start)
     }
 
+    /// The row indices the active rule's selection phase would pick for this
+    /// batch (`None` for rules without a selection phase). Works on both the
+    /// monolithic and the sharded tier, and reads a pre-accumulated distance
+    /// matrix when the streaming pipeline supplies one — the engine's
+    /// selection-feedback path (adaptive attacks, Byzantine-selection
+    /// accounting) and a pure read: no model state changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::Aggregation`] when the rule's preconditions fail
+    /// for this batch (the round itself would fail the same way).
+    pub fn selected_rows(
+        &self,
+        batch: &GradientBatch,
+        distances: Option<&DistanceMatrix>,
+    ) -> Result<Option<Vec<usize>>> {
+        if let Some(sharded) = &self.sharded {
+            return match distances {
+                Some(d) => sharded.selected_rows_with_distances(batch, d),
+                None => sharded.selected_rows(batch),
+            }
+            .map_err(PsError::from);
+        }
+        match self.gar_config.kind {
+            GarKind::Krum | GarKind::MultiKrum => {
+                let rule = match (self.gar_config.kind, self.gar_config.m) {
+                    (GarKind::Krum, _) => MultiKrum::with_selection(self.gar_config.f, 1),
+                    (_, Some(m)) => MultiKrum::with_selection(self.gar_config.f, m),
+                    (_, None) => MultiKrum::new(self.gar_config.f),
+                }
+                .map_err(PsError::from)?;
+                match distances {
+                    Some(d) => rule.select_with_distances(d),
+                    None => rule.select_batch(batch),
+                }
+                .map(Some)
+                .map_err(PsError::from)
+            }
+            GarKind::Bulyan => {
+                let rule = Bulyan::new(self.gar_config.f).map_err(PsError::from)?;
+                match distances {
+                    Some(d) => rule.select_with_distances(d),
+                    None => rule.select_batch(batch),
+                }
+                .map(Some)
+                .map_err(PsError::from)
+            }
+            _ => Ok(None),
+        }
+    }
+
     fn finish_round(&mut self, mut aggregated: Vector, start: Instant) -> Result<RoundOutcome> {
         let aggregation_wall_sec = start.elapsed().as_secs_f64();
         self.regularization.apply(&mut aggregated, &self.params).map_err(PsError::from)?;
@@ -347,6 +398,36 @@ mod tests {
             s.apply_round_batch_with_distances(&batch, &wrong),
             Err(PsError::Aggregation(_))
         ));
+    }
+
+    #[test]
+    fn selection_feedback_matches_the_rule_on_every_tier() {
+        let mut batch_rows: Vec<Vector> =
+            (0..9).map(|i| Vector::from(vec![1.0 + 0.01 * i as f32, -0.5, 2.0])).collect();
+        batch_rows.push(Vector::from(vec![1e6, 1e6, 1e6]));
+        let batch = GradientBatch::from_vectors(&batch_rows).unwrap();
+        let expected = MultiKrum::new(2).unwrap().select_batch(&batch).unwrap();
+
+        // Monolithic, batch path.
+        let monolithic = server(GarKind::MultiKrum, 2, 3);
+        let selected = monolithic.selected_rows(&batch, None).unwrap().unwrap();
+        assert_eq!(selected, expected);
+        assert!(!selected.contains(&9), "the outlier must not be selected");
+
+        // Monolithic, distance-primed path.
+        let distances = batch.pairwise_squared_distances();
+        assert_eq!(monolithic.selected_rows(&batch, Some(&distances)).unwrap().unwrap(), expected);
+
+        // Sharded tier agrees.
+        let mut sharded = server(GarKind::MultiKrum, 2, 3);
+        sharded.set_shards(3).unwrap();
+        assert_eq!(sharded.selected_rows(&batch, None).unwrap().unwrap(), expected);
+
+        // Krum selects exactly one row; coordinate rules have no selection.
+        let krum = server(GarKind::Krum, 2, 3);
+        assert_eq!(krum.selected_rows(&batch, None).unwrap().unwrap().len(), 1);
+        let median = server(GarKind::Median, 2, 3);
+        assert_eq!(median.selected_rows(&batch, None).unwrap(), None);
     }
 
     #[test]

@@ -139,6 +139,21 @@ impl Worker {
     pub fn transport_name(&self) -> &'static str {
         self.transport.name()
     }
+
+    /// Stamps the membership epoch this worker believes is current into its
+    /// transport's outgoing packets. The engine calls this when the worker
+    /// learns a new view; a rejoining worker keeps its stale epoch for one
+    /// round and gets fenced.
+    pub fn set_transport_epoch(&mut self, epoch: u32) {
+        self.transport.set_epoch(epoch);
+    }
+
+    /// Sets the server-side epoch fence on this worker's link: packets
+    /// stamped with any other epoch are rejected at the assembler instead of
+    /// filling a row. `None` disables fencing (static membership).
+    pub fn set_transport_expected_epoch(&mut self, epoch: Option<u32>) {
+        self.transport.set_expected_epoch(epoch);
+    }
 }
 
 // Workers fan out across threads in the engine's parallel Phase 1; every
@@ -192,6 +207,24 @@ mod tests {
     fn gradient_rejects_wrong_parameter_size() {
         let mut worker = make_worker(WorkerRole::Honest);
         assert!(worker.compute_gradient(&Vector::zeros(3), |_, _| 0.0).is_err());
+    }
+
+    #[test]
+    fn epoch_passthroughs_reach_the_transport() {
+        let mut worker = make_worker(WorkerRole::Honest);
+        let g = vec![1.0f32; 64];
+        let mut dst = vec![0.0f32; 64];
+        // Server fences at epoch 3; the worker still stamps epoch 0.
+        worker.set_transport_expected_epoch(Some(3));
+        let fenced = worker.send_gradient_into(0, &g, &mut dst).unwrap();
+        assert!(!fenced.delivered);
+        assert!(fenced.stale_epoch_rejects > 0);
+        // Once the worker learns the view, delivery resumes.
+        worker.set_transport_epoch(3);
+        let ok = worker.send_gradient_into(1, &g, &mut dst).unwrap();
+        assert!(ok.delivered);
+        assert_eq!(ok.stale_epoch_rejects, 0);
+        assert_eq!(dst, g);
     }
 
     #[test]

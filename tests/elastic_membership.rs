@@ -1,0 +1,262 @@
+//! Elastic membership, end to end: epoch-fenced views, resilience-floor
+//! refusals and the omniscient attack family under churn.
+//!
+//! Two families of pins:
+//!
+//! * **Determinism** — a churn schedule is part of the round state, so the
+//!   parallel phase-1 fan-out, the sharded tier and the streaming round
+//!   pipeline must all produce bit-identical reports (traces *and* the
+//!   elastic counters: refused rounds, stale-epoch rejects, Byzantine
+//!   selections) against the sequential ordering. CI runs this suite under
+//!   `RAYON_NUM_THREADS={1,4}` × `AGG_STREAMING={on,off}`, which closes the
+//!   thread-count-independence argument exactly as in `round_determinism`.
+//!
+//! * **Semantics** — a crash→rejoin schedule at the paper's deployment size
+//!   behaves identically under every attack in the new family: rounds below
+//!   the rule's resilience floor are *refused* (reported, never a panic),
+//!   the rejoiner's first submission is rejected by the epoch fence packet
+//!   by packet, and under a crude attack the selection set stays honest in
+//!   every aggregated round. The within-variance attacks (ALIE, min-max,
+//!   min-sum, adaptive) enter Krum-family selections by construction —
+//!   that is their published mechanism — so for them the pin is the
+//!   faithfully-reported `byzantine_selected_rounds` counter plus the
+//!   run's accuracy, not an empty selection.
+
+use agg_attacks::AttackKind;
+use agg_core::{resilience, GarConfig, GarKind};
+use agg_nn::schedule::LearningRate;
+use agg_ps::{
+    FaultAction, FaultPlan, QuorumPolicy, RefusalPolicy, RunnerConfig, SyncTrainingEngine,
+    TrainingReport,
+};
+
+/// The light proxy experiment shared with `round_determinism`: d = 508
+/// parameters, which the default 350-coordinate packet codec splits into
+/// exactly 2 packets per gradient — the number the stale-epoch pins use.
+fn base_config(gar: GarKind, f: usize, workers: usize) -> RunnerConfig {
+    let mut config = RunnerConfig {
+        experiment: agg_ps::ExperimentKind::MlpBlobs {
+            input_dim: 16,
+            hidden: 24,
+            classes: 4,
+            samples: 600,
+        },
+        gar: GarConfig::new(gar, f),
+        workers,
+        max_steps: 24,
+        eval_every: 6,
+        eval_samples: 120,
+        batch_size: 16,
+        learning_rate: LearningRate::Fixed { rate: 0.01 },
+        seed: 23,
+        ..RunnerConfig::quick_default()
+    };
+    if matches!(std::env::var("AGG_STREAMING").as_deref(), Ok("on") | Ok("1") | Ok("true")) {
+        config.streaming.enabled = true;
+    }
+    config
+}
+
+/// Bit-for-bit equality of everything the gradient path and the membership
+/// machinery determine — the `round_determinism` comparison plus the
+/// elastic counters.
+fn assert_reports_identical(parallel: &TrainingReport, sequential: &TrainingReport) {
+    assert_eq!(parallel.steps_completed, sequential.steps_completed);
+    assert_eq!(parallel.skipped_updates, sequential.skipped_updates);
+    assert_eq!(parallel.refused_rounds, sequential.refused_rounds);
+    assert_eq!(parallel.stale_epoch_rejects, sequential.stale_epoch_rejects);
+    assert_eq!(parallel.byzantine_selected_rounds, sequential.byzantine_selected_rounds);
+    assert_eq!(parallel.trace.len(), sequential.trace.len());
+    for (p, s) in parallel.trace.points().iter().zip(sequential.trace.points()) {
+        assert_eq!(p.step, s.step);
+        assert_eq!(
+            p.accuracy.to_bits(),
+            s.accuracy.to_bits(),
+            "accuracy diverged at step {}",
+            p.step
+        );
+        assert_eq!(p.loss.to_bits(), s.loss.to_bits(), "loss diverged at step {}", p.step);
+    }
+}
+
+/// A churn schedule exercising all three transitions: a crash→rejoin pair,
+/// a second overlapping crash and a slow-by demotion.
+fn churn_plan() -> FaultPlan {
+    FaultPlan::empty()
+        .with(4, 1, FaultAction::Crash)
+        .with(9, 1, FaultAction::Rejoin)
+        .with(7, 3, FaultAction::Crash)
+        .with(12, 3, FaultAction::Rejoin)
+        .with(2, 0, FaultAction::SlowBy { delay_sec: 0.5 })
+}
+
+#[test]
+fn churn_schedule_is_bit_identical_across_parallel_and_sequential() {
+    // Adaptive attacker + churn: the selection-feedback loop, the epoch
+    // fence and the floor check all run inside the round, and none of them
+    // may depend on the phase-1 execution order.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.byzantine_count = 2;
+    config.attack = AttackKind::Adaptive;
+    config.fault_plan = churn_plan();
+    let mut parallel = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    let mut sequential = SyncTrainingEngine::new(config).expect("valid config");
+    sequential.set_phase1_parallel(false);
+    let parallel = parallel.run().expect("parallel run");
+    let sequential = sequential.run().expect("sequential run");
+    assert_reports_identical(&parallel, &sequential);
+    // Both fenced rejoins fired: 2 rejoiners × 2 packets each.
+    assert_eq!(parallel.stale_epoch_rejects, 4);
+    assert_eq!(parallel.steps_completed, 24);
+}
+
+#[test]
+fn churn_on_the_sharded_tier_matches_sequential_shard_order() {
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.shards = 4;
+    config.byzantine_count = 2;
+    config.attack = AttackKind::Alie { z: 0.0 };
+    config.fault_plan = churn_plan();
+    let mut parallel = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    let mut sequential = SyncTrainingEngine::new(config).expect("valid config");
+    sequential.set_phase1_parallel(false);
+    sequential.set_shard_parallel(false);
+    let parallel = parallel.run().expect("shard-parallel run");
+    let sequential = sequential.run().expect("shard-sequential run");
+    assert_reports_identical(&parallel, &sequential);
+}
+
+#[test]
+fn churn_streaming_quorum_matches_the_barrier_path() {
+    // The full stack at once: churn + streaming distance accumulation + an
+    // n − f quorum. The quorum is computed over the *live* worker count, so
+    // the membership view feeds straight into the accept threshold, and the
+    // result must still match the barrier pipeline bit for bit.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.byzantine_count = 2;
+    config.attack = AttackKind::MinSum;
+    config.fault_plan = churn_plan();
+    config.streaming.quorum = QuorumPolicy::NMinusF;
+    config.streaming.enabled = false;
+    let barrier = SyncTrainingEngine::new(config.clone()).expect("valid config").run().unwrap();
+    config.streaming.enabled = true;
+    let streaming = SyncTrainingEngine::new(config).expect("valid config").run().unwrap();
+    assert_reports_identical(&barrier, &streaming);
+}
+
+#[test]
+fn seeded_churn_plans_are_deterministic_and_runnable() {
+    // The generator is pure in its inputs…
+    let a = FaultPlan::seeded_churn(77, 9, 24, 3);
+    let b = FaultPlan::seeded_churn(77, 9, 24, 3);
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+    // …and its schedules pass config validation and run to completion with
+    // the same bits on both engine orderings.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.byzantine_count = 2;
+    config.attack = AttackKind::MinMax;
+    config.fault_plan = a;
+    config.validate().expect("generated plans are always valid");
+    let mut parallel = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    let mut sequential = SyncTrainingEngine::new(config).expect("valid config");
+    sequential.set_phase1_parallel(false);
+    assert_reports_identical(
+        &parallel.run().expect("parallel run"),
+        &sequential.run().expect("sequential run"),
+    );
+}
+
+#[test]
+fn crude_attacks_under_churn_keep_the_selection_set_honest() {
+    // Reversed gradients are outliers by construction, so across the whole
+    // crash→rejoin run Multi-Krum's selection must never admit a Byzantine
+    // row — the engine-level counterpart of the attack-matrix exclusion pin.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.byzantine_count = 2;
+    config.attack = AttackKind::Reversed { scale: 50.0 };
+    config.fault_plan =
+        FaultPlan::empty().with(5, 1, FaultAction::Crash).with(8, 1, FaultAction::Rejoin);
+    let report = SyncTrainingEngine::new(config).expect("valid config").run().expect("runs");
+    assert_eq!(report.byzantine_selected_rounds, 0, "selection admitted a Byzantine row");
+    assert_eq!(report.refused_rounds, 0, "9 − 1 live workers stay above Multi-Krum's floor");
+    assert_eq!(report.stale_epoch_rejects, 2, "one fenced rejoin × two packets");
+}
+
+#[test]
+fn crash_rejoin_with_every_new_attack_under_multi_krum_and_bulyan() {
+    // The acceptance matrix: a crash→rejoin schedule at the paper's
+    // deployment size (n = 19, f = 4) crossed with the omniscient attack
+    // family, under both the weakly (Multi-Krum, floor 2f + 3 = 11) and the
+    // strongly (Bulyan, floor 4f + 3 = 19) resilient rule.
+    assert_eq!(resilience::resilience_floor(GarKind::MultiKrum, 4), 11);
+    assert_eq!(resilience::resilience_floor(GarKind::Bulyan, 4), 19);
+    let attacks =
+        [AttackKind::Alie { z: 0.0 }, AttackKind::MinMax, AttackKind::MinSum, AttackKind::Adaptive];
+    for attack in attacks {
+        for gar in [GarKind::MultiKrum, GarKind::Bulyan] {
+            let mut config = base_config(gar, 4, 19);
+            config.byzantine_count = 4;
+            config.attack = attack;
+            config.fault_plan =
+                FaultPlan::empty().with(8, 2, FaultAction::Crash).with(11, 2, FaultAction::Rejoin);
+            let report =
+                SyncTrainingEngine::new(config).expect("valid config").run().expect("runs");
+            match gar {
+                GarKind::MultiKrum => {
+                    // 18 live workers stay above the floor: nothing refused,
+                    // nothing skipped, the crash rounds simply aggregate the
+                    // remaining submissions.
+                    assert_eq!(report.refused_rounds, 0, "{attack:?}/{gar}");
+                    assert_eq!(report.skipped_updates, 0, "{attack:?}/{gar}");
+                    assert_eq!(report.steps_completed, 24, "{attack:?}/{gar}");
+                }
+                GarKind::Bulyan => {
+                    // n = 19 is exactly Bulyan's floor, so the three crash
+                    // rounds are refused (graceful, in the report), and the
+                    // rejoiner's fenced round leaves 18 < 19 rows — a skipped
+                    // update, not a refusal.
+                    assert_eq!(report.refused_rounds, 3, "{attack:?}/{gar}");
+                    assert_eq!(report.skipped_updates, 1, "{attack:?}/{gar}");
+                    assert_eq!(report.steps_completed, 24 - 4, "{attack:?}/{gar}");
+                }
+                _ => unreachable!(),
+            }
+            // The fence rejects the rejoiner's stale-epoch submission packet
+            // by packet: d = 508 → exactly 2 packets.
+            assert_eq!(report.stale_epoch_rejects, 2, "{attack:?}/{gar}");
+            // Within-variance attacks may enter the selection (that is the
+            // attack); the counter just has to be faithfully reported, and
+            // the run has to keep learning regardless.
+            assert!(
+                report.final_accuracy() > 0.4,
+                "{attack:?}/{gar}: accuracy {}",
+                report.final_accuracy()
+            );
+        }
+    }
+}
+
+#[test]
+fn refusal_policies_degrade_gracefully_not_fatally() {
+    // Both refusal policies finish the run and report the same refusals;
+    // HoldLastRound keeps charging broadcast rounds, Pause does not record
+    // them, and neither turns a floor violation into an error.
+    for refusal in [RefusalPolicy::HoldLastRound, RefusalPolicy::Pause] {
+        let mut config = base_config(GarKind::Bulyan, 4, 19);
+        config.byzantine_count = 4;
+        config.attack = AttackKind::Adaptive;
+        config.refusal = refusal;
+        config.fault_plan =
+            FaultPlan::empty().with(8, 2, FaultAction::Crash).with(11, 2, FaultAction::Rejoin);
+        let report = SyncTrainingEngine::new(config).expect("valid config").run().expect("runs");
+        assert_eq!(report.refused_rounds, 3, "{refusal:?}");
+        assert_eq!(report.steps_completed, 20, "{refusal:?}");
+        let expected_rounds = match refusal {
+            RefusalPolicy::HoldLastRound => 24,
+            RefusalPolicy::Pause => 21,
+        };
+        assert_eq!(report.latency.rounds(), expected_rounds, "{refusal:?}");
+        assert!(report.summary().contains("3 refused below the resilience floor"));
+    }
+}
