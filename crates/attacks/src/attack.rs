@@ -57,6 +57,24 @@ impl<'a> AttackContext<'a> {
     }
 }
 
+/// A membership transition an adaptive adversary requests for one of its own
+/// workers — the attacker-controlled-churn-timing channel. The engine applies
+/// directives through the same epoch-fenced [`MembershipView`] machinery as
+/// scheduled faults, so a directive can never do more than a crash or rejoin
+/// the fault plan could have scheduled: redundant directives (crashing a
+/// crashed worker, rejoining a live one) are no-ops, and a rejoiner's first
+/// round back is still fenced as stale.
+///
+/// [`MembershipView`]: https://docs.rs/agg-ps (crate `agg-ps`, `membership`)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnDirective {
+    /// Crash the given worker at the start of this round.
+    Crash(usize),
+    /// Rejoin the given (previously crashed) worker at the start of this
+    /// round.
+    Rejoin(usize),
+}
+
 /// A Byzantine worker behaviour.
 ///
 /// `craft` returns exactly `ctx.byzantine_count` gradients; the parameter
@@ -69,6 +87,15 @@ pub trait Attack: Send + Sync + fmt::Debug {
 
     /// Crafts this round's Byzantine gradients.
     fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector>;
+
+    /// Chooses membership transitions for the adversary's own workers at the
+    /// start of this round, from the previous round's selection feedback.
+    /// Called only when the engine has attacker-controlled churn enabled;
+    /// the default adversary never churns. Like `craft`, implementations
+    /// must be deterministic functions of the context.
+    fn plan_churn(&self, _ctx: &AttackContext<'_>) -> Vec<ChurnDirective> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

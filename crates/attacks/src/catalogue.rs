@@ -1,6 +1,6 @@
 //! Concrete attack implementations and the [`AttackKind`] registry.
 
-use crate::attack::{Attack, AttackContext};
+use crate::attack::{Attack, AttackContext, ChurnDirective};
 use agg_tensor::rng::{derive_seed, gaussian_vector, seeded_rng};
 use agg_tensor::{stats, Vector};
 use serde::{Deserialize, Serialize};
@@ -430,6 +430,38 @@ impl Attack for Adaptive {
         let mut crafted = ctx.honest_mean();
         let _ = crafted.axpy(-z, &honest_std(ctx));
         vec![crafted; ctx.byzantine_count]
+    }
+
+    /// Times churn from the same feedback channel as the gradient policy —
+    /// an identity-rotation schedule:
+    ///
+    /// * no selection information yet → stay put;
+    /// * an attacker slot was *selected* last round → crash it: the slot
+    ///   retires at its moment of maximum exposure, before a stateful
+    ///   defence can build a profile of it, and forces an epoch bump the
+    ///   server must absorb;
+    /// * an attacker slot was *excluded* (or is sitting out) → rejoin it:
+    ///   exclusion already nullifies its gradients, so coming back with a
+    ///   fenced first round costs the adversary nothing.
+    ///
+    /// Directives are redundant-safe: rejoining a live worker or crashing a
+    /// crashed one is a no-op in the engine's membership view, so the policy
+    /// can restate its intent every round and stay stateless — everything it
+    /// adapts to travels in the context, and replays stay deterministic.
+    fn plan_churn(&self, ctx: &AttackContext<'_>) -> Vec<ChurnDirective> {
+        let first_attacker = ctx.total_workers.saturating_sub(ctx.byzantine_count);
+        let Some(selected) = ctx.previous_selection else {
+            return Vec::new();
+        };
+        (first_attacker..ctx.total_workers)
+            .map(|slot| {
+                if selected.contains(&slot) {
+                    ChurnDirective::Crash(slot)
+                } else {
+                    ChurnDirective::Rejoin(slot)
+                }
+            })
+            .collect()
     }
 }
 

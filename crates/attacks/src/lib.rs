@@ -28,7 +28,7 @@
 pub mod attack;
 pub mod catalogue;
 
-pub use attack::{Attack, AttackContext};
+pub use attack::{Attack, AttackContext, ChurnDirective};
 pub use catalogue::{
     Adaptive, Alie, AttackKind, ConstantDrift, LittleIsEnough, MinMax, MinSum, NoAttack, NonFinite,
     RandomGradient, ReversedGradient, SignFlip,

@@ -24,6 +24,12 @@
 //!   round aggregates at the first `n − f` arrivals and never pays for the
 //!   `f` slowest deliveries or their distance rows, exactly as the engine
 //!   does with `QuorumPolicy::NMinusF`.
+//! * **churn** — one membership transition per round: epoch restamp, fence
+//!   checks, and one fenced stale sender compacted away.
+//! * **chaos** — the pipeline round with the moderate seeded wire-fault
+//!   plan active on every link and the bounded NACK/retransmit protocol
+//!   repairing the damage; gates the integrity + recovery machinery at
+//!   ≥ 0.95× of a static round.
 //!
 //! A separate codec section isolates the wire leg (encode + decode of one
 //! d = 100k gradient): bulk 4-byte-chunk passes vs the legacy per-element
@@ -35,8 +41,8 @@
 
 use agg_core::{Gar, GarConfig, GarKind};
 use agg_net::{
-    GradientCodec, LinkConfig, LossPolicy, LossyLink, LossyTransport, Packet, ReliableTransport,
-    RoundAssembler, Transport,
+    ChaosConfig, ChaosPlan, GradientCodec, LinkConfig, LossPolicy, LossyLink, LossyTransport,
+    Packet, ReliableTransport, RetransmitConfig, RoundAssembler, Transport,
 };
 use agg_ps::{QuorumPolicy, RoundPipeline};
 use agg_tensor::rng::{gaussian_vector, seeded_rng};
@@ -227,6 +233,9 @@ struct Cell {
     /// Elastic round: epoch bump + transport restamp + one fenced stale
     /// sender per round.
     churn_ns: u128,
+    /// Chaos round: the moderate seeded wire-fault plan active on every
+    /// link and the bounded NACK/retransmit protocol repairing the damage.
+    chaos_ns: u128,
 }
 
 impl Cell {
@@ -251,6 +260,14 @@ impl Cell {
     /// costs at most ~5% of a round.
     fn churn_speedup(&self) -> f64 {
         self.pipeline_ns as f64 / self.churn_ns.max(1) as f64
+    }
+
+    /// Static pipeline round over the chaos round: ≥ 0.95 means CRC
+    /// verification, fault injection and the bounded retransmit recovery
+    /// together cost at most ~5% of a round. On the reliable transport the
+    /// chaos hooks are no-ops, so its cell gates the hook plumbing alone.
+    fn chaos_speedup(&self) -> f64 {
+        self.pipeline_ns as f64 / self.chaos_ns.max(1) as f64
     }
 }
 
@@ -278,7 +295,7 @@ fn main() {
         "round_perf: n = {N}, f = {F}, d = {D}, drop = {DROP_RATE} (median ns/round, end-to-end)"
     );
     println!(
-        "{:<11} {:<12} {:>13} {:>13} {:>8} {:>13} {:>13} {:>9} {:>13} {:>8} {:>13} {:>8} {:>13} {:>9}",
+        "{:<11} {:<12} {:>13} {:>13} {:>8} {:>13} {:>13} {:>9} {:>13} {:>8} {:>13} {:>8} {:>13} {:>9} {:>13} {:>9}",
         "transport",
         "rule",
         "pipeline_ns",
@@ -292,7 +309,9 @@ fn main() {
         "quorum_ns",
         "quor_spd",
         "churn_ns",
-        "churn_spd"
+        "churn_spd",
+        "chaos_ns",
+        "chaos_spd"
     );
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -380,6 +399,26 @@ fn main() {
                 transport.set_epoch(0);
             }
 
+            // The chaos arm: the same pipeline round with the moderate
+            // seeded wire-fault plan damaging every link (bit flips,
+            // truncations, mutated duplicates, reorder bursts, delay
+            // spikes, transient partitions) and the bounded NACK/retransmit
+            // protocol repairing it. Reset the hooks afterwards so the
+            // codec section sees clean transports.
+            for transport in &mut transports {
+                transport.set_chaos(Some(
+                    ChaosPlan::new(ChaosConfig::moderate(), SEED).expect("valid chaos config"),
+                ));
+                transport.set_retransmit(Some(RetransmitConfig::default()));
+            }
+            let chaos_ns = median_round_ns(|| {
+                pipeline_round(Some(gar.as_ref()), &mut transports, &mut arena, &gradients);
+            });
+            for transport in &mut transports {
+                transport.set_chaos(None);
+                transport.set_retransmit(None);
+            }
+
             let cell = Cell {
                 transport: transport_name,
                 rule: kind.name(),
@@ -390,9 +429,10 @@ fn main() {
                 streaming_ns,
                 quorum_ns,
                 churn_ns,
+                chaos_ns,
             };
             println!(
-                "{:<11} {:<12} {:>13} {:>13} {:>7.2}x {:>13} {:>13} {:>8.2}x {:>13} {:>7.2}x {:>13} {:>7.2}x {:>13} {:>8.2}x",
+                "{:<11} {:<12} {:>13} {:>13} {:>7.2}x {:>13} {:>13} {:>8.2}x {:>13} {:>7.2}x {:>13} {:>7.2}x {:>13} {:>8.2}x {:>13} {:>8.2}x",
                 cell.transport,
                 cell.rule,
                 cell.pipeline_ns,
@@ -406,7 +446,9 @@ fn main() {
                 cell.quorum_ns,
                 cell.quorum_speedup(),
                 cell.churn_ns,
-                cell.churn_speedup()
+                cell.churn_speedup(),
+                cell.chaos_ns,
+                cell.chaos_speedup()
             );
             cells.push(cell);
         }
@@ -454,7 +496,8 @@ fn main() {
              \"reference_wire_ns\": {}, \"wire_speedup\": {:.2}, \"streaming_ns\": {}, \
              \"streaming_speedup\": {:.2}, \"quorum_ns\": {}, \
              \"quorum_speedup\": {:.2}, \"churn_ns\": {}, \
-             \"churn_speedup\": {:.2}}}{comma}",
+             \"churn_speedup\": {:.2}, \"chaos_ns\": {}, \
+             \"chaos_speedup\": {:.2}}}{comma}",
             cell.transport,
             cell.rule,
             cell.pipeline_ns,
@@ -468,7 +511,9 @@ fn main() {
             cell.quorum_ns,
             cell.quorum_speedup(),
             cell.churn_ns,
-            cell.churn_speedup()
+            cell.churn_speedup(),
+            cell.chaos_ns,
+            cell.chaos_speedup()
         );
     }
     json.push_str("  ],\n");

@@ -26,7 +26,7 @@
 //! legacy reassembly contract: the caller's loss policy decides what to do
 //! with them.
 
-use crate::packet::{get_f32_slice_le, HEADER_BYTES};
+use crate::packet::{get_f32_slice_le, wire_integrity_error, HEADER_BYTES};
 use crate::{NetError, Result};
 use agg_tensor::ShardPlan;
 use bytes::Bytes;
@@ -114,6 +114,13 @@ struct WireHeader {
 
 /// Parses the fixed-size header of an encoded packet without consuming the
 /// buffer. The format is byte-identical to [`crate::Packet::encode`].
+///
+/// Callers run the integrity envelope ([`wire_integrity_error`]) first, so a
+/// header reaching this point is checksum-valid: any inconsistency found
+/// here means a broken or malicious *sender*, not wire damage, and is a hard
+/// [`NetError::MalformedPacket`]. The payload length must match the declared
+/// coordinate count exactly — an over-length payload is as suspect as a
+/// short one.
 fn parse_header(data: &[u8]) -> Result<WireHeader> {
     if data.len() < HEADER_BYTES {
         return Err(NetError::MalformedPacket(format!(
@@ -131,9 +138,9 @@ fn parse_header(data: &[u8]) -> Result<WireHeader> {
     let offset = u32_at(20) as usize;
     let count = u32_at(24) as usize;
     let epoch = u32_at(28);
-    if data.len() - HEADER_BYTES < count * 4 {
+    if data.len() - HEADER_BYTES != count * 4 {
         return Err(NetError::MalformedPacket(format!(
-            "payload declares {count} coordinates but only {} bytes remain",
+            "payload declares {count} coordinates but carries {} bytes",
             data.len() - HEADER_BYTES
         )));
     }
@@ -156,8 +163,19 @@ fn note_sequence(seen: &mut Vec<u64>, sequence: usize) -> bool {
     true
 }
 
-/// Rejects a packet whose sequence number is not below its declared total.
+/// `true` when `sequence` is already marked in the seen-set (never grows the
+/// word vector — the read-only counterpart of [`note_sequence`]).
+fn sequence_is_seen(seen: &[u64], sequence: usize) -> bool {
+    seen.get(sequence / 64).is_some_and(|word| word & (1u64 << (sequence % 64)) != 0)
+}
+
+/// Rejects a packet whose sequence number is not below its declared total —
+/// which also rejects a declared total of zero (every sequence is at or
+/// above it), so a zero-`total` header can never pass.
 fn check_sequence(header: &WireHeader) -> Result<()> {
+    if header.total == 0 {
+        return Err(NetError::MalformedPacket("packet declares a zero-packet stream".to_string()));
+    }
     if header.sequence >= header.total {
         return Err(NetError::MalformedPacket(format!(
             "packet sequence {} of a {}-packet stream",
@@ -188,6 +206,7 @@ pub struct RoundAssembler {
     /// membership default).
     expected_epoch: Option<u32>,
     stale_rejects: usize,
+    corrupt_rejects: usize,
 }
 
 impl RoundAssembler {
@@ -201,6 +220,7 @@ impl RoundAssembler {
             seen: Vec::new(),
             expected_epoch: None,
             stale_rejects: 0,
+            corrupt_rejects: 0,
         }
     }
 
@@ -221,6 +241,20 @@ impl RoundAssembler {
     /// `begin_round`/`assemble_into`.
     pub fn stale_rejects(&self) -> usize {
         self.stale_rejects
+    }
+
+    /// Packets rejected by the integrity envelope (short, wrong wire
+    /// version, checksum mismatch) since the last
+    /// `begin_round`/`assemble_into`.
+    pub fn corrupt_rejects(&self) -> usize {
+        self.corrupt_rejects
+    }
+
+    /// Whether the pre-split packet id `sequence` has been fed (and
+    /// accepted) this streaming round — the receiver-side state a NACK
+    /// protocol inspects to decide which packets to request again.
+    pub fn sequence_seen(&self, sequence: usize) -> bool {
+        sequence_is_seen(&self.seen, sequence)
     }
 
     /// `Some(packet_epoch)` when the fence rejects this header.
@@ -246,6 +280,7 @@ impl RoundAssembler {
         self.reference = None;
         self.seen.fill(0);
         self.stale_rejects = 0;
+        self.corrupt_rejects = 0;
     }
 
     /// Feeds one delivered packet, scattering its payload into `dst`, and
@@ -254,6 +289,9 @@ impl RoundAssembler {
     /// A packet whose pre-split id was already fed this round is accepted
     /// with zero new coverage and without touching `dst` (first delivery
     /// wins), so completion accounting stays exact under wire duplication.
+    /// A packet failing the integrity envelope is rejected first of all —
+    /// [`FeedOutcome::Corrupt`], nothing parsed or written — because no
+    /// field of a corrupt packet can be trusted, not even its epoch stamp.
     /// A packet stamped with the wrong membership epoch is fenced off —
     /// [`FeedOutcome::StaleEpoch`], nothing written — *before* the stream
     /// identity check, so an evicted worker's stragglers can never poison
@@ -271,6 +309,10 @@ impl RoundAssembler {
                 dst.len(),
                 self.dimension
             )));
+        }
+        if let Some(reason) = wire_integrity_error(packet) {
+            self.corrupt_rejects += 1;
+            return Ok(FeedOutcome::Corrupt { reason });
         }
         let header = parse_header(packet)?;
         if let Some(packet_epoch) = self.fence(&header) {
@@ -338,9 +380,14 @@ impl RoundAssembler {
     /// # Errors
     ///
     /// Returns [`NetError::InconsistentStream`] when packets disagree about
-    /// the worker or step, and [`NetError::MalformedPacket`] for truncated
-    /// buffers or coordinates outside the gradient — the same contract as
-    /// the legacy [`crate::GradientCodec::reassemble`].
+    /// the worker or step, and [`NetError::MalformedPacket`] for
+    /// checksum-valid packets whose headers are nonsensical (bad sequence,
+    /// over-length payload, coordinates outside the gradient) — the same
+    /// contract as the legacy [`crate::GradientCodec::reassemble`]. A
+    /// packet failing the integrity envelope (truncated, bit-flipped,
+    /// unknown wire version) is *not* an error: it is counted in
+    /// [`RoundAssembler::corrupt_rejects`] and skipped, exactly like a
+    /// packet the link dropped.
     pub fn assemble_into(&mut self, packets: &[Bytes], dst: &mut [f32]) -> Result<usize> {
         if dst.len() != self.dimension {
             return Err(NetError::InvalidConfig(format!(
@@ -351,16 +398,22 @@ impl RoundAssembler {
         }
         self.filled.reset();
         self.stale_rejects = 0;
+        self.corrupt_rejects = 0;
         if packets.is_empty() {
             dst.fill(f32::NAN);
             return Ok(self.dimension);
         }
-        // The reference is the first packet that clears the epoch fence:
-        // stale packets are counted and skipped before any identity check,
-        // so an evicted worker's stragglers never poison the stream
-        // reference (and never fill a coordinate).
+        // The reference is the first packet that clears the integrity
+        // envelope and the epoch fence: corrupt packets are counted and
+        // skipped before anything is parsed, stale packets before any
+        // identity check, so neither can poison the stream reference (or
+        // fill a coordinate).
         let mut reference: Option<WireHeader> = None;
         for packet in packets {
+            if wire_integrity_error(packet).is_some() {
+                self.corrupt_rejects += 1;
+                continue;
+            }
             let header = parse_header(packet)?;
             if self.fence(&header).is_some() {
                 self.stale_rejects += 1;
@@ -371,6 +424,7 @@ impl RoundAssembler {
                 None => reference = Some(header),
             }
             check_in_bounds(&header, self.dimension)?;
+            check_sequence(&header)?;
             let payload = &packet[HEADER_BYTES..HEADER_BYTES + 4 * header.count];
             get_f32_slice_le(payload, &mut dst[header.offset..header.offset + header.count]);
             self.filled.mark(header.offset, header.count);
@@ -454,21 +508,35 @@ pub enum FeedOutcome {
         /// The epoch the assembler currently fences on.
         expected_epoch: u32,
     },
+    /// The packet failed the integrity envelope — too short to hold a
+    /// header, stamped with an unknown wire version, or its CRC32 disagrees
+    /// with the bytes. Nothing was parsed (not even the epoch stamp, which
+    /// is as untrustworthy as the rest of the packet), nothing was written;
+    /// the reject is counted in `corrupt_rejects()`.
+    Corrupt {
+        /// Which integrity check failed.
+        reason: &'static str,
+    },
 }
 
 impl FeedOutcome {
-    /// Coordinates newly covered by this feed (zero for duplicates and
-    /// stale-epoch rejects).
+    /// Coordinates newly covered by this feed (zero for duplicates,
+    /// stale-epoch rejects and corrupt rejects).
     pub fn newly_covered(&self) -> usize {
         match self {
             FeedOutcome::Accepted { newly_covered, .. } => *newly_covered,
-            FeedOutcome::StaleEpoch { .. } => 0,
+            FeedOutcome::StaleEpoch { .. } | FeedOutcome::Corrupt { .. } => 0,
         }
     }
 
     /// Whether the packet was fenced off for carrying a stale epoch.
     pub fn is_stale(&self) -> bool {
         matches!(self, FeedOutcome::StaleEpoch { .. })
+    }
+
+    /// Whether the packet was rejected by the integrity envelope.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, FeedOutcome::Corrupt { .. })
     }
 }
 
@@ -485,6 +553,7 @@ pub struct ShardedRoundAssembler {
     /// Epoch fence, identical semantics to [`RoundAssembler`]'s.
     expected_epoch: Option<u32>,
     stale_rejects: usize,
+    corrupt_rejects: usize,
 }
 
 impl ShardedRoundAssembler {
@@ -500,6 +569,7 @@ impl ShardedRoundAssembler {
             seen: Vec::new(),
             expected_epoch: None,
             stale_rejects: 0,
+            corrupt_rejects: 0,
         }
     }
 
@@ -520,6 +590,19 @@ impl ShardedRoundAssembler {
     /// `begin_round`/`assemble_into`.
     pub fn stale_rejects(&self) -> usize {
         self.stale_rejects
+    }
+
+    /// Packets rejected by the integrity envelope since the last
+    /// `begin_round`/`assemble_into`.
+    pub fn corrupt_rejects(&self) -> usize {
+        self.corrupt_rejects
+    }
+
+    /// Whether the pre-split packet id `sequence` has been fed (and
+    /// accepted) this streaming round — see
+    /// [`RoundAssembler::sequence_seen`].
+    pub fn sequence_seen(&self, sequence: usize) -> bool {
+        sequence_is_seen(&self.seen, sequence)
     }
 
     /// `Some(packet_epoch)` when the fence rejects this header.
@@ -563,6 +646,7 @@ impl ShardedRoundAssembler {
         }
         self.filled.reset();
         self.stale_rejects = 0;
+        self.corrupt_rejects = 0;
         let dimension = self.plan.dimension();
         if packets.is_empty() {
             rows.iter_mut().for_each(|row| row.fill(f32::NAN));
@@ -570,6 +654,10 @@ impl ShardedRoundAssembler {
         }
         let mut reference: Option<WireHeader> = None;
         for packet in packets {
+            if wire_integrity_error(packet).is_some() {
+                self.corrupt_rejects += 1;
+                continue;
+            }
             let header = parse_header(packet)?;
             if self.fence(&header).is_some() {
                 self.stale_rejects += 1;
@@ -580,6 +668,7 @@ impl ShardedRoundAssembler {
                 None => reference = Some(header),
             }
             check_in_bounds(&header, dimension)?;
+            check_sequence(&header)?;
             // Route the payload shard by shard: `consumed` counts payload
             // coordinates already scattered, `global` the coordinate the
             // next one lands on. A straddling packet takes several laps.
@@ -624,6 +713,7 @@ impl ShardedRoundAssembler {
         self.reference = None;
         self.seen.fill(0);
         self.stale_rejects = 0;
+        self.corrupt_rejects = 0;
     }
 
     /// Feeds one delivered packet, routing its payload into the per-shard
@@ -652,6 +742,10 @@ impl ShardedRoundAssembler {
             )));
         }
         let dimension = self.plan.dimension();
+        if let Some(reason) = wire_integrity_error(packet) {
+            self.corrupt_rejects += 1;
+            return Ok(FeedOutcome::Corrupt { reason });
+        }
         let header = parse_header(packet)?;
         if let Some(packet_epoch) = self.fence(&header) {
             self.stale_rejects += 1;
@@ -836,17 +930,14 @@ mod tests {
             assembler.assemble_into(&mixed, &mut row),
             Err(NetError::InconsistentStream(_))
         ));
-        // Truncated header and truncated payload.
+        // A truncated header or a truncated payload is wire damage, not a
+        // malformed sender: counted as corrupt and skipped like a loss.
         let truncated = vec![a[0].slice(0..10)];
-        assert!(matches!(
-            assembler.assemble_into(&truncated, &mut row),
-            Err(NetError::MalformedPacket(_))
-        ));
+        assert_eq!(assembler.assemble_into(&truncated, &mut row).unwrap(), 16);
+        assert_eq!(assembler.corrupt_rejects(), 1);
         let short_payload = vec![a[0].slice(0..HEADER_BYTES + 4)];
-        assert!(matches!(
-            assembler.assemble_into(&short_payload, &mut row),
-            Err(NetError::MalformedPacket(_))
-        ));
+        assert_eq!(assembler.assemble_into(&short_payload, &mut row).unwrap(), 16);
+        assert_eq!(assembler.corrupt_rejects(), 1);
         // A packet whose coordinates extend beyond the gradient.
         let far = codec.split_bytes(0, 0, &gradient(24));
         let mut small = RoundAssembler::new(16);
@@ -1114,13 +1205,198 @@ mod tests {
         let mut row = vec![0.0f32; 16];
         assembler.feed(&a[0], &mut row).unwrap();
         assert!(matches!(assembler.feed(&b[0], &mut row), Err(NetError::InconsistentStream(_))));
-        // A corrupted sequence number at/above the declared total.
+        // A sequence number at/above the declared total, resealed so the
+        // checksum is valid: a *sender* bug, so a hard error rather than a
+        // corrupt-reject.
         let mut bytes = a[0].to_vec();
         bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        crate::packet::reseal_packet_bytes(&mut bytes);
         assert!(matches!(
             assembler.feed(&Bytes::from(bytes), &mut row),
             Err(NetError::MalformedPacket(_))
         ));
+    }
+
+    /// Builds a checksum-valid packet with an arbitrary header mutation
+    /// applied after sealing.
+    fn resealed(base: &Bytes, mutate: impl FnOnce(&mut Vec<u8>)) -> Bytes {
+        let mut bytes = base.to_vec();
+        mutate(&mut bytes);
+        crate::packet::reseal_packet_bytes(&mut bytes);
+        Bytes::from(bytes)
+    }
+
+    #[test]
+    fn malformed_header_shapes_are_rejected_up_front() {
+        // Checksum-valid but semantically broken headers: each shape must be
+        // a hard MalformedPacket in both the feed and the batch path of both
+        // assemblers — never scattered, never silently skipped.
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(16);
+        let a = codec.split_bytes(0, 0, &g);
+        let zero_total = resealed(&a[0], |b| b[16..20].copy_from_slice(&0u32.to_le_bytes()));
+        let bad_sequence = resealed(&a[0], |b| b[12..16].copy_from_slice(&9u32.to_le_bytes()));
+        let over_length = resealed(&a[0], |b| b.extend_from_slice(&[0u8; 4]));
+        let out_of_bounds = resealed(&a[1], |b| b[20..24].copy_from_slice(&12u32.to_le_bytes()));
+        for (shape, packet) in [
+            ("zero total", &zero_total),
+            ("sequence >= total", &bad_sequence),
+            ("over-length payload", &over_length),
+            ("out of bounds", &out_of_bounds),
+        ] {
+            let mut assembler = RoundAssembler::new(16);
+            let mut row = vec![0.0f32; 16];
+            assembler.begin_round();
+            assert!(
+                matches!(assembler.feed(packet, &mut row), Err(NetError::MalformedPacket(_))),
+                "feed must reject {shape}"
+            );
+            assert!(
+                matches!(
+                    assembler.assemble_into(std::slice::from_ref(packet), &mut row),
+                    Err(NetError::MalformedPacket(_))
+                ),
+                "assemble_into must reject {shape}"
+            );
+            assert_eq!(assembler.corrupt_rejects(), 0, "{shape} is malformed, not corrupt");
+
+            let plan = agg_tensor::ShardPlan::new(16, 3).unwrap();
+            let mut sharded = ShardedRoundAssembler::new(plan.clone());
+            let mut shard_rows: Vec<Vec<f32>> =
+                plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+            let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+            sharded.begin_round();
+            assert!(
+                matches!(sharded.feed(packet, &mut views), Err(NetError::MalformedPacket(_))),
+                "sharded feed must reject {shape}"
+            );
+            assert!(
+                matches!(
+                    sharded.assemble_into(std::slice::from_ref(packet), &mut views),
+                    Err(NetError::MalformedPacket(_))
+                ),
+                "sharded assemble_into must reject {shape}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_packets_are_counted_and_never_touch_a_row() {
+        // Wire-damage shapes: short header, truncated payload, flipped
+        // payload bit, flipped header bit, unknown wire version. Each is a
+        // FeedOutcome::Corrupt — counted, skipped, and provably absent from
+        // the row — in both assemblers, and the intact remainder of the
+        // round still lands.
+        let codec = GradientCodec::new(8).unwrap();
+        let g = gradient(20);
+        let packets = codec.split_bytes(0, 0, &g);
+        let corrupted: Vec<Bytes> = vec![
+            packets[0].slice(0..HEADER_BYTES - 1),
+            packets[0].slice(0..HEADER_BYTES + 7),
+            {
+                let mut b = packets[1].to_vec();
+                b[HEADER_BYTES + 2] ^= 0x10;
+                Bytes::from(b)
+            },
+            {
+                let mut b = packets[1].to_vec();
+                b[21] ^= 0x01; // offset field
+                Bytes::from(b)
+            },
+            {
+                let mut b = packets[2].to_vec();
+                b[32..36].copy_from_slice(&7u32.to_le_bytes()); // version
+                crate::packet::reseal_packet_bytes(&mut b);
+                Bytes::from(b)
+            },
+        ];
+
+        let mut assembler = RoundAssembler::new(20);
+        assembler.begin_round();
+        let mut row = vec![-4.5f32; 20];
+        for c in &corrupted {
+            let outcome = assembler.feed(c, &mut row).unwrap();
+            assert!(outcome.is_corrupt());
+            assert_eq!(outcome.newly_covered(), 0);
+        }
+        assert!(row.iter().all(|&v| v == -4.5), "a corrupt packet must never touch the row");
+        assert_eq!(assembler.corrupt_rejects(), corrupted.len());
+        assert_eq!(assembler.received(), 0);
+        for p in &packets {
+            assert!(!assembler.feed(p, &mut row).unwrap().is_corrupt());
+        }
+        assert!(assembler.is_complete());
+        assert_eq!(row, g);
+
+        // Batch path: corrupt packets mixed into an otherwise-complete round
+        // are skipped without error and without affecting the result.
+        let mixed: Vec<Bytes> = corrupted.iter().chain(packets.iter()).cloned().collect();
+        let mut batch = RoundAssembler::new(20);
+        let mut batch_row = vec![0.0f32; 20];
+        assert_eq!(batch.assemble_into(&mixed, &mut batch_row).unwrap(), 0);
+        assert_eq!(batch.corrupt_rejects(), corrupted.len());
+        assert_eq!(batch_row, g);
+
+        // Sharded, straddling packets: same guarantees per shard row.
+        let plan = agg_tensor::ShardPlan::new(20, 4).unwrap();
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        sharded.begin_round();
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![-4.5f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+        for c in &corrupted {
+            assert!(sharded.feed(c, &mut views).unwrap().is_corrupt());
+        }
+        assert!(shard_rows.iter().flatten().all(|&v| v == -4.5));
+        let mut sharded = ShardedRoundAssembler::new(plan.clone());
+        let mut shard_rows: Vec<Vec<f32>> = plan.ranges().map(|r| vec![0.0f32; r.len()]).collect();
+        let mut views: Vec<&mut [f32]> = shard_rows.iter_mut().map(Vec::as_mut_slice).collect();
+        assert_eq!(sharded.assemble_into(&mixed, &mut views).unwrap(), 0);
+        assert_eq!(sharded.corrupt_rejects(), corrupted.len());
+        assert_eq!(shard_rows.concat(), g);
+    }
+
+    #[test]
+    fn corruption_detected_equals_explicit_drop() {
+        // The zero-silent-corruption invariant at the assembler level:
+        // corrupting a subset of packets must produce exactly the row a
+        // plain drop of the same subset produces — same bits, same missing
+        // count — with corrupt_rejects accounting for every damaged packet.
+        let codec = GradientCodec::new(8).unwrap();
+        let g: Vec<f32> = (0..50).map(|i| (i as f32).sin()).collect();
+        let packets = codec.split_bytes(3, 11, &g);
+        let damage = [1usize, 4];
+        let corrupted: Vec<Bytes> = packets
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if damage.contains(&i) {
+                    let mut b = p.to_vec();
+                    b[HEADER_BYTES] ^= 0x40;
+                    Bytes::from(b)
+                } else {
+                    p.clone()
+                }
+            })
+            .collect();
+        let dropped: Vec<Bytes> = packets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !damage.contains(i))
+            .map(|(_, p)| p.clone())
+            .collect();
+
+        let mut a = RoundAssembler::new(50);
+        let mut row_corrupt = vec![0.0f32; 50];
+        let missing_corrupt = a.assemble_into(&corrupted, &mut row_corrupt).unwrap();
+        assert_eq!(a.corrupt_rejects(), damage.len());
+        let mut b = RoundAssembler::new(50);
+        let mut row_drop = vec![0.0f32; 50];
+        let missing_drop = b.assemble_into(&dropped, &mut row_drop).unwrap();
+        assert_eq!(b.corrupt_rejects(), 0);
+        assert_eq!(missing_corrupt, missing_drop);
+        for (c, (x, y)) in row_corrupt.iter().zip(&row_drop).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "coordinate {c}");
+        }
     }
 
     #[test]

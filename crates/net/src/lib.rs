@@ -10,7 +10,10 @@
 //!   paper describes for packet ordering.
 //! * [`link`] — a lossy link model: independent packet drops, reordering and
 //!   duplication at configurable rates (the paper injects a 10 % drop rate
-//!   with `tc`).
+//!   with `tc`), plus [`link::ChaosPlan`] — a seeded schedule of dirtier
+//!   wire faults (bit flips, truncation, mutated duplicates, reorder
+//!   bursts, delay spikes, transient partitions) that the v2 wire format's
+//!   CRC32 integrity envelope must catch.
 //! * [`assembler`] — [`assembler::RoundAssembler`]: zero-copy reassembly of
 //!   whatever arrived straight into a caller-provided arena row, tracking
 //!   missing coordinates with a compact bitset.
@@ -34,10 +37,14 @@ pub mod transport;
 
 pub use assembler::{FeedOutcome, RoundAssembler, ShardedRoundAssembler};
 pub use error::NetError;
-pub use link::{LinkConfig, LinkStats, LossyLink};
-pub use packet::{get_f32_slice_le, put_f32_slice_le, GradientCodec, Packet};
+pub use link::{ChaosConfig, ChaosMode, ChaosPlan, ChaosStats, LinkConfig, LinkStats, LossyLink};
+pub use packet::{
+    crc32, get_f32_slice_le, put_f32_slice_le, reseal_packet_bytes, wire_integrity_error,
+    GradientCodec, Packet, WIRE_VERSION,
+};
 pub use transport::{
-    LossPolicy, LossyTransport, ReliableTransport, RowTransfer, TransferOutcome, Transport,
+    LossPolicy, LossyTransport, ReliableTransport, RetransmitConfig, RowTransfer, TransferOutcome,
+    Transport,
 };
 
 /// Crate-wide result alias.

@@ -3,12 +3,15 @@
 //! A gradient of dimension `d` is split into packets carrying at most
 //! `coords_per_packet` consecutive `f32` coordinates. Every packet carries a
 //! small header — worker id, step, sequence number, total packet count,
-//! coordinate offset, count and membership epoch — which is exactly the
-//! "reliability scheme for metadata (accompanying gradients) and packets
-//! ordering" the paper adds on top of UDP: the payload may be lost, but a
-//! delivered packet always knows where its coordinates belong. The epoch
-//! stamp lets the receiver fence off late packets from evicted workers and
-//! stale-epoch rejoins under elastic membership.
+//! coordinate offset, count, membership epoch, wire version and a CRC32
+//! checksum — which is exactly the "reliability scheme for metadata
+//! (accompanying gradients) and packets ordering" the paper adds on top of
+//! UDP: the payload may be lost, but a delivered packet always knows where
+//! its coordinates belong. The epoch stamp lets the receiver fence off late
+//! packets from evicted workers and stale-epoch rejoins under elastic
+//! membership; the checksum (wire format v2) covers header and payload so a
+//! bit-flipped or truncated packet is rejected instead of scattered into a
+//! gradient row.
 
 use crate::{NetError, Result};
 use agg_tensor::Vector;
@@ -37,8 +40,178 @@ pub struct Packet {
 }
 
 /// Number of header bytes in the wire format: worker (4), step (8),
-/// sequence (4), total (4), offset (4), count (4), epoch (4).
-pub const HEADER_BYTES: usize = 4 + 8 + 4 + 4 + 4 + 4 + 4;
+/// sequence (4), total (4), offset (4), count (4), epoch (4), version (4),
+/// checksum (4).
+pub const HEADER_BYTES: usize = 4 + 8 + 4 + 4 + 4 + 4 + 4 + 4 + 4;
+
+/// Current wire-format version stamped into every packet header. Version 2
+/// added the version and CRC-32C checksum fields; receivers reject any other
+/// value as corrupt.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Byte offset of the CRC-32C checksum field within the header. The checksum
+/// covers every wire byte *except* this field: header bytes
+/// `0..CHECKSUM_OFFSET` followed by the payload bytes at `HEADER_BYTES..`.
+pub const CHECKSUM_OFFSET: usize = HEADER_BYTES - 4;
+
+/// Reflected CRC-32C (Castagnoli) polynomial. Chosen over the IEEE 802.3
+/// polynomial because x86 has computed it in hardware since SSE 4.2 (the
+/// `crc32` instruction iSCSI, ext4 and Btrfs ride on), so the per-packet
+/// integrity envelope costs a fraction of the payload memcpy instead of a
+/// table walk per byte.
+const CRC32C_POLY: u32 = 0x82F6_3B78;
+
+/// Slicing-by-8 lookup tables for the software CRC-32C path, built at
+/// compile time: table 0 is the classic one-byte-at-a-time table, table `t`
+/// advances a byte through `t` further zero bytes, so eight lookups fold
+/// eight message bytes per iteration.
+const CRC32C_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ CRC32C_POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+/// Starts a streaming CRC-32C computation (see [`crc32_update`]).
+pub fn crc32_init() -> u32 {
+    0xFFFF_FFFF
+}
+
+/// Software CRC-32C: slicing-by-8, folding one 64-bit chunk per iteration.
+fn crc32c_update_sw(mut state: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        state = CRC32C_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC32C_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC32C_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC32C_TABLES[4][(lo >> 24) as usize]
+            ^ CRC32C_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC32C_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC32C_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC32C_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ CRC32C_TABLES[0][((state ^ b as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+/// Hardware CRC-32C: the SSE 4.2 `crc32` instruction, eight bytes per fold.
+/// Bit-identical to the software path — the instruction implements exactly
+/// the reflected Castagnoli update the tables encode.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32c_update_hw(state: u32, bytes: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut crc = u64::from(state);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk"));
+        crc = _mm_crc32_u64(crc, word);
+    }
+    let mut crc = crc as u32;
+    for &b in chunks.remainder() {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    crc
+}
+
+/// Folds `bytes` into a streaming CRC-32C state. Chain over disjoint slices —
+/// e.g. header then payload — to checksum them as one logical buffer in the
+/// same single-pass style as [`put_f32_slice_le`].
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // The detection result is cached in an atomic by std, so the hot
+        // path pays one relaxed load before dropping into the instruction.
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            // SAFETY: the sse4.2 feature was just verified at runtime.
+            return unsafe { crc32c_update_hw(state, bytes) };
+        }
+    }
+    crc32c_update_sw(state, bytes)
+}
+
+/// Finishes a streaming CRC-32C computation.
+pub fn crc32_finish(state: u32) -> u32 {
+    !state
+}
+
+/// One-shot CRC-32C of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(crc32_init(), bytes))
+}
+
+/// Computes the wire checksum of one encoded packet occupying
+/// `buf[start..]`: CRC32 over the header up to the checksum field, then over
+/// the payload after it.
+fn wire_checksum(buf: &[u8], start: usize) -> u32 {
+    let state = crc32_update(crc32_init(), &buf[start..start + CHECKSUM_OFFSET]);
+    crc32_finish(crc32_update(state, &buf[start + HEADER_BYTES..]))
+}
+
+/// Patches the checksum field of the packet occupying `buf[start..]` after
+/// header and payload have been written (the field must hold a placeholder
+/// zero when the checksum is computed — it is excluded from coverage, so any
+/// placeholder works, but zero keeps the format canonical).
+fn seal_packet(buf: &mut BytesMut, start: usize) {
+    let crc = wire_checksum(buf, start);
+    buf[start + CHECKSUM_OFFSET..start + HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Recomputes the checksum field of an already-encoded packet in place.
+/// Receivers reject packets whose stored checksum disagrees with the bytes,
+/// so any test (or adversary model) that mutates header fields of a sealed
+/// packet must re-seal it to reach the semantic validation layer.
+pub fn reseal_packet_bytes(data: &mut [u8]) {
+    assert!(data.len() >= HEADER_BYTES, "cannot reseal a short packet");
+    data[CHECKSUM_OFFSET..HEADER_BYTES].copy_from_slice(&[0; 4]);
+    let crc = wire_checksum(data, 0);
+    data[CHECKSUM_OFFSET..HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies the integrity envelope of one received wire packet: long enough
+/// to hold a header, stamped with the current [`WIRE_VERSION`], and with a
+/// CRC32 that matches every byte outside the checksum field. Returns the
+/// reason the packet is corrupt, or `None` when it is intact.
+pub fn wire_integrity_error(data: &[u8]) -> Option<&'static str> {
+    if data.len() < HEADER_BYTES {
+        return Some("short header");
+    }
+    let version = u32::from_le_bytes(
+        data[CHECKSUM_OFFSET - 4..CHECKSUM_OFFSET].try_into().expect("4-byte field"),
+    );
+    if version != WIRE_VERSION {
+        return Some("unknown wire version");
+    }
+    let stored =
+        u32::from_le_bytes(data[CHECKSUM_OFFSET..HEADER_BYTES].try_into().expect("4-byte field"));
+    if wire_checksum(data, 0) != stored {
+        return Some("checksum mismatch");
+    }
+    None
+}
 
 /// Bulk little-endian encode: appends `values` to `buf` in one pass over
 /// 4-byte chunks. This is the hot-path replacement for per-element
@@ -78,9 +251,12 @@ impl Packet {
         buf.put_u32_le(self.offset);
         buf.put_u32_le(self.payload.len() as u32);
         buf.put_u32_le(self.epoch);
+        buf.put_u32_le(WIRE_VERSION);
+        buf.put_u32_le(0); // checksum placeholder, patched by seal_packet
         for &v in &self.payload {
             buf.put_f32_le(v);
         }
+        seal_packet(&mut buf, 0);
         buf.freeze()
     }
 
@@ -91,9 +267,9 @@ impl Packet {
     /// Returns [`NetError::MalformedPacket`] for truncated or inconsistent
     /// buffers.
     pub fn decode(mut data: Bytes) -> Result<Packet> {
-        if data.len() < HEADER_BYTES {
+        if let Some(reason) = wire_integrity_error(&data) {
             return Err(NetError::MalformedPacket(format!(
-                "{} bytes is shorter than the {HEADER_BYTES}-byte header",
+                "{reason} ({} bytes on the wire)",
                 data.len()
             )));
         }
@@ -104,6 +280,8 @@ impl Packet {
         let offset = data.get_u32_le();
         let count = data.get_u32_le() as usize;
         let epoch = data.get_u32_le();
+        let _version = data.get_u32_le();
+        let _checksum = data.get_u32_le();
         if data.remaining() < count * 4 {
             return Err(NetError::MalformedPacket(format!(
                 "payload declares {count} coordinates but only {} bytes remain",
@@ -248,7 +426,10 @@ impl GradientCodec {
             buf.put_u32_le((seq * self.coords_per_packet) as u32);
             buf.put_u32_le(chunk.len() as u32);
             buf.put_u32_le(epoch);
+            buf.put_u32_le(WIRE_VERSION);
+            buf.put_u32_le(0); // checksum placeholder, patched by seal_packet
             put_f32_slice_le(&mut buf, chunk);
+            seal_packet(&mut buf, start);
             bounds.push(start..buf.len());
         };
         if d == 0 {
@@ -445,5 +626,108 @@ mod tests {
     fn zero_coords_per_packet_is_rejected() {
         assert!(GradientCodec::new(0).is_err());
         assert_eq!(GradientCodec::default().coords_per_packet(), 350);
+    }
+
+    #[test]
+    fn crc32c_matches_the_castagnoli_reference_vector() {
+        // The canonical CRC-32C check value for the ASCII digits 1-9 (the
+        // same vector iSCSI pins, RFC 3720 B.4).
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
+        // Streaming over split slices equals the one-shot result.
+        let state = crc32_update(crc32_init(), b"1234");
+        assert_eq!(crc32_finish(crc32_update(state, b"56789")), 0xE306_9283);
+    }
+
+    #[test]
+    fn software_crc32c_agrees_with_the_dispatched_path() {
+        // Exercise every chunk-remainder shape across the slicing-by-8
+        // boundary so the software fallback and the hardware instruction
+        // can never silently disagree on any platform.
+        let data: Vec<u8> = (0..=255u8).cycle().take(1021).collect();
+        for len in [0, 1, 7, 8, 9, 63, 64, 65, 1021] {
+            let slice = &data[..len];
+            assert_eq!(
+                crc32c_update_sw(crc32_init(), slice),
+                crc32_update(crc32_init(), slice),
+                "sw/dispatch divergence at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let p = Packet {
+            worker: 1,
+            step: 3,
+            sequence: 0,
+            total: 1,
+            offset: 0,
+            epoch: 2,
+            payload: vec![0.5, -1.5, 2.0],
+        };
+        let encoded = p.encode();
+        assert!(wire_integrity_error(&encoded).is_none());
+        for byte in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut flipped = encoded.to_vec();
+                flipped[byte] ^= 1 << bit;
+                // Flips inside the checksum field desynchronise the stored
+                // value; flips anywhere else change the computed CRC. Either
+                // way the packet must be rejected (CRC32 detects all
+                // single-bit errors).
+                assert!(
+                    wire_integrity_error(&flipped).is_some(),
+                    "bit {bit} of byte {byte} flipped undetected"
+                );
+                assert!(Packet::decode(Bytes::from(flipped)).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_wire_version_is_rejected() {
+        let encoded = Packet {
+            worker: 0,
+            step: 0,
+            sequence: 0,
+            total: 1,
+            offset: 0,
+            epoch: 0,
+            payload: vec![1.0],
+        }
+        .encode();
+        let mut v1 = encoded.to_vec();
+        v1[CHECKSUM_OFFSET - 4..CHECKSUM_OFFSET].copy_from_slice(&1u32.to_le_bytes());
+        reseal_packet_bytes(&mut v1);
+        assert_eq!(wire_integrity_error(&v1), Some("unknown wire version"));
+    }
+
+    #[test]
+    fn reseal_restores_integrity_after_header_mutation() {
+        let encoded = Packet {
+            worker: 4,
+            step: 8,
+            sequence: 1,
+            total: 2,
+            offset: 8,
+            epoch: 0,
+            payload: vec![3.0; 8],
+        }
+        .encode();
+        let mut mutated = encoded.to_vec();
+        mutated[12..16].copy_from_slice(&u32::MAX.to_le_bytes()); // sequence
+        assert_eq!(wire_integrity_error(&mutated), Some("checksum mismatch"));
+        reseal_packet_bytes(&mut mutated);
+        assert!(wire_integrity_error(&mutated).is_none());
+        assert_eq!(Packet::decode(Bytes::from(mutated)).unwrap().sequence, u32::MAX);
+    }
+
+    #[test]
+    fn appended_garbage_breaks_the_checksum() {
+        let mut bytes =
+            GradientCodec::new(4).unwrap().split_bytes(0, 0, &[1.0, 2.0, 3.0])[0].to_vec();
+        assert!(wire_integrity_error(&bytes).is_none());
+        bytes.push(0xAB);
+        assert!(wire_integrity_error(&bytes).is_some());
     }
 }

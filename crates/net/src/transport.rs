@@ -3,7 +3,7 @@
 //! handling whatever the lossy channel fails to deliver (§3.3).
 
 use crate::assembler::RoundAssembler;
-use crate::link::{LinkConfig, LinkStats, LossyLink};
+use crate::link::{ChaosPlan, LinkConfig, LinkStats, LossyLink};
 use crate::packet::GradientCodec;
 use crate::{NetError, Result};
 use agg_tensor::Vector;
@@ -63,8 +63,94 @@ pub struct RowTransfer {
     /// evicted membership epoch). When non-zero the gradient was fenced and
     /// `delivered` is `false`.
     pub stale_epoch_rejects: usize,
+    /// Packets the receiver's integrity envelope rejected (bit-flipped,
+    /// truncated or version-mismatched on the wire). Corrupt packets never
+    /// reach the row; they count as losses for the loss policy.
+    pub corrupt_rejects: usize,
+    /// Retransmission rounds the recovery protocol ran (0 when disabled or
+    /// when the first transmission completed the row).
+    pub retransmits: usize,
     /// Raw link statistics.
     pub link_stats: LinkStats,
+}
+
+/// Bounded NACK/retransmit recovery for the lossy transport: after the
+/// initial transmission the receiver NACKs the pre-split packet ids it has
+/// not accepted, the sender re-sends exactly those packets, and the exchange
+/// repeats under an exponential backoff until the row completes, the retry
+/// budget runs out, or the per-round deadline passes. Beyond the budget the
+/// row degrades exactly like a plain transport loss — compacted by the loss
+/// policy, absorbed by the `n − f` quorum, refused below the resilience
+/// floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetransmitConfig {
+    /// Maximum retransmission rounds after the initial send.
+    pub max_retries: u32,
+    /// Backoff charged before the first retransmission.
+    pub initial_backoff_sec: f64,
+    /// Multiplier applied to the backoff after every retransmission.
+    pub backoff_factor: f64,
+    /// Hard per-round deadline: no retransmission starts once the transfer's
+    /// accumulated simulated time (including the pending backoff) would
+    /// exceed it.
+    pub round_deadline_sec: f64,
+}
+
+impl RetransmitConfig {
+    fn default_max_retries() -> u32 {
+        3
+    }
+
+    fn default_initial_backoff_sec() -> f64 {
+        1e-3
+    }
+
+    fn default_backoff_factor() -> f64 {
+        2.0
+    }
+
+    fn default_round_deadline_sec() -> f64 {
+        0.25
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] for non-finite or negative
+    /// timings, a backoff factor below 1, or a non-positive deadline.
+    pub fn validate(&self) -> Result<()> {
+        if !self.initial_backoff_sec.is_finite() || self.initial_backoff_sec < 0.0 {
+            return Err(NetError::InvalidConfig(format!(
+                "initial_backoff_sec must be finite and non-negative, got {}",
+                self.initial_backoff_sec
+            )));
+        }
+        if !self.backoff_factor.is_finite() || self.backoff_factor < 1.0 {
+            return Err(NetError::InvalidConfig(format!(
+                "backoff_factor must be finite and at least 1, got {}",
+                self.backoff_factor
+            )));
+        }
+        if !self.round_deadline_sec.is_finite() || self.round_deadline_sec <= 0.0 {
+            return Err(NetError::InvalidConfig(format!(
+                "round_deadline_sec must be finite and positive, got {}",
+                self.round_deadline_sec
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        RetransmitConfig {
+            max_retries: Self::default_max_retries(),
+            initial_backoff_sec: Self::default_initial_backoff_sec(),
+            backoff_factor: Self::default_backoff_factor(),
+            round_deadline_sec: Self::default_round_deadline_sec(),
+        }
+    }
 }
 
 /// A one-way gradient transfer channel from a worker to the parameter
@@ -83,6 +169,17 @@ pub trait Transport: Send + fmt::Debug {
     /// stamped with any other epoch are rejected before they can fill a
     /// row (`None` accepts any epoch). Default: no-op.
     fn set_expected_epoch(&mut self, _epoch: Option<u32>) {}
+
+    /// Installs a seeded [`ChaosPlan`] damaging the wire between sender and
+    /// receiver (`None` disables chaos). Default: no-op — the reliable
+    /// transport's acknowledgement machinery already repairs wire damage,
+    /// which its congestion model prices in.
+    fn set_chaos(&mut self, _chaos: Option<ChaosPlan>) {}
+
+    /// Enables the bounded NACK/retransmit recovery protocol (`None`
+    /// disables it). Default: no-op — transports without a lossy wire have
+    /// nothing to recover.
+    fn set_retransmit(&mut self, _config: Option<RetransmitConfig>) {}
 
     /// Transfers one gradient straight into `dst` — the hot path. The
     /// receiver's view of the gradient (after loss and policy handling) is
@@ -223,6 +320,8 @@ impl Transport for ReliableTransport {
                     bytes_sent,
                     missing_coordinates: gradient.len(),
                     stale_epoch_rejects: packet_count,
+                    corrupt_rejects: 0,
+                    retransmits: 0,
                     link_stats: LinkStats {
                         sent: packet_count,
                         delivered: packet_count,
@@ -238,6 +337,8 @@ impl Transport for ReliableTransport {
             bytes_sent,
             missing_coordinates: 0,
             stale_epoch_rejects: 0,
+            corrupt_rejects: 0,
+            retransmits: 0,
             link_stats: LinkStats {
                 sent: packet_count,
                 delivered: packet_count,
@@ -268,6 +369,14 @@ pub struct LossyTransport {
     epoch: u32,
     /// Epoch fence applied by the receiving assembler; `None` accepts any.
     expected_epoch: Option<u32>,
+    /// Wire-fault injection; `None` leaves the wire clean (beyond the
+    /// link's whole-packet loss model).
+    chaos: Option<ChaosPlan>,
+    /// Bounded NACK/retransmit recovery; `None` sends once and moves on.
+    retransmit: Option<RetransmitConfig>,
+    /// The link's stream id, reused as the chaos stream so a replay of the
+    /// same `(seed, stream, step, attempt)` damages the same packets.
+    stream: u64,
 }
 
 impl LossyTransport {
@@ -291,6 +400,9 @@ impl LossyTransport {
             assembler: None,
             epoch: 0,
             expected_epoch: None,
+            chaos: None,
+            retransmit: None,
+            stream,
         })
     }
 
@@ -308,6 +420,127 @@ impl LossyTransport {
         z ^= z >> 31;
         ((z >> 41) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
     }
+
+    /// Applies the configured loss policy to an assembled row and decides
+    /// whether the gradient counts as delivered.
+    fn apply_policy(policy: LossPolicy, missing: usize, dst: &mut [f32]) -> bool {
+        match policy {
+            LossPolicy::DropGradient => missing == 0,
+            LossPolicy::SelectiveNan => true,
+            LossPolicy::RandomFill => {
+                for (i, v) in dst.iter_mut().enumerate() {
+                    if !v.is_finite() {
+                        *v = Self::random_fill(i);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// The chaos/recovery transfer path: streaming reassembly of the first
+    /// transmission, then bounded NACK/retransmit rounds under exponential
+    /// backoff and the per-round deadline. Only taken when chaos injection
+    /// or retransmission is configured — the plain path below stays
+    /// byte-and-draw identical to the pre-chaos transport.
+    fn transfer_recovering(
+        &mut self,
+        worker: u32,
+        step: u64,
+        gradient: &[f32],
+        dst: &mut [f32],
+    ) -> Result<RowTransfer> {
+        let packets = self.codec.split_bytes_epoch(worker, step, self.epoch, gradient);
+        let total = packets.len();
+        let mut bytes_sent: usize = packets.iter().map(Bytes::len).sum();
+        let (mut delivered, mut link_stats) = self.link.transmit_bytes(&packets);
+        let mut chaos_delay = 0.0f64;
+        if let Some(plan) = &self.chaos {
+            let stats = plan.apply(step, self.stream, 0, &mut delivered);
+            chaos_delay += stats.delay_sec;
+        }
+        let dimension = gradient.len();
+        let assembler = match &mut self.assembler {
+            Some(a) if a.dimension() == dimension => a,
+            slot => slot.insert(RoundAssembler::new(dimension)),
+        };
+        assembler.set_expected_epoch(self.expected_epoch);
+        assembler.begin_round();
+        for p in &delivered {
+            assembler.feed(p, dst)?;
+        }
+        let metadata_overhead = link_stats.dropped * crate::packet::HEADER_BYTES;
+        let mut time_sec =
+            self.link_config.transfer_time(bytes_sent + metadata_overhead) + chaos_delay;
+        let mut retransmits = 0usize;
+        if let Some(config) = self.retransmit {
+            let mut backoff = config.initial_backoff_sec;
+            // A fenced round never retries: every packet shares the stale
+            // epoch stamp, so re-sending it can only be fenced again.
+            while retransmits < config.max_retries as usize
+                && !assembler.is_complete()
+                && assembler.stale_rejects() == 0
+                && time_sec + backoff <= config.round_deadline_sec
+            {
+                // The NACK names exactly the pre-split packet ids the
+                // assembler has not accepted; the sender re-sends those
+                // packets unchanged (packet `s` of the split is sequence
+                // `s`). Each retry pays its backoff, its wire time, and a
+                // fresh fault draw on the chaos plan's `attempt` axis.
+                let resend: Vec<Bytes> = (0..total)
+                    .filter(|&s| !assembler.sequence_seen(s))
+                    .map(|s| packets[s].clone())
+                    .collect();
+                retransmits += 1;
+                time_sec += backoff;
+                backoff *= config.backoff_factor;
+                let resend_bytes: usize = resend.iter().map(Bytes::len).sum();
+                bytes_sent += resend_bytes;
+                let (mut redelivered, retry_stats) = self.link.transmit_bytes(&resend);
+                if let Some(plan) = &self.chaos {
+                    let stats = plan.apply(step, self.stream, retransmits as u32, &mut redelivered);
+                    time_sec += stats.delay_sec;
+                }
+                link_stats.sent += retry_stats.sent;
+                link_stats.delivered += retry_stats.delivered;
+                link_stats.dropped += retry_stats.dropped;
+                link_stats.duplicated += retry_stats.duplicated;
+                link_stats.reordered += retry_stats.reordered;
+                time_sec += self.link_config.transfer_time(
+                    resend_bytes + retry_stats.dropped * crate::packet::HEADER_BYTES,
+                );
+                for p in &redelivered {
+                    assembler.feed(p, dst)?;
+                }
+            }
+        }
+        let missing = assembler.finish_round(dst)?;
+        let stale_epoch_rejects = assembler.stale_rejects();
+        let corrupt_rejects = assembler.corrupt_rejects();
+        if stale_epoch_rejects > 0 {
+            return Ok(RowTransfer {
+                delivered: false,
+                time_sec,
+                bytes_sent,
+                missing_coordinates: missing,
+                stale_epoch_rejects,
+                corrupt_rejects,
+                retransmits,
+                link_stats,
+            });
+        }
+        let delivered = Self::apply_policy(self.policy, missing, dst);
+        Ok(RowTransfer {
+            delivered,
+            time_sec,
+            bytes_sent,
+            missing_coordinates: missing,
+            stale_epoch_rejects: 0,
+            corrupt_rejects,
+            retransmits,
+            link_stats,
+        })
+    }
 }
 
 impl Transport for LossyTransport {
@@ -323,6 +556,14 @@ impl Transport for LossyTransport {
         self.expected_epoch = epoch;
     }
 
+    fn set_chaos(&mut self, chaos: Option<ChaosPlan>) {
+        self.chaos = chaos;
+    }
+
+    fn set_retransmit(&mut self, config: Option<RetransmitConfig>) {
+        self.retransmit = config;
+    }
+
     fn transfer_into(
         &mut self,
         worker: u32,
@@ -330,6 +571,9 @@ impl Transport for LossyTransport {
         gradient: &[f32],
         dst: &mut [f32],
     ) -> Result<RowTransfer> {
+        if self.chaos.is_some() || self.retransmit.is_some() {
+            return self.transfer_recovering(worker, step, gradient, dst);
+        }
         let packets = self.codec.split_bytes_epoch(worker, step, self.epoch, gradient);
         let bytes_sent: usize = packets.iter().map(Bytes::len).sum();
         let (delivered, link_stats) = self.link.transmit_bytes(&packets);
@@ -340,6 +584,7 @@ impl Transport for LossyTransport {
         assembler.set_expected_epoch(self.expected_epoch);
         let missing = assembler.assemble_into(&delivered, dst)?;
         let stale_epoch_rejects = assembler.stale_rejects();
+        let corrupt_rejects = assembler.corrupt_rejects();
         // UDP pays no congestion penalty: time is bytes / bandwidth + latency,
         // independent of the drop rate (only a tiny metadata retransmission
         // overhead is charged per lost packet).
@@ -356,27 +601,20 @@ impl Transport for LossyTransport {
                 bytes_sent,
                 missing_coordinates: missing,
                 stale_epoch_rejects,
+                corrupt_rejects,
+                retransmits: 0,
                 link_stats,
             });
         }
-        let delivered = match self.policy {
-            LossPolicy::DropGradient => missing == 0,
-            LossPolicy::SelectiveNan => true,
-            LossPolicy::RandomFill => {
-                for (i, v) in dst.iter_mut().enumerate() {
-                    if !v.is_finite() {
-                        *v = Self::random_fill(i);
-                    }
-                }
-                true
-            }
-        };
+        let delivered = Self::apply_policy(self.policy, missing, dst);
         Ok(RowTransfer {
             delivered,
             time_sec,
             bytes_sent,
             missing_coordinates: missing,
             stale_epoch_rejects: 0,
+            corrupt_rejects,
+            retransmits: 0,
             link_stats,
         })
     }
@@ -542,6 +780,122 @@ mod tests {
             assert_eq!(out.stale_epoch_rejects, 0);
             assert_eq!(row, g.as_slice());
         }
+    }
+
+    #[test]
+    fn retransmit_config_validation() {
+        assert!(RetransmitConfig::default().validate().is_ok());
+        assert!(RetransmitConfig { backoff_factor: 0.5, ..Default::default() }.validate().is_err());
+        assert!(RetransmitConfig { initial_backoff_sec: -1.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(RetransmitConfig { round_deadline_sec: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn retransmit_recovers_all_losses_within_budget() {
+        let link = LinkConfig::datacenter().with_drop_rate(0.3);
+        let codec = GradientCodec::new(10).unwrap();
+        let mut t = LossyTransport::new(link, codec, LossPolicy::DropGradient, 3, 0).unwrap();
+        t.set_retransmit(Some(RetransmitConfig {
+            max_retries: 16,
+            round_deadline_sec: 10.0,
+            ..Default::default()
+        }));
+        let g = gradient(1000);
+        let mut recovered = 0usize;
+        for step in 0..10u64 {
+            let mut row = vec![0.0f32; 1000];
+            let out = t.transfer_into(0, step, g.as_slice(), &mut row).unwrap();
+            assert!(out.delivered, "step {step}: a generous retry budget must complete the row");
+            assert_eq!(out.missing_coordinates, 0);
+            assert_eq!(row, g.as_slice());
+            recovered += out.retransmits;
+        }
+        assert!(recovered > 0, "30% loss must trigger retransmissions");
+    }
+
+    #[test]
+    fn chaos_damage_is_rejected_counted_and_recovered() {
+        let link = LinkConfig::datacenter();
+        let codec = GradientCodec::new(10).unwrap();
+        let mut t = LossyTransport::new(link, codec, LossPolicy::DropGradient, 9, 1).unwrap();
+        t.set_chaos(Some(ChaosPlan::new(crate::ChaosConfig::moderate(), 77).unwrap()));
+        t.set_retransmit(Some(RetransmitConfig {
+            max_retries: 16,
+            round_deadline_sec: 10.0,
+            ..Default::default()
+        }));
+        let g = gradient(800);
+        let mut corrupt = 0usize;
+        for step in 0..20u64 {
+            let mut row = vec![0.0f32; 800];
+            let out = t.transfer_into(0, step, g.as_slice(), &mut row).unwrap();
+            corrupt += out.corrupt_rejects;
+            assert!(out.delivered, "step {step}: retries must outlast moderate chaos");
+            assert_eq!(row, g.as_slice(), "step {step}: recovery must be bit-exact");
+        }
+        assert!(corrupt > 0, "moderate chaos must corrupt some packets over 20 rounds");
+    }
+
+    #[test]
+    fn deadline_exhaustion_degrades_like_a_transport_loss() {
+        // A fully partitioned wire: no retry can ever complete the row. The
+        // transfer must exhaust its budget gracefully — no panic, the loss
+        // policy decides, and the retry count respects the bound.
+        let link = LinkConfig::datacenter().with_drop_rate(1.0);
+        let codec = GradientCodec::new(10).unwrap();
+        let mut t = LossyTransport::new(link, codec, LossPolicy::DropGradient, 5, 0).unwrap();
+        let retrans = RetransmitConfig { max_retries: 3, ..Default::default() };
+        t.set_retransmit(Some(retrans));
+        let g = gradient(500);
+        let mut row = vec![0.0f32; 500];
+        let out = t.transfer_into(0, 0, g.as_slice(), &mut row).unwrap();
+        assert!(!out.delivered);
+        assert_eq!(out.missing_coordinates, 500);
+        assert!(out.retransmits <= 3);
+        assert!(out.retransmits > 0, "the budget should at least be attempted");
+        assert!(out.time_sec <= retrans.round_deadline_sec + 1.0);
+    }
+
+    #[test]
+    fn clean_link_recovery_path_matches_the_plain_path() {
+        // With a clean wire the streaming recovery path must be
+        // indistinguishable from the legacy batch path: same row bits, same
+        // simulated time, zero retries.
+        let link = LinkConfig::datacenter();
+        let codec = GradientCodec::new(16).unwrap();
+        let g = gradient(333);
+        let mut plain = LossyTransport::new(link, codec, LossPolicy::RandomFill, 4, 2).unwrap();
+        let mut recovering =
+            LossyTransport::new(link, codec, LossPolicy::RandomFill, 4, 2).unwrap();
+        recovering.set_retransmit(Some(RetransmitConfig::default()));
+        let mut row_a = vec![0.0f32; 333];
+        let mut row_b = vec![0.0f32; 333];
+        let a = plain.transfer_into(0, 0, g.as_slice(), &mut row_a).unwrap();
+        let b = recovering.transfer_into(0, 0, g.as_slice(), &mut row_b).unwrap();
+        assert_eq!(row_a, row_b);
+        assert_eq!(a.time_sec, b.time_sec);
+        assert_eq!(a.bytes_sent, b.bytes_sent);
+        assert_eq!(b.retransmits, 0);
+    }
+
+    #[test]
+    fn fenced_round_never_retries() {
+        let link = LinkConfig::datacenter();
+        let codec = GradientCodec::new(16).unwrap();
+        let mut t = LossyTransport::new(link, codec, LossPolicy::RandomFill, 6, 0).unwrap();
+        t.set_retransmit(Some(RetransmitConfig::default()));
+        t.set_epoch(1);
+        t.set_expected_epoch(Some(2));
+        let g = gradient(200);
+        let mut row = vec![0.0f32; 200];
+        let out = t.transfer_into(0, 0, g.as_slice(), &mut row).unwrap();
+        assert!(!out.delivered);
+        assert!(out.stale_epoch_rejects > 0);
+        assert_eq!(out.retransmits, 0, "re-sending a stale epoch can only be fenced again");
     }
 
     #[test]

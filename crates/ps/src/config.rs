@@ -23,7 +23,7 @@ use agg_core::GarConfig;
 use agg_data::corruption::Corruption;
 use agg_data::synthetic::{gaussian_blobs, synthetic_images, BlobConfig, ImageConfig};
 use agg_data::Dataset;
-use agg_net::{LinkConfig, LossPolicy};
+use agg_net::{ChaosConfig, LinkConfig, LossPolicy, RetransmitConfig};
 use agg_nn::models;
 use agg_nn::optim::{OptimizerKind, Regularization};
 use agg_nn::schedule::LearningRate;
@@ -170,6 +170,21 @@ pub struct RunnerConfig {
     /// Link characteristics (bandwidth, latency, loss) of the degraded links;
     /// clean links share the bandwidth/latency but drop nothing.
     pub link: LinkConfig,
+    /// Optional chaos schedule on the degraded links: seeded bit flips,
+    /// truncations, mutated duplicates, reorder bursts, delay spikes and
+    /// transient partitions, replayable bit for bit from
+    /// [`RunnerConfig::seed`]. `None` keeps the wire exactly as clean (or as
+    /// merely lossy) as before.
+    pub chaos: Option<ChaosConfig>,
+    /// Optional NACK/retransmit recovery on the degraded links: bounded
+    /// retries with exponential backoff under a per-round deadline. `None`
+    /// keeps the seed single-shot delivery.
+    pub retransmit: Option<RetransmitConfig>,
+    /// When true, an adaptive attack additionally *times churn*: the attacker
+    /// crashes or rejoins its own workers based on the previous round's
+    /// selection feedback (attacker-controlled churn timing). Requires an
+    /// attack that plans churn to have any effect; honest runs ignore it.
+    pub adaptive_churn: bool,
     /// Number of contiguous coordinate shards the parameter-server tier is
     /// split into (1 = the single monolithic server). Sharded aggregation is
     /// exactly equivalent to the unsharded rule — distance-based GARs reduce
@@ -223,6 +238,9 @@ impl RunnerConfig {
             transport: TransportKind::Reliable,
             lossy_links: 0,
             link: LinkConfig::datacenter(),
+            chaos: None,
+            retransmit: None,
+            adaptive_churn: false,
             shards: 1,
             cost: CostModel::paper_like(),
             streaming: StreamingConfig::default(),
@@ -285,6 +303,12 @@ impl RunnerConfig {
         }
         membership::validate_plan(&self.fault_plan, self.workers, self.max_steps)?;
         self.link.validate().map_err(PsError::from)?;
+        if let Some(chaos) = &self.chaos {
+            chaos.validate().map_err(PsError::from)?;
+        }
+        if let Some(retransmit) = &self.retransmit {
+            retransmit.validate().map_err(PsError::from)?;
+        }
         // Build the GAR once to surface configuration errors early.
         self.gar.build().map_err(PsError::from)?;
         Ok(())
@@ -405,6 +429,28 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: RunnerConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.streaming.quorum, crate::streaming::QuorumPolicy::Count(7));
+    }
+
+    #[test]
+    fn chaos_and_retransmit_round_trip_through_json() {
+        let mut c = RunnerConfig::quick_default();
+        c.chaos = Some(ChaosConfig::moderate());
+        c.retransmit = Some(RetransmitConfig::default());
+        c.adaptive_churn = true;
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunnerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.chaos, c.chaos);
+        assert_eq!(back.retransmit, c.retransmit);
+        assert!(back.adaptive_churn);
+
+        // Invalid chaos/retransmit settings are caught by validate().
+        let mut c = RunnerConfig::quick_default();
+        c.chaos = Some(ChaosConfig { bit_flip_rate: 1.5, ..Default::default() });
+        assert!(c.validate().is_err(), "out-of-range chaos rates are rejected");
+
+        let mut c = RunnerConfig::quick_default();
+        c.retransmit = Some(RetransmitConfig { backoff_factor: 0.0, ..Default::default() });
+        assert!(c.validate().is_err(), "nonsense backoff factors are rejected");
     }
 
     #[test]

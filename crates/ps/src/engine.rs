@@ -4,18 +4,18 @@
 use crate::cluster::{ClusterSpec, PlacementPolicy};
 use crate::config::{RunnerConfig, TransportKind};
 use crate::cost::CostModel;
-use crate::membership::{MembershipView, RefusalPolicy, WorkerHealth};
+use crate::membership::{FaultAction, MembershipView, RefusalPolicy, WorkerHealth};
 use crate::report::TrainingReport;
 use crate::server::ParameterServer;
 use crate::streaming::RoundPipeline;
 use crate::worker::{Worker, WorkerRole};
 use crate::{PsError, Result};
-use agg_attacks::{Attack, AttackContext, AttackKind};
+use agg_attacks::{Attack, AttackContext, AttackKind, ChurnDirective};
 use agg_core::GarConfig;
 use agg_data::corruption::corrupt;
 use agg_data::{Dataset, MiniBatchSampler};
 use agg_metrics::{LatencyBreakdown, ThroughputMeter, TracePoint, TrainingTrace};
-use agg_net::{GradientCodec, LinkConfig, LossyTransport, ReliableTransport, Transport};
+use agg_net::{ChaosPlan, GradientCodec, LinkConfig, LossyTransport, ReliableTransport, Transport};
 use agg_nn::Sequential;
 use agg_tensor::rng::{derive_seed, gaussian_fill, seeded_rng};
 use agg_tensor::{GradientBatch, Vector};
@@ -92,6 +92,9 @@ struct WorkerRound {
     /// Packets of this submission rejected by the epoch fence (a stale-epoch
     /// rejoiner or an evicted worker's stragglers).
     stale_rejects: usize,
+    /// Packets of this submission rejected by the wire-integrity check (chaos
+    /// damage caught by the CRC32 envelope).
+    corrupt_rejects: usize,
 }
 
 impl SyncTrainingEngine {
@@ -262,10 +265,24 @@ impl SyncTrainingEngine {
             if degraded { config.link } else { LinkConfig { drop_rate: 0.0, ..config.link } };
         let codec = GradientCodec::default_mtu();
         match config.transport {
-            TransportKind::Lossy { policy } if degraded => Ok(Box::new(
-                LossyTransport::new(link, codec, policy, config.seed, worker_id as u64)
-                    .map_err(PsError::from)?,
-            )),
+            TransportKind::Lossy { policy } if degraded => {
+                let mut transport =
+                    LossyTransport::new(link, codec, policy, config.seed, worker_id as u64)
+                        .map_err(PsError::from)?;
+                // The chaos schedule and the retransmit recovery live on the
+                // degraded links only — the same links the paper injects its
+                // artificial faults on. Each worker draws its chaos from its
+                // own stream of the shared seeded plan.
+                if let Some(chaos) = config.chaos {
+                    transport.set_chaos(Some(
+                        ChaosPlan::new(chaos, config.seed).map_err(PsError::from)?,
+                    ));
+                }
+                if config.retransmit.is_some() {
+                    transport.set_retransmit(config.retransmit);
+                }
+                Ok(Box::new(transport))
+            }
             _ => Ok(Box::new(ReliableTransport::new(link, codec).map_err(PsError::from)?)),
         }
     }
@@ -315,6 +332,7 @@ impl SyncTrainingEngine {
         let mut skipped = 0u64;
         let mut refused = 0u64;
         let mut stale_epoch_rejects = 0u64;
+        let mut corrupt_rejects = 0u64;
         let mut byzantine_selected_rounds = 0u64;
         // The previous round's selection, as *worker slots* — the adaptive
         // adversary's feedback channel and the Byzantine-selection counter.
@@ -330,7 +348,12 @@ impl SyncTrainingEngine {
         // with an empty plan the loop below is the static-membership seed
         // path, bit for bit (epoch stays 0, nothing is fenced or refused).
         let fault_plan = self.config.fault_plan.clone();
-        let elastic = !fault_plan.is_empty();
+        // Attacker-controlled churn timing: the adversary chooses crash and
+        // rejoin rounds for its own workers from selection feedback instead
+        // of following a pre-declared schedule. Engages the same epoch-fenced
+        // elastic machinery as a fault plan.
+        let adaptive_churn = self.config.adaptive_churn && self.config.byzantine_count > 0;
+        let elastic = !fault_plan.is_empty() || adaptive_churn;
         // Selection feedback costs one selection pass per round (free when
         // the streaming matrix is available); run it only when someone reads
         // it: the Byzantine-selection counter or the adaptive adversary.
@@ -344,7 +367,44 @@ impl SyncTrainingEngine {
             let broadcast_time = self.config.link.transfer_time(model_bytes);
 
             if elastic {
-                let transitions = self.membership.apply_round(&fault_plan, step);
+                // The adversary's churn directives join this round's
+                // scheduled events: both run through the same MembershipView
+                // transition rules, so a directive can never do more than a
+                // fault plan could have scheduled (redundant directives are
+                // no-ops, rejoiners are fenced for one round).
+                let adaptive_plan = if adaptive_churn {
+                    let ctx = AttackContext {
+                        honest_gradients: &[],
+                        model: self.server.parameters(),
+                        byzantine_count: self.config.byzantine_count,
+                        declared_f: self.config.gar.f,
+                        step,
+                        seed: self.config.seed,
+                        total_workers: self.workers.len(),
+                        previous_selection: previous_selection.as_deref(),
+                    };
+                    let mut plan = fault_plan.clone();
+                    for directive in self.attack.plan_churn(&ctx) {
+                        let (worker, action) = match directive {
+                            ChurnDirective::Crash(w) => (w, FaultAction::Crash),
+                            ChurnDirective::Rejoin(w) => (w, FaultAction::Rejoin),
+                        };
+                        // The adversary only controls its own workers: a
+                        // directive naming an honest slot is ignored.
+                        if self
+                            .workers
+                            .get(worker)
+                            .is_some_and(|w| w.role() == WorkerRole::Attacker)
+                        {
+                            plan = plan.with(step, worker, action);
+                        }
+                    }
+                    Some(plan)
+                } else {
+                    None
+                };
+                let round_plan = adaptive_plan.as_ref().unwrap_or(&fault_plan);
+                let transitions = self.membership.apply_round(round_plan, step);
                 let epoch = self.membership.epoch();
                 for worker in &mut self.workers {
                     // The server side of every link fences at the current
@@ -405,6 +465,7 @@ impl SyncTrainingEngine {
                         delivered: false,
                         worker_time: 0.0,
                         stale_rejects: 0,
+                        corrupt_rejects: 0,
                     });
                 }
                 let node_flops = worker.node_flops_per_sec();
@@ -419,6 +480,7 @@ impl SyncTrainingEngine {
                     delivered: transfer.delivered,
                     worker_time: computation.compute_time_sec + transfer.time_sec * dim_scale,
                     stale_rejects: transfer.stale_epoch_rejects,
+                    corrupt_rejects: transfer.corrupt_rejects,
                 })
             };
             let jobs: Vec<(&mut Worker, &mut [f32])> =
@@ -492,12 +554,14 @@ impl SyncTrainingEngine {
                     )?;
                     rounds[slot].delivered = transfer.delivered;
                     rounds[slot].stale_rejects = transfer.stale_epoch_rejects;
+                    rounds[slot].corrupt_rejects = transfer.corrupt_rejects;
                     if !transfer.delivered {
                         dropped_gradients += 1;
                     }
                 }
             }
             stale_epoch_rejects += rounds.iter().map(|r| r.stale_rejects as u64).sum::<u64>();
+            corrupt_rejects += rounds.iter().map(|r| r.corrupt_rejects as u64).sum::<u64>();
 
             // Phase 3: aggregation and model update at the server. The
             // quorum policy decides how many arrivals the round waits for:
@@ -612,6 +676,7 @@ impl SyncTrainingEngine {
             skipped_updates: skipped,
             refused_rounds: refused,
             stale_epoch_rejects,
+            corrupt_rejects,
             byzantine_selected_rounds,
             simulated_time_sec: self.clock_sec,
         })

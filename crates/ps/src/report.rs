@@ -29,6 +29,12 @@ pub struct TrainingReport {
     /// Packets rejected by the epoch fence across the run: late packets from
     /// evicted workers and first-round submissions of stale-epoch rejoiners.
     pub stale_epoch_rejects: u64,
+    /// Packets rejected by the wire-integrity check (CRC32 mismatch,
+    /// truncation, unknown wire version) across the run. Every fault the
+    /// chaos plan injects lands here — a corrupted packet never reaches an
+    /// arena row; its coordinates are either retransmitted or degrade like a
+    /// transport loss.
+    pub corrupt_rejects: u64,
     /// Rounds in which the GAR's selection set contained at least one row
     /// submitted by a Byzantine worker (0 means the selected set stayed
     /// honest every round). Only counted when the engine computes selection
@@ -101,6 +107,7 @@ mod tests {
         assert_eq!(report.steps_completed, 0);
         assert_eq!(report.refused_rounds, 0);
         assert_eq!(report.stale_epoch_rejects, 0);
+        assert_eq!(report.corrupt_rejects, 0);
         assert_eq!(report.byzantine_selected_rounds, 0);
     }
 

@@ -8,7 +8,7 @@
 //!   Multi-Krum (strong resilience, §4.3).
 //! * Corrupted-data workers (Figure 7) ruin averaging but not Multi-Krum.
 
-use agg_attacks::{AttackContext, AttackKind};
+use agg_attacks::{AttackContext, AttackKind, ChurnDirective};
 use agg_core::{Bulyan, Gar, GarConfig, GarKind, MultiKrum, ShardedAggregator};
 use agg_data::corruption::Corruption;
 use agg_nn::schedule::LearningRate;
@@ -328,4 +328,44 @@ fn corrupted_data_ruins_averaging_but_not_multi_krum() {
         "Multi-Krum should match the ideal run, got {}",
         aggregathor.final_accuracy()
     );
+}
+
+#[test]
+fn adaptive_churn_policy_rotates_identities_from_selection_feedback() {
+    // The attacker-controlled-churn channel, pinned as a pure function of
+    // the feedback: with no selection information the adversary stays put;
+    // afterwards every selected attacker slot is crashed (it retires at its
+    // moment of maximum exposure) and every excluded one is rejoined.
+    let attack = AttackKind::Adaptive.build();
+    let model = Vector::zeros(4);
+    let ctx = |selection: Option<&'static [usize]>| AttackContext {
+        honest_gradients: &[],
+        model: &model,
+        byzantine_count: 2,
+        declared_f: 2,
+        step: 3,
+        seed: 9,
+        total_workers: 9,
+        previous_selection: selection,
+    };
+    // Attacker slots are 7 and 8 (the trailing ids).
+    assert_eq!(attack.plan_churn(&ctx(None)), vec![]);
+    assert_eq!(
+        attack.plan_churn(&ctx(Some(&[0, 1, 7]))),
+        vec![ChurnDirective::Crash(7), ChurnDirective::Rejoin(8)]
+    );
+    assert_eq!(
+        attack.plan_churn(&ctx(Some(&[0, 1, 2]))),
+        vec![ChurnDirective::Rejoin(7), ChurnDirective::Rejoin(8)]
+    );
+    assert_eq!(
+        attack.plan_churn(&ctx(Some(&[7, 8]))),
+        vec![ChurnDirective::Crash(7), ChurnDirective::Crash(8)]
+    );
+    // Every other attack in the catalogue leaves the membership alone.
+    for kind in ALL_ATTACKS {
+        if kind != AttackKind::Adaptive {
+            assert_eq!(kind.build().plan_churn(&ctx(Some(&[0, 7]))), vec![], "{kind:?}");
+        }
+    }
 }

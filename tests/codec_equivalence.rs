@@ -101,9 +101,13 @@ proptest! {
         let cut = cut.min(first.len().saturating_sub(1));
         let truncated = first.slice(0..cut);
         prop_assert!(Packet::decode(truncated.clone()).is_err());
+        // The assembler treats a truncation as wire damage: it is skipped and
+        // counted, never scattered into the row, and the row stays missing.
         let mut assembler = RoundAssembler::new(g.len());
         let mut row = vec![0.0f32; g.len()];
-        prop_assert!(assembler.assemble_into(&[truncated], &mut row).is_err());
+        let missing = assembler.assemble_into(&[truncated], &mut row).unwrap();
+        prop_assert_eq!(missing, g.len());
+        prop_assert_eq!(assembler.corrupt_rejects(), 1);
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn assert_reports_identical(parallel: &TrainingReport, sequential: &TrainingRepo
     assert_eq!(parallel.skipped_updates, sequential.skipped_updates);
     assert_eq!(parallel.refused_rounds, sequential.refused_rounds);
     assert_eq!(parallel.stale_epoch_rejects, sequential.stale_epoch_rejects);
+    assert_eq!(parallel.corrupt_rejects, sequential.corrupt_rejects);
     assert_eq!(parallel.byzantine_selected_rounds, sequential.byzantine_selected_rounds);
     assert_eq!(parallel.trace.len(), sequential.trace.len());
     for (p, s) in parallel.trace.points().iter().zip(sequential.trace.points()) {
@@ -235,6 +236,42 @@ fn crash_rejoin_with_every_new_attack_under_multi_krum_and_bulyan() {
             );
         }
     }
+}
+
+#[test]
+fn adaptive_churn_times_crashes_from_selection_feedback() {
+    // Attacker-controlled churn timing: instead of a pre-declared schedule,
+    // the adaptive adversary crashes its lead worker when the selection
+    // excluded it and rejoins it once its gradients are being selected —
+    // all through the same epoch-fenced membership machinery, so directives
+    // can never exceed what a fault plan could schedule.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.byzantine_count = 2;
+    config.attack = AttackKind::Adaptive;
+    config.adaptive_churn = true;
+    let mut parallel = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    let mut sequential = SyncTrainingEngine::new(config.clone()).expect("valid config");
+    sequential.set_phase1_parallel(false);
+    let parallel_report = parallel.run().expect("parallel run");
+    let sequential_report = sequential.run().expect("sequential run");
+    // The attacker's timing decisions are deterministic functions of the
+    // feedback, so the run stays bit-identical across phase-1 orderings.
+    assert_reports_identical(&parallel_report, &sequential_report);
+    // The adversary actually churned: the epoch advanced without any
+    // scheduled fault plan, and the fence caught the timed rejoin.
+    assert!(parallel.membership().epoch() > 0, "the adversary never exercised its churn channel");
+    assert!(
+        parallel_report.stale_epoch_rejects > 0,
+        "a timed rejoin must be fenced exactly like a scheduled one"
+    );
+    // Flipping the knob off with everything else identical restores the
+    // static view: same attack, no churn, epoch pinned at 0.
+    config.adaptive_churn = false;
+    let mut baseline = SyncTrainingEngine::new(config).expect("valid config");
+    let baseline_report = baseline.run().expect("static run");
+    assert_eq!(baseline.membership().epoch(), 0);
+    assert_eq!(baseline_report.stale_epoch_rejects, 0);
+    assert_eq!(parallel_report.steps_completed, 24, "churn never costs a MultiKrum round here");
 }
 
 #[test]
