@@ -465,6 +465,63 @@ impl Attack for Adaptive {
     }
 }
 
+/// The colluding-group attack against the hierarchical (tree) aggregation
+/// tier. Byzantine slots are the trailing worker ids and the tree's
+/// `GroupPlan` partitions workers contiguously, so an adversary with `f`
+/// slots automatically owns the *fewest possible groups* — the worst case
+/// for the composed bound `f_total = (f_group + 1)(f_root + 1) − 1`.
+///
+/// Within a group the attackers submit bit-identical extreme gradients
+/// (`−scale ·` honest mean): zero intra-group distance means a fully
+/// captured group's distance-based GAR selects the crafted gradient with
+/// certainty and emits it verbatim as the group output. Across captured
+/// groups the copies differ by a tiny per-group jitter — near-zero pairwise
+/// distance at the root, so the captured outputs collude there exactly like
+/// colluding workers do in a flat round. The tree survives iff the number
+/// of captured groups stays ≤ `f_root`, which is precisely what
+/// `agg_core::resilience::composed_max_f` promises.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCollusion {
+    /// Magnification applied to the reversed honest mean.
+    pub scale: f32,
+    /// The tree tier's group size `g`, used to align the collusion cliques
+    /// with group boundaries. Zero behaves as one global clique.
+    pub group_size: usize,
+}
+
+impl Default for GroupCollusion {
+    fn default() -> Self {
+        GroupCollusion { scale: 100.0, group_size: 32 }
+    }
+}
+
+impl Attack for GroupCollusion {
+    fn name(&self) -> &'static str {
+        "group-collusion"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let mut base = ctx.honest_mean();
+        base.scale(-self.scale);
+        let first_attacker = ctx.total_workers.saturating_sub(ctx.byzantine_count);
+        let group_size = self.group_size.max(1);
+        let jitter_scale = 0.001 * self.scale.abs().max(1.0);
+        (0..ctx.byzantine_count)
+            .map(|k| {
+                // Identical inside a group, jittered across groups: the
+                // per-group aggregate stays extreme while no two captured
+                // groups hand the root the exact same bits.
+                let group = ((first_attacker + k) / group_size) as u64;
+                let mut rng = seeded_rng(derive_seed(ctx.seed, 0xC011_ABCD ^ group));
+                let mut crafted = base.clone();
+                let _ = crafted
+                    .axpy(jitter_scale, &gaussian_vector(&mut rng, ctx.dimension(), 0.0, 1.0));
+                crafted
+            })
+            .collect()
+    }
+}
+
 /// The attack choices exposed to experiment configurations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AttackKind {
@@ -506,6 +563,14 @@ pub enum AttackKind {
     MinSum,
     /// The selection-feedback adaptive attacker (default shift schedule).
     Adaptive,
+    /// The colluding-group attack against the hierarchical tree tier.
+    GroupCollusion {
+        /// Magnification of the reversed honest mean.
+        scale: f32,
+        /// The tree tier's group size (aligns collusion cliques with
+        /// group boundaries).
+        group_size: usize,
+    },
 }
 
 impl AttackKind {
@@ -523,6 +588,9 @@ impl AttackKind {
             AttackKind::MinMax => Box::new(MinMax),
             AttackKind::MinSum => Box::new(MinSum),
             AttackKind::Adaptive => Box::new(Adaptive::default()),
+            AttackKind::GroupCollusion { scale, group_size } => {
+                Box::new(GroupCollusion { scale, group_size })
+            }
         }
     }
 
@@ -582,6 +650,7 @@ mod tests {
             AttackKind::MinMax,
             AttackKind::MinSum,
             AttackKind::Adaptive,
+            AttackKind::GroupCollusion { scale: 100.0, group_size: 4 },
         ];
         for kind in kinds {
             let attack = kind.build();
@@ -603,6 +672,7 @@ mod tests {
             AttackKind::MinMax,
             AttackKind::MinSum,
             AttackKind::Adaptive,
+            AttackKind::GroupCollusion { scale: 100.0, group_size: 4 },
         ] {
             let a = kind.build().craft(&ctx(&honest_views, &model, 2));
             let b = kind.build().craft(&ctx(&honest_views, &model, 2));
@@ -677,6 +747,40 @@ mod tests {
         assert_eq!(AttackKind::MinMax.name(), "min-max");
         assert_eq!(AttackKind::MinSum.name(), "min-sum");
         assert_eq!(AttackKind::Adaptive.name(), "adaptive");
+        assert_eq!(
+            AttackKind::GroupCollusion { scale: 100.0, group_size: 32 }.name(),
+            "group-collusion"
+        );
+    }
+
+    #[test]
+    fn group_collusion_is_identical_within_a_group_and_jittered_across() {
+        // 24 honest + 40 Byzantine of 64 workers, groups of 32: attacker
+        // slots 24..64 span groups 0 and 1.
+        let honest = honest_cloud(24, 8);
+        let honest_views = views(&honest);
+        let model = Vector::zeros(8);
+        let context = ctx(&honest_views, &model, 40);
+        assert_eq!(context.total_workers, 64);
+        let crafted = GroupCollusion { scale: 100.0, group_size: 32 }.craft(&context);
+        assert_eq!(crafted.len(), 40);
+        // Slots 24..32 (first 8 crafted rows) share group 0; slots 32..64
+        // (the rest) share group 1.
+        for g in &crafted[..8] {
+            assert_eq!(g, &crafted[0], "group 0 clique must be bit-identical");
+        }
+        for g in &crafted[8..] {
+            assert_eq!(g, &crafted[8], "group 1 clique must be bit-identical");
+        }
+        assert_ne!(crafted[0], crafted[8], "captured groups must not hand the root equal bits");
+        // Both cliques still point hard against the honest mean.
+        let mean = context.honest_mean();
+        assert!(crafted[0].dot(&mean).unwrap() < 0.0);
+        assert!(crafted[8].dot(&mean).unwrap() < 0.0);
+        // ...and the cross-group jitter stays tiny relative to the payload.
+        let jitter = row_distance_sq(crafted[0].as_slice(), crafted[8].as_slice());
+        let payload = row_distance_sq(crafted[0].as_slice(), mean.as_slice());
+        assert!(jitter < 1e-4 * payload, "jitter {jitter} vs payload {payload}");
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod catalogue;
 
 pub use attack::{Attack, AttackContext, ChurnDirective};
 pub use catalogue::{
-    Adaptive, Alie, AttackKind, ConstantDrift, LittleIsEnough, MinMax, MinSum, NoAttack, NonFinite,
-    RandomGradient, ReversedGradient, SignFlip,
+    Adaptive, Alie, AttackKind, ConstantDrift, GroupCollusion, LittleIsEnough, MinMax, MinSum,
+    NoAttack, NonFinite, RandomGradient, ReversedGradient, SignFlip,
 };

@@ -2,246 +2,23 @@
 //!
 //! Parses the **committed** repo-root `BENCH_*.json` files (the perf
 //! trajectory each kernel PR records) and fails when any recorded speedup
-//! field has dropped below its declared floor. The committed files only
-//! change when a PR regenerates and commits new numbers, so this check
-//! makes it impossible to land a kernel regression silently: whoever
-//! commits a BENCH file with a speedup under the floor sees CI go red and
-//! must either fix the kernel or consciously lower the floor in this file —
-//! a reviewable, greppable act.
+//! field has dropped below its declared floor — or has *disappeared* from
+//! its file, which would otherwise turn the gate into a silent no-op. The
+//! committed files only change when a PR regenerates and commits new
+//! numbers, so this check makes it impossible to land a kernel regression
+//! silently: whoever commits a BENCH file with a speedup under the floor
+//! sees CI go red and must either fix the kernel or consciously lower the
+//! floor in `agg_bench::floor::FLOORS` — a reviewable, greppable act.
 //!
-//! Floors are intentionally set below the committed values (~15–20% slack
-//! for machine-class variation between regenerations) except for the
-//! acceptance-anchored entries, which encode hard promises the repo has
-//! made: the selection-network order-statistic kernels stay ≥3× over the
-//! frozen scalar reference at d = 100k, and the coordinate-wise rules never
-//! again regress under sharding (the S ∈ {2, 4, 8} median floor sits at
-//! parity minus noise).
+//! All parsing, extraction and floor logic lives in [`agg_bench::floor`]
+//! so the gate itself is regression-tested
+//! (`crates/bench/tests/bench_floor_guard.rs`); this binary only handles
+//! the CLI and the exit code.
 //!
 //! Usage: `bench_floor [--root <dir>]` (default `.`, the repo root).
 
-use serde::Value;
+use std::path::Path;
 use std::process::ExitCode;
-
-/// Every floor: (file, label, minimum recorded speedup). Labels are the
-/// stable coordinates of a speedup field inside its file — see the
-/// extractors below.
-const FLOORS: &[(&str, &str, f64)] = &[
-    // BENCH_gar.json — arena kernels vs the frozen pre-arena reference
-    // (`reference_ns / arena_ns`).
-    ("BENCH_gar.json", "average@d1000", 0.90),
-    ("BENCH_gar.json", "average@d10000", 0.90),
-    ("BENCH_gar.json", "average@d100000", 0.90),
-    ("BENCH_gar.json", "median@d1000", 4.0),
-    ("BENCH_gar.json", "median@d10000", 4.0),
-    // Acceptance anchor (PR 5): ≥3× over the PR-4 quickselect kernels,
-    // which tracked the reference within a few percent at d = 100k.
-    ("BENCH_gar.json", "median@d100000", 3.0),
-    ("BENCH_gar.json", "trimmed-mean@d1000", 6.0),
-    ("BENCH_gar.json", "trimmed-mean@d10000", 5.5),
-    ("BENCH_gar.json", "trimmed-mean@d100000", 4.5),
-    ("BENCH_gar.json", "krum@d1000", 1.6),
-    ("BENCH_gar.json", "krum@d10000", 1.6),
-    ("BENCH_gar.json", "krum@d100000", 1.6),
-    ("BENCH_gar.json", "multi-krum@d1000", 1.6),
-    ("BENCH_gar.json", "multi-krum@d10000", 1.9),
-    ("BENCH_gar.json", "multi-krum@d100000", 2.1),
-    ("BENCH_gar.json", "bulyan@d1000", 3.3),
-    ("BENCH_gar.json", "bulyan@d10000", 3.3),
-    ("BENCH_gar.json", "bulyan@d100000", 3.3),
-    // BENCH_shard.json — sharded vs unsharded per shard count
-    // (`unsharded_ns / sharded_ns`).
-    ("BENCH_shard.json", "multi-krum@S1", 1.3),
-    ("BENCH_shard.json", "multi-krum@S2", 1.3),
-    ("BENCH_shard.json", "multi-krum@S4", 1.3),
-    ("BENCH_shard.json", "multi-krum@S8", 1.3),
-    ("BENCH_shard.json", "krum@S1", 1.3),
-    ("BENCH_shard.json", "krum@S2", 1.3),
-    ("BENCH_shard.json", "krum@S4", 1.3),
-    ("BENCH_shard.json", "krum@S8", 1.3),
-    ("BENCH_shard.json", "bulyan@S1", 1.0),
-    ("BENCH_shard.json", "bulyan@S2", 1.0),
-    ("BENCH_shard.json", "bulyan@S4", 1.0),
-    ("BENCH_shard.json", "bulyan@S8", 1.0),
-    // Acceptance anchor (PR 5): coordinate-wise rules never regress under
-    // sharding again (the recorded fix was 0.95 → 1.00).
-    ("BENCH_shard.json", "median@S1", 0.98),
-    ("BENCH_shard.json", "median@S2", 0.98),
-    ("BENCH_shard.json", "median@S4", 0.98),
-    ("BENCH_shard.json", "median@S8", 0.98),
-    ("BENCH_shard.json", "trimmed-mean@S1", 0.98),
-    ("BENCH_shard.json", "trimmed-mean@S2", 0.98),
-    ("BENCH_shard.json", "trimmed-mean@S4", 0.98),
-    ("BENCH_shard.json", "trimmed-mean@S8", 0.98),
-    // BENCH_round.json — round pipeline vs the pre-pipeline reference.
-    //
-    // Re-anchored in PR 8: wire format v2 seals every packet with a
-    // CRC-32C and the receiver verifies before a byte reaches an arena
-    // row, so the live bytes path now pays two hardware-CRC passes the
-    // frozen struct-packet reference never does. The lossy-udp and codec
-    // floors drop accordingly — a conscious trade of ~1.5 ms/round at
-    // n = 19, d = 100k for end-to-end integrity; the pipeline must still
-    // beat the (checksum-free) reference outright.
-    ("BENCH_round.json", "tcp:average", 1.3),
-    ("BENCH_round.json", "tcp:average:wire", 2.2),
-    ("BENCH_round.json", "tcp:multi-krum", 1.0),
-    ("BENCH_round.json", "tcp:multi-krum:wire", 2.1),
-    ("BENCH_round.json", "lossy-udp:average", 1.0),
-    ("BENCH_round.json", "lossy-udp:average:wire", 1.05),
-    ("BENCH_round.json", "lossy-udp:multi-krum", 1.05),
-    ("BENCH_round.json", "lossy-udp:multi-krum:wire", 1.15),
-    ("BENCH_round.json", "codec", 5.0),
-    // BENCH_round.json streaming arms — the event-driven round engine vs
-    // the pre-pipeline reference. The full-streaming arm is pinned
-    // bit-identical to the batch kernels, so on one core it can only match
-    // them (its floor guards against the event plumbing adding real cost);
-    // the quorum arm is where the wall-clock win lives.
-    ("BENCH_round.json", "tcp:average:streaming", 1.6),
-    ("BENCH_round.json", "tcp:multi-krum:streaming", 0.95),
-    ("BENCH_round.json", "lossy-udp:average:streaming", 0.9),
-    ("BENCH_round.json", "lossy-udp:multi-krum:streaming", 0.9),
-    // Acceptance anchor (PR 6): the n − f quorum round beats the seed's
-    // synchronous reference by ≥1.8× on tcp multi-krum at the paper's
-    // deployment size (n = 19, f = 4, d = 100k).
-    ("BENCH_round.json", "tcp:average:quorum", 1.9),
-    ("BENCH_round.json", "tcp:multi-krum:quorum", 1.8),
-    ("BENCH_round.json", "lossy-udp:average:quorum", 1.15),
-    ("BENCH_round.json", "lossy-udp:multi-krum:quorum", 1.1),
-    // Acceptance anchor (PR 7): the elastic-membership machinery — per-round
-    // epoch restamp, receiver fence checks and fenced-row compaction — costs
-    // at most ~5% of a static pipeline round (`pipeline_ns / churn_ns`).
-    ("BENCH_round.json", "tcp:average:churn", 0.95),
-    ("BENCH_round.json", "tcp:multi-krum:churn", 0.95),
-    ("BENCH_round.json", "lossy-udp:average:churn", 0.95),
-    ("BENCH_round.json", "lossy-udp:multi-krum:churn", 0.95),
-    // Acceptance anchor (PR 8): the chaos machinery — CRC-32C verification,
-    // the moderate seeded wire-fault plan on every link, and the bounded
-    // NACK/retransmit recovery protocol — together cost at most ~5% of a
-    // static pipeline round (`pipeline_ns / chaos_ns`). On tcp the chaos
-    // hooks are no-ops, so those cells gate the hook plumbing alone.
-    ("BENCH_round.json", "tcp:average:chaos", 0.95),
-    ("BENCH_round.json", "tcp:multi-krum:chaos", 0.95),
-    ("BENCH_round.json", "lossy-udp:average:chaos", 0.95),
-    ("BENCH_round.json", "lossy-udp:multi-krum:chaos", 0.95),
-];
-
-/// A speedup extracted from a committed bench file.
-struct Recorded {
-    file: &'static str,
-    label: String,
-    speedup: f64,
-}
-
-fn as_f64(value: &Value) -> Option<f64> {
-    match value {
-        Value::F64(v) => Some(*v),
-        Value::I64(v) => Some(*v as f64),
-        Value::U64(v) => Some(*v as f64),
-        _ => None,
-    }
-}
-
-fn field_str(value: &Value, key: &str) -> String {
-    match value.get_field(key) {
-        Ok(Value::Str(s)) => s.clone(),
-        Ok(other) => as_f64(other).map(|v| format!("{v}")).unwrap_or_default(),
-        Err(_) => String::new(),
-    }
-}
-
-fn field_f64(value: &Value, key: &str) -> Option<f64> {
-    value.get_field(key).ok().and_then(as_f64)
-}
-
-fn seq<'v>(value: &'v Value, key: &str) -> Vec<&'v Value> {
-    match value.get_field(key) {
-        Ok(Value::Seq(items)) => items.iter().collect(),
-        _ => Vec::new(),
-    }
-}
-
-/// `BENCH_gar.json`: one `{rule, d, speedup}` per cell.
-fn extract_gar(doc: &Value, out: &mut Vec<Recorded>) {
-    for cell in seq(doc, "results") {
-        let rule = field_str(cell, "rule");
-        let d = field_str(cell, "d");
-        if let Some(speedup) = field_f64(cell, "speedup") {
-            out.push(Recorded { file: "BENCH_gar.json", label: format!("{rule}@d{d}"), speedup });
-        }
-    }
-}
-
-/// `BENCH_shard.json`: `{rule, sharded: [{shards, speedup}]}` per rule.
-fn extract_shard(doc: &Value, out: &mut Vec<Recorded>) {
-    for row in seq(doc, "results") {
-        let rule = field_str(row, "rule");
-        for arm in seq(row, "sharded") {
-            let shards = field_str(arm, "shards");
-            if let Some(speedup) = field_f64(arm, "speedup") {
-                out.push(Recorded {
-                    file: "BENCH_shard.json",
-                    label: format!("{rule}@S{shards}"),
-                    speedup,
-                });
-            }
-        }
-    }
-}
-
-/// `BENCH_round.json`: `{transport, rule, speedup, wire_speedup}` per cell
-/// plus the one codec comparison.
-fn extract_round(doc: &Value, out: &mut Vec<Recorded>) {
-    for cell in seq(doc, "results") {
-        let transport = field_str(cell, "transport");
-        let rule = field_str(cell, "rule");
-        if let Some(speedup) = field_f64(cell, "speedup") {
-            out.push(Recorded {
-                file: "BENCH_round.json",
-                label: format!("{transport}:{rule}"),
-                speedup,
-            });
-        }
-        if let Some(speedup) = field_f64(cell, "wire_speedup") {
-            out.push(Recorded {
-                file: "BENCH_round.json",
-                label: format!("{transport}:{rule}:wire"),
-                speedup,
-            });
-        }
-        if let Some(speedup) = field_f64(cell, "streaming_speedup") {
-            out.push(Recorded {
-                file: "BENCH_round.json",
-                label: format!("{transport}:{rule}:streaming"),
-                speedup,
-            });
-        }
-        if let Some(speedup) = field_f64(cell, "quorum_speedup") {
-            out.push(Recorded {
-                file: "BENCH_round.json",
-                label: format!("{transport}:{rule}:quorum"),
-                speedup,
-            });
-        }
-        if let Some(speedup) = field_f64(cell, "churn_speedup") {
-            out.push(Recorded {
-                file: "BENCH_round.json",
-                label: format!("{transport}:{rule}:churn"),
-                speedup,
-            });
-        }
-        if let Some(speedup) = field_f64(cell, "chaos_speedup") {
-            out.push(Recorded {
-                file: "BENCH_round.json",
-                label: format!("{transport}:{rule}:chaos"),
-                speedup,
-            });
-        }
-    }
-    if let Ok(codec) = doc.get_field("codec") {
-        if let Some(speedup) = field_f64(codec, "speedup") {
-            out.push(Recorded { file: "BENCH_round.json", label: "codec".into(), speedup });
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let mut root = String::from(".");
@@ -256,68 +33,30 @@ fn main() -> ExitCode {
         }
     }
 
-    type Extractor = fn(&Value, &mut Vec<Recorded>);
-    let files: [(&str, Extractor); 3] = [
-        ("BENCH_gar.json", extract_gar),
-        ("BENCH_shard.json", extract_shard),
-        ("BENCH_round.json", extract_round),
-    ];
-    let mut recorded: Vec<Recorded> = Vec::new();
-    for (file, extract) in files {
-        let path = format!("{root}/{file}");
-        let text = match std::fs::read_to_string(&path) {
-            Ok(text) => text,
-            Err(e) => {
-                // The trajectory files are committed; a missing one means
-                // the gate is not checking what it claims to check.
-                eprintln!("bench_floor: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let doc: Value = match serde_json::from_str(&text) {
-            Ok(doc) => doc,
-            Err(e) => {
-                eprintln!("bench_floor: cannot parse {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        extract(&doc, &mut recorded);
-    }
-
-    let mut failures = 0usize;
-    let mut checked = 0usize;
-    for (file, label, floor) in FLOORS {
-        match recorded.iter().find(|r| r.file == *file && r.label == *label) {
-            Some(r) if r.speedup >= *floor => {
-                checked += 1;
-                println!("ok   {file} {label}: {:.2} >= {floor:.2}", r.speedup);
-            }
-            Some(r) => {
-                failures += 1;
-                println!(
-                    "FAIL {file} {label}: recorded speedup {:.2} is below the floor {floor:.2}",
-                    r.speedup
-                );
-            }
-            None => {
-                // A floor whose field vanished is a silent hole in the gate.
-                failures += 1;
-                println!("FAIL {file} {label}: no such speedup field in the committed file");
-            }
+    let report = match agg_bench::floor::check_floors(Path::new(&root)) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("bench_floor: {message}");
+            return ExitCode::FAILURE;
         }
+    };
+    for line in &report.held {
+        println!("ok   {line}");
     }
-    // Speedups with no declared floor are listed so new bench cells are
-    // visibly unguarded until someone declares a floor for them.
-    for r in &recorded {
-        if !FLOORS.iter().any(|(file, label, _)| r.file == *file && r.label == *label) {
-            println!("note {} {}: {:.2} (no declared floor)", r.file, r.label, r.speedup);
-        }
+    for line in &report.violations {
+        println!("FAIL {line}");
     }
-
-    println!("bench_floor: {checked} floors hold, {failures} violations");
-    if failures > 0 {
-        ExitCode::FAILURE
-    } else {
+    for line in &report.unguarded {
+        println!("note {line}");
+    }
+    println!(
+        "bench_floor: {} floors hold, {} violations",
+        report.held.len(),
+        report.violations.len()
+    );
+    if report.passed() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

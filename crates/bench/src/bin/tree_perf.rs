@@ -1,0 +1,190 @@
+//! `tree_perf` — the hierarchical-aggregation n-scaling trajectory.
+//!
+//! The flat robust round is O(n²d): the Multi-Krum distance matrix
+//! dominates from a few dozen workers. The two-level tree
+//! ([`agg_core::TreeAggregator`]) runs a full GAR per group of g ≤ 32 on
+//! the arena + selection-network kernels at their sweet spot, then a GAR
+//! over the n/g group outputs — O(n·g·d + (n/g)²d), the first tier that
+//! changes the asymptotics rather than the constants.
+//!
+//! This binary measures that claim on one box: median ns/round for the
+//! flat Multi-Krum rule vs the tree (Multi-Krum at both levels, g = 32)
+//! at n ∈ {128, 256, 512, 1024}, d = 4096. Both arms aggregate the same
+//! packed arena, interleaved round-robin so they see the same slice of the
+//! machine's thermal drift. Results land in `BENCH_tree.json` (override
+//! with `--out <path>`); the committed repo-root copy is gated by
+//! `bench_floor` (≥3× from n = 256, the PR-9 acceptance anchor).
+
+use agg_core::{GarConfig, GarKind, TreeAggregator, TreeConfig};
+use agg_tensor::rng::{gaussian_fill, seeded_rng};
+use agg_tensor::GradientBatch;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const D: usize = 4096;
+const GROUP_SIZE: usize = 32;
+const SEED: u64 = 13;
+const SCALES: [usize; 4] = [128, 256, 512, 1024];
+/// Both levels and the flat baseline declare roughly the paper's n/5
+/// Byzantine ratio, capped by each rule's 2f + 3 floor.
+fn declared_f(n: usize) -> usize {
+    (n / 5).min(n.saturating_sub(3) / 2)
+}
+
+/// Per-scale time budget across both arms; each arm still takes at least
+/// `MIN_SAMPLES` runs.
+const BUDGET_NS: u128 = 1_500_000_000;
+const MIN_SAMPLES: usize = 3;
+const MAX_SAMPLES: usize = 30;
+
+/// Median ns/round per arm, sampled round-robin across the arms (first
+/// pass is warm-up) — the same scheme as `shard_perf`, so the
+/// tree-over-flat ratios compare like with like.
+fn interleaved_median_ns(arms: &mut [&mut dyn FnMut()]) -> Vec<u128> {
+    for run in arms.iter_mut() {
+        run();
+    }
+    let mut samples: Vec<Vec<u128>> = vec![Vec::new(); arms.len()];
+    let mut total = 0u128;
+    while samples[0].len() < MIN_SAMPLES || (total < BUDGET_NS && samples[0].len() < MAX_SAMPLES) {
+        for (run, bucket) in arms.iter_mut().zip(samples.iter_mut()) {
+            let start = Instant::now();
+            run();
+            let ns = start.elapsed().as_nanos().max(1);
+            total += ns;
+            bucket.push(ns);
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut bucket| {
+            bucket.sort_unstable();
+            bucket[bucket.len() / 2]
+        })
+        .collect()
+}
+
+struct ScaleRow {
+    n: usize,
+    groups: usize,
+    f_flat: usize,
+    f_group: usize,
+    f_root: usize,
+    flat_ns: u128,
+    tree_ns: u128,
+}
+
+impl ScaleRow {
+    fn speedup(&self) -> f64 {
+        self.flat_ns as f64 / self.tree_ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_tree.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().expect("--out requires a path");
+            }
+            other => {
+                eprintln!("tree_perf: unknown argument '{other}' (supported: --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("tree_perf: multi-krum, d = {D}, g = {GROUP_SIZE} (median ns/round)");
+    println!(
+        "{:<6} {:>7} {:>7} {:>7} {:>7} {:>15} {:>15} {:>8}",
+        "n", "groups", "f_flat", "f_grp", "f_root", "flat_ns", "tree_ns", "speedup"
+    );
+
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for n in SCALES {
+        let groups = n.div_ceil(GROUP_SIZE);
+        let f_flat = declared_f(n);
+        let f_group = declared_f(GROUP_SIZE);
+        let f_root = declared_f(groups);
+        let flat = GarConfig::new(GarKind::MultiKrum, f_flat).build().expect("valid flat rule");
+        let tree = TreeAggregator::new(TreeConfig {
+            group: GarConfig::new(GarKind::MultiKrum, f_group),
+            root: GarConfig::new(GarKind::MultiKrum, f_root),
+            group_size: GROUP_SIZE,
+        })
+        .expect("valid tree config");
+        let assignment: Vec<usize> = (0..n).map(|i| i / GROUP_SIZE).collect();
+
+        // One round of gradients, packed once — both arms aggregate the
+        // same arena, so the comparison isolates the aggregation path.
+        let mut rng = seeded_rng(0x7BEE ^ SEED ^ n as u64);
+        let mut batch = GradientBatch::with_capacity(D, n);
+        for _ in 0..n {
+            batch.push_row_with(|dst| gaussian_fill(&mut rng, dst, 0.0, 1.0));
+        }
+        let batch_ref = &batch;
+        let assignment_ref = &assignment;
+
+        let mut run_flat =
+            || drop(flat.aggregate_batch(batch_ref).expect("flat aggregation succeeds"));
+        let mut run_tree = || {
+            drop(
+                tree.aggregate_batch_grouped(batch_ref, assignment_ref)
+                    .expect("tree aggregation succeeds"),
+            )
+        };
+        let mut arms: Vec<&mut dyn FnMut()> = vec![&mut run_flat, &mut run_tree];
+        let medians = interleaved_median_ns(&mut arms);
+        let row = ScaleRow {
+            n,
+            groups,
+            f_flat,
+            f_group,
+            f_root,
+            flat_ns: medians[0],
+            tree_ns: medians[1],
+        };
+        println!(
+            "{:<6} {:>7} {:>7} {:>7} {:>7} {:>15} {:>15} {:>7.2}x",
+            row.n,
+            row.groups,
+            row.f_flat,
+            row.f_group,
+            row.f_root,
+            row.flat_ns,
+            row.tree_ns,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"tree_perf\",\n");
+    json.push_str("  \"rule\": \"multi-krum\",\n");
+    let _ = writeln!(json, "  \"d\": {D},");
+    let _ = writeln!(json, "  \"group_size\": {GROUP_SIZE},");
+    json.push_str("  \"unit\": \"median_ns_per_round\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"groups\": {}, \"f_flat\": {}, \"f_group\": {}, \"f_root\": {}, \
+             \"flat_ns\": {}, \"tree_ns\": {}, \"speedup\": {:.2}}}{comma}",
+            row.n,
+            row.groups,
+            row.f_flat,
+            row.f_group,
+            row.f_root,
+            row.flat_ns,
+            row.tree_ns,
+            row.speedup()
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_tree.json");
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,144 @@
+//! Regression tests for the `bench_floor` gate itself.
+//!
+//! The gate's one subtle failure mode: a floored key that *disappears*
+//! from a regenerated `BENCH_*.json` (a renamed rule, a dropped cell, a
+//! schema change) must count as a violation — otherwise the gate silently
+//! stops checking what it claims to check and a kernel regression can land
+//! under a green check-mark. These tests pin that arm, plus the ordinary
+//! below-floor and all-clear arms, with doctored files in a scratch
+//! directory — and then run the full declared floor list against the
+//! committed repo-root files, so `cargo test` fails the moment a committed
+//! trajectory and the floors drift apart.
+
+use agg_bench::floor::{check_floors, check_floors_against, FLOORS};
+use std::path::{Path, PathBuf};
+
+/// A scratch directory holding doctored BENCH files, removed on drop.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("bench_floor_guard_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch { dir }
+    }
+
+    fn write(&self, file: &str, contents: &str) {
+        std::fs::write(self.dir.join(file), contents).expect("write doctored file");
+    }
+
+    fn path(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A doctored BENCH_gar.json holding exactly the given (rule, d, speedup)
+/// cells.
+fn gar_json(cells: &[(&str, usize, f64)]) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|(rule, d, speedup)| {
+            format!("{{\"rule\": \"{rule}\", \"d\": {d}, \"speedup\": {speedup}}}")
+        })
+        .collect();
+    format!("{{\"bench\": \"gar_perf\", \"results\": [{}]}}", rows.join(", "))
+}
+
+#[test]
+fn floors_that_hold_pass() {
+    let scratch = Scratch::new("hold");
+    scratch.write("BENCH_gar.json", &gar_json(&[("median", 1000, 4.5), ("krum", 1000, 2.0)]));
+    let floors: &[(&str, &str, f64)] =
+        &[("BENCH_gar.json", "median@d1000", 4.0), ("BENCH_gar.json", "krum@d1000", 1.6)];
+    let report = check_floors_against(scratch.path(), floors).expect("readable");
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert_eq!(report.held.len(), 2);
+}
+
+#[test]
+fn a_speedup_below_its_floor_is_a_violation() {
+    let scratch = Scratch::new("below");
+    scratch.write("BENCH_gar.json", &gar_json(&[("median", 1000, 3.2)]));
+    let floors: &[(&str, &str, f64)] = &[("BENCH_gar.json", "median@d1000", 4.0)];
+    let report = check_floors_against(scratch.path(), floors).expect("readable");
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1);
+    assert!(
+        report.violations[0].contains("below the floor"),
+        "unexpected message: {}",
+        report.violations[0]
+    );
+}
+
+#[test]
+fn a_floored_key_missing_from_the_file_is_a_violation_not_a_silent_pass() {
+    // The regression this guard exists for: the file parses fine and every
+    // *present* key clears its floor, but one floored key has vanished
+    // (here: median@d100000, as if a regeneration dropped the d = 100k
+    // cell). The gate must go red and name the hole.
+    let scratch = Scratch::new("missing");
+    scratch.write("BENCH_gar.json", &gar_json(&[("median", 1000, 4.5), ("median", 10000, 4.5)]));
+    let floors: &[(&str, &str, f64)] = &[
+        ("BENCH_gar.json", "median@d1000", 4.0),
+        ("BENCH_gar.json", "median@d10000", 4.0),
+        ("BENCH_gar.json", "median@d100000", 3.0),
+    ];
+    let report = check_floors_against(scratch.path(), floors).expect("readable");
+    assert!(!report.passed(), "a vanished floored key must fail the gate");
+    assert_eq!(report.held.len(), 2);
+    assert_eq!(report.violations.len(), 1);
+    assert!(
+        report.violations[0].contains("no such speedup field"),
+        "unexpected message: {}",
+        report.violations[0]
+    );
+}
+
+#[test]
+fn a_missing_trajectory_file_is_an_error() {
+    let scratch = Scratch::new("nofile");
+    let floors: &[(&str, &str, f64)] = &[("BENCH_gar.json", "median@d1000", 4.0)];
+    let error = check_floors_against(scratch.path(), floors).expect_err("unreadable");
+    assert!(error.contains("cannot read"), "unexpected message: {error}");
+}
+
+#[test]
+fn an_unparseable_trajectory_file_is_an_error() {
+    let scratch = Scratch::new("badjson");
+    scratch.write("BENCH_gar.json", "{\"results\": [");
+    let floors: &[(&str, &str, f64)] = &[("BENCH_gar.json", "median@d1000", 4.0)];
+    let error = check_floors_against(scratch.path(), floors).expect_err("unparseable");
+    assert!(error.contains("cannot parse"), "unexpected message: {error}");
+}
+
+#[test]
+fn unfloored_speedups_are_reported_as_unguarded() {
+    let scratch = Scratch::new("unguarded");
+    scratch.write("BENCH_gar.json", &gar_json(&[("median", 1000, 4.5), ("meamed", 1000, 9.9)]));
+    let floors: &[(&str, &str, f64)] = &[("BENCH_gar.json", "median@d1000", 4.0)];
+    let report = check_floors_against(scratch.path(), floors).expect("readable");
+    assert!(report.passed());
+    assert_eq!(report.unguarded.len(), 1);
+    assert!(report.unguarded[0].contains("meamed@d1000"));
+}
+
+#[test]
+fn every_declared_floor_holds_against_the_committed_trajectories() {
+    // The committed repo-root BENCH_*.json files and the declared floor
+    // list must agree at all times — including every BENCH_tree.json
+    // scale point. This is the same check CI's bench-floor job runs, so a
+    // drift fails `cargo test` locally before it fails CI.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_floors(&root).expect("committed trajectory files are readable");
+    assert!(report.passed(), "floor violations: {:#?}", report.violations);
+    assert_eq!(report.held.len(), FLOORS.len());
+}

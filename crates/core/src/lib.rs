@@ -55,6 +55,7 @@ pub mod resilience;
 pub mod sanitize;
 pub mod selective;
 pub mod sharded;
+pub mod tree;
 pub mod trimmed_mean;
 
 pub use agg_tensor::{DistanceMatrix, GradientBatch};
@@ -70,6 +71,7 @@ pub use multi_krum::MultiKrum;
 pub use registry::{GarConfig, GarKind};
 pub use selective::SelectiveAverage;
 pub use sharded::ShardedAggregator;
+pub use tree::{GroupOutput, TreeAggregator, TreeConfig, TreeRound};
 pub use trimmed_mean::TrimmedMean;
 
 /// Crate-wide result alias.

@@ -161,6 +161,76 @@ pub fn resilience_floor(rule: GarKind, f: usize) -> usize {
     }
 }
 
+/// Largest total Byzantine worker count the two-level aggregation tree
+/// tolerates when every group runs its GAR with a declared per-group budget
+/// `f_group` and the root runs its GAR over the group outputs with a declared
+/// budget `f_root`:
+///
+/// ```text
+/// f_total_max = (f_group + 1) · (f_root + 1) − 1.
+/// ```
+///
+/// The capture-counting argument: a group's GAR withstands up to `f_group`
+/// Byzantine members, so the adversary must spend `f_group + 1` workers to
+/// *capture* a group (control its output arbitrarily). The root withstands up
+/// to `f_root` captured groups. An adversary with `f_total` workers captures
+/// at most `⌊f_total / (f_group + 1)⌋` groups (concentrating workers in the
+/// fewest groups is optimal — exactly the colluding-group attack in
+/// `agg-attacks`), so the tree is safe iff
+/// `⌊f_total / (f_group + 1)⌋ ≤ f_root`, i.e.
+/// `f_total ≤ (f_group + 1)(f_root + 1) − 1`. Workers left over after the
+/// last whole capture sit inside still-honest-majority groups where their
+/// group's GAR absorbs them (they are within that group's `f_group` budget by
+/// construction of the division).
+pub fn composed_max_f(f_group: usize, f_root: usize) -> usize {
+    (f_group + 1) * (f_root + 1) - 1
+}
+
+/// Number of groups that can *contribute* to the root round: a group
+/// contributes iff its (live) member count clears its rule's resilience
+/// floor for the declared per-group `f`. Undersized groups — the ragged last
+/// group of an indivisible `n`, or a group shrunk by churn evictions — are
+/// excluded here rather than aggregated unsoundly or panicked over.
+pub fn contributing_groups(
+    group_sizes: impl IntoIterator<Item = usize>,
+    group_rule: GarKind,
+    f_group: usize,
+) -> usize {
+    let floor = resilience_floor(group_rule, f_group);
+    group_sizes.into_iter().filter(|&size| size >= floor).count()
+}
+
+/// Checks the composed two-level precondition for a tree round over groups of
+/// the given sizes: the number of contributing groups (per
+/// [`contributing_groups`]) must itself clear the *root* rule's resilience
+/// floor for `f_root`. This is the tree-tier counterpart of the flat
+/// `check_*` functions — the engine consults it after every churn transition
+/// and refuses the round (never panics, never under-counts) when it fails.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NotEnoughWorkers`] naming the root rule when
+/// too few groups contribute.
+pub fn check_tree(
+    group_rule: GarKind,
+    f_group: usize,
+    root_rule: GarKind,
+    f_root: usize,
+    group_sizes: impl IntoIterator<Item = usize>,
+) -> Result<()> {
+    let contributing = contributing_groups(group_sizes, group_rule, f_group);
+    let required = resilience_floor(root_rule, f_root);
+    if contributing < required {
+        return Err(AggregationError::NotEnoughWorkers {
+            rule: root_rule.name(),
+            f: f_root,
+            required,
+            actual: contributing,
+        });
+    }
+    Ok(())
+}
+
 /// The theoretical slowdown ratio `√(m̃ / n)` of Multi-Krum / AggregaThor
 /// versus plain averaging, in the absence of Byzantine workers
 /// (Theorems 1 & 2 part (ii)).
@@ -267,6 +337,105 @@ mod tests {
         // Paper deployment: n = 19, f = 4 sits exactly on Bulyan's floor.
         assert_eq!(resilience_floor(GarKind::Bulyan, 4), 19);
         assert_eq!(resilience_floor(GarKind::MultiKrum, 4), 11);
+    }
+
+    #[test]
+    fn composed_max_f_counts_whole_group_captures() {
+        // Capturing a group costs f_group + 1 workers; the root absorbs
+        // f_root captures, so one more worker than (f_g+1)(f_r+1)-1 buys the
+        // (f_root + 1)-th capture.
+        assert_eq!(composed_max_f(0, 0), 0);
+        assert_eq!(composed_max_f(4, 0), 4);
+        assert_eq!(composed_max_f(0, 4), 4);
+        // n = 1024, g = 32 → 32 groups; multi-krum at both levels tolerates
+        // f_group = 14 per group and f_root = 14 groups: 224 total.
+        assert_eq!(composed_max_f(14, 14), 224);
+        for f_g in 0..8usize {
+            for f_r in 0..8usize {
+                let total = composed_max_f(f_g, f_r);
+                assert_eq!(total / (f_g + 1), f_r, "f_total/(f_g+1) captures exactly f_root");
+                assert_eq!((total + 1) / (f_g + 1), f_r + 1, "one more worker over-captures");
+            }
+        }
+    }
+
+    #[test]
+    fn contributing_groups_excludes_undersized_groups() {
+        // Multi-Krum f=2 → floor 7: the ragged 5-worker tail and the
+        // churn-shrunk 6-worker group drop out; f = 0 still floors at 3.
+        let sizes = [32usize, 32, 6, 5];
+        assert_eq!(contributing_groups(sizes, GarKind::MultiKrum, 2), 2);
+        assert_eq!(contributing_groups(sizes, GarKind::MultiKrum, 0), 4);
+        assert_eq!(contributing_groups([2usize, 1, 2], GarKind::MultiKrum, 0), 0);
+        // Averaging rules only need a non-empty group.
+        assert_eq!(contributing_groups([1usize, 0, 3], GarKind::Average, 0), 2);
+        assert_eq!(contributing_groups(std::iter::empty(), GarKind::Median, 1), 0);
+    }
+
+    #[test]
+    fn check_tree_requires_the_root_floor_in_contributing_groups() {
+        // 8 full groups of 32: multi-krum root with f_root = 2 needs 7.
+        let full = vec![32usize; 8];
+        assert!(check_tree(GarKind::MultiKrum, 4, GarKind::MultiKrum, 2, full.clone()).is_ok());
+        // Shrinking two groups below the group floor (11) leaves 6 < 7.
+        let mut shrunk = full;
+        shrunk[3] = 10;
+        shrunk[5] = 0;
+        let err = check_tree(GarKind::MultiKrum, 4, GarKind::MultiKrum, 2, shrunk).unwrap_err();
+        match err {
+            AggregationError::NotEnoughWorkers { rule, f, required, actual } => {
+                assert_eq!(rule, "multi-krum");
+                assert_eq!(f, 2);
+                assert_eq!(required, 7);
+                assert_eq!(actual, 6);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A degenerate single-group tree works whenever the root floor is 1.
+        assert!(check_tree(GarKind::MultiKrum, 4, GarKind::Average, 0, [11usize]).is_ok());
+        assert!(check_tree(GarKind::MultiKrum, 4, GarKind::Median, 0, [11usize]).is_ok());
+        assert!(check_tree(GarKind::MultiKrum, 4, GarKind::MultiKrum, 0, [11usize]).is_err());
+    }
+
+    #[test]
+    fn composed_two_level_boundary_is_exact_for_all_n_up_to_128() {
+        // Extension of the flat boundary property to the composed bound: for
+        // every total worker count n ≤ 128 partitioned into contiguous groups
+        // of g (ragged last group included), `check_tree` must agree exactly
+        // with the brute-force evaluation — count the groups whose size
+        // clears the group floor, compare against the root floor — for
+        // every level-rule combination the tree tier supports, including
+        // f = 0 groups. Never a panic, never an under-count.
+        let combos = [
+            (GarKind::MultiKrum, 4usize, GarKind::MultiKrum, 2usize),
+            (GarKind::MultiKrum, 0, GarKind::MultiKrum, 0),
+            (GarKind::Bulyan, 1, GarKind::MultiKrum, 1),
+            (GarKind::Median, 3, GarKind::Median, 1),
+            (GarKind::TrimmedMean, 0, GarKind::Bulyan, 0),
+            (GarKind::Average, 0, GarKind::Average, 0),
+        ];
+        for n in 1..=128usize {
+            for g in [1usize, 4, 8, 17, 32] {
+                let group_count = n.div_ceil(g);
+                let sizes: Vec<usize> = (0..group_count)
+                    .map(|k| if (k + 1) * g <= n { g } else { n - k * g })
+                    .collect();
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+                for (group_rule, f_g, root_rule, f_r) in combos {
+                    let group_floor = resilience_floor(group_rule, f_g);
+                    let contributing_brute = sizes.iter().filter(|&&s| s >= group_floor).count();
+                    assert_eq!(
+                        contributing_groups(sizes.iter().copied(), group_rule, f_g),
+                        contributing_brute,
+                        "n={n} g={g} {group_rule} f={f_g}"
+                    );
+                    let ok =
+                        check_tree(group_rule, f_g, root_rule, f_r, sizes.iter().copied()).is_ok();
+                    let expected = contributing_brute >= resilience_floor(root_rule, f_r);
+                    assert_eq!(ok, expected, "n={n} g={g} {group_rule}/{root_rule}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,590 @@
+//! Hierarchical two-level aggregation: a full GAR per worker group, then a
+//! GAR over the group outputs at the root.
+//!
+//! Every flat rule is O(n²·d) (distance family) or bound to the
+//! `n ≤ agg_tensor::sortnet::MAX_NETWORK_N` selection-network sweet spot
+//! (coordinate family), which caps practical worker counts around 32. The
+//! tree changes the asymptotics instead of the constants: partition the `n`
+//! workers into groups of `g ≤ MAX_NETWORK_N`
+//! ([`agg_tensor::GroupPlan`]), run the group GAR on each group's rows —
+//! every group reuses the existing arena + selection-network kernels exactly
+//! at their sweet spot — and run the root GAR over the `⌈n/g⌉` group
+//! outputs:
+//!
+//! ```text
+//! O(n²·d)  →  O(n·g·d + (n/g)²·d)
+//! ```
+//!
+//! Resilience composes by capture counting
+//! ([`crate::resilience::composed_max_f`]): the adversary needs
+//! `f_group + 1` workers to capture a group, the root absorbs `f_root`
+//! captured groups, so the tree withstands
+//! `f_total = (f_group + 1)(f_root + 1) − 1` Byzantine workers. Groups whose
+//! (live) size falls below the group rule's resilience floor — the ragged
+//! last group of an indivisible `n`, or a group shrunk by churn evictions —
+//! are *excluded* from the round rather than aggregated unsoundly, and the
+//! round itself is refused ([`crate::resilience::check_tree`]) when the
+//! contributing groups no longer clear the root rule's floor, exactly like
+//! the flat path's refusal below `resilience_floor`.
+
+use crate::gar::{ensure_batch_nonempty, Gar, GarProperties};
+use crate::{resilience, AggregationError, GarConfig, GarKind, Result};
+use agg_tensor::batch::PARALLEL_MIN_WORK;
+use agg_tensor::sortnet::MAX_NETWORK_N;
+use agg_tensor::{GradientBatch, GroupPlan, Vector};
+use rayon::prelude::*;
+
+/// Configuration of a two-level aggregation tree: the per-group rule, the
+/// root rule over group outputs, and the group size `g`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TreeConfig {
+    /// The GAR every group runs over its members' gradients, with the
+    /// per-group Byzantine budget `group.f`.
+    pub group: GarConfig,
+    /// The GAR the root runs over the group outputs, with the
+    /// captured-group budget `root.f`.
+    pub root: GarConfig,
+    /// Workers per group (`g`). Must stay within the selection-network sweet
+    /// spot `g ≤ 32` — that cap is the whole reason the tier exists.
+    pub group_size: usize,
+}
+
+impl TreeConfig {
+    /// A tree running `kind` at both levels with per-group budget `f_group`
+    /// and root budget `f_root`, groups of `group_size`.
+    pub fn uniform(kind: GarKind, f_group: usize, f_root: usize, group_size: usize) -> Self {
+        TreeConfig {
+            group: GarConfig::new(kind, f_group),
+            root: GarConfig::new(kind, f_root),
+            group_size,
+        }
+    }
+
+    /// The composed Byzantine tolerance
+    /// `(f_group + 1)(f_root + 1) − 1` of this tree
+    /// ([`resilience::composed_max_f`]).
+    pub fn composed_max_f(&self) -> usize {
+        resilience::composed_max_f(self.group.f, self.root.f)
+    }
+
+    /// Minimum members a group needs to contribute to the round.
+    pub fn group_floor(&self) -> usize {
+        resilience::resilience_floor(self.group.kind, self.group.f)
+    }
+
+    /// Minimum contributing groups the root round needs.
+    pub fn root_floor(&self) -> usize {
+        resilience::resilience_floor(self.root.kind, self.root.f)
+    }
+}
+
+/// One contributing group's aggregation result.
+#[derive(Debug, Clone)]
+pub struct GroupOutput {
+    /// Group id in the [`GroupPlan`].
+    pub group: usize,
+    /// The batch row indices the group reduced, in ascending order.
+    pub members: Vec<usize>,
+    /// The group GAR's aggregate over those rows.
+    pub output: Vector,
+}
+
+/// The per-group stage of a tree round: the contributing groups' outputs (in
+/// ascending group order) plus the groups that were excluded for sitting
+/// below the group rule's resilience floor.
+#[derive(Debug, Clone)]
+pub struct TreeRound {
+    /// Contributing groups, ascending by group id.
+    pub outputs: Vec<GroupOutput>,
+    /// `(group id, live member count)` of every excluded group.
+    pub skipped: Vec<(usize, usize)>,
+}
+
+/// A gradient aggregation rule evaluated as a two-level tree over worker
+/// groups — the scale tier beside [`crate::ShardedAggregator`] (which splits
+/// *coordinates*; this splits *workers*).
+///
+/// ```
+/// use agg_core::{Gar, GarKind, TreeAggregator, TreeConfig};
+/// use agg_tensor::Vector;
+/// # fn main() -> Result<(), agg_core::AggregationError> {
+/// // 96 workers in groups of 32, Multi-Krum at both levels.
+/// let tree = TreeAggregator::new(TreeConfig::uniform(GarKind::MultiKrum, 4, 0, 32))?;
+/// let gradients: Vec<Vector> = (0..96).map(|i| {
+///     if i >= 91 { Vector::from(vec![1e6; 8]) } else { Vector::from(vec![1.0; 8]) }
+/// }).collect();
+/// let update = tree.aggregate(&gradients)?;
+/// assert!((update[0] - 1.0).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TreeAggregator {
+    config: TreeConfig,
+    /// The group-level rule (shared by every group: rules are stateless).
+    group_rule: Box<dyn Gar>,
+    /// The root rule over group outputs.
+    root_rule: Box<dyn Gar>,
+    /// `false` forces the per-group work through a plain sequential
+    /// iterator; the determinism tests pin both modes bit-identical, exactly
+    /// like [`crate::ShardedAggregator::set_parallel`].
+    parallel: bool,
+}
+
+impl TreeAggregator {
+    /// Builds the tree tier from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidArgument`] when `group_size` is
+    /// zero or exceeds the selection-network cap
+    /// (`agg_tensor::sortnet::MAX_NETWORK_N`), and propagates
+    /// rule-construction errors from either level.
+    pub fn new(config: TreeConfig) -> Result<Self> {
+        if config.group_size == 0 || config.group_size > MAX_NETWORK_N {
+            return Err(AggregationError::InvalidArgument {
+                rule: config.group.kind.name().to_string(),
+                message: format!(
+                    "tree group size must be in 1..={MAX_NETWORK_N} (the selection-network \
+                     sweet spot), got {}",
+                    config.group_size
+                ),
+            });
+        }
+        let group_rule = config.group.build()?;
+        let root_rule = config.root.build()?;
+        Ok(TreeAggregator { config, group_rule, root_rule, parallel: true })
+    }
+
+    /// The tree configuration.
+    pub fn config(&self) -> TreeConfig {
+        self.config
+    }
+
+    /// Forces the per-group work through the sequential group ordering. Both
+    /// modes must produce bit-identical aggregates — the determinism test
+    /// asserts exactly that.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// The group partition for `n` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `n = 0`.
+    pub fn plan(&self, workers: usize) -> Result<GroupPlan> {
+        Ok(GroupPlan::new(workers, self.config.group_size)?)
+    }
+
+    /// Buckets `groups[i]` (the group id of batch row `i`) into ascending
+    /// per-group member lists. Group ids need not be dense: rows of evicted
+    /// groups simply never appear.
+    fn buckets(&self, batch: &GradientBatch, groups: &[usize]) -> Result<Vec<(usize, Vec<usize>)>> {
+        if groups.len() != batch.n() {
+            return Err(AggregationError::InvalidArgument {
+                rule: self.group_rule.properties().name.to_string(),
+                message: format!(
+                    "group assignment covers {} rows but the batch has {}",
+                    groups.len(),
+                    batch.n()
+                ),
+            });
+        }
+        let mut buckets: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (row, &gid) in groups.iter().enumerate() {
+            match buckets.iter_mut().find(|(g, _)| *g == gid) {
+                Some((_, members)) => members.push(row),
+                None => buckets.push((gid, vec![row])),
+            }
+        }
+        buckets.sort_by_key(|&(gid, _)| gid);
+        Ok(buckets)
+    }
+
+    /// Runs the per-group stage: every group whose live member count clears
+    /// the group rule's resilience floor is aggregated with the group GAR
+    /// (in parallel over groups, results in ascending group order);
+    /// undersized groups are excluded and reported, never panicked over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError`] when the batch is empty, the group
+    /// assignment does not match the batch, or a group's aggregation fails
+    /// for a reason other than its size (e.g. all rows non-finite).
+    pub fn group_outputs(&self, batch: &GradientBatch, groups: &[usize]) -> Result<TreeRound> {
+        ensure_batch_nonempty(self.group_rule.properties().name, batch)?;
+        let buckets = self.buckets(batch, groups)?;
+        let floor = self.config.group_floor();
+        let mut skipped = Vec::new();
+        let mut contributing: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (gid, members) in buckets {
+            if members.len() >= floor {
+                contributing.push((gid, members));
+            } else {
+                skipped.push((gid, members.len()));
+            }
+        }
+        let aggregate_group = |(gid, members): &(usize, Vec<usize>)| -> Result<GroupOutput> {
+            let mut scratch = GradientBatch::with_capacity(batch.dim(), members.len());
+            for &row in members {
+                scratch.push_row(batch.row(row))?;
+            }
+            let output = self.group_rule.aggregate_batch(&scratch)?;
+            Ok(GroupOutput { group: *gid, members: members.clone(), output })
+        };
+        let total_work = batch.n().saturating_mul(batch.dim());
+        let results: Vec<Result<GroupOutput>> =
+            if self.parallel && contributing.len() > 1 && total_work >= PARALLEL_MIN_WORK {
+                contributing.par_iter().map(aggregate_group).collect()
+            } else {
+                contributing.iter().map(aggregate_group).collect()
+            };
+        let outputs = results.into_iter().collect::<Result<Vec<GroupOutput>>>()?;
+        Ok(TreeRound { outputs, skipped })
+    }
+
+    /// Runs the root GAR over already-computed group outputs (the engine
+    /// calls this after carrying each output over its group→root link, so
+    /// outputs lost on the wire degrade exactly like an excluded group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::NotEnoughWorkers`] (naming the root rule)
+    /// when fewer outputs remain than the root floor, plus any root-rule
+    /// aggregation error.
+    pub fn root_aggregate(&self, outputs: &[Vector]) -> Result<Vector> {
+        let required = self.config.root_floor();
+        if outputs.len() < required {
+            return Err(AggregationError::NotEnoughWorkers {
+                rule: self.config.root.kind.name(),
+                f: self.config.root.f,
+                required,
+                actual: outputs.len(),
+            });
+        }
+        let batch = GradientBatch::from_vectors(outputs)?;
+        self.root_rule.aggregate_batch(&batch)
+    }
+
+    /// Full tree round over an explicit row→group assignment (`groups[i]` is
+    /// the group id of batch row `i`), the entry point for engines whose
+    /// quorum/churn compaction leaves groups ragged.
+    ///
+    /// # Errors
+    ///
+    /// Refuses with [`AggregationError::NotEnoughWorkers`] when the
+    /// contributing groups fall below the root floor
+    /// ([`resilience::check_tree`]); propagates group/root aggregation
+    /// errors otherwise.
+    pub fn aggregate_batch_grouped(
+        &self,
+        batch: &GradientBatch,
+        groups: &[usize],
+    ) -> Result<Vector> {
+        ensure_batch_nonempty(self.group_rule.properties().name, batch)?;
+        let buckets = self.buckets(batch, groups)?;
+        resilience::check_tree(
+            self.config.group.kind,
+            self.config.group.f,
+            self.config.root.kind,
+            self.config.root.f,
+            buckets.iter().map(|(_, members)| members.len()),
+        )?;
+        let round = self.group_outputs(batch, groups)?;
+        let outputs: Vec<Vector> = round.outputs.into_iter().map(|g| g.output).collect();
+        self.root_aggregate(&outputs)
+    }
+
+    /// The batch row indices belonging to the groups the root rule's
+    /// selection phase picked, ascending (`None` for non-selecting root
+    /// rules) — the tree tier's selection-feedback signal: a row is
+    /// "selected" iff its group's output made the root selection.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TreeAggregator::aggregate_batch_grouped`].
+    pub fn selected_rows(
+        &self,
+        batch: &GradientBatch,
+        groups: &[usize],
+    ) -> Result<Option<Vec<usize>>> {
+        use crate::{Bulyan, MultiKrum};
+        let selecting =
+            matches!(self.config.root.kind, GarKind::Krum | GarKind::MultiKrum | GarKind::Bulyan);
+        if !selecting {
+            return Ok(None);
+        }
+        let round = self.group_outputs(batch, groups)?;
+        resilience::check_tree(
+            self.config.group.kind,
+            self.config.group.f,
+            self.config.root.kind,
+            self.config.root.f,
+            round
+                .outputs
+                .iter()
+                .map(|g| g.members.len())
+                .chain(round.skipped.iter().map(|&(_, size)| size)),
+        )?;
+        let outputs: Vec<Vector> = round.outputs.iter().map(|g| g.output.clone()).collect();
+        let output_batch = GradientBatch::from_vectors(&outputs)?;
+        let f = self.config.root.f;
+        let picked = match self.config.root.kind {
+            GarKind::Krum => MultiKrum::with_selection(f, 1)?.select_batch(&output_batch)?,
+            GarKind::MultiKrum => match self.config.root.m {
+                Some(m) => MultiKrum::with_selection(f, m)?,
+                None => MultiKrum::new(f)?,
+            }
+            .select_batch(&output_batch)?,
+            GarKind::Bulyan => Bulyan::new(f)?.select_batch(&output_batch)?,
+            _ => unreachable!("non-selecting root rules returned above"),
+        };
+        let mut rows: Vec<usize> =
+            picked.into_iter().flat_map(|i| round.outputs[i].members.to_vec()).collect();
+        rows.sort_unstable();
+        Ok(Some(rows))
+    }
+}
+
+impl Gar for TreeAggregator {
+    fn properties(&self) -> GarProperties {
+        // The tree's resilience story is the composed bound; for reporting
+        // purposes it presents the root rule's properties (the defence the
+        // final update passed through).
+        self.root_rule.properties()
+    }
+
+    fn aggregate_batch(&self, batch: &GradientBatch) -> Result<Vector> {
+        ensure_batch_nonempty(self.group_rule.properties().name, batch)?;
+        let plan = self.plan(batch.n())?;
+        let groups: Vec<usize> = (0..batch.n()).map(|w| plan.group_of(w)).collect();
+        self.aggregate_batch_grouped(batch, &groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gar;
+    use agg_tensor::rng::{gaussian_vector, seeded_rng};
+
+    fn random_batch(n: usize, d: usize, seed: u64) -> GradientBatch {
+        let mut rng = seeded_rng(seed);
+        let vs: Vec<Vector> = (0..n).map(|_| gaussian_vector(&mut rng, d, 0.0, 1.0)).collect();
+        GradientBatch::from_vectors(&vs).unwrap()
+    }
+
+    #[test]
+    fn group_size_must_stay_in_the_network_sweet_spot() {
+        assert!(TreeAggregator::new(TreeConfig::uniform(GarKind::MultiKrum, 1, 0, 0)).is_err());
+        assert!(TreeAggregator::new(TreeConfig::uniform(
+            GarKind::MultiKrum,
+            1,
+            0,
+            MAX_NETWORK_N + 1
+        ))
+        .is_err());
+        assert!(TreeAggregator::new(TreeConfig::uniform(GarKind::MultiKrum, 1, 0, MAX_NETWORK_N))
+            .is_ok());
+    }
+
+    #[test]
+    fn config_accessors_expose_the_composed_bound() {
+        let config = TreeConfig::uniform(GarKind::MultiKrum, 14, 14, 32);
+        assert_eq!(config.composed_max_f(), 224);
+        assert_eq!(config.group_floor(), 31);
+        assert_eq!(config.root_floor(), 31);
+        let tree = TreeAggregator::new(config).unwrap();
+        assert_eq!(tree.config(), config);
+        assert_eq!(tree.properties().name, "multi-krum");
+    }
+
+    #[test]
+    fn excludes_outliers_within_each_group() {
+        // 96 workers in 3 groups of 32; the last 5 submit garbage. Multi-Krum
+        // per group absorbs them (f_group = 5 within the last group), the
+        // root averages the three group outputs.
+        let mut batch = random_batch(91, 16, 3);
+        for _ in 0..5 {
+            batch.push_row(&[1e6; 16]).unwrap();
+        }
+        let tree = TreeAggregator::new(TreeConfig {
+            group: GarConfig::new(GarKind::MultiKrum, 5),
+            root: GarConfig::new(GarKind::Average, 0),
+            group_size: 32,
+        })
+        .unwrap();
+        let out = tree.aggregate_batch(&batch).unwrap();
+        for c in 0..16 {
+            assert!(out[c].abs() < 1.0, "coordinate {c} contaminated: {}", out[c]);
+        }
+    }
+
+    #[test]
+    fn ragged_last_group_below_floor_is_skipped_not_panicked() {
+        // n = 70, g = 32 → sizes [32, 32, 6]; multi-krum f=4 floors at 11,
+        // so the 6-worker tail drops out. Root average over 2 outputs works.
+        let batch = random_batch(70, 8, 5);
+        let tree = TreeAggregator::new(TreeConfig {
+            group: GarConfig::new(GarKind::MultiKrum, 4),
+            root: GarConfig::new(GarKind::Average, 0),
+            group_size: 32,
+        })
+        .unwrap();
+        let plan = tree.plan(70).unwrap();
+        let groups: Vec<usize> = (0..70).map(|w| plan.group_of(w)).collect();
+        let round = tree.group_outputs(&batch, &groups).unwrap();
+        assert_eq!(round.outputs.len(), 2);
+        assert_eq!(round.skipped, vec![(2, 6)]);
+        assert!(tree.aggregate_batch(&batch).is_ok());
+    }
+
+    #[test]
+    fn rounds_below_the_composed_floor_are_refused() {
+        // Multi-Krum root with f_root = 2 needs 7 contributing groups; 96
+        // workers in groups of 32 give only 3.
+        let batch = random_batch(96, 8, 7);
+        let tree = TreeAggregator::new(TreeConfig::uniform(GarKind::MultiKrum, 4, 2, 32)).unwrap();
+        match tree.aggregate_batch(&batch).unwrap_err() {
+            AggregationError::NotEnoughWorkers { rule, f, required, actual } => {
+                assert_eq!(rule, "multi-krum");
+                assert_eq!(f, 2);
+                assert_eq!(required, 7);
+                assert_eq!(actual, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn churn_shrunk_groups_degrade_through_the_same_refusal() {
+        // 3 groups of 4 under median f=1 (floor 3). Evicting rows from one
+        // group first skips it (root median f=1 needs 3 groups → refusal),
+        // proving the eviction path and the refusal path compose.
+        let batch = random_batch(12, 6, 9);
+        let tree = TreeAggregator::new(TreeConfig::uniform(GarKind::Median, 1, 1, 4)).unwrap();
+        let full: Vec<usize> = (0..12).map(|w| w / 4).collect();
+        assert!(tree.aggregate_batch_grouped(&batch, &full).is_ok());
+
+        // Group 1 loses 2 of its 4 rows → 2 < 3 → skipped → 2 groups < 3.
+        let mut shrunk_batch = GradientBatch::with_capacity(6, 10);
+        let mut shrunk_groups = Vec::new();
+        for w in 0..12 {
+            if w == 4 || w == 5 {
+                continue;
+            }
+            shrunk_batch.push_row(batch.row(w)).unwrap();
+            shrunk_groups.push(w / 4);
+        }
+        let round = tree.group_outputs(&shrunk_batch, &shrunk_groups).unwrap();
+        assert_eq!(round.skipped, vec![(1, 2)]);
+        assert!(tree.aggregate_batch_grouped(&shrunk_batch, &shrunk_groups).is_err());
+    }
+
+    #[test]
+    fn f_zero_groups_aggregate_fine() {
+        // f = 0 at both levels: floors are 3 (multi-krum) and 1 (average).
+        let batch = random_batch(9, 4, 11);
+        let tree = TreeAggregator::new(TreeConfig {
+            group: GarConfig::new(GarKind::MultiKrum, 0),
+            root: GarConfig::new(GarKind::Average, 0),
+            group_size: 3,
+        })
+        .unwrap();
+        assert!(tree.aggregate_batch(&batch).is_ok());
+    }
+
+    #[test]
+    fn parallel_and_sequential_groups_agree_bitwise() {
+        let batch = random_batch(96, 4_000, 13);
+        for kind in [GarKind::MultiKrum, GarKind::Median, GarKind::TrimmedMean] {
+            let mut tree = TreeAggregator::new(TreeConfig {
+                group: GarConfig::new(kind, 2),
+                root: GarConfig::new(GarKind::Median, 1),
+                group_size: 32,
+            })
+            .unwrap();
+            let parallel = tree.aggregate_batch(&batch).unwrap();
+            tree.set_parallel(false);
+            let sequential = tree.aggregate_batch(&batch).unwrap();
+            assert_eq!(
+                parallel.as_slice(),
+                sequential.as_slice(),
+                "{kind}: group-parallel aggregation must be bit-identical to group order"
+            );
+        }
+    }
+
+    #[test]
+    fn single_group_tree_is_bit_identical_to_the_flat_rule() {
+        // n ≤ g: one group, and a root with floor 1 reduces a single output
+        // — the degenerate tree must equal the flat rule bit for bit.
+        let batch = random_batch(19, 64, 17);
+        for kind in [GarKind::MultiKrum, GarKind::Median, GarKind::Bulyan, GarKind::Average] {
+            let tree = TreeAggregator::new(TreeConfig {
+                group: GarConfig::new(kind, 4),
+                root: GarConfig::new(GarKind::Average, 0),
+                group_size: 32,
+            })
+            .unwrap();
+            let flat = GarConfig::new(kind, 4).build().unwrap().aggregate_batch(&batch).unwrap();
+            let treed = tree.aggregate_batch(&batch).unwrap();
+            assert_eq!(treed.as_slice(), flat.as_slice(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn root_selection_maps_back_to_member_rows() {
+        // 4 groups of 4 (median groups), multi-krum root f=0 over 4 outputs.
+        // One whole group submits identical garbage → its output is the
+        // outlier → its members must be missing from the selection.
+        let mut rows: Vec<Vector> = Vec::new();
+        let mut rng = seeded_rng(23);
+        for w in 0..16 {
+            if (4..8).contains(&w) {
+                rows.push(Vector::from(vec![1e6; 8]));
+            } else {
+                rows.push(gaussian_vector(&mut rng, 8, 0.0, 0.1));
+            }
+        }
+        let batch = GradientBatch::from_vectors(&rows).unwrap();
+        let tree = TreeAggregator::new(TreeConfig {
+            group: GarConfig::new(GarKind::Median, 1),
+            root: GarConfig::new(GarKind::MultiKrum, 0),
+            group_size: 4,
+        })
+        .unwrap();
+        let groups: Vec<usize> = (0..16).map(|w| w / 4).collect();
+        let selected = tree.selected_rows(&batch, &groups).unwrap().unwrap();
+        assert!(!selected.is_empty());
+        for w in 4..8 {
+            assert!(!selected.contains(&w), "captured group member {w} selected at the root");
+        }
+        // Coordinate root rules expose no selection.
+        let flat_root = TreeAggregator::new(TreeConfig {
+            group: GarConfig::new(GarKind::Median, 1),
+            root: GarConfig::new(GarKind::Median, 1),
+            group_size: 4,
+        })
+        .unwrap();
+        assert_eq!(flat_root.selected_rows(&batch, &groups).unwrap(), None);
+    }
+
+    #[test]
+    fn mismatched_group_assignment_is_rejected() {
+        let batch = random_batch(8, 4, 29);
+        let tree = TreeAggregator::new(TreeConfig::uniform(GarKind::Median, 1, 0, 4)).unwrap();
+        assert!(tree.aggregate_batch_grouped(&batch, &[0, 0, 1]).is_err());
+        let empty = GradientBatch::new(4);
+        assert!(tree.aggregate_batch(&empty).is_err());
+    }
+
+    #[test]
+    fn tree_config_round_trips_through_json() {
+        let config = TreeConfig::uniform(GarKind::Bulyan, 3, 1, 16);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: TreeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+}

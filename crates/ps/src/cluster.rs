@@ -114,6 +114,47 @@ impl ClusterSpec {
         ClusterSpec::with_nodes_sharded(nodes, workers, ps_shards, policy)
     }
 
+    /// Hierarchical-aggregation placement: one aggregator job per worker
+    /// group plus a root aggregator. The root is aggregator job 0 (so
+    /// [`ClusterSpec::parameter_server_node`] and
+    /// [`ClusterSpec::root_aggregator_node`] agree) and group `k`'s
+    /// aggregator is job `k + 1`; under `OneJobPerNode` every aggregator gets
+    /// its own node, ahead of the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when `groups` is zero, or under the
+    /// same conditions as [`ClusterSpec::with_nodes_sharded`].
+    pub fn homogeneous_tree(
+        node_count: usize,
+        workers: usize,
+        groups: usize,
+        policy: PlacementPolicy,
+    ) -> Result<Self> {
+        if groups == 0 {
+            return Err(PsError::InvalidConfig(
+                "a tree placement needs at least one worker group".into(),
+            ));
+        }
+        ClusterSpec::homogeneous_sharded(node_count, workers, groups + 1, policy)
+    }
+
+    /// The node running the root aggregator of a tree placement.
+    pub fn root_aggregator_node(&self) -> &Node {
+        self.parameter_server_node()
+    }
+
+    /// The node running group `k`'s aggregator in a tree placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when `k` is not a placed group
+    /// (including when the cluster was not built by
+    /// [`ClusterSpec::homogeneous_tree`]).
+    pub fn group_aggregator_node(&self, k: usize) -> Result<&Node> {
+        self.parameter_server_shard_node(k + 1)
+    }
+
     /// The paper's evaluation platform: 20 nodes, 19 workers, 1 PS (the
     /// evaluator shares the PS node, as the original in-graph deployment
     /// does).
@@ -357,6 +398,28 @@ mod tests {
         // Not enough nodes for shards + workers.
         assert!(ClusterSpec::homogeneous_sharded(9, 6, 4, PlacementPolicy::OneJobPerNode).is_err());
         assert!(ClusterSpec::homogeneous_sharded(9, 6, 0, PlacementPolicy::Collocated).is_err());
+    }
+
+    #[test]
+    fn tree_placement_gives_every_group_aggregator_a_node() {
+        // 8 workers in 2 groups: root + 2 group aggregators + 8 workers = 11
+        // nodes under one-job-per-node.
+        let cluster =
+            ClusterSpec::homogeneous_tree(11, 8, 2, PlacementPolicy::OneJobPerNode).unwrap();
+        assert_eq!(cluster.parameter_server_count(), 3);
+        let root = cluster.root_aggregator_node().name.clone();
+        let g0 = cluster.group_aggregator_node(0).unwrap().name.clone();
+        let g1 = cluster.group_aggregator_node(1).unwrap().name.clone();
+        assert_ne!(root, g0);
+        assert_ne!(root, g1);
+        assert_ne!(g0, g1);
+        assert!(cluster.group_aggregator_node(2).is_err());
+        for w in 0..8 {
+            let name = cluster.worker_node(w).unwrap().name.clone();
+            assert!(name != root && name != g0 && name != g1);
+        }
+        assert!(ClusterSpec::homogeneous_tree(10, 8, 2, PlacementPolicy::OneJobPerNode).is_err());
+        assert!(ClusterSpec::homogeneous_tree(11, 8, 0, PlacementPolicy::OneJobPerNode).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::membership::{self, FaultPlan, RefusalPolicy};
 use crate::streaming::StreamingConfig;
 use crate::{PsError, Result};
 use agg_attacks::AttackKind;
-use agg_core::GarConfig;
+use agg_core::{resilience, GarConfig, TreeAggregator, TreeConfig};
 use agg_data::corruption::Corruption;
 use agg_data::synthetic::{gaussian_blobs, synthetic_images, BlobConfig, ImageConfig};
 use agg_data::Dataset;
@@ -28,6 +28,7 @@ use agg_nn::models;
 use agg_nn::optim::{OptimizerKind, Regularization};
 use agg_nn::schedule::LearningRate;
 use agg_nn::Sequential;
+use agg_tensor::GroupPlan;
 use serde::{Deserialize, Serialize};
 
 /// Which model + dataset combination to train (the `--experiment` flag).
@@ -191,6 +192,17 @@ pub struct RunnerConfig {
     /// per-shard partial distance matrices and select globally — so this is
     /// purely a scale knob, never a robustness trade-off.
     pub shards: usize,
+    /// Hierarchical (two-level) aggregation: partition the workers into
+    /// groups of `tree.group_size ≤ 32`, run a full GAR per group at the
+    /// sortnet sweet spot, then run a GAR over the group outputs at the
+    /// root. `None` keeps the flat tier — the seed behaviour, bit for bit.
+    /// When set, [`RunnerConfig::gar`] must equal `tree.root` (the root rule
+    /// is what labels, quorum and selection feedback observe) and the tier is
+    /// mutually exclusive with coordinate sharding (`shards > 1`). Unlike
+    /// sharding, the tree *changes the asymptotics* — O(n²d) becomes
+    /// O(n·g·d + (n/g)²d) — at the cost of the composed resilience bound
+    /// `f_total = (f_group + 1)(f_root + 1) − 1` instead of a flat `f`.
+    pub tree: Option<TreeConfig>,
     /// Simulation cost model.
     pub cost: CostModel,
     /// Streaming round knobs: per-row distance accumulation (off by
@@ -242,6 +254,7 @@ impl RunnerConfig {
             retransmit: None,
             adaptive_churn: false,
             shards: 1,
+            tree: None,
             cost: CostModel::paper_like(),
             streaming: StreamingConfig::default(),
             worker_extra_delay_sec: Vec::new(),
@@ -311,6 +324,33 @@ impl RunnerConfig {
         }
         // Build the GAR once to surface configuration errors early.
         self.gar.build().map_err(PsError::from)?;
+        if let Some(tree) = &self.tree {
+            if self.shards > 1 {
+                return Err(PsError::InvalidConfig(
+                    "the tree tier and coordinate sharding are mutually exclusive".into(),
+                ));
+            }
+            if self.gar != tree.root {
+                return Err(PsError::InvalidConfig(format!(
+                    "in tree mode `gar` must equal the root rule (gar = {}, tree.root = {}): \
+                     labels, quorum and selection feedback all observe the root",
+                    self.gar, tree.root
+                )));
+            }
+            // Surface group-size / rule errors early, exactly like `gar`.
+            TreeAggregator::new(*tree).map_err(PsError::from)?;
+            // The full roster must clear the composed floor: a run that would
+            // refuse every round is a configuration error, not a runtime one.
+            let plan = GroupPlan::new(self.workers, tree.group_size).map_err(PsError::from)?;
+            resilience::check_tree(
+                tree.group.kind,
+                tree.group.f,
+                tree.root.kind,
+                tree.root.f,
+                plan.sizes(),
+            )
+            .map_err(PsError::from)?;
+        }
         Ok(())
     }
 }
@@ -451,6 +491,51 @@ mod tests {
         let mut c = RunnerConfig::quick_default();
         c.retransmit = Some(RetransmitConfig { backoff_factor: 0.0, ..Default::default() });
         assert!(c.validate().is_err(), "nonsense backoff factors are rejected");
+    }
+
+    #[test]
+    fn tree_tier_validation_and_round_trip() {
+        use agg_core::{GarKind, TreeConfig};
+
+        // A well-formed tree run: 64 workers, groups of 16, Multi-Krum at
+        // both levels, with `gar` mirroring the root rule.
+        let mut c = RunnerConfig::quick_default();
+        c.workers = 64;
+        let tree = TreeConfig::uniform(GarKind::MultiKrum, 2, 0, 16);
+        c.tree = Some(tree);
+        c.gar = tree.root;
+        assert!(c.validate().is_ok());
+
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunnerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tree, Some(tree));
+
+        // `gar` must mirror the root rule.
+        let mut bad = c.clone();
+        bad.gar = tree.group;
+        bad.gar.f = 7;
+        assert!(bad.validate().is_err(), "gar != tree.root is rejected");
+
+        // Mutually exclusive with coordinate sharding.
+        let mut bad = c.clone();
+        bad.shards = 4;
+        assert!(bad.validate().is_err(), "tree + shards > 1 is rejected");
+
+        // Group size beyond the sortnet sweet spot is rejected.
+        let mut bad = c.clone();
+        let wide = TreeConfig::uniform(GarKind::MultiKrum, 2, 0, 64);
+        bad.tree = Some(wide);
+        bad.gar = wide.root;
+        assert!(bad.validate().is_err(), "group_size > 32 is rejected");
+
+        // A roster that cannot clear the composed floor is a config error:
+        // Multi-Krum root with f = 2 needs 7 contributing groups, but 64
+        // workers in groups of 16 only form 4.
+        let mut bad = c.clone();
+        let starved = TreeConfig::uniform(GarKind::MultiKrum, 2, 2, 16);
+        bad.tree = Some(starved);
+        bad.gar = starved.root;
+        assert!(bad.validate().is_err(), "roster below the composed floor is rejected");
     }
 
     #[test]

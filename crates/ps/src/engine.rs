@@ -11,14 +11,14 @@ use crate::streaming::RoundPipeline;
 use crate::worker::{Worker, WorkerRole};
 use crate::{PsError, Result};
 use agg_attacks::{Attack, AttackContext, AttackKind, ChurnDirective};
-use agg_core::GarConfig;
+use agg_core::{resilience, GarConfig};
 use agg_data::corruption::corrupt;
 use agg_data::{Dataset, MiniBatchSampler};
 use agg_metrics::{LatencyBreakdown, ThroughputMeter, TracePoint, TrainingTrace};
 use agg_net::{ChaosPlan, GradientCodec, LinkConfig, LossyTransport, ReliableTransport, Transport};
 use agg_nn::Sequential;
 use agg_tensor::rng::{derive_seed, gaussian_fill, seeded_rng};
-use agg_tensor::{GradientBatch, Vector};
+use agg_tensor::{GradientBatch, GroupPlan, Vector};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -71,6 +71,21 @@ pub struct SyncTrainingEngine {
     /// With an empty plan it stays at epoch 0 / all-live — static
     /// membership, the seed behaviour bit for bit.
     membership: MembershipView,
+    /// The worker-to-group partition of the hierarchical tier; `None` on the
+    /// flat path. Groups are contiguous worker-id ranges of
+    /// `tree.group_size`, the last one ragged when `n` is not divisible.
+    tree_plan: Option<GroupPlan>,
+    /// One transport per group for the group-aggregator → root leg of the
+    /// hierarchical round. Groups whose worker range overlaps the degraded
+    /// links inherit the lossy/chaos/retransmit wire (each with its own
+    /// chaos stream past the worker streams); the rest stay reliable.
+    tree_links: Vec<Box<dyn Transport>>,
+    /// Per-group membership epochs of the hierarchical tier: a crash or
+    /// rejoin bumps only the epoch of the group it happened in, so the
+    /// epoch fence stays local — workers in untouched groups are never
+    /// re-stamped. Empty on the flat path, which fences at the global
+    /// view epoch as before.
+    group_epochs: Vec<u32>,
     /// `false` forces Phase 1 through the plain sequential iterator (the
     /// seed ordering). The determinism test runs both modes and asserts
     /// identical reports.
@@ -110,14 +125,32 @@ impl SyncTrainingEngine {
         let actual_dimension = model.param_count();
         let model_flops = model.flops_per_sample();
 
+        // The hierarchical tier partitions the roster into contiguous groups
+        // of `tree.group_size` (validated against the sortnet sweet spot).
+        let tree_plan = match &config.tree {
+            Some(tree) => {
+                Some(GroupPlan::new(config.workers, tree.group_size).map_err(PsError::from)?)
+            }
+            None => None,
+        };
+
         // One node per worker plus one per parameter-server shard, matching
-        // the paper's one-job-per-node deployment.
-        let cluster = ClusterSpec::homogeneous_sharded(
-            config.workers + config.shards,
-            config.workers,
-            config.shards,
-            PlacementPolicy::OneJobPerNode,
-        )?;
+        // the paper's one-job-per-node deployment. In tree mode the
+        // aggregator tier is one job per group plus a root instead.
+        let cluster = match &tree_plan {
+            Some(plan) => ClusterSpec::homogeneous_tree(
+                config.workers + plan.group_count() + 1,
+                config.workers,
+                plan.group_count(),
+                PlacementPolicy::OneJobPerNode,
+            )?,
+            None => ClusterSpec::homogeneous_sharded(
+                config.workers + config.shards,
+                config.workers,
+                config.shards,
+                PlacementPolicy::OneJobPerNode,
+            )?,
+        };
 
         let mut server = ParameterServer::new(
             model.parameters(),
@@ -127,6 +160,7 @@ impl SyncTrainingEngine {
             config.regularization,
         )?;
         server.set_shards(config.shards)?;
+        server.set_tree(config.tree)?;
 
         let clean = Arc::new(train);
         let poisoned: Option<Arc<Dataset>> = match &config.data_poisoning {
@@ -166,10 +200,32 @@ impl SyncTrainingEngine {
             ));
         }
 
+        // The group-aggregator → root legs of the hierarchical round. A
+        // group's leg is degraded exactly when the group contains a degraded
+        // worker link (the trailing `lossy_links` ids), so the chaos-afflicted
+        // region of the cluster stays contiguous across both levels; each leg
+        // draws its chaos from its own stream past the worker streams.
+        let tree_links: Vec<Box<dyn Transport>> = match &tree_plan {
+            Some(plan) => (0..plan.group_count())
+                .map(|gid| {
+                    let degraded =
+                        plan.range(gid).end > config.workers.saturating_sub(config.lossy_links);
+                    Self::build_link(&config, (config.workers + gid) as u64, degraded)
+                })
+                .collect::<Result<_>>()?,
+            None => Vec::new(),
+        };
+        let group_epochs =
+            tree_plan.as_ref().map_or_else(Vec::new, |plan| vec![0; plan.group_count()]);
+
         let attack = config.attack.build();
         let calibrated_aggregation_sec = Self::calibrate_aggregation(&config, config.workers)?;
         let mut pipeline = RoundPipeline::new(actual_dimension, config.workers);
-        if config.streaming.enabled && config.gar.kind.uses_distances() {
+        // Distance streaming accumulates the *flat* pairwise matrix, which
+        // the per-group rules of the tree tier never read — the flag is a
+        // no-op there rather than an error, so the determinism matrix can
+        // still cross it with tree runs.
+        if config.streaming.enabled && config.gar.kind.uses_distances() && config.tree.is_none() {
             pipeline.enable_distance_streaming(config.workers, actual_dimension, config.shards)?;
         }
         let membership = MembershipView::new(config.workers);
@@ -187,6 +243,9 @@ impl SyncTrainingEngine {
             clock_sec: 0.0,
             pipeline,
             membership,
+            tree_plan,
+            tree_links,
+            group_epochs,
             phase1_parallel: true,
         })
     }
@@ -210,6 +269,14 @@ impl SyncTrainingEngine {
     /// asserts exactly that.
     pub fn set_shard_parallel(&mut self, parallel: bool) {
         self.server.set_shard_parallel(parallel);
+    }
+
+    /// Forces the tree tier's group stage through the sequential group
+    /// ordering instead of the rayon fan-out (no-op on the flat path). The
+    /// two modes must produce bit-identical reports — the tree determinism
+    /// test asserts exactly that.
+    pub fn set_tree_parallel(&mut self, parallel: bool) {
+        self.server.set_tree_parallel(parallel);
     }
 
     /// Measures the configured GAR for real at (close to) the virtual model's
@@ -261,14 +328,25 @@ impl SyncTrainingEngine {
         // transport or a reliable TCP-like one is decided by
         // `config.transport`, which is exactly the comparison of Figure 8(b).
         let degraded = worker_id >= config.workers.saturating_sub(config.lossy_links);
+        Self::build_link(config, worker_id as u64, degraded)
+    }
+
+    /// Builds one link of the configured wire: a worker↔server link (stream
+    /// `0..workers`) or a group-aggregator → root leg of the tree tier
+    /// (stream `workers + gid`). Each stream draws its own chaos from the
+    /// shared seeded plan.
+    fn build_link(
+        config: &RunnerConfig,
+        stream: u64,
+        degraded: bool,
+    ) -> Result<Box<dyn Transport>> {
         let link =
             if degraded { config.link } else { LinkConfig { drop_rate: 0.0, ..config.link } };
         let codec = GradientCodec::default_mtu();
         match config.transport {
             TransportKind::Lossy { policy } if degraded => {
-                let mut transport =
-                    LossyTransport::new(link, codec, policy, config.seed, worker_id as u64)
-                        .map_err(PsError::from)?;
+                let mut transport = LossyTransport::new(link, codec, policy, config.seed, stream)
+                    .map_err(PsError::from)?;
                 // The chaos schedule and the retransmit recovery live on the
                 // degraded links only — the same links the paper injects its
                 // artificial faults on. Each worker draws its chaos from its
@@ -316,11 +394,15 @@ impl SyncTrainingEngine {
     /// are recorded in the report, not raised.
     pub fn run(&mut self) -> Result<TrainingReport> {
         let label = format!(
-            "{} f={} b={} n={}{}",
+            "{} f={} b={} n={}{}{}",
             self.server.gar_name(),
             self.config.gar.f,
             self.config.batch_size,
             self.config.workers,
+            match self.config.tree {
+                Some(tree) => format!(" tree(g={})", tree.group_size),
+                None => String::new(),
+            },
             match self.config.transport {
                 TransportKind::Reliable => String::new(),
                 TransportKind::Lossy { .. } => format!(" lossy({} links)", self.config.lossy_links),
@@ -354,6 +436,11 @@ impl SyncTrainingEngine {
         // elastic machinery as a fault plan.
         let adaptive_churn = self.config.adaptive_churn && self.config.byzantine_count > 0;
         let elastic = !fault_plan.is_empty() || adaptive_churn;
+        // What the run actually tolerates: the flat rule's declared `f`, or
+        // the composed bound `(f_group + 1)(f_root + 1) − 1` of the tree
+        // tier. Quorum accounting and the adversary's declared-f knowledge
+        // both see this figure.
+        let declared_f = self.config.tree.map_or(self.config.gar.f, |tree| tree.composed_max_f());
         // Selection feedback costs one selection pass per round (free when
         // the streaming matrix is available); run it only when someone reads
         // it: the Byzantine-selection counter or the adaptive adversary.
@@ -377,7 +464,7 @@ impl SyncTrainingEngine {
                         honest_gradients: &[],
                         model: self.server.parameters(),
                         byzantine_count: self.config.byzantine_count,
-                        declared_f: self.config.gar.f,
+                        declared_f,
                         step,
                         seed: self.config.seed,
                         total_workers: self.workers.len(),
@@ -405,26 +492,70 @@ impl SyncTrainingEngine {
                 };
                 let round_plan = adaptive_plan.as_ref().unwrap_or(&fault_plan);
                 let transitions = self.membership.apply_round(round_plan, step);
-                let epoch = self.membership.epoch();
-                for worker in &mut self.workers {
-                    // The server side of every link fences at the current
-                    // view's epoch.
-                    worker.set_transport_expected_epoch(Some(epoch));
-                    // Live workers that did not just rejoin have taken part
-                    // in the view change and stamp the new epoch; a
-                    // rejoiner still carries the epoch it crashed with, so
-                    // its first round back is fenced, and it syncs at the
-                    // next round's broadcast.
-                    let id = worker.id();
-                    if self.membership.health(id).is_live() && !transitions.rejoined.contains(&id) {
-                        worker.set_transport_epoch(epoch);
+                if let Some(plan) = &self.tree_plan {
+                    // Tree mode fences per group: a crash or rejoin bumps
+                    // only the epoch of the group it happened in, and every
+                    // worker is stamped against its *group's* epoch, so view
+                    // changes never invalidate in-flight rounds of untouched
+                    // groups.
+                    for &w in transitions.crashed.iter().chain(&transitions.rejoined) {
+                        self.group_epochs[plan.group_of(w)] += 1;
+                    }
+                    for worker in &mut self.workers {
+                        let id = worker.id();
+                        let group_epoch = self.group_epochs[plan.group_of(id)];
+                        worker.set_transport_expected_epoch(Some(group_epoch));
+                        if self.membership.health(id).is_live()
+                            && !transitions.rejoined.contains(&id)
+                        {
+                            worker.set_transport_epoch(group_epoch);
+                        }
+                    }
+                } else {
+                    let epoch = self.membership.epoch();
+                    for worker in &mut self.workers {
+                        // The server side of every link fences at the current
+                        // view's epoch.
+                        worker.set_transport_expected_epoch(Some(epoch));
+                        // Live workers that did not just rejoin have taken
+                        // part in the view change and stamp the new epoch; a
+                        // rejoiner still carries the epoch it crashed with,
+                        // so its first round back is fenced, and it syncs at
+                        // the next round's broadcast.
+                        let id = worker.id();
+                        if self.membership.health(id).is_live()
+                            && !transitions.rejoined.contains(&id)
+                        {
+                            worker.set_transport_epoch(epoch);
+                        }
                     }
                 }
                 // Every transition re-derives the active rule's floor: a
-                // live set below `g(f)` voids the GAR's resilience proof,
-                // so the server refuses the round and degrades per policy
-                // instead of aggregating on borrowed assumptions.
-                if !self.membership.satisfies_floor(self.config.gar.kind, self.config.gar.f) {
+                // live set below `g(f)` — or, in tree mode, a live partition
+                // that cannot seat the composed two-level bound — voids the
+                // resilience proof, so the server refuses the round and
+                // degrades per policy instead of aggregating on borrowed
+                // assumptions.
+                let floor_ok = match (&self.tree_plan, &self.config.tree) {
+                    (Some(plan), Some(tree)) => {
+                        let mut live_sizes = vec![0usize; plan.group_count()];
+                        for w in 0..self.workers.len() {
+                            if self.membership.health(w).is_live() {
+                                live_sizes[plan.group_of(w)] += 1;
+                            }
+                        }
+                        resilience::check_tree(
+                            tree.group.kind,
+                            tree.group.f,
+                            tree.root.kind,
+                            tree.root.f,
+                            live_sizes,
+                        )
+                        .is_ok()
+                    }
+                    _ => self.membership.satisfies_floor(self.config.gar.kind, self.config.gar.f),
+                };
+                if !floor_ok {
                     refused += 1;
                     if self.config.refusal == RefusalPolicy::HoldLastRound {
                         // The held model is still broadcast, so the clock
@@ -538,7 +669,7 @@ impl SyncTrainingEngine {
                     honest_gradients: &honest_views,
                     model: &params,
                     byzantine_count: attacker_ids.len(),
-                    declared_f: self.config.gar.f,
+                    declared_f,
                     step,
                     seed: self.config.seed,
                     total_workers: self.workers.len(),
@@ -575,7 +706,7 @@ impl SyncTrainingEngine {
             // churn, `n − f` means "all but f of the workers actually in
             // the view", not of the configured roster. With static
             // membership the two coincide.
-            let quorum = self.config.streaming.quorum.accept_count(live_n, self.config.gar.f);
+            let quorum = self.config.streaming.quorum.accept_count(live_n, declared_f);
             let mut arrivals: Vec<usize> =
                 (0..rounds.len()).filter(|&i| rounds[i].delivered).collect();
             arrivals.sort_by(|&a, &b| {
@@ -610,12 +741,24 @@ impl SyncTrainingEngine {
                 keep[slot] = true;
             }
             let kept_slots: Vec<usize> = (0..rounds.len()).filter(|&i| keep[i]).collect();
+            // The group id of every surviving row, in arena order — the tree
+            // tier's counterpart of the distance matrix.
+            let tree_groups: Option<Vec<usize>> = self
+                .tree_plan
+                .as_ref()
+                .map(|plan| kept_slots.iter().map(|&slot| plan.group_of(slot)).collect());
             let distances = self.pipeline.matrix(&kept_slots);
             self.pipeline.arena_mut().retain_rows(&keep);
             let submitted = self.pipeline.arena().n() as u64;
             let mut aggregation_time = 0.0;
+            // Simulated wall time of the group-aggregator → root legs (tree
+            // mode only): the legs run in parallel, so the round pays the
+            // slowest one.
+            let mut tree_wire_wait = 0.0f64;
             let round_result = if self.pipeline.arena().is_empty() {
                 Err(PsError::Aggregation("no submissions survived the transport".into()))
+            } else if let Some(groups) = &tree_groups {
+                self.apply_tree_round(step, groups, dim_scale, &mut tree_wire_wait)
             } else {
                 match &distances {
                     Some(distances) => self
@@ -624,6 +767,7 @@ impl SyncTrainingEngine {
                     None => self.server.apply_round_batch(self.pipeline.arena()),
                 }
             };
+            let round_wait = round_wait + tree_wire_wait;
             match round_result {
                 Ok(outcome) => {
                     let kernel_sec = match self.calibrated_aggregation_sec {
@@ -635,9 +779,15 @@ impl SyncTrainingEngine {
                     };
                     aggregation_time = kernel_sec + cost.update_time(self.actual_dimension);
                     if wants_selection {
-                        if let Some(rows) =
-                            self.server.selected_rows(self.pipeline.arena(), distances.as_ref())?
-                        {
+                        let selection = match &tree_groups {
+                            Some(groups) => {
+                                self.server.tree_selected_rows(self.pipeline.arena(), groups)?
+                            }
+                            None => self
+                                .server
+                                .selected_rows(self.pipeline.arena(), distances.as_ref())?,
+                        };
+                        if let Some(rows) = selection {
                             if rows
                                 .iter()
                                 .any(|&r| self.workers[kept_slots[r]].role().is_byzantine())
@@ -680,6 +830,39 @@ impl SyncTrainingEngine {
             byzantine_selected_rounds,
             simulated_time_sec: self.clock_sec,
         })
+    }
+
+    /// One hierarchical aggregation round: the group stage on the compacted
+    /// arena, the group outputs shipped root-ward over the per-group links
+    /// (chaos, retransmit and all — a dropped output simply leaves the root
+    /// with one fewer input), then the root rule and the optimizer step.
+    /// `wire_wait` receives the slowest leg's simulated transfer time; the
+    /// measured aggregation wall time covers both kernel stages.
+    fn apply_tree_round(
+        &mut self,
+        step: u64,
+        groups: &[usize],
+        dim_scale: f64,
+        wire_wait: &mut f64,
+    ) -> Result<crate::server::RoundOutcome> {
+        let group_stage = Instant::now();
+        let round = self.server.tree_group_outputs(self.pipeline.arena(), groups)?;
+        let group_wall_sec = group_stage.elapsed().as_secs_f64();
+        let total_workers = self.workers.len();
+        let mut delivered = Vec::with_capacity(round.outputs.len());
+        for output in &round.outputs {
+            let link = &mut self.tree_links[output.group];
+            let outcome = link
+                .transfer((total_workers + output.group) as u32, step, &output.output)
+                .map_err(PsError::from)?;
+            *wire_wait = wire_wait.max(outcome.time_sec * dim_scale);
+            if let Some(gradient) = outcome.gradient {
+                delivered.push(gradient);
+            }
+        }
+        let mut outcome = self.server.apply_round_tree_outputs(&delivered)?;
+        outcome.aggregation_wall_sec += group_wall_sec;
+        Ok(outcome)
     }
 
     /// Evaluates test accuracy at the current parameters and records a trace
@@ -1069,6 +1252,61 @@ mod tests {
             quorum.simulated_time_sec,
             full.simulated_time_sec
         );
+    }
+
+    #[test]
+    fn tree_engine_trains_and_places_one_aggregator_per_group() {
+        use agg_core::TreeConfig;
+        // 12 workers in 3 groups of 4, Median at both levels.
+        let tree = TreeConfig::uniform(GarKind::Median, 1, 1, 4);
+        let mut config = quick_config(GarKind::Median, 1, 12);
+        config.tree = Some(tree);
+        config.gar = tree.root;
+        let mut engine = SyncTrainingEngine::new(config).unwrap();
+        // 3 group aggregators + 1 root.
+        assert_eq!(engine.cluster().parameter_server_count(), 4);
+        let report = engine.run().unwrap();
+        assert_eq!(report.steps_completed, 60);
+        assert_eq!(report.skipped_updates, 0);
+        assert!(report.label.contains("tree(g=4)"));
+        assert!(
+            report.final_accuracy() > 0.6,
+            "expected learning progress, got {}",
+            report.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn tree_rounds_below_the_composed_floor_are_refused() {
+        use crate::membership::{FaultAction, FaultPlan};
+        use agg_core::TreeConfig;
+        // 12 workers, Median f=1 at both levels: the root needs 3
+        // contributing groups and a group needs 3 live members. Crashing two
+        // workers of group 1 drops it below its floor, leaving 2 < 3
+        // contributing groups — refusal, not a panic or an under-counted
+        // aggregate.
+        let tree = TreeConfig::uniform(GarKind::Median, 1, 1, 4);
+        let mut config = quick_config(GarKind::Median, 1, 12);
+        config.tree = Some(tree);
+        config.gar = tree.root;
+        config.max_steps = 10;
+        config.fault_plan = FaultPlan::empty()
+            .with(3, 4, FaultAction::Crash)
+            .with(3, 5, FaultAction::Crash)
+            .with(6, 4, FaultAction::Rejoin)
+            .with(6, 5, FaultAction::Rejoin);
+        let mut engine = SyncTrainingEngine::new(config).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.refused_rounds, 3, "rounds 3, 4, 5 are below the composed floor");
+        // The rejoiners are fenced at their group's epoch for one round; the
+        // other groups' workers were never re-stamped.
+        assert!(report.stale_epoch_rejects > 0);
+        // Round 6 clears the composed floor again but the two rejoiners are
+        // still fenced, so group 1 contributes 2 < 3 rows and the root sees
+        // 2 < 3 groups: skipped by the GAR precondition — the refusal and
+        // the skip stay distinguishable, exactly like the flat tier.
+        assert_eq!(report.skipped_updates, 1);
+        assert_eq!(report.steps_completed, 10 - 3 - 1);
     }
 
     #[test]

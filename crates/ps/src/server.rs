@@ -9,7 +9,10 @@
 //! executions". [`ParameterServer::handle_remote_write`] models that patch.
 
 use crate::{PsError, Result};
-use agg_core::{Bulyan, Gar, GarConfig, GarKind, MultiKrum, ShardedAggregator};
+use agg_core::{
+    Bulyan, Gar, GarConfig, GarKind, MultiKrum, ShardedAggregator, TreeAggregator, TreeConfig,
+    TreeRound,
+};
 use agg_nn::optim::{Optimizer, OptimizerKind, Regularization};
 use agg_nn::schedule::LearningRate;
 use agg_tensor::{DistanceMatrix, GradientBatch, Vector};
@@ -38,6 +41,14 @@ pub struct ParameterServer {
     /// shard-reduced distance matrix), so swapping one for the other is a
     /// deployment decision, never a robustness change.
     sharded: Option<ShardedAggregator>,
+    /// When the hierarchical tier is active, grouped rounds run through this
+    /// two-level tree — a full GAR per group, then the root rule over the
+    /// group outputs. Unlike `sharded` this is *not* equivalent to the flat
+    /// rule in general (the resilience bound composes:
+    /// `f_total = (f_group + 1)(f_root + 1) − 1`), which is why it is driven
+    /// only by the explicitly grouped entry points; `apply_round_batch`
+    /// stays flat.
+    tree: Option<TreeAggregator>,
     optimizer: Box<dyn Optimizer>,
     learning_rate: LearningRate,
     regularization: Regularization,
@@ -67,6 +78,7 @@ impl ParameterServer {
             gar,
             gar_config,
             sharded: None,
+            tree: None,
             optimizer: optimizer.build(),
             learning_rate,
             regularization,
@@ -100,6 +112,11 @@ impl ParameterServer {
     /// rebuilt.
     pub fn set_shards(&mut self, shards: usize) -> Result<()> {
         self.sharded = if shards > 1 {
+            if self.tree.is_some() {
+                return Err(PsError::InvalidConfig(
+                    "the tree tier and coordinate sharding are mutually exclusive".into(),
+                ));
+            }
             Some(ShardedAggregator::new(self.gar_config, shards).map_err(PsError::from)?)
         } else if shards == 1 {
             None
@@ -128,6 +145,138 @@ impl ParameterServer {
     /// Name of the active aggregation rule.
     pub fn gar_name(&self) -> &'static str {
         self.gar.name()
+    }
+
+    /// Installs (or removes) the hierarchical aggregation tier. `None`
+    /// restores the flat path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError`] when the tree configuration is invalid (zero or
+    /// oversized groups, unbuildable rules) or when the coordinate-sharded
+    /// tier is already active — the two tiers are mutually exclusive.
+    pub fn set_tree(&mut self, config: Option<TreeConfig>) -> Result<()> {
+        self.tree = match config {
+            Some(config) => {
+                if self.sharded.is_some() {
+                    return Err(PsError::InvalidConfig(
+                        "the tree tier and coordinate sharding are mutually exclusive".into(),
+                    ));
+                }
+                Some(TreeAggregator::new(config).map_err(PsError::from)?)
+            }
+            None => None,
+        };
+        Ok(())
+    }
+
+    /// The active hierarchical tier, if any.
+    pub fn tree(&self) -> Option<&TreeAggregator> {
+        self.tree.as_ref()
+    }
+
+    /// Forces the tree tier's group stage through the sequential ordering
+    /// (the determinism tests compare this against the rayon fan-out bit for
+    /// bit). A no-op on the flat server.
+    pub fn set_tree_parallel(&mut self, parallel: bool) {
+        if let Some(tree) = self.tree.as_mut() {
+            tree.set_parallel(parallel);
+        }
+    }
+
+    /// Stage 1 of a hierarchical round: aggregates each group of the batch
+    /// (rows labelled by `groups`, one group id per row) with the group rule,
+    /// skipping groups below their resilience floor. A pure read; the engine
+    /// ships the returned outputs over the inter-group links before the root
+    /// stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when no tree tier is installed, and
+    /// [`PsError::Aggregation`] when the composed bound already rules the
+    /// round out or a contributing group's rule fails.
+    pub fn tree_group_outputs(&self, batch: &GradientBatch, groups: &[usize]) -> Result<TreeRound> {
+        let tree = self.tree.as_ref().ok_or_else(|| {
+            PsError::InvalidConfig("tree_group_outputs requires an installed tree tier".into())
+        })?;
+        let config = tree.config();
+        let round = tree.group_outputs(batch, groups).map_err(PsError::from)?;
+        // Refuse before the wire stage when even full delivery could not
+        // seat a root round — same check the one-shot grouped path applies.
+        agg_core::resilience::check_tree(
+            config.group.kind,
+            config.group.f,
+            config.root.kind,
+            config.root.f,
+            round
+                .outputs
+                .iter()
+                .map(|o| o.members.len())
+                .chain(round.skipped.iter().map(|&(_, size)| size)),
+        )
+        .map_err(PsError::from)?;
+        Ok(round)
+    }
+
+    /// Stage 2 of a hierarchical round: runs the root rule over the group
+    /// outputs that survived the wire and applies the optimizer step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when no tree tier is installed,
+    /// [`PsError::Aggregation`] when fewer outputs arrived than the root
+    /// rule's floor (dropped inter-group packets degrade into a refused
+    /// round, never an unsound aggregate), and [`PsError::Model`] when the
+    /// optimizer step fails.
+    pub fn apply_round_tree_outputs(&mut self, outputs: &[Vector]) -> Result<RoundOutcome> {
+        let start = Instant::now();
+        let tree = self.tree.as_ref().ok_or_else(|| {
+            PsError::InvalidConfig(
+                "apply_round_tree_outputs requires an installed tree tier".into(),
+            )
+        })?;
+        let aggregated = tree.root_aggregate(outputs).map_err(PsError::from)?;
+        self.finish_round(aggregated, start)
+    }
+
+    /// One-shot hierarchical round: both tree stages back to back on a
+    /// loss-free interconnect (group aggregation, then the root rule over
+    /// every group output), plus the optimizer step.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParameterServer::tree_group_outputs`] and
+    /// [`ParameterServer::apply_round_tree_outputs`].
+    pub fn apply_round_tree(
+        &mut self,
+        batch: &GradientBatch,
+        groups: &[usize],
+    ) -> Result<RoundOutcome> {
+        let start = Instant::now();
+        let tree = self.tree.as_ref().ok_or_else(|| {
+            PsError::InvalidConfig("apply_round_tree requires an installed tree tier".into())
+        })?;
+        let aggregated = tree.aggregate_batch_grouped(batch, groups).map_err(PsError::from)?;
+        self.finish_round(aggregated, start)
+    }
+
+    /// Tree-tier counterpart of [`ParameterServer::selected_rows`]: the batch
+    /// rows whose *groups* the root rule's selection phase picks (`None` when
+    /// the root rule has no selection phase). A pure read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] when no tree tier is installed, and
+    /// [`PsError::Aggregation`] when the composed bound fails for this batch.
+    pub fn tree_selected_rows(
+        &self,
+        batch: &GradientBatch,
+        groups: &[usize],
+    ) -> Result<Option<Vec<usize>>> {
+        let tree = self.tree.as_ref().ok_or_else(|| {
+            PsError::InvalidConfig("tree_selected_rows requires an installed tree tier".into())
+        })?;
+        tree.selected_rows(batch, groups).map_err(PsError::from)
     }
 
     /// Disables the TensorFlow vulnerability patch (test/demonstration only).
@@ -428,6 +577,74 @@ mod tests {
         assert_eq!(krum.selected_rows(&batch, None).unwrap().unwrap().len(), 1);
         let median = server(GarKind::Median, 2, 3);
         assert_eq!(median.selected_rows(&batch, None).unwrap(), None);
+    }
+
+    #[test]
+    fn tree_rounds_flow_through_both_stages() {
+        use agg_core::TreeConfig;
+
+        // 12 workers in groups of 4, Median at both levels (root floor
+        // 2f + 1 = 3 groups); the last group is pure garbage and must be
+        // outvoted.
+        let mut rows: Vec<Vector> =
+            (0..8).map(|i| Vector::from(vec![1.0 + 0.01 * i as f32, -1.0])).collect();
+        rows.extend((0..4).map(|_| Vector::from(vec![1e6, 1e6])));
+        let batch = GradientBatch::from_vectors(&rows).unwrap();
+        let groups: Vec<usize> = (0..12).map(|w| w / 4).collect();
+        let tree = TreeConfig::uniform(GarKind::Median, 1, 1, 4);
+
+        let mut one_shot = server(GarKind::Median, 1, 2);
+        one_shot.set_tree(Some(tree)).unwrap();
+        assert!(one_shot.tree().is_some());
+        let outcome = one_shot.apply_round_tree(&batch, &groups).unwrap();
+        assert_eq!(outcome.step, 1);
+        assert!(one_shot.parameters()[0].abs() < 1.0, "the garbage group must not move the model");
+
+        // The staged path (group outputs, then root) lands on the same model.
+        let mut staged = server(GarKind::Median, 1, 2);
+        staged.set_tree(Some(tree)).unwrap();
+        let round = staged.tree_group_outputs(&batch, &groups).unwrap();
+        assert_eq!(round.outputs.len(), 3);
+        assert!(round.skipped.is_empty());
+        let outputs: Vec<Vector> = round.outputs.iter().map(|o| o.output.clone()).collect();
+        staged.apply_round_tree_outputs(&outputs).unwrap();
+        assert_eq!(staged.parameters().as_slice(), one_shot.parameters().as_slice());
+
+        // Dropping outputs below the root floor refuses the round and does
+        // not advance the step.
+        let mut starved = server(GarKind::Median, 1, 2);
+        starved.set_tree(Some(tree)).unwrap();
+        assert!(matches!(
+            starved.apply_round_tree_outputs(&outputs[..1]),
+            Err(PsError::Aggregation(_))
+        ));
+        assert_eq!(starved.step(), 0);
+
+        // Root selection feedback maps back to member rows: a Multi-Krum
+        // root over Median group outputs excludes the garbage group.
+        let selector = {
+            let mut s = server(GarKind::MultiKrum, 0, 2);
+            let t = TreeConfig {
+                group: GarConfig::new(GarKind::Median, 1),
+                root: GarConfig::new(GarKind::MultiKrum, 0),
+                group_size: 4,
+            };
+            s.set_tree(Some(t)).unwrap();
+            s
+        };
+        let selected = selector.tree_selected_rows(&batch, &groups).unwrap().unwrap();
+        assert!(!selected.iter().any(|&r| r >= 8), "garbage rows must not be selected");
+
+        // The flat entry points stay flat, and the tiers stay exclusive.
+        let mut s = server(GarKind::Median, 1, 2);
+        assert!(matches!(s.apply_round_tree(&batch, &groups), Err(PsError::InvalidConfig(_))));
+        s.set_tree(Some(tree)).unwrap();
+        assert!(s.set_shards(3).is_err(), "tree + shards is rejected");
+        s.set_tree(None).unwrap();
+        s.set_shards(3).unwrap();
+        let mut s2 = server(GarKind::Median, 1, 2);
+        s2.set_shards(3).unwrap();
+        assert!(s2.set_tree(Some(tree)).is_err(), "shards + tree is rejected");
     }
 
     #[test]

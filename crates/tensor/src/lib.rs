@@ -53,7 +53,7 @@ pub mod vector;
 pub use batch::{BatchColumns, DistanceMatrix, GradientBatch};
 pub use error::TensorError;
 pub use matrix::Matrix;
-pub use shard::ShardPlan;
+pub use shard::{GroupPlan, ShardPlan};
 pub use streaming::StreamingDistances;
 pub use tensor::Tensor;
 pub use vector::Vector;

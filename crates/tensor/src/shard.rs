@@ -105,6 +105,98 @@ impl ShardPlan {
     }
 }
 
+/// A contiguous partition of the worker range `0..n` into groups of at most
+/// `g` workers — the worker-side counterpart of [`ShardPlan`], shared by the
+/// hierarchical aggregation tier: the tree aggregator runs one GAR per group
+/// over rows `range(group)` of the submission arena, the cluster placement
+/// gives each group its own aggregator job, and the engine derives per-group
+/// membership epochs from it. Keeping the partition arithmetic in one type
+/// guarantees the worker the engine assigned to group `k` is the worker whose
+/// rows group `k`'s aggregator reduces.
+///
+/// Unlike [`ShardPlan`] (near-equal split into a fixed shard count), a group
+/// plan fixes the group *size*: every group holds exactly `g` workers except
+/// the last, which holds the ragged remainder `n mod g` (when nonzero). The
+/// group size is the unit the per-group kernels are tuned for
+/// (`sortnet::MAX_NETWORK_N`), so it — not the group count — is the invariant
+/// worth pinning.
+///
+/// ```
+/// use agg_tensor::shard::GroupPlan;
+/// let plan = GroupPlan::new(70, 32).unwrap();
+/// assert_eq!(plan.group_count(), 3);
+/// assert_eq!(plan.range(0), 0..32);
+/// assert_eq!(plan.range(2), 64..70); // ragged last group
+/// assert_eq!(plan.group_of(64), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPlan {
+    workers: usize,
+    group_size: usize,
+}
+
+impl GroupPlan {
+    /// Partitions `0..workers` into `ceil(workers / group_size)` contiguous
+    /// groups of `group_size` workers, the last group taking the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] when `workers` or `group_size` is
+    /// zero.
+    pub fn new(workers: usize, group_size: usize) -> Result<Self> {
+        if workers == 0 || group_size == 0 {
+            return Err(TensorError::EmptyInput("GroupPlan::new"));
+        }
+        Ok(GroupPlan { workers, group_size })
+    }
+
+    /// Number of groups, `ceil(workers / group_size)`.
+    pub fn group_count(&self) -> usize {
+        self.workers.div_ceil(self.group_size)
+    }
+
+    /// Total worker count `n` the plan covers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured (maximum) group size `g`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The worker-id range of group `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.group_count()`.
+    pub fn range(&self, k: usize) -> Range<usize> {
+        assert!(k < self.group_count(), "group {k} out of range");
+        let start = k * self.group_size;
+        start..(start + self.group_size).min(self.workers)
+    }
+
+    /// Iterator over every group's worker range, in group order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.group_count()).map(move |k| self.range(k))
+    }
+
+    /// Iterator over every group's size, in group order.
+    pub fn sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ranges().map(|r| r.len())
+    }
+
+    /// The group holding worker `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()`.
+    pub fn group_of(&self, worker: usize) -> usize {
+        assert!(worker < self.workers, "worker {worker} out of range for {} workers", self.workers);
+        worker / self.group_size
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +253,55 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn shard_of_rejects_out_of_range_coordinates() {
         ShardPlan::new(4, 2).unwrap().shard_of(4);
+    }
+
+    #[test]
+    fn group_plan_partitions_with_a_ragged_tail() {
+        let plan = GroupPlan::new(70, 32).unwrap();
+        assert_eq!(plan.group_count(), 3);
+        assert_eq!(plan.workers(), 70);
+        assert_eq!(plan.group_size(), 32);
+        let ranges: Vec<_> = plan.ranges().collect();
+        assert_eq!(ranges, vec![0..32, 32..64, 64..70]);
+        assert_eq!(plan.sizes().collect::<Vec<_>>(), vec![32, 32, 6]);
+        let total: usize = plan.sizes().sum();
+        assert_eq!(total, 70);
+    }
+
+    #[test]
+    fn group_plan_exact_division_has_no_ragged_group() {
+        let plan = GroupPlan::new(64, 32).unwrap();
+        assert_eq!(plan.group_count(), 2);
+        assert!(plan.sizes().all(|s| s == 32));
+    }
+
+    #[test]
+    fn group_of_agrees_with_ranges_everywhere() {
+        for (n, g) in [(1usize, 1usize), (19, 4), (70, 32), (1024, 32), (33, 32), (5, 7)] {
+            let plan = GroupPlan::new(n, g).unwrap();
+            for w in 0..n {
+                let owner = plan.group_of(w);
+                assert!(plan.range(owner).contains(&w), "n={n} g={g} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_workers_than_group_size_is_one_group() {
+        let plan = GroupPlan::new(5, 32).unwrap();
+        assert_eq!(plan.group_count(), 1);
+        assert_eq!(plan.range(0), 0..5);
+    }
+
+    #[test]
+    fn degenerate_group_plans_are_rejected() {
+        assert!(GroupPlan::new(0, 4).is_err());
+        assert!(GroupPlan::new(4, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_of_rejects_out_of_range_workers() {
+        GroupPlan::new(4, 2).unwrap().group_of(4);
     }
 }

@@ -318,6 +318,83 @@ fn new_attack_family_survives_flat_sharded_quorum_and_churn() {
 }
 
 #[test]
+fn colluding_group_is_rejected_at_the_tree_root_under_the_composed_bound() {
+    // The tree tier's worst-case adversary placement: all f Byzantine
+    // workers concentrate in the fewest groups, capture them outright, and
+    // submit bit-identical poisoned group outputs. The composed bound says a
+    // robust root with f_root ≥ captured-groups still rejects them — for
+    // both selection-family roots, across the exact floor geometry of each:
+    // Multi-Krum (2f + 3: groups of 6, 5 groups) and Bulyan (4f + 3: groups
+    // of 7, 7 groups). Three colluders capture at most one group, so the
+    // f = 1 root excludes its output every round and the run keeps learning
+    // with no Byzantine row ever entering the selection feedback.
+    let arms = [(GarKind::MultiKrum, 6usize, 30usize), (GarKind::Bulyan, 7usize, 49usize)];
+    for (kind, group_size, workers) in arms {
+        let tree = agg_core::TreeConfig::uniform(kind, 1, 1, group_size);
+        let config = RunnerConfig {
+            gar: tree.root,
+            tree: Some(tree),
+            workers,
+            byzantine_count: 3, // == tree.composed_max_f()
+            attack: AttackKind::GroupCollusion { scale: 100.0, group_size },
+            max_steps: 100,
+            eval_every: 25,
+            eval_samples: 256,
+            learning_rate: LearningRate::Fixed { rate: 0.01 },
+            seed: 21,
+            ..RunnerConfig::quick_default()
+        };
+        assert_eq!(tree.composed_max_f(), 3, "{kind}: composed bound");
+        let report = SyncTrainingEngine::new(config).expect("valid").run().expect("runs");
+        assert!(
+            report.final_accuracy() > GOOD,
+            "{kind} root under group collusion: accuracy {}",
+            report.final_accuracy()
+        );
+        // Multi-Krum's selection *is* its aggregation set, so the captured
+        // group must be excluded outright. Bulyan's θ = n − 2f selection may
+        // admit the captured output — its phase-2 trimmed median is what
+        // neutralises it — mirroring the within-variance exemption of the
+        // flat matrix above.
+        if kind == GarKind::MultiKrum {
+            assert_eq!(
+                report.byzantine_selected_rounds, 0,
+                "{kind} root: a captured group's members must never reach the selection set"
+            );
+        }
+        assert_eq!(report.refused_rounds, 0, "{kind}: a full roster never refuses");
+        assert_eq!(report.skipped_updates, 0, "{kind}: the root floor holds every round");
+    }
+
+    // The contrast arm that proves the attack is live: an averaging root has
+    // no rejection step, so the same concentrated collusion drags the model.
+    let tree = agg_core::TreeConfig {
+        group: GarConfig::new(GarKind::Average, 0),
+        root: GarConfig::new(GarKind::Average, 0),
+        group_size: 6,
+    };
+    let config = RunnerConfig {
+        gar: tree.root,
+        tree: Some(tree),
+        workers: 30,
+        byzantine_count: 3,
+        attack: AttackKind::GroupCollusion { scale: 100.0, group_size: 6 },
+        max_steps: 100,
+        eval_every: 25,
+        eval_samples: 256,
+        learning_rate: LearningRate::Fixed { rate: 0.01 },
+        seed: 21,
+        ..RunnerConfig::quick_default()
+    };
+    let report = SyncTrainingEngine::new(config).expect("valid").run().expect("runs");
+    assert!(
+        report.final_accuracy() < BAD,
+        "an averaging root should collapse under group collusion, got {}",
+        report.final_accuracy()
+    );
+}
+
+#[test]
 fn corrupted_data_ruins_averaging_but_not_multi_krum() {
     // The Figure 7 experiment: a single worker training on malformed records.
     let tf = run_poisoned(GarKind::Average, 0, 1);

@@ -23,8 +23,8 @@
 
 use agg_core::{GarConfig, GarKind};
 use agg_net::{
-    reseal_packet_bytes, ChaosConfig, ChaosMode, GradientCodec, LossPolicy, RetransmitConfig,
-    RoundAssembler, ShardedRoundAssembler,
+    reseal_packet_bytes, ChaosConfig, ChaosMode, ChaosPlan, GradientCodec, LinkConfig, LossPolicy,
+    LossyTransport, RetransmitConfig, RoundAssembler, ShardedRoundAssembler, Transport,
 };
 use agg_nn::schedule::LearningRate;
 use agg_ps::{QuorumPolicy, RunnerConfig, SyncTrainingEngine, TrainingReport, TransportKind};
@@ -173,6 +173,105 @@ fn exhausted_recovery_degrades_exactly_like_a_quorum_straggler() {
     assert_eq!(
         partitioned.corrupt_rejects, 0,
         "a partition delivers nothing — there is nothing to reject"
+    );
+}
+
+#[test]
+fn retry_delay_spikes_consume_the_round_deadline_budget() {
+    // Pins the retransmit-delay accounting contract: a delay spike injected
+    // on a *retry* attempt is charged to `time_sec` before the next
+    // `time_sec + backoff <= round_deadline_sec` check, so a delay-heavy
+    // plan exhausts the deadline in strictly fewer retries than a delay-free
+    // twin with the identical fault schedule. The spike magnitude changes no
+    // RNG draw (each attempt reseeds from (step, stream, attempt)), so the
+    // two plans drop exactly the same packets — only the clock differs.
+    let link = LinkConfig::datacenter().with_drop_rate(0.6);
+    let codec = GradientCodec::new(10).unwrap();
+    let retrans = RetransmitConfig {
+        max_retries: 16,
+        initial_backoff_sec: 1e-4,
+        backoff_factor: 1.5,
+        round_deadline_sec: 0.25,
+    };
+    let spike_sec = 0.05f64;
+    let gradient: Vec<f32> = (0..1000).map(|i| i as f32 * 0.25 - 3.0).collect();
+    let run = |delay_spike_sec: f64| {
+        let chaos =
+            ChaosConfig { delay_spike_rate: 1.0, delay_spike_sec, ..ChaosConfig::default() };
+        let mut t = LossyTransport::new(link, codec, LossPolicy::DropGradient, 11, 0).unwrap();
+        t.set_chaos(Some(ChaosPlan::new(chaos, 11).unwrap()));
+        t.set_retransmit(Some(retrans));
+        let mut row = vec![0.0f32; gradient.len()];
+        t.transfer_into(0, 0, &gradient, &mut row).unwrap()
+    };
+
+    let free = run(0.0);
+    let heavy = run(spike_sec);
+
+    assert!(free.delivered, "without delay spikes the retry budget must complete the row");
+    assert!(free.retransmits > 1, "60% loss must need more than one retry");
+    assert!(
+        heavy.retransmits < free.retransmits,
+        "retry delay spikes must shrink the usable retry budget \
+         (heavy {} vs free {})",
+        heavy.retransmits,
+        free.retransmits
+    );
+    // Every attempt — the initial send and each retry — fired a spike, and
+    // every one of them must appear in the reported time.
+    assert!(
+        heavy.time_sec >= spike_sec * (heavy.retransmits + 1) as f64,
+        "reported time {} must include all {} delay spikes",
+        heavy.time_sec,
+        heavy.retransmits + 1
+    );
+    // The guard runs before each retry, so the overrun is bounded by one
+    // attempt's spike + wire time.
+    assert!(
+        heavy.time_sec <= retrans.round_deadline_sec + spike_sec + 0.01,
+        "the deadline bounds the clock to one attempt of overrun, got {}",
+        heavy.time_sec
+    );
+}
+
+#[test]
+fn retry_delay_spikes_are_charged_to_the_reported_round_wait() {
+    // The engine-level half of the same pin: two runs whose chaos plans
+    // differ only in spike magnitude (every fault draw identical) must train
+    // bit-for-bit — recovery re-delivers everything either way under a
+    // generous deadline — while the delay-heavy run's simulated clock, which
+    // aggregates the per-round `round_wait`, is strictly larger.
+    let mut config = base_config(GarKind::MultiKrum, 2, 9);
+    config.max_steps = 12;
+    config.eval_every = 4;
+    config.transport = TransportKind::Lossy { policy: LossPolicy::DropGradient };
+    config.lossy_links = 3;
+    config.retransmit = Some(RetransmitConfig {
+        max_retries: 16,
+        round_deadline_sec: 10.0,
+        ..RetransmitConfig::default()
+    });
+    config.chaos = Some(ChaosConfig {
+        delay_spike_rate: 1.0,
+        delay_spike_sec: 0.0,
+        ..ChaosConfig::moderate()
+    });
+    let free = SyncTrainingEngine::new(config.clone()).expect("valid").run().expect("runs");
+    config.chaos = Some(ChaosConfig {
+        delay_spike_rate: 1.0,
+        delay_spike_sec: 2e-3,
+        ..ChaosConfig::moderate()
+    });
+    let heavy = SyncTrainingEngine::new(config).expect("valid").run().expect("runs");
+
+    assert_same_training(&free, &heavy, "delay-heavy vs delay-free");
+    assert!(heavy.corrupt_rejects > 0, "the chaos schedule must actually fire");
+    assert!(
+        heavy.simulated_time_sec > free.simulated_time_sec,
+        "retry delay spikes must be charged to the reported round_wait \
+         (heavy {} vs free {})",
+        heavy.simulated_time_sec,
+        free.simulated_time_sec
     );
 }
 
