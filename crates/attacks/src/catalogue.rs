@@ -465,6 +465,104 @@ impl Attack for Adaptive {
     }
 }
 
+/// The reputation-evading rotation: identity churn paced *slower than the
+/// suspicion ledger's decay horizon*, with individually jittered
+/// within-variance gradients.
+///
+/// The fast identity rotation ([`Adaptive::plan_churn`]) pays one
+/// stale-epoch fence hit per rejoin; rotating every round accrues that
+/// evidence faster than geometric decay can forget it, and a reputation
+/// ledger crosses its quarantine threshold within a few rounds. This
+/// variant makes the opposite trade: each window of `period` rounds crashes
+/// exactly one attacker slot (round-robin), so any single slot pays a fence
+/// hit only once every `byzantine_count · period` rounds — by which time the
+/// decayed residual of the previous hit is negligible and the score saw-tooths
+/// below the threshold forever. The cost of evasion is proportionally less
+/// attack pressure: stealthy shifts, no collusion clique (per-slot jitter
+/// keeps pairwise distances above any affinity sketch's epsilon), and most
+/// slots honest-looking most of the time.
+///
+/// The schedule reads only `ctx.step`, so the policy stays stateless and
+/// replays stay deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowRotation {
+    /// Rounds per rotation window; each window crashes the next attacker
+    /// slot in round-robin order. Zero behaves as 1 (fast rotation — the
+    /// degenerate case a ledger catches).
+    pub period: u64,
+    /// Shift (in σ multiples) of the within-variance crafted gradients.
+    pub z: f32,
+}
+
+impl Default for SlowRotation {
+    fn default() -> Self {
+        // A default window comfortably past the default ledger's decay
+        // horizon (0.7^16 ≈ 3e-3): evidence from the previous rotation is
+        // forgotten before the next one lands.
+        SlowRotation { period: 16, z: 0.5 }
+    }
+}
+
+impl SlowRotation {
+    /// The attacker slot resting (crashed) during `step`'s window, if any.
+    fn resting_slot(&self, ctx: &AttackContext<'_>) -> Option<usize> {
+        if ctx.byzantine_count == 0 {
+            return None;
+        }
+        let first_attacker = ctx.total_workers.saturating_sub(ctx.byzantine_count);
+        let window = ctx.step / self.period.max(1);
+        Some(first_attacker + (window as usize % ctx.byzantine_count))
+    }
+}
+
+impl Attack for SlowRotation {
+    fn name(&self) -> &'static str {
+        "slow-rotation"
+    }
+
+    fn craft(&self, ctx: &AttackContext<'_>) -> Vec<Vector> {
+        let mean = ctx.honest_mean();
+        let std = honest_std(ctx);
+        (0..ctx.byzantine_count)
+            .map(|k| {
+                let mut crafted = mean.clone();
+                let _ = crafted.axpy(-self.z, &std);
+                // Per-slot, per-round jitter: no two crafted rows are ever
+                // bit-close, so a collusion-affinity sketch sees no clique.
+                let mut rng = seeded_rng(derive_seed(
+                    derive_seed(ctx.seed, 0x5107_A7E0 ^ ctx.step),
+                    k as u64,
+                ));
+                let _ = crafted.axpy(
+                    0.2 * self.z.abs().max(0.1),
+                    &gaussian_vector(&mut rng, ctx.dimension(), 0.0, 1.0),
+                );
+                crafted
+            })
+            .collect()
+    }
+
+    fn plan_churn(&self, ctx: &AttackContext<'_>) -> Vec<ChurnDirective> {
+        let Some(resting) = self.resting_slot(ctx) else {
+            return Vec::new();
+        };
+        let first_attacker = ctx.total_workers.saturating_sub(ctx.byzantine_count);
+        // Restate the full intent every round (redundant directives are
+        // membership no-ops): the resting slot stays down, everyone else is
+        // (re)joined — at a window boundary exactly one slot crashes and the
+        // previous rester rejoins through the epoch fence.
+        (first_attacker..ctx.total_workers)
+            .map(|slot| {
+                if slot == resting {
+                    ChurnDirective::Crash(slot)
+                } else {
+                    ChurnDirective::Rejoin(slot)
+                }
+            })
+            .collect()
+    }
+}
+
 /// The colluding-group attack against the hierarchical (tree) aggregation
 /// tier. Byzantine slots are the trailing worker ids and the tree's
 /// `GroupPlan` partitions workers contiguously, so an adversary with `f`
@@ -563,6 +661,14 @@ pub enum AttackKind {
     MinSum,
     /// The selection-feedback adaptive attacker (default shift schedule).
     Adaptive,
+    /// The reputation-evading rotation: identity churn paced slower than a
+    /// suspicion ledger's decay horizon, with jittered stealth gradients.
+    SlowRotation {
+        /// Rounds per rotation window (one slot rests per window).
+        period: u64,
+        /// Standard-deviation multiple of the stealth shift.
+        z: f32,
+    },
     /// The colluding-group attack against the hierarchical tree tier.
     GroupCollusion {
         /// Magnification of the reversed honest mean.
@@ -588,6 +694,7 @@ impl AttackKind {
             AttackKind::MinMax => Box::new(MinMax),
             AttackKind::MinSum => Box::new(MinSum),
             AttackKind::Adaptive => Box::new(Adaptive::default()),
+            AttackKind::SlowRotation { period, z } => Box::new(SlowRotation { period, z }),
             AttackKind::GroupCollusion { scale, group_size } => {
                 Box::new(GroupCollusion { scale, group_size })
             }
@@ -650,6 +757,7 @@ mod tests {
             AttackKind::MinMax,
             AttackKind::MinSum,
             AttackKind::Adaptive,
+            AttackKind::SlowRotation { period: 4, z: 0.5 },
             AttackKind::GroupCollusion { scale: 100.0, group_size: 4 },
         ];
         for kind in kinds {
@@ -672,6 +780,7 @@ mod tests {
             AttackKind::MinMax,
             AttackKind::MinSum,
             AttackKind::Adaptive,
+            AttackKind::SlowRotation { period: 4, z: 0.5 },
             AttackKind::GroupCollusion { scale: 100.0, group_size: 4 },
         ] {
             let a = kind.build().craft(&ctx(&honest_views, &model, 2));
@@ -747,10 +856,61 @@ mod tests {
         assert_eq!(AttackKind::MinMax.name(), "min-max");
         assert_eq!(AttackKind::MinSum.name(), "min-sum");
         assert_eq!(AttackKind::Adaptive.name(), "adaptive");
+        assert_eq!(AttackKind::SlowRotation { period: 16, z: 0.5 }.name(), "slow-rotation");
         assert_eq!(
             AttackKind::GroupCollusion { scale: 100.0, group_size: 32 }.name(),
             "group-collusion"
         );
+    }
+
+    #[test]
+    fn slow_rotation_rests_one_slot_per_window() {
+        let honest = honest_cloud(10, 6);
+        let honest_views = views(&honest);
+        let model = Vector::zeros(6);
+        let attack = SlowRotation { period: 4, z: 0.5 };
+        // 3 attacker slots (10, 11, 12), windows of 4 rounds: the resting
+        // slot advances round-robin at each window boundary, so any single
+        // slot rejoins only once per 12 rounds — slower than a decaying
+        // suspicion score can accumulate.
+        for (step, resting) in [(0, 10), (3, 10), (4, 11), (7, 11), (8, 12), (12, 10)] {
+            let context = AttackContext { step, ..ctx(&honest_views, &model, 3) };
+            let directives = attack.plan_churn(&context);
+            assert_eq!(directives.len(), 3, "step {step}");
+            for directive in &directives {
+                match *directive {
+                    ChurnDirective::Crash(slot) => assert_eq!(slot, resting, "step {step}"),
+                    ChurnDirective::Rejoin(slot) => assert_ne!(slot, resting, "step {step}"),
+                }
+            }
+            assert_eq!(
+                directives.iter().filter(|d| matches!(d, ChurnDirective::Crash(_))).count(),
+                1,
+                "exactly one slot rests per window (step {step})"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_rotation_rows_are_jittered_apart() {
+        // Unlike Adaptive's identical rows, the crafted rows must never form
+        // a zero-distance clique a collusion-affinity sketch could flag.
+        let honest = honest_cloud(10, 16);
+        let honest_views = views(&honest);
+        let model = Vector::zeros(16);
+        let crafted = SlowRotation::default().craft(&ctx(&honest_views, &model, 3));
+        assert_eq!(crafted.len(), 3);
+        for i in 0..crafted.len() {
+            for j in i + 1..crafted.len() {
+                let d = row_distance_sq(crafted[i].as_slice(), crafted[j].as_slice());
+                assert!(d > 1e-4, "rows {i} and {j} are bit-close: {d}");
+            }
+        }
+        // The stealth shift still points against the honest mean direction.
+        let mean = ctx(&honest_views, &model, 3).honest_mean();
+        let shifted = crafted[0].dot(&mean).unwrap();
+        let aligned = mean.dot(&mean).unwrap();
+        assert!(shifted < aligned, "crafted row must sit below the mean along itself");
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod catalogue;
 pub use attack::{Attack, AttackContext, ChurnDirective};
 pub use catalogue::{
     Adaptive, Alie, AttackKind, ConstantDrift, GroupCollusion, LittleIsEnough, MinMax, MinSum,
-    NoAttack, NonFinite, RandomGradient, ReversedGradient, SignFlip,
+    NoAttack, NonFinite, RandomGradient, ReversedGradient, SignFlip, SlowRotation,
 };

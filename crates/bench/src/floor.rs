@@ -117,6 +117,15 @@ pub const FLOORS: &[(&str, &str, f64)] = &[
     ("BENCH_round.json", "tcp:multi-krum:chaos", 0.95),
     ("BENCH_round.json", "lossy-udp:average:chaos", 0.95),
     ("BENCH_round.json", "lossy-udp:multi-krum:chaos", 0.95),
+    // Acceptance anchor (PR 10): the reputation ledger — the affinity
+    // collusion sketch over every delivered row, the six-stream evidence
+    // fold into the decayed suspicion scores, and the quarantine-candidate
+    // scan — costs at most ~5% of a static pipeline round
+    // (`pipeline_ns / reputation_ns`).
+    ("BENCH_round.json", "tcp:average:reputation", 0.95),
+    ("BENCH_round.json", "tcp:multi-krum:reputation", 0.95),
+    ("BENCH_round.json", "lossy-udp:average:reputation", 0.95),
+    ("BENCH_round.json", "lossy-udp:multi-krum:reputation", 0.95),
     // BENCH_tree.json — the two-level group-wise tier vs the flat GAR at
     // the same n (`flat_ns / tree_ns`), Multi-Krum at both levels, g = 32.
     // Acceptance anchor (PR 9): the tree changes the asymptotics
@@ -216,6 +225,7 @@ fn extract_round(doc: &Value, out: &mut Vec<Recorded>) {
         ("quorum_speedup", ":quorum"),
         ("churn_speedup", ":churn"),
         ("chaos_speedup", ":chaos"),
+        ("reputation_speedup", ":reputation"),
     ];
     for cell in seq(doc, "results") {
         let transport = field_str(cell, "transport");

@@ -231,6 +231,23 @@ pub fn check_tree(
     Ok(())
 }
 
+/// Smallest identical-row clique that *captures* a Krum-family selection
+/// over `n` rows: `⌈n / 2⌉`. A clique of `c` identical rows gives each
+/// member `c − 1` zero-distance neighbours; once `c − 1 ≥ n − c` — i.e.
+/// `c ≥ ⌈n / 2⌉` — every clique member's Krum score is the minimum possible
+/// and the selection is theirs regardless of the declared `f`. The
+/// contrapositive is the budget a placement policy can rely on: a group of
+/// size `n` *survives* any planted clique of at most
+/// `clique_capture_threshold(n) − 1 = ⌊(n − 1) / 2⌋` members.
+///
+/// This is the arithmetic behind reputation-driven containment reshuffles:
+/// concentrating suspects into sacrificial groups (each fully captured, then
+/// out-voted at the root) while every remaining group stays below this
+/// threshold.
+pub fn clique_capture_threshold(n: usize) -> usize {
+    n.div_ceil(2)
+}
+
 /// The theoretical slowdown ratio `√(m̃ / n)` of Multi-Krum / AggregaThor
 /// versus plain averaging, in the absence of Byzantine workers
 /// (Theorems 1 & 2 part (ii)).
@@ -244,6 +261,20 @@ pub fn theoretical_slowdown(n: usize, f: usize, strong: bool) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clique_capture_threshold_is_the_majority_point() {
+        // c identical rows capture iff each member sees c − 1 zero-distance
+        // neighbours out-numbering the n − c outsiders.
+        assert_eq!(clique_capture_threshold(5), 3);
+        assert_eq!(clique_capture_threshold(6), 3);
+        assert_eq!(clique_capture_threshold(7), 4);
+        // The survivable budget is one less than the capture point.
+        for n in 2..64 {
+            let survivable = clique_capture_threshold(n) - 1;
+            assert_eq!(survivable, (n - 1) / 2, "n={n}");
+        }
+    }
 
     #[test]
     fn paper_setup_is_admissible() {

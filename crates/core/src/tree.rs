@@ -296,10 +296,32 @@ impl TreeAggregator {
         self.root_aggregate(&outputs)
     }
 
-    /// The batch row indices belonging to the groups the root rule's
-    /// selection phase picked, ascending (`None` for non-selecting root
-    /// rules) — the tree tier's selection-feedback signal: a row is
-    /// "selected" iff its group's output made the root selection.
+    /// Runs `level`'s selection phase over `batch`, returning the picked row
+    /// indices, or `None` when the level's rule has no selection phase.
+    fn level_selection(level: &GarConfig, batch: &GradientBatch) -> Result<Option<Vec<usize>>> {
+        use crate::{Bulyan, MultiKrum};
+        let f = level.f;
+        let picked = match level.kind {
+            GarKind::Krum => MultiKrum::with_selection(f, 1)?.select_batch(batch)?,
+            GarKind::MultiKrum => match level.m {
+                Some(m) => MultiKrum::with_selection(f, m)?,
+                None => MultiKrum::new(f)?,
+            }
+            .select_batch(batch)?,
+            GarKind::Bulyan => Bulyan::new(f)?.select_batch(batch)?,
+            _ => return Ok(None),
+        };
+        Ok(Some(picked))
+    }
+
+    /// The batch row indices that contributed to the root rule's selection,
+    /// ascending (`None` for non-selecting root rules) — the tree tier's
+    /// selection-feedback signal. A row is "selected" iff its group's output
+    /// made the root selection AND the group rule's own selection phase kept
+    /// the row (all live members count when the group rule has no selection
+    /// phase, e.g. Median groups). The second condition matters for
+    /// attribution: a root-selected group may itself have excluded an
+    /// outlier member, and that member did not touch the applied update.
     ///
     /// # Errors
     ///
@@ -309,7 +331,6 @@ impl TreeAggregator {
         batch: &GradientBatch,
         groups: &[usize],
     ) -> Result<Option<Vec<usize>>> {
-        use crate::{Bulyan, MultiKrum};
         let selecting =
             matches!(self.config.root.kind, GarKind::Krum | GarKind::MultiKrum | GarKind::Bulyan);
         if !selecting {
@@ -329,19 +350,20 @@ impl TreeAggregator {
         )?;
         let outputs: Vec<Vector> = round.outputs.iter().map(|g| g.output.clone()).collect();
         let output_batch = GradientBatch::from_vectors(&outputs)?;
-        let f = self.config.root.f;
-        let picked = match self.config.root.kind {
-            GarKind::Krum => MultiKrum::with_selection(f, 1)?.select_batch(&output_batch)?,
-            GarKind::MultiKrum => match self.config.root.m {
-                Some(m) => MultiKrum::with_selection(f, m)?,
-                None => MultiKrum::new(f)?,
+        let picked = Self::level_selection(&self.config.root, &output_batch)?
+            .expect("selecting root rules matched above");
+        let mut rows: Vec<usize> = Vec::new();
+        for i in picked {
+            let group = &round.outputs[i];
+            let mut scratch = GradientBatch::with_capacity(batch.dim(), group.members.len());
+            for &row in &group.members {
+                scratch.push_row(batch.row(row))?;
             }
-            .select_batch(&output_batch)?,
-            GarKind::Bulyan => Bulyan::new(f)?.select_batch(&output_batch)?,
-            _ => unreachable!("non-selecting root rules returned above"),
-        };
-        let mut rows: Vec<usize> =
-            picked.into_iter().flat_map(|i| round.outputs[i].members.to_vec()).collect();
+            match Self::level_selection(&self.config.group, &scratch)? {
+                Some(inner) => rows.extend(inner.into_iter().map(|r| group.members[r])),
+                None => rows.extend(group.members.iter().copied()),
+            }
+        }
         rows.sort_unstable();
         Ok(Some(rows))
     }

@@ -70,6 +70,12 @@ pub struct RowTransfer {
     /// Retransmission rounds the recovery protocol ran (0 when disabled or
     /// when the first transmission completed the row).
     pub retransmits: usize,
+    /// `true` when the recovery protocol was enabled but the row still ended
+    /// the round incomplete — the retry budget or the round deadline ran out
+    /// before every coordinate arrived. Distinguishes a *recovery failure*
+    /// (the wire stayed bad through the whole budget) from a plain loss on a
+    /// transport that never tried to recover.
+    pub retransmit_exhausted: bool,
     /// Raw link statistics.
     pub link_stats: LinkStats,
 }
@@ -322,6 +328,7 @@ impl Transport for ReliableTransport {
                     stale_epoch_rejects: packet_count,
                     corrupt_rejects: 0,
                     retransmits: 0,
+                    retransmit_exhausted: false,
                     link_stats: LinkStats {
                         sent: packet_count,
                         delivered: packet_count,
@@ -339,6 +346,7 @@ impl Transport for ReliableTransport {
             stale_epoch_rejects: 0,
             corrupt_rejects: 0,
             retransmits: 0,
+            retransmit_exhausted: false,
             link_stats: LinkStats {
                 sent: packet_count,
                 delivered: packet_count,
@@ -518,6 +526,8 @@ impl LossyTransport {
         let stale_epoch_rejects = assembler.stale_rejects();
         let corrupt_rejects = assembler.corrupt_rejects();
         if stale_epoch_rejects > 0 {
+            // A fenced round never retried, so its budget was not exhausted —
+            // the fence, not the wire, stopped the row.
             return Ok(RowTransfer {
                 delivered: false,
                 time_sec,
@@ -526,9 +536,13 @@ impl LossyTransport {
                 stale_epoch_rejects,
                 corrupt_rejects,
                 retransmits,
+                retransmit_exhausted: false,
                 link_stats,
             });
         }
+        // The recovery protocol was on and the row still ended incomplete:
+        // the retry budget / round deadline ran out with coordinates missing.
+        let retransmit_exhausted = self.retransmit.is_some() && missing > 0;
         let delivered = Self::apply_policy(self.policy, missing, dst);
         Ok(RowTransfer {
             delivered,
@@ -538,6 +552,7 @@ impl LossyTransport {
             stale_epoch_rejects: 0,
             corrupt_rejects,
             retransmits,
+            retransmit_exhausted,
             link_stats,
         })
     }
@@ -603,6 +618,7 @@ impl Transport for LossyTransport {
                 stale_epoch_rejects,
                 corrupt_rejects,
                 retransmits: 0,
+                retransmit_exhausted: false,
                 link_stats,
             });
         }
@@ -615,6 +631,7 @@ impl Transport for LossyTransport {
             stale_epoch_rejects: 0,
             corrupt_rejects,
             retransmits: 0,
+            retransmit_exhausted: false,
             link_stats,
         })
     }
@@ -811,6 +828,7 @@ mod tests {
             let out = t.transfer_into(0, step, g.as_slice(), &mut row).unwrap();
             assert!(out.delivered, "step {step}: a generous retry budget must complete the row");
             assert_eq!(out.missing_coordinates, 0);
+            assert!(!out.retransmit_exhausted, "a completed row never exhausted its budget");
             assert_eq!(row, g.as_slice());
             recovered += out.retransmits;
         }
@@ -857,7 +875,19 @@ mod tests {
         assert_eq!(out.missing_coordinates, 500);
         assert!(out.retransmits <= 3);
         assert!(out.retransmits > 0, "the budget should at least be attempted");
+        assert!(
+            out.retransmit_exhausted,
+            "an incomplete row with recovery enabled is a budget exhaustion, not a plain loss"
+        );
         assert!(out.time_sec <= retrans.round_deadline_sec + 1.0);
+
+        // The same partitioned wire without recovery is a plain loss: the
+        // exhaustion marker stays clear so the ledger can tell them apart.
+        let mut plain = LossyTransport::new(link, codec, LossPolicy::DropGradient, 5, 0).unwrap();
+        let mut row = vec![0.0f32; 500];
+        let out = plain.transfer_into(0, 0, g.as_slice(), &mut row).unwrap();
+        assert!(!out.delivered);
+        assert!(!out.retransmit_exhausted, "no recovery protocol, no exhaustion");
     }
 
     #[test]
@@ -880,6 +910,7 @@ mod tests {
         assert_eq!(a.time_sec, b.time_sec);
         assert_eq!(a.bytes_sent, b.bytes_sent);
         assert_eq!(b.retransmits, 0);
+        assert!(!b.retransmit_exhausted);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::cost::CostModel;
 use crate::membership::{self, FaultPlan, RefusalPolicy};
+use crate::reputation::ReputationConfig;
 use crate::streaming::StreamingConfig;
 use crate::{PsError, Result};
 use agg_attacks::AttackKind;
@@ -223,6 +224,14 @@ pub struct RunnerConfig {
     /// How the engine degrades when churn drops the live worker set below
     /// the active rule's resilience floor.
     pub refusal: RefusalPolicy,
+    /// Optional cross-round reputation ledger: decayed per-worker suspicion
+    /// scores folded from the engine's evidence streams, driving automatic
+    /// quarantine, probationary readmission and (in tree mode) the
+    /// containment group reshuffles. `None` keeps the memoryless seed
+    /// behaviour, bit for bit. Enabling it switches the engine into the
+    /// epoch-fenced elastic mode even without a fault plan, since quarantine
+    /// evictions travel through the same membership machinery.
+    pub reputation: Option<ReputationConfig>,
     /// Experiment seed; everything (data, init, sampling, attacks, links)
     /// derives from it.
     pub seed: u64,
@@ -260,6 +269,7 @@ impl RunnerConfig {
             worker_extra_delay_sec: Vec::new(),
             fault_plan: FaultPlan::empty(),
             refusal: RefusalPolicy::default(),
+            reputation: None,
             seed: 1,
         }
     }
@@ -315,6 +325,9 @@ impl RunnerConfig {
             ));
         }
         membership::validate_plan(&self.fault_plan, self.workers, self.max_steps)?;
+        if let Some(reputation) = &self.reputation {
+            reputation.validate()?;
+        }
         self.link.validate().map_err(PsError::from)?;
         if let Some(chaos) = &self.chaos {
             chaos.validate().map_err(PsError::from)?;
@@ -491,6 +504,21 @@ mod tests {
         let mut c = RunnerConfig::quick_default();
         c.retransmit = Some(RetransmitConfig { backoff_factor: 0.0, ..Default::default() });
         assert!(c.validate().is_err(), "nonsense backoff factors are rejected");
+    }
+
+    #[test]
+    fn reputation_config_round_trips_and_is_validated() {
+        let mut c = RunnerConfig::quick_default();
+        c.reputation = Some(ReputationConfig { reshuffle_every: 3, ..Default::default() });
+        assert!(c.validate().is_ok());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunnerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.reputation, c.reputation);
+
+        // Invalid ledger settings are caught by validate().
+        let mut bad = RunnerConfig::quick_default();
+        bad.reputation = Some(ReputationConfig { decay: 1.5, ..Default::default() });
+        assert!(bad.validate().is_err(), "out-of-range decay is rejected");
     }
 
     #[test]

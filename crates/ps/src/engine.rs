@@ -5,7 +5,8 @@ use crate::cluster::{ClusterSpec, PlacementPolicy};
 use crate::config::{RunnerConfig, TransportKind};
 use crate::cost::CostModel;
 use crate::membership::{FaultAction, MembershipView, RefusalPolicy, WorkerHealth};
-use crate::report::TrainingReport;
+use crate::report::{TrainingReport, WorkerReport};
+use crate::reputation::{self, ReputationLedger, RoundEvidence};
 use crate::server::ParameterServer;
 use crate::streaming::RoundPipeline;
 use crate::worker::{Worker, WorkerRole};
@@ -86,6 +87,14 @@ pub struct SyncTrainingEngine {
     /// re-stamped. Empty on the flat path, which fences at the global
     /// view epoch as before.
     group_epochs: Vec<u32>,
+    /// The cross-round suspicion ledger driving automatic quarantine,
+    /// probationary readmission and the tree tier's containment reshuffles.
+    /// `None` keeps the memoryless seed behaviour bit for bit.
+    reputation: Option<ReputationLedger>,
+    /// The seeded coordinate sample the collusion-affinity sketches read
+    /// (every coordinate for small models, a capped sample for large ones).
+    /// Empty without a ledger.
+    affinity_sample: Vec<usize>,
     /// `false` forces Phase 1 through the plain sequential iterator (the
     /// seed ordering). The determinism test runs both modes and asserts
     /// identical reports.
@@ -110,6 +119,10 @@ struct WorkerRound {
     /// Packets of this submission rejected by the wire-integrity check (chaos
     /// damage caught by the CRC32 envelope).
     corrupt_rejects: usize,
+    /// Whether this submission's retransmit recovery ran out of budget or
+    /// deadline with the row still incomplete — a distinct evidence stream
+    /// from a plain transport loss.
+    retransmit_exhausted: bool,
 }
 
 impl SyncTrainingEngine {
@@ -229,6 +242,15 @@ impl SyncTrainingEngine {
             pipeline.enable_distance_streaming(config.workers, actual_dimension, config.shards)?;
         }
         let membership = MembershipView::new(config.workers);
+        let ledger = config.reputation.map(|cfg| ReputationLedger::new(cfg, config.workers));
+        let affinity_sample = match &config.reputation {
+            Some(cfg) => reputation::affinity_sample_indices(
+                config.seed,
+                actual_dimension,
+                cfg.affinity_max_coords,
+            ),
+            None => Vec::new(),
+        };
         Ok(SyncTrainingEngine {
             config,
             cluster,
@@ -246,6 +268,8 @@ impl SyncTrainingEngine {
             tree_plan,
             tree_links,
             group_epochs,
+            reputation: ledger,
+            affinity_sample,
             phase1_parallel: true,
         })
     }
@@ -253,6 +277,11 @@ impl SyncTrainingEngine {
     /// The current membership view (epoch and per-worker health).
     pub fn membership(&self) -> &MembershipView {
         &self.membership
+    }
+
+    /// The reputation ledger driving quarantine decisions, when configured.
+    pub fn reputation(&self) -> Option<&ReputationLedger> {
+        self.reputation.as_ref()
     }
 
     /// Forces Phase 1 through the sequential iterator (the seed ordering)
@@ -416,9 +445,18 @@ impl SyncTrainingEngine {
         let mut stale_epoch_rejects = 0u64;
         let mut corrupt_rejects = 0u64;
         let mut byzantine_selected_rounds = 0u64;
+        let mut retransmit_exhaustions = 0u64;
+        // Per-worker wire/ledger counters, accumulated alongside the globals.
+        let mut worker_stats: Vec<WorkerReport> = (0..self.workers.len())
+            .map(|worker| WorkerReport { worker, ..Default::default() })
+            .collect();
         // The previous round's selection, as *worker slots* — the adaptive
         // adversary's feedback channel and the Byzantine-selection counter.
         let mut previous_selection: Option<Vec<usize>> = None;
+        // Which workers the previous aggregated round's selection left out —
+        // the ledger's selection-exclusion evidence stream (one round of
+        // history, consumed by the next fold).
+        let mut prev_excluded = vec![false; self.workers.len()];
 
         self.evaluate(&mut trace, 0)?;
 
@@ -435,7 +473,10 @@ impl SyncTrainingEngine {
         // of following a pre-declared schedule. Engages the same epoch-fenced
         // elastic machinery as a fault plan.
         let adaptive_churn = self.config.adaptive_churn && self.config.byzantine_count > 0;
-        let elastic = !fault_plan.is_empty() || adaptive_churn;
+        // A reputation ledger needs the epoch-fenced elastic machinery even
+        // without a fault plan: its quarantines and readmissions are
+        // engine-synthesized membership transitions.
+        let elastic = !fault_plan.is_empty() || adaptive_churn || self.reputation.is_some();
         // What the run actually tolerates: the flat rule's declared `f`, or
         // the composed bound `(f_group + 1)(f_root + 1) − 1` of the tree
         // tier. Quorum accounting and the adversary's declared-f knowledge
@@ -453,44 +494,128 @@ impl SyncTrainingEngine {
             let model_bytes = cost.payload_bytes(self.actual_dimension);
             let broadcast_time = self.config.link.transfer_time(model_bytes);
 
+            // Workers the ledger readmits *this* round: their fenced
+            // first-round packets are by design, not stale-epoch evidence.
+            let mut readmitted_now = vec![false; self.workers.len()];
             if elastic {
-                // The adversary's churn directives join this round's
-                // scheduled events: both run through the same MembershipView
-                // transition rules, so a directive can never do more than a
-                // fault plan could have scheduled (redundant directives are
-                // no-ops, rejoiners are fenced for one round).
-                let adaptive_plan = if adaptive_churn {
-                    let ctx = AttackContext {
-                        honest_gradients: &[],
-                        model: self.server.parameters(),
-                        byzantine_count: self.config.byzantine_count,
-                        declared_f,
-                        step,
-                        seed: self.config.seed,
-                        total_workers: self.workers.len(),
-                        previous_selection: previous_selection.as_deref(),
-                    };
+                // The ledger's synthesized transitions and the adversary's
+                // churn directives join this round's scheduled events: all
+                // run through the same MembershipView transition rules, so
+                // none can do more than a fault plan could have scheduled
+                // (redundant directives are no-ops, rejoiners are fenced for
+                // one round).
+                let needs_merge = adaptive_churn || self.reputation.is_some();
+                let merged_plan = if needs_merge {
                     let mut plan = fault_plan.clone();
-                    for directive in self.attack.plan_churn(&ctx) {
-                        let (worker, action) = match directive {
-                            ChurnDirective::Crash(w) => (w, FaultAction::Crash),
-                            ChurnDirective::Rejoin(w) => (w, FaultAction::Rejoin),
+                    if let Some(ledger) = &mut self.reputation {
+                        // Readmissions first: a lapsed quarantine rejoins on
+                        // probation this round (epoch-fenced like any other
+                        // rejoiner), so its stale first-round packets are by
+                        // design, not fresh evidence against it.
+                        for worker in ledger.due_for_readmission(step) {
+                            plan = plan.with(step, worker, FaultAction::Rejoin);
+                            ledger.readmit(step, worker);
+                            readmitted_now[worker] = true;
+                            worker_stats[worker].readmissions += 1;
+                        }
+                        // Quarantine evictions: rank by suspicion, cap
+                        // concurrent quarantines at the declared-f budget,
+                        // and gate every eviction on the post-eviction
+                        // resilience floor — an eviction the floor cannot
+                        // absorb yet is deferred, never dropped.
+                        let budget = match ledger.config().max_quarantined {
+                            0 => declared_f,
+                            cap => cap,
                         };
-                        // The adversary only controls its own workers: a
-                        // directive naming an honest slot is ignored.
-                        if self
-                            .workers
-                            .get(worker)
-                            .is_some_and(|w| w.role() == WorkerRole::Attacker)
-                        {
-                            plan = plan.with(step, worker, action);
+                        let mut live_sim: Vec<bool> = (0..self.workers.len())
+                            .map(|w| self.membership.health(w).is_live() || readmitted_now[w])
+                            .collect();
+                        for candidate in ledger.quarantine_candidates() {
+                            if ledger.quarantined_count() >= budget {
+                                break;
+                            }
+                            let was_live = live_sim[candidate];
+                            live_sim[candidate] = false;
+                            let floor_ok = match (&self.tree_plan, &self.config.tree) {
+                                (Some(tree_plan), Some(tree)) => {
+                                    let mut live_sizes = vec![0usize; tree_plan.group_count()];
+                                    for (w, &live) in live_sim.iter().enumerate() {
+                                        if live {
+                                            live_sizes[tree_plan.group_of(w)] += 1;
+                                        }
+                                    }
+                                    resilience::check_tree(
+                                        tree.group.kind,
+                                        tree.group.f,
+                                        tree.root.kind,
+                                        tree.root.f,
+                                        live_sizes,
+                                    )
+                                    .is_ok()
+                                }
+                                _ => {
+                                    // A quarantined slot no longer counts
+                                    // against the adversary's budget, so the
+                                    // floor re-derives from the suspicion-
+                                    // aware effective f.
+                                    let f_eff = self
+                                        .config
+                                        .gar
+                                        .f
+                                        .saturating_sub(ledger.quarantined_count() + 1);
+                                    let live_after = live_sim.iter().filter(|&&l| l).count();
+                                    live_after
+                                        >= resilience::resilience_floor(self.config.gar.kind, f_eff)
+                                }
+                            };
+                            if !floor_ok {
+                                live_sim[candidate] = was_live;
+                                continue;
+                            }
+                            plan = plan.with(step, candidate, FaultAction::Crash);
+                            ledger.begin_quarantine(step, candidate);
+                            worker_stats[candidate].quarantines += 1;
+                        }
+                    }
+                    if adaptive_churn {
+                        let ctx = AttackContext {
+                            honest_gradients: &[],
+                            model: self.server.parameters(),
+                            byzantine_count: self.config.byzantine_count,
+                            declared_f,
+                            step,
+                            seed: self.config.seed,
+                            total_workers: self.workers.len(),
+                            previous_selection: previous_selection.as_deref(),
+                        };
+                        for directive in self.attack.plan_churn(&ctx) {
+                            let (worker, action) = match directive {
+                                ChurnDirective::Crash(w) => (w, FaultAction::Crash),
+                                ChurnDirective::Rejoin(w) => (w, FaultAction::Rejoin),
+                            };
+                            // The adversary only controls its own workers —
+                            // a directive naming an honest slot is ignored —
+                            // and a quarantined slot stays evicted: the
+                            // ledger's Crash outranks the adversary's Rejoin.
+                            let quarantined = self
+                                .reputation
+                                .as_ref()
+                                .is_some_and(|ledger| ledger.is_quarantined(worker));
+                            if !quarantined
+                                && self
+                                    .workers
+                                    .get(worker)
+                                    .is_some_and(|w| w.role() == WorkerRole::Attacker)
+                            {
+                                plan = plan.with(step, worker, action);
+                            }
                         }
                     }
                     Some(plan)
                 } else {
                     None
                 };
-                let round_plan = adaptive_plan.as_ref().unwrap_or(&fault_plan);
+                let round_plan = merged_plan.as_ref().unwrap_or(&fault_plan);
                 let transitions = self.membership.apply_round(round_plan, step);
                 if let Some(plan) = &self.tree_plan {
                     // Tree mode fences per group: a crash or rejoin bumps
@@ -553,7 +678,18 @@ impl SyncTrainingEngine {
                         )
                         .is_ok()
                     }
-                    _ => self.membership.satisfies_floor(self.config.gar.kind, self.config.gar.f),
+                    _ => {
+                        // Quarantined slots no longer count against the
+                        // adversary's budget: the floor re-derives each
+                        // transition from the suspicion-aware effective f.
+                        let f_eff = match &self.reputation {
+                            Some(ledger) => {
+                                self.config.gar.f.saturating_sub(ledger.quarantined_count())
+                            }
+                            None => self.config.gar.f,
+                        };
+                        self.membership.satisfies_floor(self.config.gar.kind, f_eff)
+                    }
                 };
                 if !floor_ok {
                     refused += 1;
@@ -597,6 +733,7 @@ impl SyncTrainingEngine {
                         worker_time: 0.0,
                         stale_rejects: 0,
                         corrupt_rejects: 0,
+                        retransmit_exhausted: false,
                     });
                 }
                 let node_flops = worker.node_flops_per_sec();
@@ -612,6 +749,7 @@ impl SyncTrainingEngine {
                     worker_time: computation.compute_time_sec + transfer.time_sec * dim_scale,
                     stale_rejects: transfer.stale_epoch_rejects,
                     corrupt_rejects: transfer.corrupt_rejects,
+                    retransmit_exhausted: transfer.retransmit_exhausted,
                 })
             };
             let jobs: Vec<(&mut Worker, &mut [f32])> =
@@ -686,6 +824,7 @@ impl SyncTrainingEngine {
                     rounds[slot].delivered = transfer.delivered;
                     rounds[slot].stale_rejects = transfer.stale_epoch_rejects;
                     rounds[slot].corrupt_rejects = transfer.corrupt_rejects;
+                    rounds[slot].retransmit_exhausted = transfer.retransmit_exhausted;
                     if !transfer.delivered {
                         dropped_gradients += 1;
                     }
@@ -693,6 +832,14 @@ impl SyncTrainingEngine {
             }
             stale_epoch_rejects += rounds.iter().map(|r| r.stale_rejects as u64).sum::<u64>();
             corrupt_rejects += rounds.iter().map(|r| r.corrupt_rejects as u64).sum::<u64>();
+            for (worker, round) in rounds.iter().enumerate() {
+                worker_stats[worker].stale_epoch_rejects += round.stale_rejects as u64;
+                worker_stats[worker].corrupt_rejects += round.corrupt_rejects as u64;
+                if round.retransmit_exhausted {
+                    worker_stats[worker].retransmit_exhaustions += 1;
+                    retransmit_exhaustions += 1;
+                }
+            }
 
             // Phase 3: aggregation and model update at the server. The
             // quorum policy decides how many arrivals the round waits for:
@@ -741,6 +888,77 @@ impl SyncTrainingEngine {
                 keep[slot] = true;
             }
             let kept_slots: Vec<usize> = (0..rounds.len()).filter(|&i| keep[i]).collect();
+            // The reputation fold runs *before* aggregation: every evidence
+            // stream of this round is already decided at the quorum cut, and
+            // folding here lets the containment reshuffle below re-seat a
+            // colluding clique before the round's tree is even formed — so a
+            // readmitted colluder is re-contained with zero exposure.
+            if let Some(ledger_cfg) = self.reputation.as_ref().map(|l| *l.config()) {
+                // Collusion-affinity sketches over the delivered arena rows
+                // (worker-indexed — the arena is compacted only after this).
+                let colluding = {
+                    let arena = self.pipeline.arena();
+                    let row_views: Vec<Option<&[f32]>> = rounds
+                        .iter()
+                        .enumerate()
+                        .map(|(w, r)| r.delivered.then(|| arena.row(w)))
+                        .collect();
+                    reputation::collusion_flags(
+                        &row_views,
+                        &self.affinity_sample,
+                        ledger_cfg.affinity_epsilon,
+                        ledger_cfg.affinity_min_cluster,
+                    )
+                };
+                let evidence: Vec<RoundEvidence> = rounds
+                    .iter()
+                    .enumerate()
+                    .map(|(w, r)| RoundEvidence {
+                        corrupt: r.corrupt_rejects > 0,
+                        stale: r.stale_rejects > 0 && !readmitted_now[w],
+                        exhausted: r.retransmit_exhausted,
+                        straggled: r.delivered && !keep[w],
+                        excluded: prev_excluded[w],
+                        colluding: colluding[w],
+                    })
+                    .collect();
+                let ledger = self.reputation.as_mut().expect("checked above");
+                ledger.observe(step, &evidence);
+                // One round of exclusion history: consumed by this fold,
+                // rebuilt by this round's selection feedback below.
+                prev_excluded.fill(false);
+                // Epoch-boundary containment reshuffle of the tree tier:
+                // re-seat the most-suspect workers into sacrificial groups
+                // whose per-level f budget covers them, then bump every
+                // group's epoch — a view change for the whole tier.
+                if ledger_cfg.reshuffle_every > 0 && step % ledger_cfg.reshuffle_every == 0 {
+                    if let Some(plan) = &mut self.tree_plan {
+                        let sizes: Vec<usize> = plan.sizes().collect();
+                        // Quarantined/crashed slots deliver nothing; the
+                        // placement must know, or it will starve a group
+                        // below its floor by piling dead seats into it.
+                        let live: Vec<bool> = (0..self.workers.len())
+                            .map(|w| self.membership.health(w).is_live())
+                            .collect();
+                        let next = reputation::containment_assignment(
+                            ledger.scores(),
+                            &live,
+                            &sizes,
+                            ledger_cfg.suspect_cutoff,
+                            self.config.seed,
+                            step,
+                        );
+                        let current: Vec<usize> =
+                            (0..self.workers.len()).map(|w| plan.group_of(w)).collect();
+                        if next != current {
+                            plan.set_assignment(next).map_err(PsError::from)?;
+                            for epoch in &mut self.group_epochs {
+                                *epoch += 1;
+                            }
+                        }
+                    }
+                }
+            }
             // The group id of every surviving row, in arena order — the tree
             // tier's counterpart of the distance matrix.
             let tree_groups: Option<Vec<usize>> = self
@@ -797,6 +1015,16 @@ impl SyncTrainingEngine {
                             // The adversary's feedback channel sees worker
                             // identities, so map compacted rows back to
                             // their slots.
+                            if self.reputation.is_some() {
+                                // Exclusion history for the next fold: every
+                                // kept row the selection passed over.
+                                for &slot in &kept_slots {
+                                    prev_excluded[slot] = true;
+                                }
+                                for &r in &rows {
+                                    prev_excluded[kept_slots[r]] = false;
+                                }
+                            }
                             previous_selection =
                                 Some(rows.iter().map(|&r| kept_slots[r]).collect());
                         }
@@ -817,6 +1045,11 @@ impl SyncTrainingEngine {
             }
         }
 
+        if let Some(ledger) = &self.reputation {
+            for stat in &mut worker_stats {
+                stat.final_suspicion = ledger.score(stat.worker);
+            }
+        }
         Ok(TrainingReport {
             label,
             trace,
@@ -828,6 +1061,12 @@ impl SyncTrainingEngine {
             stale_epoch_rejects,
             corrupt_rejects,
             byzantine_selected_rounds,
+            retransmit_exhaustions,
+            per_worker: worker_stats,
+            quarantine_events: self
+                .reputation
+                .as_ref()
+                .map_or_else(Vec::new, |ledger| ledger.events().to_vec()),
             simulated_time_sec: self.clock_sec,
         })
     }

@@ -27,6 +27,10 @@
 //! * [`streaming`] — the event-driven round pipeline: double-buffered
 //!   submission arenas, per-row distance accumulation and the quorum policy
 //!   that lets the server aggregate at `n − f` arrivals.
+//! * [`reputation`] — the cross-round suspicion ledger: decayed per-worker
+//!   scores folded from the engine's evidence streams, automatic quarantine
+//!   with probationary readmission, and the containment reshuffle policy of
+//!   the tree tier.
 //! * [`engine`] — the synchronous training loop (Equation 4) and the
 //!   throughput simulator used by the scalability experiments.
 //! * [`report`] — the structured result of a run (traces, throughput,
@@ -39,6 +43,7 @@ pub mod engine;
 pub mod error;
 pub mod membership;
 pub mod report;
+pub mod reputation;
 pub mod server;
 pub mod streaming;
 pub mod worker;
@@ -51,7 +56,11 @@ pub use error::PsError;
 pub use membership::{
     FaultAction, FaultEvent, FaultPlan, MembershipView, RefusalPolicy, WorkerHealth,
 };
-pub use report::TrainingReport;
+pub use report::{TrainingReport, WorkerReport};
+pub use reputation::{
+    QuarantineEvent, ReputationConfig, ReputationLedger, RoundEvidence, StandingChange,
+    WorkerStanding,
+};
 pub use server::ParameterServer;
 pub use streaming::{QuorumPolicy, RoundPipeline, StreamingConfig};
 pub use worker::{Worker, WorkerRole};

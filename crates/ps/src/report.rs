@@ -1,7 +1,32 @@
 //! Structured results of a training run.
 
+use crate::reputation::{QuarantineEvent, StandingChange};
 use agg_metrics::{LatencyBreakdown, ThroughputMeter, TrainingTrace};
 use serde::{Deserialize, Serialize};
+
+/// Per-worker breakdown of the wire and control-plane counters the run
+/// aggregates globally — the operator's view of *which* worker produced the
+/// evidence, and what the reputation ledger made of it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerReport {
+    /// Worker id (the index into [`TrainingReport::per_worker`], repeated
+    /// here so serialized rows stay self-describing).
+    pub worker: usize,
+    /// Packets of this worker's submissions rejected by the epoch fence.
+    pub stale_epoch_rejects: u64,
+    /// Packets of this worker's submissions rejected by the wire-integrity
+    /// check.
+    pub corrupt_rejects: u64,
+    /// Rounds in which this worker's retransmit recovery exhausted its
+    /// budget or deadline without completing the row.
+    pub retransmit_exhaustions: u64,
+    /// Times the reputation ledger quarantined this worker.
+    pub quarantines: u64,
+    /// Times the reputation ledger readmitted this worker on probation.
+    pub readmissions: u64,
+    /// The worker's suspicion score when the run ended (0 without a ledger).
+    pub final_suspicion: f64,
+}
 
 /// Everything a training run produced, ready for the experiment harness to
 /// turn into the paper's tables and figures.
@@ -41,6 +66,18 @@ pub struct TrainingReport {
     /// feedback — distance-based rules with Byzantine workers, an adaptive
     /// attack, or a fault plan.
     pub byzantine_selected_rounds: u64,
+    /// Rounds in which some worker's retransmit recovery ran out of budget
+    /// or deadline with the row still incomplete — previously
+    /// indistinguishable from a plain transport loss; counted separately so
+    /// the reputation ledger (and operators) can see it.
+    pub retransmit_exhaustions: u64,
+    /// Per-worker breakdown of the wire counters and ledger outcomes, one
+    /// entry per worker slot. Empty when the engine ran without the
+    /// breakdown (e.g. the throughput simulator).
+    pub per_worker: Vec<WorkerReport>,
+    /// Every quarantine/readmission transition the reputation ledger made,
+    /// in the order it made them. Empty without a ledger.
+    pub quarantine_events: Vec<QuarantineEvent>,
     /// Total simulated wall-clock time of the run, in seconds.
     pub simulated_time_sec: f64,
 }
@@ -61,6 +98,18 @@ impl TrainingReport {
         self.trace.time_to_accuracy(target)
     }
 
+    /// Number of quarantine evictions the reputation ledger made.
+    pub fn quarantine_count(&self) -> u64 {
+        self.quarantine_events.iter().filter(|e| e.change == StandingChange::Quarantined).count()
+            as u64
+    }
+
+    /// Number of probationary readmissions the reputation ledger made.
+    pub fn readmission_count(&self) -> u64 {
+        self.quarantine_events.iter().filter(|e| e.change == StandingChange::Readmitted).count()
+            as u64
+    }
+
     /// One-line summary for experiment logs.
     pub fn summary(&self) -> String {
         let refusals = if self.refused_rounds > 0 {
@@ -68,8 +117,17 @@ impl TrainingReport {
         } else {
             String::new()
         };
+        let quarantines = if self.quarantine_events.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", {} quarantined / {} readmitted by the reputation ledger",
+                self.quarantine_count(),
+                self.readmission_count()
+            )
+        };
         format!(
-            "{}: {} steps ({} skipped{refusals}), {:.1}s simulated, final accuracy {:.3}, throughput {:.2} grad/s, aggregation share {:.1}%",
+            "{}: {} steps ({} skipped{refusals}), {:.1}s simulated, final accuracy {:.3}, throughput {:.2} grad/s, aggregation share {:.1}%{quarantines}",
             self.label,
             self.steps_completed,
             self.skipped_updates,
@@ -109,6 +167,50 @@ mod tests {
         assert_eq!(report.stale_epoch_rejects, 0);
         assert_eq!(report.corrupt_rejects, 0);
         assert_eq!(report.byzantine_selected_rounds, 0);
+        assert_eq!(report.retransmit_exhaustions, 0);
+        assert!(report.per_worker.is_empty());
+        assert!(report.quarantine_events.is_empty());
+        assert_eq!(report.quarantine_count(), 0);
+        assert_eq!(report.readmission_count(), 0);
+    }
+
+    #[test]
+    fn summary_surfaces_quarantine_events() {
+        use crate::reputation::{QuarantineEvent, StandingChange};
+        let mut report = TrainingReport { label: "multi-krum f=4".into(), ..Default::default() };
+        assert!(!report.summary().contains("quarantined"));
+        report.quarantine_events = vec![
+            QuarantineEvent { round: 4, worker: 17, change: StandingChange::Quarantined },
+            QuarantineEvent { round: 9, worker: 18, change: StandingChange::Quarantined },
+            QuarantineEvent { round: 16, worker: 17, change: StandingChange::Readmitted },
+        ];
+        assert_eq!(report.quarantine_count(), 2);
+        assert_eq!(report.readmission_count(), 1);
+        assert!(report.summary().contains("2 quarantined / 1 readmitted by the reputation ledger"));
+    }
+
+    #[test]
+    fn per_worker_breakdown_round_trips_through_json() {
+        let mut report = TrainingReport {
+            per_worker: vec![
+                WorkerReport { worker: 0, ..Default::default() },
+                WorkerReport {
+                    worker: 1,
+                    stale_epoch_rejects: 3,
+                    corrupt_rejects: 2,
+                    retransmit_exhaustions: 1,
+                    quarantines: 1,
+                    readmissions: 1,
+                    final_suspicion: 0.75,
+                },
+            ],
+            ..Default::default()
+        };
+        report.retransmit_exhaustions = 1;
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TrainingReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.per_worker, report.per_worker);
+        assert_eq!(back.retransmit_exhaustions, 1);
     }
 
     #[test]

@@ -133,6 +133,14 @@ impl ShardPlan {
 pub struct GroupPlan {
     workers: usize,
     group_size: usize,
+    /// Optional permuted placement: `assignment[w]` is the group of worker
+    /// `w`. `None` is the identity (contiguous) placement. A permutation
+    /// never changes the per-group *capacities* — every group holds exactly
+    /// as many workers as its contiguous range — so downstream consumers of
+    /// [`GroupPlan::sizes`] (the composed resilience bound, the per-group
+    /// kernels, cluster placement) see the same shape either way; only
+    /// *which* worker sits in which group moves.
+    assignment: Option<Vec<usize>>,
 }
 
 impl GroupPlan {
@@ -147,7 +155,7 @@ impl GroupPlan {
         if workers == 0 || group_size == 0 {
             return Err(TensorError::EmptyInput("GroupPlan::new"));
         }
-        Ok(GroupPlan { workers, group_size })
+        Ok(GroupPlan { workers, group_size, assignment: None })
     }
 
     /// Number of groups, `ceil(workers / group_size)`.
@@ -165,7 +173,94 @@ impl GroupPlan {
         self.group_size
     }
 
-    /// The worker-id range of group `k`.
+    /// Replaces the placement with an explicit worker → group assignment.
+    ///
+    /// The assignment must be a *capacity-preserving* permutation of the
+    /// contiguous placement: `assignment[w]` names worker `w`'s group, every
+    /// group id must be in range, and each group must receive exactly as
+    /// many workers as its contiguous range holds (`self.sizes()`). This is
+    /// the invariant that lets the reshuffled plan drop into every existing
+    /// consumer — group output buffers, per-group floors and cluster jobs
+    /// are sized off `sizes()`, which a valid assignment cannot change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] when the assignment's length does
+    /// not match the worker count, names an out-of-range group, or changes
+    /// any group's size.
+    pub fn set_assignment(&mut self, assignment: Vec<usize>) -> Result<()> {
+        if assignment.len() != self.workers {
+            return Err(TensorError::EmptyInput("GroupPlan::set_assignment length"));
+        }
+        let groups = self.group_count();
+        let mut counts = vec![0usize; groups];
+        for &g in &assignment {
+            if g >= groups {
+                return Err(TensorError::EmptyInput("GroupPlan::set_assignment group id"));
+            }
+            counts[g] += 1;
+        }
+        if counts.iter().copied().ne(self.sizes()) {
+            return Err(TensorError::EmptyInput("GroupPlan::set_assignment group sizes"));
+        }
+        self.assignment = Some(assignment);
+        Ok(())
+    }
+
+    /// Builds a plan with an explicit placement in one step (see
+    /// [`GroupPlan::set_assignment`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for a degenerate shape or an
+    /// invalid assignment.
+    pub fn with_assignment(
+        workers: usize,
+        group_size: usize,
+        assignment: Vec<usize>,
+    ) -> Result<Self> {
+        let mut plan = GroupPlan::new(workers, group_size)?;
+        plan.set_assignment(assignment)?;
+        Ok(plan)
+    }
+
+    /// Reverts to the contiguous (identity) placement.
+    pub fn clear_assignment(&mut self) {
+        self.assignment = None;
+    }
+
+    /// The explicit worker → group assignment, when one is installed.
+    pub fn assignment(&self) -> Option<&[usize]> {
+        self.assignment.as_deref()
+    }
+
+    /// `true` when an explicit (possibly non-contiguous) placement is
+    /// installed.
+    pub fn is_permuted(&self) -> bool {
+        self.assignment.is_some()
+    }
+
+    /// The worker ids of group `k`, in ascending id order — the
+    /// assignment-aware counterpart of [`GroupPlan::range`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.group_count()`.
+    pub fn members(&self, k: usize) -> Vec<usize> {
+        match &self.assignment {
+            None => self.range(k).collect(),
+            Some(assignment) => {
+                assert!(k < self.group_count(), "group {k} out of range");
+                (0..self.workers).filter(|&w| assignment[w] == k).collect()
+            }
+        }
+    }
+
+    /// The worker-id range of group `k` under the *contiguous* placement.
+    /// This is build-time layout arithmetic (buffer sizing, cluster
+    /// placement, link topology); runtime consumers that must honor a
+    /// reshuffled placement go through [`GroupPlan::group_of`] /
+    /// [`GroupPlan::members`] instead.
     ///
     /// # Panics
     ///
@@ -181,19 +276,24 @@ impl GroupPlan {
         (0..self.group_count()).map(move |k| self.range(k))
     }
 
-    /// Iterator over every group's size, in group order.
+    /// Iterator over every group's size, in group order. Invariant under
+    /// reshuffles: an installed assignment is capacity-preserving by
+    /// construction, so the sizes are always those of the contiguous layout.
     pub fn sizes(&self) -> impl Iterator<Item = usize> + '_ {
         self.ranges().map(|r| r.len())
     }
 
-    /// The group holding worker `worker`.
+    /// The group holding worker `worker`, honoring an installed assignment.
     ///
     /// # Panics
     ///
     /// Panics if `worker >= self.workers()`.
     pub fn group_of(&self, worker: usize) -> usize {
         assert!(worker < self.workers, "worker {worker} out of range for {} workers", self.workers);
-        worker / self.group_size
+        match &self.assignment {
+            Some(assignment) => assignment[worker],
+            None => worker / self.group_size,
+        }
     }
 }
 
@@ -303,5 +403,61 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn group_of_rejects_out_of_range_workers() {
         GroupPlan::new(4, 2).unwrap().group_of(4);
+    }
+
+    #[test]
+    fn assignment_permutes_placement_without_changing_capacities() {
+        // 7 workers in groups of 3: contiguous sizes [3, 3, 1]. A strided
+        // deal (0,1,2,0,1,2,0 would overfill group 0) honoring capacities:
+        let assignment = vec![0, 1, 2, 0, 1, 0, 1];
+        let plan = GroupPlan::with_assignment(7, 3, assignment.clone()).unwrap();
+        assert!(plan.is_permuted());
+        assert_eq!(plan.assignment(), Some(assignment.as_slice()));
+        assert_eq!(plan.sizes().collect::<Vec<_>>(), vec![3, 3, 1]);
+        for (w, &g) in assignment.iter().enumerate() {
+            assert_eq!(plan.group_of(w), g);
+        }
+        assert_eq!(plan.members(0), vec![0, 3, 5]);
+        assert_eq!(plan.members(1), vec![1, 4, 6]);
+        assert_eq!(plan.members(2), vec![2]);
+        // `range` stays the contiguous layout (buffer sizing).
+        assert_eq!(plan.range(0), 0..3);
+    }
+
+    #[test]
+    fn identity_assignment_matches_the_contiguous_placement() {
+        let mut plan = GroupPlan::new(70, 32).unwrap();
+        let identity: Vec<usize> = (0..70).map(|w| w / 32).collect();
+        plan.set_assignment(identity).unwrap();
+        let contiguous = GroupPlan::new(70, 32).unwrap();
+        for w in 0..70 {
+            assert_eq!(plan.group_of(w), contiguous.group_of(w));
+        }
+        for k in 0..plan.group_count() {
+            assert_eq!(plan.members(k), contiguous.range(k).collect::<Vec<_>>());
+        }
+        plan.clear_assignment();
+        assert!(!plan.is_permuted());
+    }
+
+    #[test]
+    fn capacity_violating_assignments_are_rejected() {
+        // Wrong length.
+        assert!(GroupPlan::with_assignment(6, 3, vec![0, 1]).is_err());
+        // Out-of-range group id.
+        assert!(GroupPlan::with_assignment(6, 3, vec![0, 0, 0, 1, 1, 2]).is_err());
+        // Right length, valid ids, wrong per-group counts (group 0 overfull).
+        assert!(GroupPlan::with_assignment(6, 3, vec![0, 0, 0, 0, 1, 1]).is_err());
+        // Ragged tail: group 2 holds 1 worker, not 2.
+        assert!(GroupPlan::with_assignment(7, 3, vec![0, 0, 0, 1, 1, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn members_covers_every_worker_exactly_once() {
+        let assignment = vec![0, 1, 0, 1, 2, 0, 1, 0, 1, 2];
+        let plan = GroupPlan::with_assignment(10, 4, assignment).unwrap();
+        let mut seen: Vec<usize> = (0..plan.group_count()).flat_map(|k| plan.members(k)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
     }
 }

@@ -13,7 +13,8 @@ use agg_core::{Bulyan, Gar, GarConfig, GarKind, MultiKrum, ShardedAggregator};
 use agg_data::corruption::Corruption;
 use agg_nn::schedule::LearningRate;
 use agg_ps::{
-    FaultAction, FaultPlan, QuorumPolicy, RunnerConfig, SyncTrainingEngine, TrainingReport,
+    FaultAction, FaultPlan, QuorumPolicy, ReputationConfig, RunnerConfig, SyncTrainingEngine,
+    TrainingReport,
 };
 use agg_tensor::rng::{gaussian_vector, seeded_rng};
 use agg_tensor::{GradientBatch, Vector};
@@ -391,6 +392,83 @@ fn colluding_group_is_rejected_at_the_tree_root_under_the_composed_bound() {
         report.final_accuracy() < BAD,
         "an averaging root should collapse under group collusion, got {}",
         report.final_accuracy()
+    );
+}
+
+#[test]
+fn reputation_ledger_quarantines_the_identity_rotator_the_bare_gar_only_tolerates() {
+    // The Adaptive attacker × {no ledger, ledger} rows of the matrix. Both
+    // cells keep learning — Multi-Krum already excludes the rotator's rows —
+    // but only the ledger cell *punishes* the rotation: the stale-epoch
+    // evidence its crash/rejoin cycling leaves behind drives every attacker
+    // slot into quarantine, while without the ledger the churn goes
+    // unrecorded and unpunished.
+    let base = RunnerConfig {
+        gar: GarConfig::new(GarKind::MultiKrum, 4),
+        workers: 19,
+        byzantine_count: 4,
+        attack: AttackKind::Adaptive,
+        adaptive_churn: true,
+        max_steps: 100,
+        eval_every: 25,
+        eval_samples: 256,
+        learning_rate: LearningRate::Fixed { rate: 0.01 },
+        seed: 21,
+        ..RunnerConfig::quick_default()
+    };
+
+    let bare = SyncTrainingEngine::new(base.clone()).expect("valid").run().expect("runs");
+    assert_eq!(bare.quarantine_count(), 0, "no ledger, no quarantines");
+    assert!(bare.final_accuracy() > GOOD, "bare accuracy {}", bare.final_accuracy());
+
+    let mut with_ledger = base;
+    with_ledger.reputation = Some(ReputationConfig::default());
+    let report = SyncTrainingEngine::new(with_ledger).expect("valid").run().expect("runs");
+    assert!(report.quarantine_count() > 0, "the rotation must be punished");
+    for event in &report.quarantine_events {
+        assert!(event.worker >= 15, "honest worker {} in {event:?}", event.worker);
+    }
+    assert!(report.final_accuracy() > GOOD, "ledger accuracy {}", report.final_accuracy());
+}
+
+#[test]
+fn reputation_reshuffle_extends_the_tree_matrix_past_the_composed_bound() {
+    // The GroupCollusion × {no ledger, ledger} rows at 15 colluders — five
+    // times the composed bound of the Multi-Krum tree. Static placement is
+    // captured (the baseline row proves the attack is live); the ledger's
+    // containment reshuffle concentrates the colluders into sacrificial
+    // groups the root out-votes, and no Byzantine row ever reaches the
+    // selection feedback.
+    let tree = agg_core::TreeConfig::uniform(GarKind::MultiKrum, 1, 1, 6);
+    let base = RunnerConfig {
+        gar: tree.root,
+        tree: Some(tree),
+        workers: 30,
+        byzantine_count: 15,
+        attack: AttackKind::GroupCollusion { scale: 100.0, group_size: 6 },
+        max_steps: 100,
+        eval_every: 25,
+        eval_samples: 256,
+        learning_rate: LearningRate::Fixed { rate: 0.01 },
+        seed: 21,
+        ..RunnerConfig::quick_default()
+    };
+    assert!(base.byzantine_count > tree.composed_max_f());
+
+    let captured = SyncTrainingEngine::new(base.clone()).expect("valid").run().expect("runs");
+    assert!(captured.byzantine_selected_rounds > 0, "static placement must be captured");
+
+    let mut with_ledger = base;
+    with_ledger.reputation =
+        Some(ReputationConfig { reshuffle_every: 1, ..ReputationConfig::default() });
+    let report = SyncTrainingEngine::new(with_ledger).expect("valid").run().expect("runs");
+    assert_eq!(report.byzantine_selected_rounds, 0, "containment holds at 5× the bound");
+    assert!(report.final_accuracy() > GOOD, "contained accuracy {}", report.final_accuracy());
+    assert!(
+        report.final_accuracy() > captured.final_accuracy(),
+        "containment must out-train capture: {} vs {}",
+        report.final_accuracy(),
+        captured.final_accuracy()
     );
 }
 
